@@ -1,0 +1,48 @@
+"""Ablation: dominance pruning of the property-vector DP.
+
+§2.2's "we must not discard that information" forces frontiers instead of
+single-best entries; pruning keeps those frontiers Pareto-minimal. This
+ablation measures optimisation time and retained/generated state with and
+without pruning, asserting the optimum is unchanged.
+"""
+
+import pytest
+
+from repro.core import DynamicProgrammingOptimizer, dqo_config
+from repro.datagen import Density, Sortedness, make_join_scenario
+from repro.sql import plan_query
+
+QUERY = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_join_scenario(
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.SORTED,
+        density=Density.DENSE,
+    ).build_catalog()
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["pruned", "unpruned"])
+def test_optimisation_time(benchmark, catalog, prune):
+    logical = plan_query(QUERY, catalog)
+    optimizer = DynamicProgrammingOptimizer(
+        catalog, config=dqo_config(prune_dominated=prune)
+    )
+    benchmark.group = "pruning ablation"
+    result = benchmark(optimizer.optimize, logical)
+    assert result.cost > 0
+
+
+def test_pruning_preserves_optimum_and_cuts_state(catalog):
+    logical = plan_query(QUERY, catalog)
+    pruned = DynamicProgrammingOptimizer(
+        catalog, config=dqo_config(prune_dominated=True)
+    ).optimize(logical)
+    unpruned = DynamicProgrammingOptimizer(
+        catalog, config=dqo_config(prune_dominated=False)
+    ).optimize(logical)
+    assert pruned.cost == pytest.approx(unpruned.cost)
+    assert pruned.stats.retained <= unpruned.stats.retained
+    assert pruned.stats.pruned_dominated > 0

@@ -1,0 +1,66 @@
+"""Ablation: AVSP selection policies (§3 / §6, "Algorithmic Views
+Selection").
+
+Compares no-views / greedy / exact selection over a generated workload:
+solver wall-clock (benchmark groups) plus an assertion chain
+``exact benefit >= greedy benefit >= 0`` and a budget sweep showing
+benefit is monotone in budget (the workload-dependence the paper
+emphasises is visible in the numbers EXPERIMENTS.md records).
+"""
+
+import pytest
+
+from repro.avs import (
+    enumerate_candidates,
+    exhaustive_avsp,
+    greedy_avsp,
+    workload_cost,
+)
+from repro.datagen import make_workload
+
+BUDGET = 4_000_000.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(num_tables=3, num_queries=30, seed=11)
+
+
+@pytest.fixture(scope="module")
+def large_workload():
+    return make_workload(num_tables=10, num_queries=120, seed=12)
+
+
+def test_greedy_solver_time(benchmark, large_workload):
+    benchmark.group = "AVSP solver"
+    result = benchmark(greedy_avsp, large_workload, BUDGET)
+    assert result.benefit >= 0
+
+
+def test_exact_solver_time(benchmark, workload):
+    benchmark.group = "AVSP solver"
+    result = benchmark(exhaustive_avsp, workload, BUDGET)
+    assert result.benefit >= 0
+
+
+def test_exact_dominates_greedy_dominates_nothing(workload):
+    greedy = greedy_avsp(workload, budget=BUDGET)
+    exact = exhaustive_avsp(workload, budget=BUDGET)
+    base = workload_cost(workload)
+    assert base == pytest.approx(greedy.cost_without_views)
+    assert 0 <= greedy.benefit <= exact.benefit + 1e-9
+
+
+def test_benefit_monotone_in_budget(workload):
+    benefits = [
+        greedy_avsp(workload, budget=budget).benefit
+        for budget in (0.0, 1_000_000.0, 4_000_000.0, 16_000_000.0)
+    ]
+    assert benefits == sorted(benefits)
+    assert benefits[0] == 0.0
+
+
+def test_candidate_space_scales_with_pool(large_workload, workload):
+    assert len(enumerate_candidates(large_workload)) > len(
+        enumerate_candidates(workload)
+    )

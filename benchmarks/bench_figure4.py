@@ -1,0 +1,95 @@
+"""Figure 4: grouping kernel runtimes per dataset panel (pytest-benchmark).
+
+One benchmark per (panel, algorithm) at the paper's mid-range group count
+(10,000 of up to 40,000). The benchmark *group* name is the panel, so
+``pytest benchmarks/bench_figure4.py --benchmark-only`` prints one
+comparison table per Figure 4 panel.
+
+The paper's shape claims are additionally asserted (winner per panel) so
+a regression in the kernels fails the run rather than silently producing
+a differently-shaped figure.
+"""
+
+import pytest
+
+from repro.datagen import Density, Sortedness, make_grouping_dataset
+from repro.engine import GroupingAlgorithm, group_by
+from repro.bench.figure4 import applicable_algorithms
+
+GROUPS = 10_000
+
+PANELS = [
+    (Sortedness.SORTED, Density.DENSE),
+    (Sortedness.SORTED, Density.SPARSE),
+    (Sortedness.UNSORTED, Density.DENSE),
+    (Sortedness.UNSORTED, Density.SPARSE),
+]
+
+
+def _dataset(bench_rows, sortedness, density):
+    return make_grouping_dataset(
+        bench_rows, GROUPS, sortedness=sortedness, density=density, seed=0
+    )
+
+
+@pytest.mark.parametrize("sortedness,density", PANELS,
+                         ids=lambda v: getattr(v, "value", str(v)))
+@pytest.mark.parametrize("algorithm", list(GroupingAlgorithm),
+                         ids=lambda a: a.name)
+def test_figure4_panel(benchmark, bench_rows, sortedness, density, algorithm):
+    if algorithm not in applicable_algorithms(sortedness, density):
+        pytest.skip(
+            f"{algorithm.name} inapplicable on "
+            f"{sortedness.value} & {density.value} (paper omits it too)"
+        )
+    dataset = _dataset(bench_rows, sortedness, density)
+    benchmark.group = f"figure4 {sortedness.value} & {density.value}"
+    result = benchmark(
+        group_by,
+        dataset.keys,
+        dataset.payload,
+        algorithm,
+        num_distinct_hint=GROUPS,
+    )
+    assert result.num_groups == GROUPS
+
+
+def test_figure4_shape_assertions(bench_rows):
+    """The qualitative Figure 4 claims, asserted once per run."""
+    from repro._util.timer import time_callable
+
+    def best_ms(dataset, algorithm):
+        return time_callable(
+            lambda: group_by(
+                dataset.keys, dataset.payload, algorithm,
+                num_distinct_hint=GROUPS,
+            ),
+            repeats=2,
+            warmup=1,
+        ).best_ms
+
+    rows = min(bench_rows, 1_000_000)
+    sorted_dense = make_grouping_dataset(
+        rows, GROUPS, Sortedness.SORTED, Density.DENSE, seed=0
+    )
+    # Sorted & dense: OG and SPHG beat HG (paper: >4x faster).
+    og = best_ms(sorted_dense, GroupingAlgorithm.OG)
+    sphg = best_ms(sorted_dense, GroupingAlgorithm.SPHG)
+    hg = best_ms(sorted_dense, GroupingAlgorithm.HG)
+    assert og < hg and sphg < hg
+
+    unsorted_dense = make_grouping_dataset(
+        rows, GROUPS, Sortedness.UNSORTED, Density.DENSE, seed=0
+    )
+    # Unsorted & dense: SPHG best, unaffected by sortedness.
+    assert best_ms(unsorted_dense, GroupingAlgorithm.SPHG) < best_ms(
+        unsorted_dense, GroupingAlgorithm.HG
+    )
+
+    unsorted_sparse = make_grouping_dataset(
+        rows, GROUPS, Sortedness.UNSORTED, Density.SPARSE, seed=0
+    )
+    # Unsorted & sparse at 10k groups: HG superior (paper's wide range).
+    hg_sparse = best_ms(unsorted_sparse, GroupingAlgorithm.HG)
+    assert hg_sparse < best_ms(unsorted_sparse, GroupingAlgorithm.SOG)
+    assert hg_sparse < best_ms(unsorted_sparse, GroupingAlgorithm.BSG)

@@ -1,0 +1,50 @@
+"""Figure 4 zoom-in: the BSG-vs-HG crossover at small group counts
+(unsorted & sparse).
+
+The paper: *"for up to 14 groups ... BSG outperforms HG. This opens up
+another optimisation dimension in which the number of distinct values
+should be considered."* We benchmark both algorithms at a handful of tiny
+group counts and assert the crossover exists (its exact position is
+hardware- and substrate-dependent; EXPERIMENTS.md records ours).
+"""
+
+import pytest
+
+from repro.bench.figure4 import run_crossover
+from repro.datagen import Density, Sortedness, make_grouping_dataset
+from repro.engine import GroupingAlgorithm, group_by
+
+SMALL_GROUP_COUNTS = (2, 8, 14, 64)
+
+
+@pytest.mark.parametrize("groups", SMALL_GROUP_COUNTS)
+@pytest.mark.parametrize(
+    "algorithm", [GroupingAlgorithm.HG, GroupingAlgorithm.BSG],
+    ids=lambda a: a.name,
+)
+def test_crossover_point(benchmark, bench_rows, groups, algorithm):
+    dataset = make_grouping_dataset(
+        bench_rows,
+        groups,
+        sortedness=Sortedness.UNSORTED,
+        density=Density.SPARSE,
+        seed=0,
+    )
+    benchmark.group = f"figure4 zoom-in, {groups} groups"
+    result = benchmark(
+        group_by, dataset.keys, dataset.payload, algorithm,
+        num_distinct_hint=groups,
+    )
+    assert result.num_groups == groups
+
+
+def test_crossover_exists(bench_rows):
+    result = run_crossover(
+        rows=min(bench_rows, 500_000),
+        group_counts=(2, 4, 8, 14),
+        repeats=2,
+    )
+    assert result.crossover_groups >= 2, (
+        "BSG should beat HG at very small group counts "
+        f"(measured points: {result.points})"
+    )

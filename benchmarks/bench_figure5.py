@@ -1,0 +1,54 @@
+"""Figure 5: optimiser quality and optimisation time.
+
+Two benchmark groups:
+
+* ``figure5 optimise`` — wall-clock of one SQO vs one DQO optimisation of
+  the §4.3 query (DQO explores a strictly larger space; this measures
+  what that costs);
+* plus a non-benchmark assertion that the full 4x2 improvement-factor
+  grid matches the paper exactly (1x/1x, 1x/4x, 1x/2.8x, 1x/4x).
+"""
+
+import pytest
+
+from repro.bench.figure5 import PAPER_FACTORS, run_figure5
+from repro.core import optimize_dqo, optimize_sqo
+from repro.datagen import Density, Sortedness, make_join_scenario
+from repro.sql import plan_query
+
+QUERY = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+
+
+@pytest.fixture(scope="module")
+def scenario_catalog():
+    return make_join_scenario(
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+    ).build_catalog()
+
+
+@pytest.mark.parametrize(
+    "optimizer", [optimize_sqo, optimize_dqo], ids=["SQO", "DQO"]
+)
+def test_optimisation_time(benchmark, scenario_catalog, optimizer):
+    logical = plan_query(QUERY, scenario_catalog)
+    benchmark.group = "figure5 optimise"
+    result = benchmark(optimizer, logical, scenario_catalog)
+    assert result.cost > 0
+
+
+def test_figure5_grid_matches_paper():
+    result = run_figure5()
+    for cell in result.cells:
+        sparse_factor, dense_factor = PAPER_FACTORS[
+            (cell.r_sortedness, cell.s_sortedness)
+        ]
+        expected = (
+            dense_factor if cell.density is Density.DENSE else sparse_factor
+        )
+        assert cell.factor == pytest.approx(expected, rel=1e-6), (
+            cell.r_sortedness,
+            cell.s_sortedness,
+            cell.density,
+        )

@@ -1,0 +1,65 @@
+"""Extension bench: deep optimisation of large (multi-way) queries.
+
+§6: *"in the history of SQO, initially only relatively small queries
+could be optimised ... We foresee the same to happen with DQO."* This
+bench measures how optimisation time and enumeration effort grow with the
+number of relations, for the shallow and the deep configuration, on star
+joins of 2..5 relations.
+"""
+
+import pytest
+
+from repro.core import optimize_dqo, optimize_sqo
+from repro.datagen import Density, DimensionSpec, Sortedness, make_star_scenario
+from repro.sql import plan_query
+
+
+def _scenario(num_dimensions: int):
+    specs = []
+    for index in range(num_dimensions):
+        specs.append(
+            DimensionSpec(
+                rows=1_000 + 500 * index,
+                num_groups=100 + 50 * index,
+                sortedness=(
+                    Sortedness.SORTED if index % 2 == 0 else Sortedness.UNSORTED
+                ),
+                density=Density.DENSE if index % 3 else Density.SPARSE,
+            )
+        )
+    return make_star_scenario(fact_rows=5_000, dimensions=specs, seed=0)
+
+
+@pytest.mark.parametrize("num_dimensions", [1, 2, 3, 4])
+@pytest.mark.parametrize(
+    "optimizer", [optimize_sqo, optimize_dqo], ids=["SQO", "DQO"]
+)
+def test_optimisation_scales(benchmark, num_dimensions, optimizer):
+    scenario = _scenario(num_dimensions)
+    catalog = scenario.build_catalog()
+    logical = plan_query(scenario.join_query(0), catalog)
+    benchmark.group = f"large queries: {num_dimensions + 1} relations"
+    result = benchmark(optimizer, logical, catalog)
+    assert result.cost > 0
+
+
+def test_effort_growth_is_superlinear_but_bounded():
+    generated = []
+    for num_dimensions in (1, 2, 3, 4):
+        scenario = _scenario(num_dimensions)
+        catalog = scenario.build_catalog()
+        logical = plan_query(scenario.join_query(0), catalog)
+        result = optimize_dqo(logical, catalog)
+        generated.append(result.stats.generated)
+    assert generated == sorted(generated)
+    # DPsub with Pareto pruning: growth well below the factorial plan space.
+    assert generated[-1] < 100_000
+
+
+def test_dqo_quality_holds_at_five_relations():
+    scenario = _scenario(4)
+    catalog = scenario.build_catalog()
+    logical = plan_query(scenario.join_query(0), catalog)
+    sqo = optimize_sqo(logical, catalog)
+    dqo = optimize_dqo(logical, catalog)
+    assert dqo.cost <= sqo.cost

@@ -1,0 +1,78 @@
+"""Extension bench: morsel-style parallel grouping (Figure 3e).
+
+Measures the shard-and-merge structure of the parallel-load molecule
+choice at several shard counts, against the serial kernel. Shards run
+sequentially (DESIGN.md substitution #6), so this quantifies the *merge
+overhead* the parallel recipe pays — the structural cost a real
+multi-core engine would trade against core scaling — not a speedup.
+"""
+
+import pytest
+
+from repro.datagen import Density, Sortedness, make_grouping_dataset
+from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
+from repro.engine.kernels.parallel import parallel_group_by
+
+GROUPS = 10_000
+
+
+@pytest.fixture(scope="module")
+def dataset(bench_rows):
+    return make_grouping_dataset(
+        min(bench_rows, 1_000_000),
+        GROUPS,
+        Sortedness.UNSORTED,
+        Density.DENSE,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+def test_sharded_sphg(benchmark, dataset, shards):
+    benchmark.group = "parallel load (SPHG)"
+    result = benchmark(
+        parallel_group_by,
+        dataset.keys,
+        dataset.payload,
+        GroupingAlgorithm.SPHG,
+        shards,
+        GROUPS,
+    )
+    assert result.num_groups == GROUPS
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_sharded_hg(benchmark, dataset, shards):
+    benchmark.group = "parallel load (HG)"
+    result = benchmark(
+        parallel_group_by,
+        dataset.keys,
+        dataset.payload,
+        GroupingAlgorithm.HG,
+        shards,
+        GROUPS,
+    )
+    assert result.num_groups == GROUPS
+
+
+def test_merge_overhead_bounded(dataset):
+    """The merge must not dominate: 8-way shard+merge stays within 3x of
+    the serial kernel (it processes the same rows once, plus an
+    8 x #groups merge)."""
+    from repro._util.timer import time_callable
+
+    serial = time_callable(
+        lambda: group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+            num_distinct_hint=GROUPS,
+        ),
+        repeats=3,
+    ).best
+    sharded = time_callable(
+        lambda: parallel_group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+            shards=8, num_distinct_hint=GROUPS,
+        ),
+        repeats=3,
+    ).best
+    assert sharded < serial * 3.0

@@ -1,0 +1,85 @@
+"""Extension bench: Figure 4 under skew.
+
+The paper's §4.1 datasets are uniform. §2.2 lists further statistical
+properties DQO should track; skew is the obvious next one. This bench
+re-runs the unsorted-dense panel under Zipf-distributed keys and checks
+which Figure 4 conclusions survive:
+
+* at moderate skew SPHG stays the winner (distribution-oblivious slots);
+* under *heavy* skew the realised key domain develops gaps (tail groups
+  are never drawn), so SPHG's density precondition fails — skew silently
+  converts a dense workload into a sparse one, a property interaction
+  the optimiser must re-check rather than assume (asserted).
+"""
+
+import numpy as np
+import pytest
+
+from repro._util.timer import time_callable
+from repro.datagen import zipf_keys
+from repro.engine import GroupingAlgorithm, group_by
+from repro.errors import PreconditionError
+
+GROUPS = 10_000
+#: skews at which the realised domain stays dense enough for SPHG.
+MODERATE_SKEWS = [0.0, 0.5]
+HEAVY_SKEW = 1.5
+
+
+def _keys(bench_rows, skew):
+    rng = np.random.default_rng(0)
+    return zipf_keys(min(bench_rows, 1_000_000), GROUPS, skew, rng)
+
+
+@pytest.mark.parametrize("skew", MODERATE_SKEWS)
+@pytest.mark.parametrize(
+    "algorithm",
+    [GroupingAlgorithm.HG, GroupingAlgorithm.SPHG, GroupingAlgorithm.SOG],
+    ids=lambda a: a.name,
+)
+def test_grouping_under_moderate_skew(benchmark, bench_rows, skew, algorithm):
+    keys = _keys(bench_rows, skew)
+    benchmark.group = f"figure4 under Zipf skew {skew}"
+    result = benchmark(group_by, keys, None, algorithm, GROUPS)
+    assert result.num_groups >= 1
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [GroupingAlgorithm.HG, GroupingAlgorithm.SOG, GroupingAlgorithm.BSG],
+    ids=lambda a: a.name,
+)
+def test_grouping_under_heavy_skew(benchmark, bench_rows, algorithm):
+    keys = _keys(bench_rows, HEAVY_SKEW)
+    benchmark.group = f"figure4 under Zipf skew {HEAVY_SKEW}"
+    result = benchmark(group_by, keys, None, algorithm, GROUPS)
+    assert result.num_groups >= 1
+
+
+def test_sphg_ordering_is_skew_invariant_while_applicable(bench_rows):
+    for skew in MODERATE_SKEWS:
+        keys = _keys(bench_rows, skew)
+        sphg = time_callable(
+            lambda k=keys: group_by(k, None, GroupingAlgorithm.SPHG),
+            repeats=2,
+        ).best
+        hg = time_callable(
+            lambda k=keys: group_by(
+                k, None, GroupingAlgorithm.HG, num_distinct_hint=GROUPS
+            ),
+            repeats=2,
+        ).best
+        assert sphg < hg, f"SPHG must stay the winner at skew {skew}"
+
+
+def test_heavy_skew_breaks_sphg_precondition(bench_rows):
+    """Skew interacts with density: the tail of a Zipf(1.5) distribution
+    is never drawn, so the realised domain has gaps and SPHG must refuse
+    — the density property is a fact about the *data at hand*, not about
+    the nominal domain."""
+    keys = _keys(min(bench_rows, 300_000), HEAVY_SKEW)
+    realised = np.unique(keys).size
+    domain = int(keys.max()) - int(keys.min()) + 1
+    assert realised / domain < 0.5
+    with pytest.raises(PreconditionError, match="dense"):
+        group_by(keys, None, GroupingAlgorithm.SPHG)

@@ -1,0 +1,61 @@
+"""Table 2: cost-model evaluation speed and Figure 5 arithmetic audit.
+
+Table 2 is an input to Figure 5 rather than a measured result; its
+"benchmark" is (a) the audit that the published improvement factors
+follow from the formulas at the reconstructed cardinalities, and (b) the
+cost of evaluating the model itself (relevant because DQO evaluates it
+once per candidate sub-plan).
+"""
+
+import pytest
+
+from repro.bench.table2 import render_table2
+from repro.core import PaperCostModel
+from repro.datagen.join import PAPER_NUM_GROUPS, PAPER_R_ROWS, PAPER_S_ROWS
+from repro.engine import GroupingAlgorithm, JoinAlgorithm
+
+
+def test_cost_model_evaluation_speed(benchmark):
+    model = PaperCostModel()
+
+    def evaluate_all():
+        total = 0.0
+        for grouping in GroupingAlgorithm:
+            total += model.grouping_cost(
+                grouping, PAPER_S_ROWS, PAPER_NUM_GROUPS
+            )
+        for join in JoinAlgorithm:
+            total += model.join_cost(
+                join, PAPER_R_ROWS, PAPER_S_ROWS, PAPER_NUM_GROUPS
+            )
+        return total
+
+    benchmark.group = "table2"
+    total = benchmark(evaluate_all)
+    assert total > 0
+
+
+def test_figure5_arithmetic_audit():
+    model = PaperCostModel()
+    hj_hg = model.join_cost(
+        JoinAlgorithm.HJ, PAPER_R_ROWS, PAPER_S_ROWS, PAPER_NUM_GROUPS
+    ) + model.grouping_cost(GroupingAlgorithm.HG, PAPER_S_ROWS, PAPER_NUM_GROUPS)
+    hj_og = model.join_cost(
+        JoinAlgorithm.HJ, PAPER_R_ROWS, PAPER_S_ROWS, PAPER_NUM_GROUPS
+    ) + model.grouping_cost(GroupingAlgorithm.OG, PAPER_S_ROWS, PAPER_NUM_GROUPS)
+    sph = model.join_cost(
+        JoinAlgorithm.SPHJ, PAPER_R_ROWS, PAPER_S_ROWS, PAPER_NUM_GROUPS
+    ) + model.grouping_cost(
+        GroupingAlgorithm.SPHG, PAPER_S_ROWS, PAPER_NUM_GROUPS
+    )
+    assert hj_hg == 900_000
+    assert hj_og == 630_000
+    assert sph == 225_000
+    assert hj_hg / sph == pytest.approx(4.0)
+    assert hj_og / sph == pytest.approx(2.8)
+
+
+def test_render_table2_is_complete():
+    text = render_table2()
+    for name in ("HG", "OG", "SOG", "SPHG", "BSG", "HJ", "OJ", "SOJ", "SPHJ", "BSJ"):
+        assert name in text

@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Benchmark scale is reduced relative to the paper's 100M rows (DESIGN.md
+substitution #2) but large enough that the Figure 4 shapes are stable.
+Override with ``REPRO_BENCH_ROWS``.
+"""
+
+import os
+
+import pytest
+
+#: rows per grouping benchmark (paper: 100,000,000).
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "1000000"))
+
+
+@pytest.fixture(scope="session")
+def bench_rows():
+    return BENCH_ROWS

@@ -1,0 +1,85 @@
+"""A miniature interactive SQL shell over the DQO engine.
+
+Registers the paper's R/S scenario plus a small demo table, then reads
+SQL from stdin, optimises each query deeply, prints the chosen plan, and
+executes it. A non-interactive demo mode (``--demo``) runs a scripted
+session instead.
+
+Run::
+
+    python examples/sql_shell.py --demo
+    python examples/sql_shell.py           # interactive; end with Ctrl-D
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    Table,
+    execute,
+    make_join_scenario,
+    optimize_dqo,
+    plan_query,
+    to_operator,
+)
+from repro.errors import ReproError
+
+DEMO_QUERIES = [
+    "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A "
+    "ORDER BY R.A LIMIT 5",
+    "SELECT A, SUM(B) AS revenue FROM R JOIN S ON ID = R_ID "
+    "WHERE B >= 500 GROUP BY A ORDER BY A LIMIT 5",
+    "SELECT city, COUNT(*) AS n, AVG(temp) AS avg_temp FROM weather "
+    "GROUP BY city ORDER BY city",
+]
+
+
+def build_catalog():
+    scenario = make_join_scenario(n_r=5_000, n_s=12_000, num_groups=500)
+    catalog = scenario.build_catalog()
+    rng = np.random.default_rng(0)
+    catalog.register(
+        "weather",
+        Table.from_arrays(
+            {
+                "city": rng.integers(0, 8, 2_000),
+                "temp": rng.integers(-10, 35, 2_000),
+            }
+        ),
+    )
+    return catalog
+
+
+def run_query(catalog, sql: str) -> None:
+    try:
+        logical = plan_query(sql, catalog)
+        result = optimize_dqo(logical, catalog)
+        print(f"\nplan (cost {result.cost:,.0f}):")
+        print(result.explain())
+        table = execute(to_operator(result.plan, catalog))
+        print(f"\n{table.pretty(limit=12)}")
+        print(f"({table.num_rows} rows)")
+    except ReproError as error:
+        print(f"error: {error}")
+
+
+def main() -> None:
+    catalog = build_catalog()
+    print(f"tables: {', '.join(catalog.names())}")
+    if "--demo" in sys.argv:
+        for sql in DEMO_QUERIES:
+            print(f"\ndqo> {sql}")
+            run_query(catalog, sql)
+        return
+    print("enter SQL (one statement per line), Ctrl-D to quit")
+    for line in sys.stdin:
+        sql = line.strip().rstrip(";")
+        if not sql:
+            continue
+        run_query(catalog, sql)
+        print("\ndqo> ", end="", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Deep Query Optimisation (DQO) — a reproduction of Dittrich & Nix,
+"The Case for Deep Query Optimisation", CIDR 2020.
+
+Quick tour of the public API::
+
+    from repro import (
+        # data + catalog
+        Table, Catalog, make_grouping_dataset, make_join_scenario,
+        # the five grouping / join implementation families (§4.1, Table 2)
+        GroupingAlgorithm, JoinAlgorithm, group_by, join,
+        # SQL -> logical plan
+        plan_query,
+        # the unified optimiser: shallow (SQO) and deep (DQO) configs (§4.3)
+        optimize_sqo, optimize_dqo, to_operator, execute,
+        # algorithmic views (§3)
+        AVRegistry, ViewKind, materialize_view, greedy_avsp,
+    )
+
+See README.md for a quickstart and DESIGN.md for the architecture map.
+"""
+
+from repro.avs import (
+    AVRegistry,
+    AdaptiveIndexView,
+    AlgorithmicView,
+    PartialAlgorithmicView,
+    ViewKind,
+    bind_offline,
+    enumerate_candidates,
+    exhaustive_avsp,
+    greedy_avsp,
+    materialize_view,
+    workload_cost,
+)
+from repro.core import (
+    CalibratedCostModel,
+    Correlations,
+    DynamicProgrammingOptimizer,
+    Granularity,
+    Granule,
+    OptimizationResult,
+    OptimizerConfig,
+    PaperCostModel,
+    PhysicalNode,
+    PropertyVector,
+    dqo_config,
+    enumerate_recipes,
+    logical_grouping,
+    logical_join,
+    optimize_dqo,
+    optimize_greedy,
+    optimize_sqo,
+    render_table1,
+    sqo_config,
+    to_operator,
+)
+from repro.datagen import (
+    Density,
+    Sortedness,
+    figure4_datasets,
+    make_grouping_dataset,
+    make_join_scenario,
+    make_workload,
+)
+from repro.engine import (
+    GroupingAlgorithm,
+    JoinAlgorithm,
+    col,
+    count_star,
+    execute,
+    group_by,
+    join,
+    sum_of,
+)
+from repro.logical import evaluate_naive
+from repro.sql import parse, plan_query
+from repro.storage import Catalog, Column, DataType, Schema, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AVRegistry",
+    "AdaptiveIndexView",
+    "AlgorithmicView",
+    "CalibratedCostModel",
+    "Catalog",
+    "Column",
+    "Correlations",
+    "DataType",
+    "Density",
+    "DynamicProgrammingOptimizer",
+    "Granularity",
+    "Granule",
+    "GroupingAlgorithm",
+    "JoinAlgorithm",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "PaperCostModel",
+    "PartialAlgorithmicView",
+    "PhysicalNode",
+    "PropertyVector",
+    "Schema",
+    "Sortedness",
+    "Table",
+    "ViewKind",
+    "bind_offline",
+    "col",
+    "count_star",
+    "dqo_config",
+    "enumerate_candidates",
+    "enumerate_recipes",
+    "evaluate_naive",
+    "execute",
+    "exhaustive_avsp",
+    "figure4_datasets",
+    "greedy_avsp",
+    "group_by",
+    "join",
+    "logical_grouping",
+    "logical_join",
+    "make_grouping_dataset",
+    "make_join_scenario",
+    "make_workload",
+    "materialize_view",
+    "optimize_dqo",
+    "optimize_greedy",
+    "optimize_sqo",
+    "parse",
+    "plan_query",
+    "render_table1",
+    "sqo_config",
+    "sum_of",
+    "to_operator",
+    "workload_cost",
+]

@@ -1,0 +1,20 @@
+"""Internal utilities shared across the ``repro`` package.
+
+Nothing in here is part of the public API; import from the concrete
+submodules (:mod:`repro._util.validation`, :mod:`repro._util.timer`,
+:mod:`repro._util.arrays`) inside the library only.
+"""
+
+from repro._util.arrays import as_int_array, is_nondecreasing
+from repro._util.timer import Timer, time_callable
+from repro._util.validation import check_positive, check_probability, check_type
+
+__all__ = [
+    "Timer",
+    "as_int_array",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "is_nondecreasing",
+    "time_callable",
+]

@@ -1,0 +1,82 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Timer:
+    """A context manager measuring elapsed wall-clock time in seconds.
+
+    Usage::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time in milliseconds."""
+        return self.elapsed * 1000.0
+
+
+@dataclass
+class TimingResult:
+    """Aggregated repeated-measurement result for one callable."""
+
+    #: per-repetition wall-clock seconds, in execution order.
+    samples: list[float] = field(default_factory=list)
+    #: the value returned by the final invocation (for validation).
+    last_result: Any = None
+
+    @property
+    def best(self) -> float:
+        """Minimum sample in seconds — the conventional micro-benchmark stat."""
+        return min(self.samples)
+
+    @property
+    def best_ms(self) -> float:
+        """Minimum sample in milliseconds."""
+        return self.best * 1000.0
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples in seconds."""
+        return sum(self.samples) / len(self.samples)
+
+
+def time_callable(
+    fn: Callable[[], Any], repeats: int = 3, warmup: int = 1
+) -> TimingResult:
+    """Measure ``fn`` ``repeats`` times after ``warmup`` unmeasured calls.
+
+    :param fn: zero-argument callable to measure.
+    :param repeats: number of measured invocations (must be >= 1).
+    :param warmup: number of unmeasured invocations run first.
+    :returns: a :class:`TimingResult` with all samples and the last result.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    result = TimingResult()
+    for _ in range(repeats):
+        with Timer() as timer:
+            value = fn()
+        result.samples.append(timer.elapsed)
+        result.last_result = value
+    return result

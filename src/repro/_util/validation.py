@@ -1,0 +1,43 @@
+"""Small argument-validation helpers.
+
+These keep validation one-liners readable at call sites and guarantee
+consistent error types (:class:`ValueError`/:class:`TypeError`) and messages
+across the package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> None:
+    """Raise :class:`ValueError` unless ``value`` is positive.
+
+    :param name: parameter name used in the error message.
+    :param value: the numeric value to check.
+    :param allow_zero: when true, zero passes the check.
+    """
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )

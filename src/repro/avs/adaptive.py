@@ -1,0 +1,116 @@
+"""Runtime-adaptive Algorithmic Views (§6).
+
+*"In the DQO universe a (meta-)adaptive index is simply a partial AV where
+some optimisation decisions have been delegated to query time and baked
+into that AV."*
+
+:class:`AdaptiveIndexView` delegates the "how sorted should this column
+be?" decision to the workload itself: backed by a cracking index
+(:mod:`repro.indexes.cracking`), every range query refines the physical
+order a little. The view tracks its own convergence and can *promote*
+itself to a full sorted-projection Algorithmic View once the column has
+effectively become sorted — the continuous indexing decision of §6 made
+concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.avs.registry import AVRegistry
+from repro.avs.view import AlgorithmicView, ViewKind
+from repro.indexes.cracking import CrackedColumn
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class AdaptiveQueryLog:
+    """Per-query convergence record."""
+
+    query_index: int
+    low: int
+    high: int
+    result_rows: int
+    pieces_after: int
+    sortedness_after: float
+
+
+class AdaptiveIndexView:
+    """A partial AV over one column whose remaining decisions are made by
+    the incoming queries (database cracking)."""
+
+    #: sortedness fraction above which the view considers itself converged.
+    PROMOTION_THRESHOLD = 0.999
+
+    def __init__(self, catalog: Catalog, table_name: str, column: str) -> None:
+        self._table_name = table_name
+        self._column = column
+        self._cracked = CrackedColumn(catalog.table(table_name)[column])
+        self._log: list[AdaptiveQueryLog] = []
+
+    @property
+    def table_name(self) -> str:
+        """The indexed table."""
+        return self._table_name
+
+    @property
+    def column(self) -> str:
+        """The indexed column."""
+        return self._column
+
+    @property
+    def log(self) -> list[AdaptiveQueryLog]:
+        """Per-query convergence log."""
+        return list(self._log)
+
+    @property
+    def crack_count(self) -> int:
+        """Total partitioning work performed so far."""
+        return self._cracked.crack_count
+
+    def range_query(self, low: int, high: int) -> np.ndarray:
+        """Answer a range query, adapting (cracking) as a side effect."""
+        result = self._cracked.range_query(low, high)
+        self._log.append(
+            AdaptiveQueryLog(
+                query_index=len(self._log),
+                low=low,
+                high=high,
+                result_rows=int(result.size),
+                pieces_after=self._cracked.num_pieces,
+                sortedness_after=self._cracked.sortedness_fraction(),
+            )
+        )
+        return result
+
+    def sortedness(self) -> float:
+        """Current convergence measure in [0, 1]."""
+        return self._cracked.sortedness_fraction()
+
+    def is_converged(self) -> bool:
+        """Has the column effectively become sorted?"""
+        return self.sortedness() >= self.PROMOTION_THRESHOLD
+
+    def promote(self, registry: AVRegistry) -> AlgorithmicView | None:
+        """If converged, register the (now sorted) column as a full
+        sorted-projection AV and return it; otherwise return None.
+
+        The promoted view's build cost is zero: the workload already paid
+        for the sorting, crack by crack — the adaptive-indexing bargain.
+        """
+        if not self.is_converged():
+            return None
+        view = AlgorithmicView(
+            kind=ViewKind.SORTED_PROJECTION,
+            table_name=self._table_name,
+            column=self._column,
+            build_cost=0.0,
+            artifact=np.sort(np.asarray(self._cracked.values())),
+        )
+        if not registry.has_view(
+            ViewKind.SORTED_PROJECTION, self._table_name, self._column
+        ):
+            registry.add(view)
+        return view

@@ -1,0 +1,107 @@
+"""The Algorithmic View registry: what has been materialised.
+
+The optimiser consults the registry through two narrow methods —
+:meth:`AVRegistry.sorted_scan_columns` (which tables have order for free)
+and :meth:`AVRegistry.has_view` (which build phases are waived) — so the
+registry stays decoupled from the DP internals.
+"""
+
+from __future__ import annotations
+
+from repro.avs.view import AlgorithmicView, ViewKind
+from repro.errors import ViewError
+
+
+class AVRegistry:
+    """A set of materialised Algorithmic Views, keyed by
+    (kind, table, column)."""
+
+    def __init__(self, views: list[AlgorithmicView] | None = None) -> None:
+        self._views: dict[tuple[str, str, str], AlgorithmicView] = {}
+        for view in views or []:
+            self.add(view)
+
+    def add(self, view: AlgorithmicView) -> None:
+        """Register a view.
+
+        :raises ViewError: on a duplicate (kind, table, column).
+        """
+        if view.key in self._views:
+            raise ViewError(f"duplicate view {view.describe()}")
+        self._views[view.key] = view
+
+    def remove(self, kind: ViewKind, table_name: str, column: str) -> None:
+        """Drop a view.
+
+        :raises ViewError: if absent.
+        """
+        key = (kind.value, table_name, column)
+        if key not in self._views:
+            raise ViewError(f"no view {key}")
+        del self._views[key]
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __iter__(self):
+        return iter(self._views.values())
+
+    def has_view(self, kind: str | ViewKind, table_name: str, column: str) -> bool:
+        """Is a (kind, table, column) view materialised? Accepts the kind
+        as the enum or its string value (the optimiser passes strings to
+        avoid importing this package)."""
+        kind_value = kind.value if isinstance(kind, ViewKind) else kind
+        return (kind_value, table_name, column) in self._views
+
+    def get(
+        self, kind: str | ViewKind, table_name: str, column: str
+    ) -> AlgorithmicView:
+        """Fetch a view.
+
+        :raises ViewError: if absent.
+        """
+        kind_value = kind.value if isinstance(kind, ViewKind) else kind
+        key = (kind_value, table_name, column)
+        if key not in self._views:
+            raise ViewError(f"no view {key}")
+        return self._views[key]
+
+    def sorted_scan_columns(self, table_name: str) -> list[str]:
+        """Columns of ``table_name`` with a sorted-projection view."""
+        return [
+            view.column
+            for view in self._views.values()
+            if view.kind is ViewKind.SORTED_PROJECTION
+            and view.table_name == table_name
+        ]
+
+    def btree_scan_columns(self, table_name: str) -> list[str]:
+        """Columns of ``table_name`` with an unclustered B-tree view."""
+        return [
+            view.column
+            for view in self._views.values()
+            if view.kind is ViewKind.BTREE and view.table_name == table_name
+        ]
+
+    def dense_scan_columns(self, table_name: str) -> list[str]:
+        """Columns of ``table_name`` with a dictionary view (dense codes)."""
+        return [
+            view.column
+            for view in self._views.values()
+            if view.kind is ViewKind.DICTIONARY
+            and view.table_name == table_name
+        ]
+
+    def total_build_cost(self) -> float:
+        """Sum of all registered views' offline build costs."""
+        return sum(view.build_cost for view in self._views.values())
+
+    def describe(self) -> str:
+        """One line per registered view."""
+        if not self._views:
+            return "(no algorithmic views)"
+        return "\n".join(
+            view.describe() for view in sorted(
+                self._views.values(), key=lambda v: v.key
+            )
+        )

@@ -1,0 +1,202 @@
+"""Algorithmic Views (§3).
+
+An Algorithmic View is a *precomputed granule*: not a precomputed query
+result (that is a materialised view) but a precomputed piece of an
+algorithm — a hash table already built, a perfect-hash array already laid
+out, a sorted key directory, a sorted projection. §3: *"AVs can be
+precomputed for any level, not only 'physical' operators. Like that AVs
+can be used as building blocks for DQO at query time."*
+
+Six concrete kinds are materialisable here, one per substrate; the
+:class:`~repro.core.granularity.Granularity` tag records which Table 1
+level the precomputed granule lives at.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost.model import CostModel
+from repro.core.cost.paper import PaperCostModel
+from repro.core.granularity import Granularity
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.engine.kernels.joins import JoinAlgorithm
+from repro.errors import PreconditionError, ViewError
+from repro.indexes.hash_table import OpenAddressingHashTable
+from repro.indexes.perfect_hash import StaticPerfectHash
+from repro.indexes.sorted_array import SortedKeyIndex
+from repro.storage.catalog import Catalog
+from repro.storage.dictionary import DictionaryEncoded, dictionary_encode_column
+from repro.storage.table import Table
+
+
+class ViewKind(enum.Enum):
+    """The materialisable Algorithmic View kinds."""
+
+    #: a hash table over a column — waives HJ's build phase.
+    HASH_TABLE = "hash_table"
+    #: a static-perfect-hash array — waives SPHJ/SPHG builds (dense only).
+    SPH_ARRAY = "sph_array"
+    #: a sorted distinct-key directory — waives BSJ/BSG directory builds.
+    SORTED_KEYS = "sorted_keys"
+    #: a sorted copy of the table — order for free (an "index view").
+    SORTED_PROJECTION = "sorted_projection"
+    #: a dictionary-encoded copy of the table: the column's values become
+    #: dense codes 0..NDV-1, making SPH applicable on a sparse domain —
+    #: §2.1's "the keys of a dictionary-compressed column are a natural
+    #: candidate for [SPH] and can directly be used".
+    DICTIONARY = "dictionary"
+    #: an unclustered B+-tree from column values to row positions — §1's
+    #: access-path alternative ("unclustered B-tree vs scan").
+    BTREE = "btree"
+
+
+#: Table 1 level of the granule each kind precomputes.
+VIEW_GRANULARITY: dict[ViewKind, Granularity] = {
+    ViewKind.HASH_TABLE: Granularity.MACROMOLECULE,
+    ViewKind.SPH_ARRAY: Granularity.MACROMOLECULE,
+    ViewKind.SORTED_KEYS: Granularity.MACROMOLECULE,
+    ViewKind.SORTED_PROJECTION: Granularity.ORGANELLE,
+    ViewKind.DICTIONARY: Granularity.MACROMOLECULE,
+    ViewKind.BTREE: Granularity.MACROMOLECULE,
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmicView:
+    """One materialised Algorithmic View."""
+
+    kind: ViewKind
+    table_name: str
+    column: str
+    #: offline construction cost in cost-model units (the AVSP budget
+    #: currency).
+    build_cost: float
+    #: the actual precomputed structure; None for cost-only (planning)
+    #: views used by the abstract AVSP evaluation.
+    artifact: object = None
+
+    @property
+    def granularity(self) -> Granularity:
+        """Which Table 1 level this view precomputes."""
+        return VIEW_GRANULARITY[self.kind]
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Registry key: (kind value, table, column)."""
+        return (self.kind.value, self.table_name, self.column)
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"AV[{self.kind.value}]({self.table_name}.{self.column}) "
+            f"level={self.granularity.name} build_cost={self.build_cost:,.0f}"
+        )
+
+
+def build_cost_of(
+    kind: ViewKind,
+    rows: float,
+    num_distinct: float,
+    cost_model: CostModel | None = None,
+) -> float:
+    """Offline construction cost of a view kind, per the cost model's
+    build-phase accounting."""
+    cost_model = cost_model or PaperCostModel()
+    if kind is ViewKind.HASH_TABLE:
+        return cost_model.join_build_cost(JoinAlgorithm.HJ, rows, 0.0, num_distinct)
+    if kind is ViewKind.SPH_ARRAY:
+        return cost_model.join_build_cost(
+            JoinAlgorithm.SPHJ, rows, 0.0, num_distinct
+        )
+    if kind is ViewKind.SORTED_KEYS:
+        return cost_model.join_build_cost(JoinAlgorithm.BSJ, rows, 0.0, num_distinct)
+    if kind is ViewKind.SORTED_PROJECTION:
+        return cost_model.sort_cost(rows)
+    if kind is ViewKind.DICTIONARY:
+        # Sort-based dictionary construction + one encoding pass.
+        return cost_model.sort_cost(rows) + rows
+    if kind is ViewKind.BTREE:
+        # Sort-based bottom-up bulkload.
+        return cost_model.sort_cost(rows) + rows
+    raise ViewError(f"unknown view kind {kind!r}")
+
+
+def materialize_view(
+    catalog: Catalog,
+    kind: ViewKind,
+    table_name: str,
+    column: str,
+    cost_model: CostModel | None = None,
+) -> AlgorithmicView:
+    """Actually build a view's artifact from catalog data.
+
+    :raises ViewError: for an SPH view over a sparse domain (the §2.1
+        applicability precondition).
+    """
+    table = catalog.table(table_name)
+    values = table[column]
+    stats = table.column(column).statistics
+    cost = build_cost_of(kind, table.num_rows, stats.distinct, cost_model)
+    if kind is ViewKind.HASH_TABLE:
+        hash_table = OpenAddressingHashTable(max(stats.distinct, 1))
+        if values.size:
+            hash_table.build(values)
+        artifact: object = hash_table
+    elif kind is ViewKind.SPH_ARRAY:
+        try:
+            artifact = StaticPerfectHash.for_keys(values)
+        except PreconditionError as error:
+            raise ViewError(
+                f"cannot materialise SPH view on {table_name}.{column}: "
+                f"{error}"
+            ) from error
+    elif kind is ViewKind.SORTED_KEYS:
+        artifact = SortedKeyIndex.from_values(values)
+    elif kind is ViewKind.SORTED_PROJECTION:
+        artifact = table.sort_by([column])
+    elif kind is ViewKind.DICTIONARY:
+        artifact = DictionaryViewArtifact.build(table, column)
+    elif kind is ViewKind.BTREE:
+        from repro.engine.operators.index_scan import build_row_index
+
+        artifact = build_row_index(table, column)
+    else:
+        raise ViewError(f"unknown view kind {kind!r}")
+    return AlgorithmicView(
+        kind=kind,
+        table_name=table_name,
+        column=column,
+        build_cost=cost,
+        artifact=artifact,
+    )
+
+
+@dataclass(frozen=True)
+class DictionaryViewArtifact:
+    """A dictionary view's payload: the re-encoded table plus the codec.
+
+    ``encoded_table`` is the source table with ``column`` replaced by its
+    dense, order-preserving dictionary codes; ``encoding`` maps codes back
+    to original values (used by the decode step the optimiser plants
+    after a group-by over the encoded column).
+    """
+
+    column: str
+    encoded_table: Table
+    encoding: DictionaryEncoded
+
+    @classmethod
+    def build(cls, table: Table, column: str) -> "DictionaryViewArtifact":
+        """Encode ``table``'s ``column`` and assemble the artifact."""
+        code_column, encoding = dictionary_encode_column(table.column(column))
+        replaced = [
+            code_column if existing.name == column else existing
+            for existing in table.columns()
+        ]
+        return cls(
+            column=column, encoded_table=Table(replaced), encoding=encoding
+        )

@@ -1,0 +1,100 @@
+"""Textual reporting: fixed-width tables and ASCII line charts.
+
+The harness renders every figure/table of the paper as terminal text so
+that runs are reproducible without a plotting stack (nothing to install,
+output diffs cleanly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """A fixed-width table with a header rule."""
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows), 1)
+        if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(w) for header, w in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+
+def render_ascii_chart(
+    series: list[Series],
+    title: str = "",
+    width: int = 68,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A multi-series ASCII scatter/line chart.
+
+    Each series is drawn with its own glyph; axes are linear and the
+    legend maps glyphs to labels. Good enough to eyeball the Figure 4
+    shapes (who is flat, who grows, who crosses whom).
+    """
+    glyphs = "ox+*#@%&"
+    populated = [s for s in series if s.points]
+    if not populated:
+        return f"{title}\n(no data)"
+    xs = [x for s in populated for x, __ in s.points]
+    ys = [y for s in populated for __, y in s.points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for __ in range(height)]
+    for index, s in enumerate(populated):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in s.points:
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:,.1f}"
+    bottom_label = f"{y_min:,.1f}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_min:,.0f}".ljust(width - 12) + f"{x_max:,.0f}"
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label)
+    legend = "   ".join(
+        f"{glyphs[index % len(glyphs)]} = {s.label}"
+        for index, s in enumerate(populated)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""The paper's primary contribution: granularity hierarchy, DQO plan
+properties, the physiological algebra with unnesting, cost models, and the
+unified SQO/DQO optimiser."""
+
+from repro.core.cost import (
+    CalibratedCostModel,
+    CardinalityEstimator,
+    CostModel,
+    PaperCostModel,
+)
+from repro.core.granularity import (
+    TABLE1,
+    Granularity,
+    GranularityInfo,
+    dqo_reach,
+    render_table1,
+    sqo_reach,
+)
+from repro.core.physiological import (
+    Granule,
+    Requirements,
+    count_recipes,
+    enumerate_prefixes,
+    enumerate_recipes,
+    logical_grouping,
+    logical_join,
+    recipe_algorithm,
+    recipe_join_algorithm,
+    recipe_requirements,
+    unnest,
+)
+from repro.core.plan import PhysicalNode, to_operator
+from repro.core.properties import (
+    Correlations,
+    PropertyVector,
+    correlations_from_table,
+    detect_monotone_correlation,
+    properties_from_table,
+)
+from repro.core.optimizer import (
+    DynamicProgrammingOptimizer,
+    OptimizationResult,
+    OptimizerConfig,
+    dqo_config,
+    optimize_dqo,
+    optimize_greedy,
+    optimize_sqo,
+    sqo_config,
+)
+
+__all__ = [
+    "CalibratedCostModel",
+    "CardinalityEstimator",
+    "Correlations",
+    "CostModel",
+    "DynamicProgrammingOptimizer",
+    "Granularity",
+    "GranularityInfo",
+    "Granule",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "PaperCostModel",
+    "PhysicalNode",
+    "PropertyVector",
+    "Requirements",
+    "TABLE1",
+    "correlations_from_table",
+    "count_recipes",
+    "enumerate_prefixes",
+    "detect_monotone_correlation",
+    "dqo_config",
+    "dqo_reach",
+    "enumerate_recipes",
+    "logical_grouping",
+    "logical_join",
+    "optimize_dqo",
+    "optimize_greedy",
+    "optimize_sqo",
+    "properties_from_table",
+    "recipe_algorithm",
+    "recipe_join_algorithm",
+    "recipe_requirements",
+    "render_table1",
+    "sqo_config",
+    "sqo_reach",
+    "to_operator",
+    "unnest",
+]

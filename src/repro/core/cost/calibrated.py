@@ -1,0 +1,193 @@
+"""A cost model calibrated against measured kernel runtimes.
+
+Table 2's coefficients (the "4" in ``HG = 4·|R|``) were chosen by the
+authors for their C++ kernels. On a different substrate those constants
+differ, so this module fits, per algorithm, the coefficients of the basis
+
+    cost(n, g) = c0 + c1·n + c2·n·log2(n) + c3·n·log2(g)
+
+to measured (n, g, seconds) samples by non-negative least squares. The
+ablation benchmark ``bench_ablation_costmodel`` checks whether a fitted
+model picks the same Figure 5 winners as the paper's model — i.e. whether
+the paper's conclusion is robust to the cost-model constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost.model import CostModel
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.engine.kernels.joins import JoinAlgorithm
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One measurement: grouping ``rows`` rows of ``groups`` groups took
+    ``seconds`` wall-clock seconds."""
+
+    rows: int
+    groups: int
+    seconds: float
+
+
+def _basis(rows: float, groups: float) -> np.ndarray:
+    log_n = math.log2(rows) if rows > 1 else 0.0
+    log_g = math.log2(groups) if groups > 1 else 0.0
+    return np.array([1.0, rows, rows * log_n, rows * log_g])
+
+
+def fit_coefficients(samples: list[Sample]) -> np.ndarray:
+    """Fit the 4 basis coefficients to samples (non-negative least squares
+    by projected iteration — scipy-free and adequate for this basis).
+
+    :raises CostModelError: with fewer than 4 samples.
+    """
+    if len(samples) < 4:
+        raise CostModelError(
+            f"need at least 4 samples to fit, got {len(samples)}"
+        )
+    matrix = np.stack([_basis(s.rows, s.groups) for s in samples])
+    target = np.array([s.seconds for s in samples])
+    # Plain least squares, then clamp negatives to zero and re-fit the
+    # remaining support; one round suffices for this small basis.
+    coefficients, *__ = np.linalg.lstsq(matrix, target, rcond=None)
+    negative = coefficients < 0
+    if np.any(negative):
+        support = ~negative
+        refit = np.zeros_like(coefficients)
+        sub, *__ = np.linalg.lstsq(matrix[:, support], target, rcond=None)
+        refit[support] = np.maximum(sub, 0.0)
+        coefficients = refit
+    return coefficients
+
+
+@dataclass
+class CalibratedCostModel(CostModel):
+    """A :class:`CostModel` whose per-algorithm coefficients were fitted
+    from measurements via :func:`calibrate_grouping`.
+
+    Join costs reuse the grouping fit: a join is a co-group (footnote 1),
+    so the build side is costed like grouping its rows and the probe side
+    like probing the same structure — coefficient-wise, build + probe of
+    the matching grouping family.
+    """
+
+    grouping_coefficients: dict[GroupingAlgorithm, np.ndarray] = field(
+        default_factory=dict
+    )
+
+    def _evaluate(
+        self, algorithm: GroupingAlgorithm, rows: float, groups: float
+    ) -> float:
+        if algorithm not in self.grouping_coefficients:
+            raise CostModelError(
+                f"no calibration for {algorithm.name}; "
+                f"have {[a.name for a in self.grouping_coefficients]}"
+            )
+        return float(
+            self.grouping_coefficients[algorithm] @ _basis(rows, groups)
+        )
+
+    def grouping_cost(
+        self, algorithm: GroupingAlgorithm, input_rows: float, num_groups: float
+    ) -> float:
+        return self._evaluate(algorithm, float(input_rows), float(num_groups))
+
+    def join_cost(
+        self,
+        algorithm: JoinAlgorithm,
+        left_rows: float,
+        right_rows: float,
+        num_groups: float,
+    ) -> float:
+        counterpart = _JOIN_TO_GROUPING[algorithm]
+        return self._evaluate(
+            counterpart, float(left_rows), float(num_groups)
+        ) + self._evaluate(counterpart, float(right_rows), float(num_groups))
+
+    def sort_cost(self, rows: float) -> float:
+        # The sort coefficient is SOG's n·log2(n) term when available.
+        sog = self.grouping_coefficients.get(GroupingAlgorithm.SOG)
+        if sog is None:
+            return float(rows) * (math.log2(rows) if rows > 1 else 0.0)
+        return float(sog[2]) * float(rows) * (
+            math.log2(rows) if rows > 1 else 0.0
+        )
+
+    def scan_cost(self, rows: float) -> float:
+        return 0.0
+
+
+_JOIN_TO_GROUPING = {
+    JoinAlgorithm.HJ: GroupingAlgorithm.HG,
+    JoinAlgorithm.SPHJ: GroupingAlgorithm.SPHG,
+    JoinAlgorithm.OJ: GroupingAlgorithm.OG,
+    JoinAlgorithm.SOJ: GroupingAlgorithm.SOG,
+    JoinAlgorithm.BSJ: GroupingAlgorithm.BSG,
+}
+
+
+def calibrate_grouping(
+    samples: dict[GroupingAlgorithm, list[Sample]],
+) -> CalibratedCostModel:
+    """Fit one coefficient vector per algorithm from measured samples."""
+    return CalibratedCostModel(
+        grouping_coefficients={
+            algorithm: fit_coefficients(sample_list)
+            for algorithm, sample_list in samples.items()
+        }
+    )
+
+
+def measure_grouping_samples(
+    sizes: list[int],
+    group_counts: list[int],
+    algorithms: list[GroupingAlgorithm] | None = None,
+    repeats: int = 2,
+    seed: int = 0,
+) -> dict[GroupingAlgorithm, list[Sample]]:
+    """Run the grouping kernels over a (sizes x group_counts) grid and
+    collect timing samples for calibration.
+
+    Uses unsorted-dense data so every algorithm is applicable.
+    """
+    from repro._util.timer import time_callable
+    from repro.datagen.grouping import Density, Sortedness, make_grouping_dataset
+    from repro.engine.kernels.grouping import group_by
+
+    algorithms = algorithms or list(GroupingAlgorithm)
+    results: dict[GroupingAlgorithm, list[Sample]] = {
+        algorithm: [] for algorithm in algorithms
+    }
+    for n in sizes:
+        for groups in group_counts:
+            if groups > n:
+                continue
+            dataset = make_grouping_dataset(
+                n,
+                groups,
+                sortedness=Sortedness.UNSORTED,
+                density=Density.DENSE,
+                seed=seed,
+            )
+            sorted_keys = np.sort(dataset.keys)
+            for algorithm in algorithms:
+                keys = (
+                    sorted_keys
+                    if algorithm is GroupingAlgorithm.OG
+                    else dataset.keys
+                )
+                timing = time_callable(
+                    lambda a=algorithm, k=keys: group_by(
+                        k, dataset.payload, a, num_distinct_hint=groups
+                    ),
+                    repeats=repeats,
+                    warmup=1,
+                )
+                results[algorithm].append(Sample(n, groups, timing.best))
+    return results

@@ -1,0 +1,76 @@
+"""The abstract cost model interface.
+
+Costs are abstract work units (the paper's Table 2 counts "touched rows",
+weighted); only *ratios* of costs are meaningful, which is also all that
+Figure 5 reports (improvement factors).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.engine.kernels.joins import JoinAlgorithm
+
+
+class CostModel:
+    """Base class: cost of each physical algorithm family.
+
+    ``num_groups`` is the NDV of the grouping/join key — the paper
+    assumes it known (§4.1) and Table 2's BSG/BSJ formulas depend on it.
+    """
+
+    def grouping_cost(
+        self, algorithm: GroupingAlgorithm, input_rows: float, num_groups: float
+    ) -> float:
+        """Cost of grouping ``input_rows`` rows into ``num_groups`` groups."""
+        raise NotImplementedError
+
+    def join_cost(
+        self,
+        algorithm: JoinAlgorithm,
+        left_rows: float,
+        right_rows: float,
+        num_groups: float,
+    ) -> float:
+        """Cost of joining (build side left, probe side right)."""
+        raise NotImplementedError
+
+    def sort_cost(self, rows: float) -> float:
+        """Cost of an explicit sort enforcer."""
+        raise NotImplementedError
+
+    def scan_cost(self, rows: float) -> float:
+        """Cost of scanning a base table."""
+        raise NotImplementedError
+
+    def index_scan_cost(self, total_rows: float, matching_rows: float) -> float:
+        """Cost of fetching ``matching_rows`` of ``total_rows`` through an
+        unclustered B-tree (§1's "unclustered B-tree vs scan"): a descent
+        plus one *random-access* gather per match. Random accesses carry
+        the same 4x factor Table 2 charges hash-based algorithms, putting
+        the scan-vs-index crossover at 25% selectivity."""
+        descent = math.log2(total_rows) if total_rows > 1 else 0.0
+        return descent + 4.0 * matching_rows
+
+    def grouping_build_cost(
+        self, algorithm: GroupingAlgorithm, input_rows: float, num_groups: float
+    ) -> float:
+        """The portion of :meth:`grouping_cost` spent building the
+        algorithm's internal structure — what a matching Algorithmic View
+        saves when it is already materialised (§3).
+
+        Defaults to zero (no AV benefit) unless a model overrides it.
+        """
+        return 0.0
+
+    def join_build_cost(
+        self,
+        algorithm: JoinAlgorithm,
+        left_rows: float,
+        right_rows: float,
+        num_groups: float,
+    ) -> float:
+        """The build-side portion of :meth:`join_cost` (see
+        :meth:`grouping_build_cost`)."""
+        return 0.0

@@ -1,0 +1,129 @@
+"""The granularity hierarchy of Table 1 — the paper's biology analogy.
+
+A living cell is composed of organelles, which consist of macro-molecules,
+which consist of molecules, which consist of atoms. Table 1 maps each
+level to query processing and states who optimises it under SQO vs DQO:
+
+* SQO: the *query optimiser* assembles cells (plans) from organelles
+  (physical operators); everything below is frozen by the *developer*.
+* DQO: the query optimiser's reach extends down to macro-molecules and
+  molecules; only atoms stay with the compiler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Granularity(enum.IntEnum):
+    """Granule levels, ordered from coarsest (CELL) to finest (ATOM).
+
+    The integer values increase with *physicality* (Figure 3's x-axis):
+    a larger value means a deeper, more physical decision level.
+    """
+
+    CELL = 0
+    ORGANELLE = 1
+    MACROMOLECULE = 2
+    MOLECULE = 3
+    ATOM = 4
+
+
+@dataclass(frozen=True)
+class GranularityInfo:
+    """One row of Table 1."""
+
+    level: Granularity
+    biology: str
+    query_optimisation: str
+    typical_loc: int
+    optimised_by_sqo: str
+    optimised_by_dqo: str
+
+
+#: Table 1, verbatim as data.
+TABLE1: tuple[GranularityInfo, ...] = (
+    GranularityInfo(
+        level=Granularity.CELL,
+        biology="living cell",
+        query_optimisation='"physical" query plan',
+        typical_loc=10_000,
+        optimised_by_sqo="query optimiser",
+        optimised_by_dqo="query optimiser",
+    ),
+    GranularityInfo(
+        level=Granularity.ORGANELLE,
+        biology="organelle",
+        query_optimisation='"physical" operator',
+        typical_loc=1_000,
+        optimised_by_sqo="query optimiser",
+        optimised_by_dqo="query optimiser",
+    ),
+    GranularityInfo(
+        level=Granularity.MACROMOLECULE,
+        biology="macro-molecule",
+        query_optimisation=(
+            "type of index structure (hash vs tree), scan method, "
+            "high-level bulkloading and probing algorithm"
+        ),
+        typical_loc=100,
+        optimised_by_sqo="developer",
+        optimised_by_dqo="query optimiser",
+    ),
+    GranularityInfo(
+        level=Granularity.MOLECULE,
+        biology="molecule",
+        query_optimisation=(
+            "any subcomponent of an index, e.g. a node or leaf type, "
+            "hash function used, particular probing implementation, "
+            "low-level cache&SIMD tricks"
+        ),
+        typical_loc=10,
+        optimised_by_sqo="developer",
+        optimised_by_dqo="query optimiser",
+    ),
+    GranularityInfo(
+        level=Granularity.ATOM,
+        biology="atom",
+        query_optimisation=(
+            "assignment, loop initialisation, arithmetic operation, "
+            "matrix operation"
+        ),
+        typical_loc=1,
+        optimised_by_sqo="compiler",
+        optimised_by_dqo="compiler",
+    ),
+)
+
+
+def info_for(level: Granularity) -> GranularityInfo:
+    """The Table 1 row of a level."""
+    return TABLE1[int(level)]
+
+
+def sqo_reach() -> Granularity:
+    """Deepest level SQO's optimiser decides: physical operators."""
+    return Granularity.ORGANELLE
+
+
+def dqo_reach() -> Granularity:
+    """Deepest level DQO's optimiser decides: molecules (atoms stay with
+    the compiler, as in Table 1)."""
+    return Granularity.MOLECULE
+
+
+def render_table1() -> str:
+    """A textual rendering of Table 1 (the ``repro.bench.table1`` output)."""
+    header = (
+        f"{'level':<14} {'biology':<16} {'typical LOC':>12}   "
+        f"{'SQO':<16} {'DQO':<16}"
+    )
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for row in TABLE1:
+        lines.append(
+            f"{row.level.name:<14} {row.biology:<16} {row.typical_loc:>12}   "
+            f"{row.optimised_by_sqo:<16} {row.optimised_by_dqo:<16}"
+        )
+    return "\n".join(lines)

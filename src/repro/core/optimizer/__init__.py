@@ -1,0 +1,60 @@
+"""The unified SQO/DQO optimiser and its baselines."""
+
+from repro.core.optimizer.base import (
+    OptimizationResult,
+    OptimizerConfig,
+    PropertyScope,
+    SearchStats,
+    dqo_config,
+    sqo_config,
+)
+from repro.core.optimizer.dp import DynamicProgrammingOptimizer
+from repro.core.optimizer.dqo import optimize_dqo
+from repro.core.optimizer.exhaustive import (
+    ExhaustivePlan,
+    enumerate_exhaustive,
+    exhaustive_minimum,
+)
+from repro.core.optimizer.greedy import GreedyOptimizer, optimize_greedy
+from repro.core.optimizer.pruning import DPEntry, dominates, pareto_insert
+from repro.core.optimizer.query import (
+    JoinEdge,
+    QuerySpec,
+    ScanSpec,
+    extract_query,
+)
+from repro.core.optimizer.rules import (
+    GroupingOption,
+    JoinOption,
+    grouping_options,
+    join_options,
+)
+from repro.core.optimizer.sqo import optimize_sqo
+
+__all__ = [
+    "DPEntry",
+    "DynamicProgrammingOptimizer",
+    "ExhaustivePlan",
+    "GreedyOptimizer",
+    "GroupingOption",
+    "JoinEdge",
+    "JoinOption",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "PropertyScope",
+    "QuerySpec",
+    "ScanSpec",
+    "SearchStats",
+    "dominates",
+    "dqo_config",
+    "enumerate_exhaustive",
+    "exhaustive_minimum",
+    "extract_query",
+    "grouping_options",
+    "join_options",
+    "optimize_dqo",
+    "optimize_greedy",
+    "optimize_sqo",
+    "pareto_insert",
+    "sqo_config",
+]

@@ -1,0 +1,116 @@
+"""Optimiser configuration and result types.
+
+The central design point (DESIGN.md §4): SQO and DQO are *one* optimiser
+with different configurations. :func:`sqo_config` caps decision depth at
+ORGANELLE (blackbox textbook operators) and projects the property vector
+to classical interesting orders; :func:`dqo_config` descends to MOLECULE
+and tracks the full §2.2 property vector. Everything in between is a
+valid configuration too — the paper's "smooth transition from SQO to DQO"
+(§6, Longterm Vision).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.granularity import Granularity
+from repro.core.plan import PhysicalNode
+
+if TYPE_CHECKING:
+    from repro.avs.registry import AVRegistry
+
+
+class PropertyScope(enum.Enum):
+    """Which §2.2 properties the optimiser is allowed to *see*."""
+
+    #: classical interesting orders only: sortedness / clusteredness (SQO).
+    ORDERS = "orders"
+    #: the full DQO vector, including density.
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """All the dials of the unified optimiser."""
+
+    #: deepest granule level the optimiser may decide (Table 1 reach).
+    max_granularity: Granularity = Granularity.MOLECULE
+    #: which plan properties the optimiser tracks.
+    property_scope: PropertyScope = PropertyScope.FULL
+    #: consider swapping join build/probe sides. The paper's Figure 5
+    #: keeps the syntactic sides (DESIGN.md substitution #5); the
+    #: commutation ablation turns this on.
+    consider_commutation: bool = False
+    #: insert explicit sort enforcers to manufacture orders.
+    consider_enforcers: bool = True
+    #: prune Pareto-dominated DP entries (ablation dial).
+    prune_dominated: bool = True
+    #: registered Algorithmic Views to exploit, if any.
+    views: "AVRegistry | None" = None
+
+    @property
+    def is_deep(self) -> bool:
+        """True when the configuration reaches below ORGANELLE."""
+        return self.max_granularity > Granularity.ORGANELLE
+
+
+def sqo_config(**overrides) -> OptimizerConfig:
+    """Shallow query optimisation: textbook operators + interesting orders.
+
+    §4.3: *"SQO only considers data sortedness as in traditional dynamic
+    programming"* — so density is invisible and SPH variants can never be
+    proven applicable.
+    """
+    defaults = dict(
+        max_granularity=Granularity.ORGANELLE,
+        property_scope=PropertyScope.ORDERS,
+    )
+    defaults.update(overrides)
+    return OptimizerConfig(**defaults)
+
+
+def dqo_config(**overrides) -> OptimizerConfig:
+    """Deep query optimisation: molecule-level reach, full property vector."""
+    defaults = dict(
+        max_granularity=Granularity.MOLECULE,
+        property_scope=PropertyScope.FULL,
+    )
+    defaults.update(overrides)
+    return OptimizerConfig(**defaults)
+
+
+@dataclass
+class SearchStats:
+    """Enumeration-effort counters (the pruning/depth ablations report
+    these)."""
+
+    #: candidate plans generated (before any pruning).
+    generated: int = 0
+    #: candidates rejected because a retained entry dominated them.
+    pruned_dominated: int = 0
+    #: retained entries displaced by a later, dominating candidate.
+    displaced: int = 0
+    #: entries alive at the end across all DP classes.
+    retained: int = 0
+
+
+@dataclass
+class OptimizationResult:
+    """The optimiser's verdict for one query."""
+
+    #: the chosen plan, fully annotated.
+    plan: PhysicalNode
+    #: estimated cost of :attr:`plan` under the configured cost model.
+    cost: float
+    #: the configuration that produced this result.
+    config: OptimizerConfig
+    #: enumeration-effort counters.
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: runner-up complete plans, best-first (for reporting/debugging).
+    alternatives: list[PhysicalNode] = field(default_factory=list)
+
+    def explain(self, deep: bool = False) -> str:
+        """Render the chosen plan."""
+        return self.plan.explain(deep=deep)

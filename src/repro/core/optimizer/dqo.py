@@ -1,0 +1,26 @@
+"""Deep query optimisation — the paper's contribution.
+
+A thin convenience wrapper: the DQO configuration of the unified DP
+(molecule-level reach, full §2.2 property vector).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost.model import CostModel
+from repro.core.optimizer.base import OptimizationResult, dqo_config
+from repro.core.optimizer.dp import DynamicProgrammingOptimizer
+from repro.logical.algebra import LogicalPlan
+from repro.storage.catalog import Catalog
+
+
+def optimize_dqo(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    cost_model: CostModel | None = None,
+    **config_overrides,
+) -> OptimizationResult:
+    """Optimise ``plan`` deeply (§4.3's DQO side)."""
+    optimizer = DynamicProgrammingOptimizer(
+        catalog, cost_model, dqo_config(**config_overrides)
+    )
+    return optimizer.optimize(plan)

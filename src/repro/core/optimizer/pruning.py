@@ -1,0 +1,63 @@
+"""Dominance pruning over (cost, property-vector) Pareto frontiers.
+
+§2.2: *"these properties can be considered and handled very similarly to
+how interesting properties are handled in dynamic programming. If any
+subcomponent in DQO produces an output with such a property, we must not
+discard that information."* — so each DP equivalence class keeps not one
+best plan but a Pareto frontier: entry A makes entry B redundant only if
+A costs no more *and* guarantees every property B does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost.cardinality import RelationEstimate
+from repro.core.optimizer.base import SearchStats
+from repro.core.plan import PhysicalNode
+from repro.core.properties import PropertyVector
+
+
+@dataclass(frozen=True)
+class DPEntry:
+    """One retained subplan: plan, cost, properties, and cardinality."""
+
+    plan: PhysicalNode
+    cost: float
+    properties: PropertyVector
+    estimate: RelationEstimate
+
+
+def dominates(a: DPEntry, b: DPEntry) -> bool:
+    """Entry ``a`` makes ``b`` redundant: cheaper-or-equal and at least as
+    strong properties."""
+    return a.cost <= b.cost and a.properties.covers(b.properties)
+
+
+def pareto_insert(
+    entries: list[DPEntry],
+    candidate: DPEntry,
+    stats: SearchStats,
+    prune: bool = True,
+) -> list[DPEntry]:
+    """Insert ``candidate`` into a frontier, maintaining Pareto shape.
+
+    With ``prune=False`` (the ablation's no-pruning mode) every candidate
+    is retained, modelling a naive DP whose state grows unchecked.
+    """
+    stats.generated += 1
+    if not prune:
+        entries.append(candidate)
+        return entries
+    for existing in entries:
+        if dominates(existing, candidate):
+            stats.pruned_dominated += 1
+            return entries
+    survivors = []
+    for existing in entries:
+        if dominates(candidate, existing):
+            stats.displaced += 1
+        else:
+            survivors.append(existing)
+    survivors.append(candidate)
+    return survivors

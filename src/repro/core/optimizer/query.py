@@ -1,0 +1,166 @@
+"""Logical plan -> normalised query specification.
+
+The DP operates on a flat shape — scans with pushed-down filters, a set of
+equi-join edges, an optional group-by, and trailing project/order/limit —
+rather than on the logical tree directly. This module extracts that shape
+and rejects plans outside the supported class with a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.aggregates import AggregateSpec
+from repro.engine.expressions import BooleanOp, Expression
+from repro.errors import PlanError
+from repro.logical.algebra import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOrderBy,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+)
+
+
+@dataclass
+class ScanSpec:
+    """One base-table access with its pushed-down filter conjuncts."""
+
+    table_name: str
+    alias: str
+    filters: list[Expression] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One equi-join predicate between two scans (by scan index)."""
+
+    left_scan: int
+    right_scan: int
+    left_column: str
+    right_column: str
+
+
+@dataclass
+class QuerySpec:
+    """The normalised query the DP optimises."""
+
+    scans: list[ScanSpec]
+    joins: list[JoinEdge]
+    group_key: str | None = None
+    aggregates: tuple[AggregateSpec, ...] = ()
+    final_outputs: tuple[tuple[str, Expression], ...] | None = None
+    order_by: tuple[str, ...] = ()
+    limit: int | None = None
+
+    def scan_of_column(self, qualified: str) -> int:
+        """Index of the scan owning a qualified column name.
+
+        :raises PlanError: if the prefix matches no scan alias.
+        """
+        prefix = qualified.split(".", 1)[0]
+        for index, scan in enumerate(self.scans):
+            if scan.alias == prefix:
+                return index
+        raise PlanError(
+            f"column {qualified!r} matches no scan alias "
+            f"({[s.alias for s in self.scans]})"
+        )
+
+
+def _split_conjuncts(expression: Expression) -> list[Expression]:
+    if isinstance(expression, BooleanOp) and expression.op == "and":
+        return _split_conjuncts(expression.left) + _split_conjuncts(
+            expression.right
+        )
+    return [expression]
+
+
+def extract_query(plan: LogicalPlan) -> QuerySpec:
+    """Normalise ``plan`` into a :class:`QuerySpec`.
+
+    :raises PlanError: for plan shapes the optimiser does not support
+        (e.g. group-by below a join, or cross-table filter predicates).
+    """
+    spec = QuerySpec(scans=[], joins=[])
+    node = plan
+
+    # Peel the trailing decoration: limit, order-by, project.
+    if isinstance(node, LogicalLimit):
+        spec.limit = node.count
+        node = node.child
+    if isinstance(node, LogicalOrderBy):
+        spec.order_by = node.keys
+        node = node.child
+    if isinstance(node, LogicalProject):
+        spec.final_outputs = node.outputs
+        node = node.child
+
+    pending_filters: list[Expression] = []
+    if isinstance(node, LogicalGroupBy):
+        spec.group_key = node.key
+        spec.aggregates = node.aggregates
+        node = node.child
+    while isinstance(node, LogicalFilter):
+        pending_filters.extend(_split_conjuncts(node.predicate))
+        node = node.child
+
+    _collect_joins(node, spec)
+
+    # Push every filter conjunct to the single scan it references.
+    for conjunct in pending_filters:
+        referenced = conjunct.referenced_columns()
+        owners = {spec.scan_of_column(column) for column in referenced}
+        if len(owners) != 1:
+            raise PlanError(
+                f"filter {conjunct!r} references {len(owners)} tables; only "
+                "single-table predicates are supported"
+            )
+        spec.scans[owners.pop()].filters.append(conjunct)
+
+    if spec.group_key is not None:
+        spec.scan_of_column(spec.group_key)  # validates ownership
+    return spec
+
+
+def _collect_joins(node: LogicalPlan, spec: QuerySpec) -> None:
+    """Flatten the join tree into scans + edges (left-deep or bushy)."""
+    if isinstance(node, LogicalScan):
+        spec.scans.append(ScanSpec(node.table_name, node.alias))
+        return
+    if isinstance(node, LogicalFilter):
+        conjuncts = _split_conjuncts(node.predicate)
+        _collect_joins(node.child, spec)
+        for conjunct in conjuncts:
+            owners = {
+                spec.scan_of_column(column)
+                for column in conjunct.referenced_columns()
+            }
+            if len(owners) != 1:
+                raise PlanError(
+                    f"filter {conjunct!r} references {len(owners)} tables; "
+                    "only single-table predicates are supported"
+                )
+            spec.scans[owners.pop()].filters.append(conjunct)
+        return
+    if isinstance(node, LogicalJoin):
+        _collect_joins(node.left, spec)
+        _collect_joins(node.right, spec)
+        left_scan = spec.scan_of_column(node.left_key)
+        right_scan = spec.scan_of_column(node.right_key)
+        if left_scan == right_scan:
+            raise PlanError(
+                f"self-join predicate {node.left_key} = {node.right_key} "
+                "within one scan is not supported"
+            )
+        spec.joins.append(
+            JoinEdge(left_scan, right_scan, node.left_key, node.right_key)
+        )
+        return
+    raise PlanError(
+        f"unsupported node below joins: {type(node).__name__} "
+        "(group-by under a join is not supported)"
+    )

@@ -1,0 +1,219 @@
+"""Implementation options: applicability and property derivation rules.
+
+Each physical algorithm family is wrapped in an *option* that knows
+
+* whether it is **applicable** given the input property vectors — the
+  §2.1 preconditions (OG needs clustered input, SPH needs a dense domain,
+  OJ needs both inputs sorted);
+* which properties its output **derives** — §2.2's propagation (SPH and
+  sort variants emit sorted output, probe-streaming joins preserve probe
+  order, density survives value-preserving operators).
+
+Options are produced from the physiological lattice
+(:mod:`repro.core.physiological`) when the configuration is deep, or from
+the blackbox textbook catalogue when it is shallow, so the *same* DP
+consumes either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.granularity import Granularity
+from repro.core.optimizer.base import OptimizerConfig, PropertyScope
+from repro.core.physiological import (
+    Granule,
+    enumerate_recipes,
+    logical_grouping,
+    logical_join,
+    recipe_algorithm,
+    recipe_join_algorithm,
+    recipe_requirements,
+)
+from repro.core.properties import Correlations, PropertyVector
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.engine.kernels.joins import JoinAlgorithm, JoinOutputOrder
+
+#: the blackbox textbook operator catalogue available to SQO. SPH variants
+#: are absent: without density tracking they can never be proven safe.
+SQO_GROUPING_CATALOG = (
+    GroupingAlgorithm.HG,
+    GroupingAlgorithm.OG,
+    GroupingAlgorithm.SOG,
+    GroupingAlgorithm.BSG,
+)
+SQO_JOIN_CATALOG = (
+    JoinAlgorithm.HJ,
+    JoinAlgorithm.OJ,
+    JoinAlgorithm.SOJ,
+    JoinAlgorithm.BSJ,
+)
+
+
+@dataclass(frozen=True)
+class GroupingOption:
+    """One candidate grouping implementation (with its deep recipe, if
+    the configuration is deep)."""
+
+    algorithm: GroupingAlgorithm
+    recipe: Granule | None = None
+
+    def applicable(
+        self, props: PropertyVector, key: str, scope: PropertyScope
+    ) -> bool:
+        """May this implementation be used on an input with ``props``?"""
+        if self.algorithm is GroupingAlgorithm.OG:
+            return props.is_clustered_on(key)
+        if self.algorithm is GroupingAlgorithm.SPHG:
+            return scope is PropertyScope.FULL and props.is_dense(key)
+        return True
+
+    def derive(
+        self,
+        props: PropertyVector,
+        key: str,
+        correlations: Correlations,
+        scope: PropertyScope,
+    ) -> PropertyVector:
+        """Output properties of grouping with this implementation.
+
+        The output relation has the key column plus aggregate columns;
+        only the key can carry guarantees.
+        """
+        sorted_on: frozenset[str] = frozenset()
+        clustered_on: frozenset[str] = frozenset()
+        if self.algorithm in (
+            GroupingAlgorithm.SPHG,
+            GroupingAlgorithm.SOG,
+            GroupingAlgorithm.BSG,
+        ):
+            sorted_on = frozenset([key])
+        elif self.algorithm is GroupingAlgorithm.OG:
+            # Clustered input gives first-occurrence order; only a fully
+            # sorted input gives sorted output.
+            if props.is_sorted_on(key):
+                sorted_on = frozenset([key])
+            clustered_on = frozenset([key])
+        # HG: blackbox hash order — assume nothing (§2.1).
+        dense: frozenset[str] = frozenset()
+        if scope is PropertyScope.FULL and props.is_dense(key):
+            # The output keys are exactly the distinct input keys; a dense
+            # input domain stays dense.
+            dense = frozenset([key])
+        result = PropertyVector(
+            sorted_on=sorted_on,
+            clustered_on=clustered_on | sorted_on,
+            dense=dense,
+        )
+        result = correlations.close_sorted(result)
+        return result if scope is PropertyScope.FULL else result.restrict_to_orders()
+
+
+@dataclass(frozen=True)
+class JoinOption:
+    """One candidate join implementation (build = left, probe = right)."""
+
+    algorithm: JoinAlgorithm
+    recipe: Granule | None = None
+
+    @property
+    def output_order(self) -> JoinOutputOrder:
+        """Which row order the output exhibits (Table 2 discussion)."""
+        if self.algorithm in (JoinAlgorithm.OJ, JoinAlgorithm.SOJ):
+            return JoinOutputOrder.KEY_SORTED
+        return JoinOutputOrder.PROBE_ORDER
+
+    def applicable(
+        self,
+        build_props: PropertyVector,
+        probe_props: PropertyVector,
+        build_key: str,
+        probe_key: str,
+        scope: PropertyScope,
+    ) -> bool:
+        """May this implementation join these inputs?"""
+        if self.algorithm is JoinAlgorithm.OJ:
+            return build_props.is_sorted_on(build_key) and probe_props.is_sorted_on(
+                probe_key
+            )
+        if self.algorithm is JoinAlgorithm.SPHJ:
+            return scope is PropertyScope.FULL and build_props.is_dense(build_key)
+        return True
+
+    def derive(
+        self,
+        build_props: PropertyVector,
+        probe_props: PropertyVector,
+        build_key: str,
+        probe_key: str,
+        correlations: Correlations,
+        scope: PropertyScope,
+    ) -> PropertyVector:
+        """Output properties of this join.
+
+        Probe-streaming joins (HJ/SPHJ/BSJ) preserve the probe side's row
+        order, so all probe-side guarantees survive; if the probe stream
+        is sorted on the join key, the output is also sorted on the
+        *build* key (equal values), and correlation closure then extends
+        that to monotone-related build columns — the mechanism behind
+        Figure 5's 2.8x case (DESIGN.md substitution #5).
+        """
+        if self.output_order is JoinOutputOrder.PROBE_ORDER:
+            sorted_on = set(probe_props.sorted_on)
+            clustered_on = set(probe_props.clustered_on)
+            if probe_key in probe_props.sorted_on:
+                sorted_on.add(build_key)
+            if probe_key in probe_props.clustered_on:
+                clustered_on.add(build_key)
+        else:
+            sorted_on = {build_key, probe_key}
+            clustered_on = set(sorted_on)
+        # Density is a value-domain property: an inner join removes rows,
+        # never values' positions in the domain — under the FK assumption
+        # (every child row matches, every parent value referenced) the
+        # domains stay dense. Documented as substitution #5c.
+        dense = set(build_props.dense) | set(probe_props.dense)
+        result = PropertyVector(
+            sorted_on=frozenset(sorted_on),
+            clustered_on=frozenset(clustered_on) | frozenset(sorted_on),
+            dense=frozenset(dense),
+        )
+        result = correlations.close_sorted(result)
+        return result if scope is PropertyScope.FULL else result.restrict_to_orders()
+
+
+def grouping_options(config: OptimizerConfig) -> list[GroupingOption]:
+    """The grouping implementation space of a configuration.
+
+    Shallow configurations get the blackbox catalogue; deep ones get the
+    recipes of the physiological lattice, deduplicated by executable
+    algorithm (molecule variants with equal paper-model cost collapse to
+    their default representative — kept distinct only in the recipe).
+    """
+    if not config.is_deep:
+        return [GroupingOption(algorithm) for algorithm in SQO_GROUPING_CATALOG]
+    options: list[GroupingOption] = []
+    seen: set[GroupingAlgorithm] = set()
+    for recipe in enumerate_recipes(logical_grouping(), config.max_granularity):
+        algorithm = recipe_algorithm(recipe)
+        if algorithm in seen:
+            continue
+        seen.add(algorithm)
+        options.append(GroupingOption(algorithm, recipe))
+    return options
+
+
+def join_options(config: OptimizerConfig) -> list[JoinOption]:
+    """The join implementation space of a configuration (see
+    :func:`grouping_options`)."""
+    if not config.is_deep:
+        return [JoinOption(algorithm) for algorithm in SQO_JOIN_CATALOG]
+    options: list[JoinOption] = []
+    seen: set[JoinAlgorithm] = set()
+    for recipe in enumerate_recipes(logical_join(), config.max_granularity):
+        algorithm = recipe_join_algorithm(recipe)
+        if algorithm in seen:
+            continue
+        seen.add(algorithm)
+        options.append(JoinOption(algorithm, recipe))
+    return options

@@ -1,0 +1,26 @@
+"""Shallow query optimisation — the paper's baseline.
+
+A thin convenience wrapper: the SQO configuration of the unified DP
+(blackbox textbook operators, interesting orders only).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost.model import CostModel
+from repro.core.optimizer.base import OptimizationResult, sqo_config
+from repro.core.optimizer.dp import DynamicProgrammingOptimizer
+from repro.logical.algebra import LogicalPlan
+from repro.storage.catalog import Catalog
+
+
+def optimize_sqo(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    cost_model: CostModel | None = None,
+    **config_overrides,
+) -> OptimizationResult:
+    """Optimise ``plan`` shallowly (§4.3's SQO side)."""
+    optimizer = DynamicProgrammingOptimizer(
+        catalog, cost_model, sqo_config(**config_overrides)
+    )
+    return optimizer.optimize(plan)

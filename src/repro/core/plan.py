@@ -1,0 +1,252 @@
+"""Deep physical plans: the optimiser's output.
+
+A :class:`PhysicalNode` tree records *every* decision the optimiser made —
+which algorithm family implements each operator (ORGANELLE level), and,
+for deep plans, the full physiological recipe below it (MACROMOLECULE /
+MOLECULE levels, Figure 3). ``explain()`` renders the tree with granule
+depth annotations; :func:`to_operator` lowers the plan onto the executable
+engine so optimised plans actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.granularity import Granularity
+from repro.core.physiological import Granule
+from repro.core.properties import PropertyVector
+from repro.engine.aggregates import AggregateSpec
+from repro.engine.expressions import Expression
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.engine.kernels.joins import JoinAlgorithm
+from repro.engine.operators import (
+    DecodeColumn,
+    Filter,
+    IndexRangeScan,
+    GroupBy,
+    Join,
+    Limit,
+    PhysicalOperator,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.errors import PlanError
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class PhysicalNode:
+    """One node of an optimised physical plan.
+
+    ``op`` discriminates the node type; the optional fields hold that
+    type's parameters. ``cost`` is cumulative over the subtree, in the
+    cost model's abstract units.
+    """
+
+    op: str  # 'scan' | 'filter' | 'sort' | 'join' | 'group_by' | 'project' | 'limit'
+    children: tuple["PhysicalNode", ...] = ()
+    # scan:
+    table_name: str = ""
+    alias: str = ""
+    #: Algorithmic View applied at this scan: (view kind value, raw column
+    #: name), or ("", "") for a plain base-table scan. Lowering a plan
+    #: whose scans use views requires passing the registry to
+    #: :func:`to_operator`.
+    scan_view: tuple[str, str] = ("", "")
+    #: for a 'btree' scan view: the inclusive value range fetched from
+    #: the index.
+    index_range: tuple[int, int] = (0, 0)
+    # filter:
+    predicate: Expression | None = None
+    # sort:
+    sort_keys: tuple[str, ...] = ()
+    # join:
+    join_algorithm: JoinAlgorithm | None = None
+    left_key: str = ""
+    right_key: str = ""
+    # group_by:
+    grouping_algorithm: GroupingAlgorithm | None = None
+    group_key: str = ""
+    aggregates: tuple[AggregateSpec, ...] = ()
+    # project:
+    outputs: tuple[tuple[str, Expression], ...] = ()
+    # limit:
+    count: int = 0
+    # deep recipe (None for shallow / non-algorithmic nodes):
+    recipe: Granule | None = None
+    # annotations:
+    rows: float = 0.0
+    local_cost: float = 0.0
+    cost: float = 0.0
+    properties: PropertyVector = field(default_factory=PropertyVector)
+
+    # -- rendering ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line description with algorithm, cost, and properties."""
+        if self.op == "scan":
+            head = f"Scan({self.table_name}"
+            if self.alias and self.alias != self.table_name:
+                head += f" AS {self.alias}"
+            if self.scan_view[0]:
+                head += f" via AV[{self.scan_view[0]}({self.scan_view[1]})]"
+            head += ")"
+        elif self.op == "filter":
+            head = f"Filter({self.predicate!r})"
+        elif self.op == "sort":
+            head = f"Sort(by={list(self.sort_keys)})"
+        elif self.op == "join":
+            assert self.join_algorithm is not None
+            head = (
+                f"Join[{self.join_algorithm.name}]"
+                f"({self.left_key} = {self.right_key})"
+            )
+        elif self.op == "group_by":
+            assert self.grouping_algorithm is not None
+            head = f"GroupBy[{self.grouping_algorithm.name}](key={self.group_key})"
+        elif self.op == "project":
+            head = f"Project({', '.join(a for a, __ in self.outputs)})"
+        elif self.op == "limit":
+            head = f"Limit({self.count})"
+        else:
+            head = self.op
+        return (
+            f"{head}  cost={self.cost:,.0f} rows={self.rows:,.0f} "
+            f"props={self.properties.describe()}"
+        )
+
+    def explain(self, indent: int = 0, deep: bool = False) -> str:
+        """Indented plan rendering; ``deep=True`` also prints each node's
+        physiological recipe (the Figure 3 sub-plan)."""
+        lines = [f"{'  ' * indent}{self.describe()}"]
+        if deep and self.recipe is not None:
+            for recipe_line in self.recipe.explain().splitlines():
+                lines.append(f"{'  ' * (indent + 1)}| {recipe_line}")
+        for child in self.children:
+            lines.append(child.explain(indent + 1, deep))
+        return "\n".join(lines)
+
+    def walk(self):
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def max_granularity(self) -> Granularity:
+        """The deepest granule level decided anywhere in this plan —
+        ORGANELLE for shallow plans, deeper when recipes are attached."""
+        deepest = Granularity.ORGANELLE
+        for node in self.walk():
+            if node.recipe is not None:
+                deepest = max(deepest, node.recipe.max_level())
+        return deepest
+
+
+def to_operator(
+    node: PhysicalNode,
+    catalog: Catalog,
+    validate: bool = True,
+    views=None,
+) -> PhysicalOperator:
+    """Lower a physical plan onto the executable engine.
+
+    :param validate: make precondition-carrying operators (OG, OJ) verify
+        their preconditions at runtime, so that a plan whose property
+        claims are wrong *fails loudly* instead of silently producing
+        garbage. Integration tests rely on this.
+    :param views: the :class:`repro.avs.registry.AVRegistry` the plan was
+        optimised against. Required whenever the plan reads a scan-level
+        view (sorted projection / dictionary); the artifact is read from
+        the registry.
+    :raises PlanError: when the plan uses a view but no registry (or the
+        wrong registry) is supplied.
+    """
+    if node.op == "scan":
+        return _lower_scan(node, catalog, views)
+    if node.op == "filter":
+        assert node.predicate is not None
+        return Filter(
+            to_operator(node.children[0], catalog, validate, views),
+            node.predicate,
+        )
+    if node.op == "sort":
+        return Sort(
+            to_operator(node.children[0], catalog, validate, views),
+            list(node.sort_keys),
+        )
+    if node.op == "join":
+        assert node.join_algorithm is not None
+        return Join(
+            to_operator(node.children[0], catalog, validate, views),
+            to_operator(node.children[1], catalog, validate, views),
+            node.left_key,
+            node.right_key,
+            algorithm=node.join_algorithm,
+            validate=validate,
+        )
+    if node.op == "group_by":
+        assert node.grouping_algorithm is not None
+        operator: PhysicalOperator = GroupBy(
+            to_operator(node.children[0], catalog, validate, views),
+            key=node.group_key,
+            aggregates=list(node.aggregates),
+            algorithm=node.grouping_algorithm,
+            validate=validate,
+        )
+        # If the grouping key column came out of a dictionary view, the
+        # group keys are codes: plant the decode right after grouping.
+        encoding = _dictionary_encoding_for(node, node.group_key, views)
+        if encoding is not None:
+            operator = DecodeColumn(operator, node.group_key, encoding)
+        return operator
+    if node.op == "project":
+        return Project(
+            to_operator(node.children[0], catalog, validate, views),
+            list(node.outputs),
+        )
+    if node.op == "limit":
+        return Limit(
+            to_operator(node.children[0], catalog, validate, views), node.count
+        )
+    raise PlanError(f"cannot lower node kind {node.op!r}")
+
+
+def _lower_scan(node: PhysicalNode, catalog: Catalog, views) -> PhysicalOperator:
+    alias = node.alias or node.table_name
+    kind, column = node.scan_view
+    if not kind:
+        return TableScan(catalog.table(node.table_name).qualified(alias))
+    if views is None:
+        raise PlanError(
+            f"plan scans {node.table_name!r} through a {kind!r} view but no "
+            "view registry was passed to to_operator()"
+        )
+    view = views.get(kind, node.table_name, column)
+    if kind == "sorted_projection":
+        return TableScan(view.artifact.qualified(alias))
+    if kind == "dictionary":
+        return TableScan(view.artifact.encoded_table.qualified(alias))
+    if kind == "btree":
+        low, high = node.index_range
+        return IndexRangeScan(
+            catalog.table(node.table_name).qualified(alias),
+            f"{alias}.{column}",
+            view.artifact,
+            low,
+            high,
+        )
+    raise PlanError(f"cannot lower scan view kind {kind!r}")
+
+
+def _dictionary_encoding_for(group_node: PhysicalNode, key: str, views):
+    """The DictionaryEncoded codec to decode ``key`` with, if the group
+    key flows out of a dictionary-view scan below ``group_node``."""
+    for node in group_node.walk():
+        if node.op != "scan" or node.scan_view[0] != "dictionary":
+            continue
+        alias = node.alias or node.table_name
+        if f"{alias}.{node.scan_view[1]}" == key:
+            view = views.get("dictionary", node.table_name, node.scan_view[1])
+            return view.artifact.encoding
+    return None

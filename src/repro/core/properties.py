@@ -1,0 +1,254 @@
+"""DQO plan properties (§2.2) and their propagation.
+
+§2.2: *"in DQO, an 'interesting order' is just one tiny special case. Other
+cases include ... sparse vs dense, clustered, partitioned, correlated,
+compressed (and how exactly?), layout"*. This module defines the property
+vector the deep optimiser's dynamic programming carries per subplan, plus
+the correlation side-information that lets sortedness propagate across
+monotone-related columns (the FK-correlation assumption behind Figure 5,
+DESIGN.md substitution #5b).
+
+SQO sees a *projection* of this vector — ``restrict_to_orders`` keeps only
+the classical interesting orders — which is exactly how the paper frames
+the difference: §4.3 *"While SQO only considers data sortedness as in
+traditional dynamic programming, DQO also considers other [DQO] plan
+properties ... here: the density of the grouping keys."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+import numpy as np
+
+from repro.storage.statistics import ColumnStatistics
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class PropertyVector:
+    """The properties a (sub)plan's output stream is known to have.
+
+    All fields are column-name sets; a column being in a set is a
+    *guarantee*, absence means "unknown" (the safe assumption of §2.1:
+    what we cannot prove we must treat as absent).
+    """
+
+    #: columns whose values are non-decreasing in stream order.
+    sorted_on: frozenset[str] = frozenset()
+    #: columns whose equal values are contiguous (sorted implies clustered).
+    clustered_on: frozenset[str] = frozenset()
+    #: columns with dense (gap-free) integer domains.
+    dense: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        # Sorted columns are clustered by definition; normalise.
+        if not self.sorted_on <= self.clustered_on:
+            object.__setattr__(
+                self, "clustered_on", self.clustered_on | self.sorted_on
+            )
+
+    def is_sorted_on(self, column: str) -> bool:
+        """Is the stream known sorted by ``column``?"""
+        return column in self.sorted_on
+
+    def is_clustered_on(self, column: str) -> bool:
+        """Is the stream known clustered by ``column``?"""
+        return column in self.clustered_on
+
+    def is_dense(self, column: str) -> bool:
+        """Is ``column`` known to have a dense domain?"""
+        return column in self.dense
+
+    def covers(self, other: "PropertyVector") -> bool:
+        """True when this vector guarantees everything ``other`` does.
+
+        This is the dominance partial order the DP prunes with: a plan
+        with lower-or-equal cost whose properties cover another's makes
+        the other redundant.
+        """
+        return (
+            self.sorted_on >= other.sorted_on
+            and self.clustered_on >= other.clustered_on
+            and self.dense >= other.dense
+        )
+
+    def restrict_to_orders(self) -> "PropertyVector":
+        """The SQO projection: keep only classical interesting orders
+        (sortedness/clusteredness); forget density."""
+        return PropertyVector(
+            sorted_on=self.sorted_on,
+            clustered_on=self.clustered_on,
+            dense=frozenset(),
+        )
+
+    def restrict_to_columns(self, columns: Iterable[str]) -> "PropertyVector":
+        """Drop guarantees about columns not in ``columns`` (projection)."""
+        keep = frozenset(columns)
+        return PropertyVector(
+            sorted_on=self.sorted_on & keep,
+            clustered_on=self.clustered_on & keep,
+            dense=self.dense & keep,
+        )
+
+    def union(self, other: "PropertyVector") -> "PropertyVector":
+        """Pointwise union (for combining disjoint column sets, e.g. join
+        inputs whose guarantees both survive)."""
+        return PropertyVector(
+            sorted_on=self.sorted_on | other.sorted_on,
+            clustered_on=self.clustered_on | other.clustered_on,
+            dense=self.dense | other.dense,
+        )
+
+    def with_sorted(self, *columns: str) -> "PropertyVector":
+        """A copy additionally guaranteeing sortedness on ``columns``."""
+        added = frozenset(columns)
+        return PropertyVector(
+            sorted_on=self.sorted_on | added,
+            clustered_on=self.clustered_on | added,
+            dense=self.dense,
+        )
+
+    def with_dense(self, *columns: str) -> "PropertyVector":
+        """A copy additionally guaranteeing density on ``columns``."""
+        return replace(self, dense=self.dense | frozenset(columns))
+
+    def without_order(self) -> "PropertyVector":
+        """A copy with all order guarantees dropped (e.g. after a hash
+        shuffle); density is a value-domain property and survives."""
+        return PropertyVector(dense=self.dense)
+
+    def describe(self) -> str:
+        """Compact human-readable rendering."""
+        parts = []
+        if self.sorted_on:
+            parts.append(f"sorted({', '.join(sorted(self.sorted_on))})")
+        clustered_only = self.clustered_on - self.sorted_on
+        if clustered_only:
+            parts.append(f"clustered({', '.join(sorted(clustered_only))})")
+        if self.dense:
+            parts.append(f"dense({', '.join(sorted(self.dense))})")
+        return "{" + ", ".join(parts) + "}" if parts else "{}"
+
+
+@dataclass(frozen=True)
+class Correlations:
+    """Monotone column correlations: ``(x, y)`` means sorting a stream by
+    ``x`` leaves it sorted by ``y`` as well.
+
+    §2.2 lists "correlated" among DQO plan properties. Correlations are
+    declared (or detected) per base table and used to *close* sortedness
+    guarantees: whenever a plan's output becomes sorted on ``x``, it is
+    also sorted on every ``y`` monotone in ``x``.
+    """
+
+    pairs: frozenset[tuple[str, str]] = frozenset()
+
+    def implied_by(self, column: str) -> frozenset[str]:
+        """All columns monotone in ``column`` (transitively)."""
+        implied: set[str] = set()
+        frontier = [column]
+        while frontier:
+            current = frontier.pop()
+            for x, y in self.pairs:
+                if x == current and y not in implied:
+                    implied.add(y)
+                    frontier.append(y)
+        return frozenset(implied)
+
+    def close_sorted(self, properties: PropertyVector) -> PropertyVector:
+        """Extend ``sorted_on`` with everything correlation implies."""
+        extra: set[str] = set()
+        for column in properties.sorted_on:
+            extra |= self.implied_by(column)
+        if not extra:
+            return properties
+        return properties.with_sorted(*extra)
+
+    def merged(self, other: "Correlations") -> "Correlations":
+        """Union of two correlation sets."""
+        return Correlations(self.pairs | other.pairs)
+
+
+def detect_monotone_correlation(
+    table: Table, x: str, y: str, sample_limit: int = 100_000
+) -> bool:
+    """Measure whether ``y`` is non-decreasing when rows are ordered by
+    ``x`` — i.e. whether ``(x, y)`` is a monotone correlation.
+
+    Checks up to ``sample_limit`` rows (a prefix after sorting); exact for
+    tables at or below the limit.
+    """
+    x_values = table[x]
+    y_values = table[y]
+    if x_values.size > sample_limit:
+        x_values = x_values[:sample_limit]
+        y_values = y_values[:sample_limit]
+    order = np.argsort(x_values, kind="stable")
+    reordered = y_values[order]
+    if reordered.size <= 1:
+        return True
+    return bool(np.all(reordered[:-1] <= reordered[1:]))
+
+
+def properties_from_table(table: Table, qualify: str = "") -> PropertyVector:
+    """Measure the initial property vector of a base table's scan output.
+
+    :param qualify: optional ``alias`` to prefix column names with, so
+        that the vector speaks the same names as the plan's streams.
+    """
+    sorted_on: set[str] = set()
+    clustered_on: set[str] = set()
+    dense: set[str] = set()
+    for column in table.columns():
+        name = f"{qualify}.{column.name}" if qualify else column.name
+        stats: ColumnStatistics = column.statistics
+        if stats.is_sorted:
+            sorted_on.add(name)
+        if stats.is_clustered:
+            clustered_on.add(name)
+        if stats.is_dense:
+            dense.add(name)
+    return PropertyVector(
+        sorted_on=frozenset(sorted_on),
+        clustered_on=frozenset(clustered_on),
+        dense=frozenset(dense),
+    )
+
+
+#: memo for :func:`correlations_from_table`, keyed by (table identity,
+#: qualifier). Tables are immutable, so identity-keyed caching is sound;
+#: entries die with the table object (weak keying is not worth the
+#: bookkeeping at this scale).
+_CORRELATION_CACHE: dict[tuple[int, str, int], Correlations] = {}
+
+
+def correlations_from_table(
+    table: Table, qualify: str = "", sample_limit: int = 100_000
+) -> Correlations:
+    """Detect all pairwise monotone correlations among a table's columns.
+
+    Quadratic in column count — intended for the narrow relations of the
+    paper's experiments, not thousand-column tables. Results are memoised
+    per table object (tables are immutable).
+    """
+    cache_key = (id(table), qualify, sample_limit)
+    cached = _CORRELATION_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    pairs: set[tuple[str, str]] = set()
+    names = list(table.schema.names)
+    for x in names:
+        for y in names:
+            if x == y:
+                continue
+            if detect_monotone_correlation(table, x, y, sample_limit):
+                qualified_x = f"{qualify}.{x}" if qualify else x
+                qualified_y = f"{qualify}.{y}" if qualify else y
+                pairs.add((qualified_x, qualified_y))
+    result = Correlations(frozenset(pairs))
+    if len(_CORRELATION_CACHE) > 4096:
+        _CORRELATION_CACHE.clear()
+    _CORRELATION_CACHE[cache_key] = result
+    return result

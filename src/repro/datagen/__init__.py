@@ -1,0 +1,61 @@
+"""Dataset and workload generators for the paper's experiments."""
+
+from repro.datagen.distributions import (
+    clustered_keys,
+    sparsify,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.datagen.grouping import (
+    FIGURE4_GRID,
+    Density,
+    GroupingDataset,
+    Sortedness,
+    figure4_datasets,
+    make_grouping_dataset,
+)
+from repro.datagen.join import (
+    PAPER_NUM_GROUPS,
+    PAPER_R_ROWS,
+    PAPER_S_ROWS,
+    JoinScenario,
+    make_join_scenario,
+)
+from repro.datagen.star import (
+    DimensionSpec,
+    StarScenario,
+    make_star_scenario,
+)
+from repro.datagen.workload import (
+    QueryShape,
+    TableProfile,
+    Workload,
+    WorkloadQuery,
+    make_workload,
+)
+
+__all__ = [
+    "FIGURE4_GRID",
+    "PAPER_NUM_GROUPS",
+    "PAPER_R_ROWS",
+    "PAPER_S_ROWS",
+    "Density",
+    "DimensionSpec",
+    "GroupingDataset",
+    "JoinScenario",
+    "QueryShape",
+    "Sortedness",
+    "StarScenario",
+    "TableProfile",
+    "Workload",
+    "WorkloadQuery",
+    "clustered_keys",
+    "figure4_datasets",
+    "make_grouping_dataset",
+    "make_join_scenario",
+    "make_star_scenario",
+    "make_workload",
+    "sparsify",
+    "uniform_keys",
+    "zipf_keys",
+]

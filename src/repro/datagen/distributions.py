@@ -1,0 +1,105 @@
+"""Key-distribution primitives used by the dataset generators.
+
+The paper's §4.1 datasets are *uniformly distributed* grouping keys with two
+orthogonal properties, sortedness and density. Beyond uniform we also provide
+Zipf and clustered distributions — §2.2 explicitly names *clustered* and
+*correlated* as further DQO plan properties worth exercising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataGenError
+
+
+def uniform_keys(
+    n: int, num_distinct: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` uniform draws from ``num_distinct`` dense key values ``0..G-1``.
+
+    Every distinct value is guaranteed to occur at least once (the paper's
+    generators fix the number of groups exactly; with 100M draws over at
+    most 40k groups this holds with overwhelming probability anyway, but at
+    reduced scale we enforce it so NDV == requested groups).
+    """
+    if n <= 0:
+        raise DataGenError(f"n must be > 0, got {n}")
+    if not 1 <= num_distinct <= n:
+        raise DataGenError(
+            f"num_distinct must be in [1, n={n}], got {num_distinct}"
+        )
+    keys = rng.integers(0, num_distinct, size=n, dtype=np.int64)
+    # Plant one occurrence of every value at random positions so the
+    # realised group count equals the requested one exactly.
+    plant_positions = rng.choice(n, size=num_distinct, replace=False)
+    keys[plant_positions] = np.arange(num_distinct, dtype=np.int64)
+    return keys
+
+
+def zipf_keys(
+    n: int, num_distinct: int, skew: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` Zipf-skewed draws over dense values ``0..num_distinct-1``.
+
+    :param skew: Zipf exponent; 0 degenerates to uniform, larger is more
+        skewed. Implemented by inverse-CDF sampling over the truncated
+        Zipf probability vector (numpy's ``zipf`` is unbounded).
+    """
+    if skew < 0:
+        raise DataGenError(f"skew must be >= 0, got {skew}")
+    if not 1 <= num_distinct <= n:
+        raise DataGenError(
+            f"num_distinct must be in [1, n={n}], got {num_distinct}"
+        )
+    ranks = np.arange(1, num_distinct + 1, dtype=np.float64)
+    weights = ranks**-skew
+    cdf = np.cumsum(weights / weights.sum())
+    draws = rng.random(n)
+    return np.searchsorted(cdf, draws).astype(np.int64)
+
+
+def clustered_keys(
+    n: int, num_distinct: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Keys where equal values are contiguous but run order is random.
+
+    This produces data that is *clustered* ("partitioned by the grouping
+    key" in the paper's words) without being globally sorted — exactly the
+    precondition of order-based grouping and nothing stronger.
+    """
+    keys = uniform_keys(n, num_distinct, rng)
+    keys.sort()
+    starts_values = _runs(keys)
+    order = rng.permutation(len(starts_values))
+    pieces = [starts_values[i] for i in order]
+    return np.concatenate(pieces) if pieces else keys
+
+
+def _runs(sorted_keys: np.ndarray) -> list[np.ndarray]:
+    """Split a sorted array into its per-value runs."""
+    if sorted_keys.size == 0:
+        return []
+    change = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    return np.split(sorted_keys, change)
+
+
+def sparsify(keys: np.ndarray, spread: int, rng: np.random.Generator) -> np.ndarray:
+    """Map dense keys ``0..G-1`` onto a sparse, order-preserving domain.
+
+    Each dense value ``v`` is remapped to a random point inside its own
+    bucket ``[v * spread, (v+1) * spread)``, so the mapping is strictly
+    monotone: sortedness and clusteredness of the input survive, but the
+    domain has gaps (density ~ 1/spread), disabling static perfect hashing
+    — which is the whole point of the paper's sparse datasets.
+
+    :param spread: domain dilation factor, must be >= 2 to create gaps.
+    """
+    if spread < 2:
+        raise DataGenError(f"spread must be >= 2, got {spread}")
+    if keys.size == 0:
+        return keys.copy()
+    num_values = int(keys.max()) + 1
+    offsets = rng.integers(0, spread, size=num_values, dtype=np.int64)
+    mapping = np.arange(num_values, dtype=np.int64) * spread + offsets
+    return mapping[keys]

@@ -1,0 +1,133 @@
+"""Generators for the §4.1 grouping datasets.
+
+The paper: *"The datasets consist of 100 million 4 byte unsigned integer
+values representing the grouping key. Each dataset is uniformly distributed
+and has two properties, sortedness and density. Taking all combinations of
+those properties, we end up with four different datasets."*
+
+We reproduce exactly that 2x2 grid, parameterised by scale (the library
+defaults benchmarks to 2,000,000 rows — substitution #2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.distributions import sparsify, uniform_keys
+from repro.errors import DataGenError
+from repro.storage.column import Column
+from repro.storage.dtypes import DataType
+from repro.storage.table import Table
+
+
+class Sortedness(enum.Enum):
+    """Whether the generated key column is globally sorted."""
+
+    SORTED = "sorted"
+    UNSORTED = "unsorted"
+
+
+class Density(enum.Enum):
+    """Whether the generated key domain is dense (gap-free) or sparse."""
+
+    DENSE = "dense"
+    SPARSE = "sparse"
+
+
+#: The four dataset configurations of Figure 4, in the paper's panel order.
+FIGURE4_GRID: tuple[tuple[Sortedness, Density], ...] = (
+    (Sortedness.SORTED, Density.SPARSE),
+    (Sortedness.SORTED, Density.DENSE),
+    (Sortedness.UNSORTED, Density.SPARSE),
+    (Sortedness.UNSORTED, Density.DENSE),
+)
+
+
+@dataclass(frozen=True)
+class GroupingDataset:
+    """One generated grouping dataset plus its ground-truth metadata."""
+
+    #: the grouping key column values.
+    keys: np.ndarray
+    #: per-row payload values (what SUM aggregates).
+    payload: np.ndarray
+    #: requested and realised number of groups.
+    num_groups: int
+    sortedness: Sortedness
+    density: Density
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the dataset."""
+        return int(self.keys.size)
+
+    def to_table(self) -> Table:
+        """Materialise as a two-column table ``(key, value)``."""
+        return Table(
+            [
+                Column("key", self.keys, DataType.INT64),
+                Column("value", self.payload, DataType.INT64),
+            ]
+        )
+
+
+def make_grouping_dataset(
+    n: int,
+    num_groups: int,
+    sortedness: Sortedness = Sortedness.UNSORTED,
+    density: Density = Density.DENSE,
+    sparse_spread: int = 1000,
+    seed: int = 0,
+) -> GroupingDataset:
+    """Generate one of the four §4.1 datasets at the requested scale.
+
+    :param n: number of rows (paper: 100,000,000; our default benchmarks
+        use 2,000,000 — see DESIGN.md substitution #2).
+    :param num_groups: exact number of distinct grouping keys.
+    :param sortedness: globally sorted or randomly permuted.
+    :param density: dense domain ``0..num_groups-1`` or a sparse domain
+        dilated by ``sparse_spread`` (order-preservingly, so sortedness
+        is independent of density, as in the paper's 2x2 grid).
+    :param sparse_spread: domain dilation factor for sparse datasets.
+    :param seed: RNG seed; equal seeds give equal datasets.
+    """
+    if num_groups < 1:
+        raise DataGenError(f"num_groups must be >= 1, got {num_groups}")
+    if num_groups > n:
+        raise DataGenError(
+            f"num_groups ({num_groups}) cannot exceed n ({n})"
+        )
+    rng = np.random.default_rng(seed)
+    keys = uniform_keys(n, num_groups, rng)
+    if sortedness is Sortedness.SORTED:
+        keys.sort()
+    if density is Density.SPARSE:
+        keys = sparsify(keys, sparse_spread, rng)
+    payload = rng.integers(0, 1000, size=n, dtype=np.int64)
+    return GroupingDataset(
+        keys=keys,
+        payload=payload,
+        num_groups=num_groups,
+        sortedness=sortedness,
+        density=density,
+    )
+
+
+def figure4_datasets(
+    n: int, num_groups: int, sparse_spread: int = 1000, seed: int = 0
+) -> dict[tuple[Sortedness, Density], GroupingDataset]:
+    """All four Figure 4 datasets for one (n, num_groups) point."""
+    return {
+        (sortedness, density): make_grouping_dataset(
+            n,
+            num_groups,
+            sortedness=sortedness,
+            density=density,
+            sparse_spread=sparse_spread,
+            seed=seed,
+        )
+        for sortedness, density in FIGURE4_GRID
+    }

@@ -1,0 +1,170 @@
+"""Star-schema generator for the "large queries" experiments.
+
+The research agenda (§6, "Revisit SQO Algorithms") expects DQO to be
+extended to larger queries the way SQO was. This generator produces a
+star schema — one fact table with foreign keys into ``k`` dimension
+tables, each dimension with its own sortedness/density configuration —
+plus the corresponding multi-join SQL, so the DP's n-way enumeration can
+be exercised and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.distributions import sparsify
+from repro.datagen.grouping import Density, Sortedness
+from repro.errors import DataGenError
+from repro.storage.catalog import Catalog, ForeignKey
+from repro.storage.column import Column
+from repro.storage.dtypes import DataType
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """Configuration of one dimension table."""
+
+    rows: int
+    num_groups: int
+    sortedness: Sortedness = Sortedness.SORTED
+    density: Density = Density.DENSE
+
+
+@dataclass
+class StarScenario:
+    """A generated star schema: fact table + dimensions + metadata."""
+
+    fact: Table
+    dimensions: list[Table] = field(default_factory=list)
+    specs: list[DimensionSpec] = field(default_factory=list)
+
+    @property
+    def num_dimensions(self) -> int:
+        """Number of dimension tables."""
+        return len(self.dimensions)
+
+    def build_catalog(self) -> Catalog:
+        """Catalog with FACT, D0..Dk-1, and all FK constraints."""
+        catalog = Catalog()
+        catalog.register("FACT", self.fact)
+        for index, dimension in enumerate(self.dimensions):
+            catalog.register(f"D{index}", dimension)
+        for index in range(self.num_dimensions):
+            catalog.add_foreign_key(
+                ForeignKey("FACT", f"D{index}_ID", f"D{index}", "ID")
+            )
+        return catalog
+
+    def join_query(self, group_dimension: int = 0) -> str:
+        """The star-join SQL: FACT joined to every dimension, grouped by
+        one dimension's attribute."""
+        if not 0 <= group_dimension < self.num_dimensions:
+            raise DataGenError(
+                f"group_dimension must be in [0, {self.num_dimensions})"
+            )
+        # FROM D<g> JOIN FACT ON ..., then the remaining dimensions joined
+        # via the fact's FK columns. The grouped dimension comes first so
+        # the join tree builds on it (the §4.3 convention).
+        clauses = [f"FROM D{group_dimension}"]
+        clauses.append(
+            f"JOIN FACT ON D{group_dimension}.ID = FACT.D{group_dimension}_ID"
+        )
+        for index in range(self.num_dimensions):
+            if index == group_dimension:
+                continue
+            clauses.append(f"JOIN D{index} ON FACT.D{index}_ID = D{index}.ID")
+        return (
+            f"SELECT D{group_dimension}.A, COUNT(*) "
+            + " ".join(clauses)
+            + f" GROUP BY D{group_dimension}.A"
+        )
+
+
+def make_star_scenario(
+    fact_rows: int = 50_000,
+    dimensions: list[DimensionSpec] | None = None,
+    fact_sorted_on: int | None = 0,
+    seed: int = 0,
+) -> StarScenario:
+    """Generate a star schema.
+
+    :param fact_rows: rows of the fact table.
+    :param dimensions: per-dimension configurations; defaults to three
+        mixed-property dimensions.
+    :param fact_sorted_on: index of the dimension whose FK column the
+        fact table is stored sorted by (None: random order).
+    :param seed: RNG seed.
+    """
+    if dimensions is None:
+        dimensions = [
+            DimensionSpec(rows=5_000, num_groups=500),
+            DimensionSpec(
+                rows=8_000,
+                num_groups=800,
+                sortedness=Sortedness.UNSORTED,
+            ),
+            DimensionSpec(
+                rows=3_000,
+                num_groups=300,
+                density=Density.SPARSE,
+            ),
+        ]
+    if fact_sorted_on is not None and not 0 <= fact_sorted_on < len(dimensions):
+        raise DataGenError(
+            f"fact_sorted_on must be in [0, {len(dimensions)}), got "
+            f"{fact_sorted_on}"
+        )
+    rng = np.random.default_rng(seed)
+    dimension_tables = []
+    fact_fk_columns: dict[str, np.ndarray] = {}
+    for index, spec in enumerate(dimensions):
+        if spec.num_groups > spec.rows:
+            raise DataGenError(
+                f"dimension {index}: num_groups ({spec.num_groups}) exceeds "
+                f"rows ({spec.rows})"
+            )
+        ids = np.arange(spec.rows, dtype=np.int64)
+        attributes = np.sort(
+            np.concatenate(
+                [
+                    np.arange(spec.num_groups, dtype=np.int64),
+                    rng.integers(
+                        0,
+                        spec.num_groups,
+                        size=spec.rows - spec.num_groups,
+                        dtype=np.int64,
+                    ),
+                ]
+            )
+        )
+        if spec.density is Density.SPARSE:
+            ids = sparsify(ids, 1000, rng)
+            attributes = sparsify(attributes, 1000, rng)
+        if spec.sortedness is Sortedness.UNSORTED:
+            perm = rng.permutation(spec.rows)
+            ids, attributes = ids[perm], attributes[perm]
+        dimension_tables.append(
+            Table(
+                [
+                    Column("ID", ids, DataType.INT64),
+                    Column("A", attributes, DataType.INT64),
+                ]
+            )
+        )
+        references = rng.integers(0, spec.rows, size=fact_rows, dtype=np.int64)
+        fact_fk_columns[f"D{index}_ID"] = ids[references]
+    if fact_sorted_on is not None:
+        order = np.argsort(
+            fact_fk_columns[f"D{fact_sorted_on}_ID"], kind="stable"
+        )
+        fact_fk_columns = {
+            name: values[order] for name, values in fact_fk_columns.items()
+        }
+    fact_fk_columns["M"] = rng.integers(0, 1_000, size=fact_rows, dtype=np.int64)
+    fact = Table.from_arrays(fact_fk_columns)
+    return StarScenario(
+        fact=fact, dimensions=dimension_tables, specs=list(dimensions)
+    )

@@ -1,0 +1,178 @@
+"""Workload generator for the Algorithmic View Selection experiments.
+
+The AVSP (§3, §6) is *"absolutely workload-dependent"*. This module
+generates synthetic workloads over a shared pool of table profiles: each
+query references pool tables, so a materialised Algorithmic View on one
+table can pay off across many queries — without sharing, AVSP degenerates
+to per-query caching and the selection problem disappears.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataGenError
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """The optimiser-visible shape of one pool table.
+
+    ``key_*`` describe the table's join/group key column; the abstract
+    AVSP cost evaluation needs nothing else.
+    """
+
+    name: str
+    rows: int
+    key_sorted: bool
+    key_dense: bool
+    key_distinct: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise DataGenError(f"rows must be >= 1, got {self.rows}")
+        if not 1 <= self.key_distinct <= self.rows:
+            raise DataGenError(
+                f"key_distinct must be in [1, rows={self.rows}], got "
+                f"{self.key_distinct}"
+            )
+
+
+class QueryShape(enum.Enum):
+    """The two query templates the paper's experiments use."""
+
+    #: a single GROUP BY over one table.
+    GROUPING = "grouping"
+    #: the §4.3 shape: FK join (build = left) followed by GROUP BY on a
+    #: build-side attribute.
+    JOIN_GROUPING = "join_grouping"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query of a workload: pool tables plus an execution frequency."""
+
+    shape: QueryShape
+    #: grouping input (GROUPING) or join build side (JOIN_GROUPING).
+    left: TableProfile
+    #: join probe side; None for pure grouping queries.
+    right: TableProfile | None
+    #: relative execution frequency (weight in the AVSP objective).
+    frequency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shape is QueryShape.JOIN_GROUPING and self.right is None:
+            raise DataGenError("JOIN_GROUPING queries need a right table")
+        if self.frequency <= 0:
+            raise DataGenError(
+                f"frequency must be > 0, got {self.frequency}"
+            )
+
+
+@dataclass
+class Workload:
+    """A table pool plus an ordered collection of weighted queries."""
+
+    tables: list[TableProfile] = field(default_factory=list)
+    queries: list[WorkloadQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    @property
+    def total_frequency(self) -> float:
+        """Sum of query frequencies."""
+        return sum(query.frequency for query in self.queries)
+
+
+def make_workload(
+    num_tables: int = 8,
+    num_queries: int = 30,
+    sorted_fraction: float = 0.4,
+    dense_fraction: float = 0.5,
+    join_fraction: float = 0.6,
+    min_rows: int = 10_000,
+    max_rows: int = 200_000,
+    min_groups: int = 100,
+    max_groups: int = 40_000,
+    zipf_frequency_skew: float = 1.0,
+    seed: int = 0,
+) -> Workload:
+    """Generate a random pool-based workload.
+
+    :param num_tables: size of the shared table pool.
+    :param num_queries: number of queries drawn over the pool.
+    :param sorted_fraction: probability a pool table is stored key-sorted.
+    :param dense_fraction: probability a pool table's key domain is dense.
+    :param join_fraction: probability a query is join+grouping.
+    :param min_rows: smallest table cardinality.
+    :param max_rows: largest table cardinality.
+    :param min_groups: smallest key NDV.
+    :param max_groups: largest key NDV (clamped to the table size).
+    :param zipf_frequency_skew: skew of query frequencies (0 = uniform).
+    :param seed: RNG seed.
+    """
+    if num_tables < 1:
+        raise DataGenError(f"num_tables must be >= 1, got {num_tables}")
+    if num_queries < 1:
+        raise DataGenError(f"num_queries must be >= 1, got {num_queries}")
+    if min_rows > max_rows:
+        raise DataGenError(
+            f"min_rows ({min_rows}) must be <= max_rows ({max_rows})"
+        )
+    if min_groups > max_groups:
+        raise DataGenError(
+            f"min_groups ({min_groups}) must be <= max_groups ({max_groups})"
+        )
+    rng = np.random.default_rng(seed)
+    tables = []
+    for index in range(num_tables):
+        rows = int(rng.integers(min_rows, max_rows + 1))
+        tables.append(
+            TableProfile(
+                name=f"T{index}",
+                rows=rows,
+                key_sorted=bool(rng.random() < sorted_fraction),
+                key_dense=bool(rng.random() < dense_fraction),
+                key_distinct=int(
+                    rng.integers(min_groups, min(max_groups, rows) + 1)
+                ),
+            )
+        )
+
+    ranks = np.arange(1, num_queries + 1, dtype=np.float64)
+    weights = (
+        ranks**-zipf_frequency_skew
+        if zipf_frequency_skew > 0
+        else np.ones_like(ranks)
+    )
+    frequencies = weights / weights.sum() * num_queries
+    rng.shuffle(frequencies)
+
+    queries = []
+    for index in range(num_queries):
+        is_join = rng.random() < join_fraction and num_tables >= 2
+        left = tables[int(rng.integers(0, num_tables))]
+        if is_join:
+            right = left
+            while right is left:
+                right = tables[int(rng.integers(0, num_tables))]
+            shape = QueryShape.JOIN_GROUPING
+        else:
+            right = None
+            shape = QueryShape.GROUPING
+        queries.append(
+            WorkloadQuery(
+                shape=shape,
+                left=left,
+                right=right,
+                frequency=float(frequencies[index]),
+            )
+        )
+    return Workload(tables=tables, queries=queries)

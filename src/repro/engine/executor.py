@@ -1,0 +1,24 @@
+"""Plan execution entry points."""
+
+from __future__ import annotations
+
+from repro._util.timer import Timer
+from repro.engine.operators.base import PhysicalOperator
+from repro.storage.table import Table
+
+
+def execute(root: PhysicalOperator) -> Table:
+    """Run a physical operator tree to completion and return the result."""
+    return root.to_table()
+
+
+def execute_timed(root: PhysicalOperator) -> tuple[Table, float]:
+    """Run a plan and also return its wall-clock execution time in seconds."""
+    with Timer() as timer:
+        result = root.to_table()
+    return result, timer.elapsed
+
+
+def explain(root: PhysicalOperator) -> str:
+    """Render a plan tree as indented text."""
+    return root.explain()

@@ -1,0 +1,204 @@
+"""Scalar expressions evaluated over chunks.
+
+A small, explicit expression tree: column references, literals, arithmetic,
+comparisons, and boolean connectives. Expressions evaluate vectorised
+against a chunk (a mapping of column name to numpy array) and are used by
+filter and projection operators and by the SQL frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+#: evaluation context: column name -> values for the current chunk.
+ChunkData = Mapping[str, np.ndarray]
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def evaluate(self, chunk: ChunkData) -> np.ndarray:
+        """Evaluate against one chunk, returning one value per row."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Names of all columns this expression reads."""
+        raise NotImplementedError
+
+    # Operator sugar so tests and examples can write ``col('a') + 1 > col('b')``.
+
+    def __add__(self, other: object) -> "BinaryOp":
+        return BinaryOp("+", self, _wrap(other))
+
+    def __sub__(self, other: object) -> "BinaryOp":
+        return BinaryOp("-", self, _wrap(other))
+
+    def __mul__(self, other: object) -> "BinaryOp":
+        return BinaryOp("*", self, _wrap(other))
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        return BinaryOp("=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return BinaryOp("<>", self, _wrap(other))
+
+    def __lt__(self, other: object) -> "BinaryOp":
+        return BinaryOp("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "BinaryOp":
+        return BinaryOp("<=", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "BinaryOp":
+        return BinaryOp(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "BinaryOp":
+        return BinaryOp(">=", self, _wrap(other))
+
+    def __and__(self, other: object) -> "BooleanOp":
+        return BooleanOp("and", self, _wrap(other))
+
+    def __or__(self, other: object) -> "BooleanOp":
+        return BooleanOp("or", self, _wrap(other))
+
+    def __invert__(self) -> "NotOp":
+        return NotOp(self)
+
+    def __hash__(self) -> int:
+        return hash(repr(self))
+
+
+def _wrap(value: object) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float, bool, np.integer, np.floating)):
+        return Literal(value)
+    raise ExecutionError(
+        f"cannot use {type(value).__name__} as an expression operand"
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Expression):
+    """A reference to a column of the current chunk by name."""
+
+    name: str
+
+    def evaluate(self, chunk: ChunkData) -> np.ndarray:
+        if self.name not in chunk:
+            raise ExecutionError(
+                f"column {self.name!r} not in chunk; have {sorted(chunk)}"
+            )
+        return chunk[self.name]
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor: ``col('R.A')``."""
+    return ColumnRef(name)
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expression):
+    """A constant value broadcast over the chunk."""
+
+    value: int | float | bool
+
+    def evaluate(self, chunk: ChunkData) -> np.ndarray:
+        length = len(next(iter(chunk.values()))) if chunk else 0
+        return np.full(length, self.value)
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_ARITHMETIC = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+
+_COMPARISONS = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryOp(Expression):
+    """An arithmetic or comparison operation on two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC and self.op not in _COMPARISONS:
+            raise ExecutionError(f"unknown binary operator {self.op!r}")
+
+    def evaluate(self, chunk: ChunkData) -> np.ndarray:
+        function = _ARITHMETIC.get(self.op) or _COMPARISONS[self.op]
+        return function(self.left.evaluate(chunk), self.right.evaluate(chunk))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class BooleanOp(Expression):
+    """AND / OR over two boolean sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ExecutionError(f"unknown boolean operator {self.op!r}")
+
+    def evaluate(self, chunk: ChunkData) -> np.ndarray:
+        function = np.logical_and if self.op == "and" else np.logical_or
+        return function(self.left.evaluate(chunk), self.right.evaluate(chunk))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op.upper()} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class NotOp(Expression):
+    """Boolean negation."""
+
+    operand: Expression
+
+    def evaluate(self, chunk: ChunkData) -> np.ndarray:
+        return np.logical_not(self.operand.evaluate(chunk))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"

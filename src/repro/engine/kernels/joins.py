@@ -1,0 +1,286 @@
+"""The five join implementations corresponding to Table 2.
+
+Footnote 1 of the paper: *"a join is merely a co-group-operation with
+exactly two inputs"* — so every §4.1 grouping algorithm has a join
+counterpart, and Table 2 costs all five:
+
+=====  ====================================================  ==============
+name   build / probe strategy                                output order
+=====  ====================================================  ==============
+HJ     hash table on the build side, stream the probe side   probe side's
+SPHJ   dense-domain direct array on the build side           probe side's
+OJ     merge of two key-sorted inputs                        key-ascending
+SOJ    sort both inputs, then OJ                              key-ascending
+BSJ    sorted build array, binary-search every probe          probe side's
+=====  ====================================================  ==============
+
+All kernels are equi-joins returning matching row-index pairs. The "output
+order" column is the crucial DQO plan property behind Figure 5: HJ/SPHJ/BSJ
+stream the probe input and hence *preserve its row order* (DESIGN.md
+substitution #5a), while OJ/SOJ emit key order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PreconditionError
+from repro.indexes.hash_table import OpenAddressingHashTable
+from repro.indexes.perfect_hash import StaticPerfectHash
+
+
+class JoinAlgorithm(enum.Enum):
+    """The five join implementation variants of Table 2."""
+
+    HJ = "hash"
+    SPHJ = "static_perfect_hash"
+    OJ = "order"  # merge join over pre-sorted inputs
+    SOJ = "sort_order"  # sort-merge join
+    BSJ = "binary_search"
+
+
+class JoinOutputOrder(enum.Enum):
+    """Row-order guarantee of a join kernel's output."""
+
+    #: matches appear in probe-side (right input) row order.
+    PROBE_ORDER = "probe_order"
+    #: matches appear in ascending join-key order.
+    KEY_SORTED = "key_sorted"
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Matching row-index pairs of an equi-join."""
+
+    #: indices into the left (build) input, one per output row.
+    left_indices: np.ndarray
+    #: indices into the right (probe) input, one per output row.
+    right_indices: np.ndarray
+    output_order: JoinOutputOrder
+
+    @property
+    def num_rows(self) -> int:
+        """Number of matches."""
+        return int(self.left_indices.size)
+
+    def canonical_pairs(self) -> list[tuple[int, int]]:
+        """Sorted (left, right) index pairs, for comparing join kernels."""
+        return sorted(
+            zip(self.left_indices.tolist(), self.right_indices.tolist())
+        )
+
+
+def _expand_matches(
+    probe_slots: np.ndarray,
+    slot_offsets: np.ndarray,
+    slot_counts: np.ndarray,
+    build_rows_grouped: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe slot hits into (build_row, probe_row) pairs.
+
+    ``build_rows_grouped`` lists build row ids grouped by slot;
+    ``slot_offsets[s] .. slot_offsets[s] + slot_counts[s]`` is slot ``s``'s
+    range in it. Probes with slot -1 produce no output. The expansion is
+    probe-major, preserving probe order.
+    """
+    hit = probe_slots >= 0
+    hit_rows = np.flatnonzero(hit)
+    hit_slots = probe_slots[hit_rows]
+    lengths = slot_counts[hit_slots]
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    probe_out = np.repeat(hit_rows, lengths)
+    # Per output row, its rank within its probe's match list:
+    boundaries = np.cumsum(lengths)
+    ranks = np.arange(total, dtype=np.int64) - np.repeat(
+        boundaries - lengths, lengths
+    )
+    starts = np.repeat(slot_offsets[hit_slots], lengths)
+    build_out = build_rows_grouped[starts + ranks]
+    return build_out.astype(np.int64), probe_out.astype(np.int64)
+
+
+def _group_build_rows(
+    build_slots: np.ndarray, num_slots: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group build row ids by slot: returns (offsets, counts, grouped rows)."""
+    counts = np.bincount(build_slots, minlength=num_slots).astype(np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+    order = np.argsort(build_slots, kind="stable")
+    return offsets, counts, order.astype(np.int64)
+
+
+def hash_join(
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    num_distinct_hint: int | None = None,
+    hash_name: str = "murmur3",
+) -> JoinResult:
+    """HJ: build a hash table on ``build_keys``, stream ``probe_keys``.
+
+    Handles duplicate keys on both sides (full inner equi-join semantics).
+    Output preserves probe order — the property Figure 5's 2.8x case rests
+    on (DESIGN.md substitution #5a).
+    """
+    build_keys = np.ascontiguousarray(build_keys, dtype=np.int64)
+    probe_keys = np.ascontiguousarray(probe_keys, dtype=np.int64)
+    if build_keys.size == 0 or probe_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return JoinResult(empty, empty.copy(), JoinOutputOrder.PROBE_ORDER)
+    capacity = num_distinct_hint if num_distinct_hint else int(build_keys.size)
+    table = OpenAddressingHashTable(capacity, hash_name=hash_name)
+    build_slots = table.build(build_keys)
+    offsets, counts, grouped = _group_build_rows(build_slots, table.num_keys)
+    probe_slots = table.probe(probe_keys)
+    left, right = _expand_matches(probe_slots, offsets, counts, grouped)
+    return JoinResult(left, right, JoinOutputOrder.PROBE_ORDER)
+
+
+def perfect_hash_join(
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    min_density: float = 0.5,
+) -> JoinResult:
+    """SPHJ: dense-domain direct-array join (Table 2's SPHJ).
+
+    The build side's key domain must be dense; the probe side streams and
+    indexes directly into the array, so output preserves probe order.
+
+    :raises PreconditionError: when the build-side domain is too sparse.
+    """
+    build_keys = np.ascontiguousarray(build_keys, dtype=np.int64)
+    probe_keys = np.ascontiguousarray(probe_keys, dtype=np.int64)
+    if build_keys.size == 0 or probe_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return JoinResult(empty, empty.copy(), JoinOutputOrder.PROBE_ORDER)
+    sph = StaticPerfectHash.for_keys(build_keys, min_density=min_density)
+    build_slots = np.asarray(sph.slot(build_keys))
+    offsets, counts, grouped = _group_build_rows(build_slots, sph.num_slots)
+    raw = probe_keys - np.int64(sph.min_key)
+    in_domain = (raw >= 0) & (raw < sph.num_slots)
+    probe_slots = np.where(in_domain, raw, -1)
+    left, right = _expand_matches(probe_slots, offsets, counts, grouped)
+    return JoinResult(left, right, JoinOutputOrder.PROBE_ORDER)
+
+
+def merge_join(
+    left_keys: np.ndarray, right_keys: np.ndarray, validate: bool = False
+) -> JoinResult:
+    """OJ: merge two key-sorted inputs (Table 2's OJ).
+
+    :param validate: verify both inputs are sorted (one extra pass each).
+    :raises PreconditionError: when ``validate`` and an input is unsorted.
+    """
+    left_keys = np.ascontiguousarray(left_keys, dtype=np.int64)
+    right_keys = np.ascontiguousarray(right_keys, dtype=np.int64)
+    if validate:
+        for name, keys in (("left", left_keys), ("right", right_keys)):
+            if keys.size > 1 and not bool(np.all(keys[:-1] <= keys[1:])):
+                raise PreconditionError(
+                    f"merge join requires sorted inputs; {name} is unsorted"
+                )
+    if left_keys.size == 0 or right_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return JoinResult(empty, empty.copy(), JoinOutputOrder.KEY_SORTED)
+    # For each right row, its matching left range [lo, hi).
+    lo = np.searchsorted(left_keys, right_keys, side="left")
+    hi = np.searchsorted(left_keys, right_keys, side="right")
+    lengths = (hi - lo).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return JoinResult(empty, empty.copy(), JoinOutputOrder.KEY_SORTED)
+    right_out = np.repeat(
+        np.arange(right_keys.size, dtype=np.int64), lengths
+    )
+    boundaries = np.cumsum(lengths)
+    ranks = np.arange(total, dtype=np.int64) - np.repeat(
+        boundaries - lengths, lengths
+    )
+    left_out = np.repeat(lo, lengths) + ranks
+    # Right keys are sorted, so probe-major expansion IS key order here.
+    return JoinResult(
+        left_out.astype(np.int64), right_out, JoinOutputOrder.KEY_SORTED
+    )
+
+
+def sort_merge_join(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> JoinResult:
+    """SOJ: sort both inputs, then merge (Table 2's SOJ)."""
+    left_keys = np.ascontiguousarray(left_keys, dtype=np.int64)
+    right_keys = np.ascontiguousarray(right_keys, dtype=np.int64)
+    left_order = np.argsort(left_keys, kind="stable")
+    right_order = np.argsort(right_keys, kind="stable")
+    merged = merge_join(left_keys[left_order], right_keys[right_order])
+    return JoinResult(
+        left_indices=left_order[merged.left_indices],
+        right_indices=right_order[merged.right_indices],
+        output_order=JoinOutputOrder.KEY_SORTED,
+    )
+
+
+def binary_search_join(
+    build_keys: np.ndarray, probe_keys: np.ndarray
+) -> JoinResult:
+    """BSJ: sorted array on the build side, binary-search each probe
+    (Table 2's BSJ). Output preserves probe order."""
+    build_keys = np.ascontiguousarray(build_keys, dtype=np.int64)
+    probe_keys = np.ascontiguousarray(probe_keys, dtype=np.int64)
+    if build_keys.size == 0 or probe_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return JoinResult(empty, empty.copy(), JoinOutputOrder.PROBE_ORDER)
+    build_order = np.argsort(build_keys, kind="stable")
+    sorted_build = build_keys[build_order]
+    lo = np.searchsorted(sorted_build, probe_keys, side="left")
+    hi = np.searchsorted(sorted_build, probe_keys, side="right")
+    lengths = (hi - lo).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return JoinResult(empty, empty.copy(), JoinOutputOrder.PROBE_ORDER)
+    probe_out = np.repeat(np.arange(probe_keys.size, dtype=np.int64), lengths)
+    boundaries = np.cumsum(lengths)
+    ranks = np.arange(total, dtype=np.int64) - np.repeat(
+        boundaries - lengths, lengths
+    )
+    left_out = build_order[np.repeat(lo, lengths) + ranks]
+    return JoinResult(
+        left_out.astype(np.int64), probe_out, JoinOutputOrder.PROBE_ORDER
+    )
+
+
+def join(
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    algorithm: JoinAlgorithm,
+    num_distinct_hint: int | None = None,
+    validate: bool = False,
+) -> JoinResult:
+    """Dispatch to the chosen Table 2 join kernel."""
+    if algorithm is JoinAlgorithm.HJ:
+        return hash_join(build_keys, probe_keys, num_distinct_hint)
+    if algorithm is JoinAlgorithm.SPHJ:
+        return perfect_hash_join(build_keys, probe_keys)
+    if algorithm is JoinAlgorithm.OJ:
+        return merge_join(build_keys, probe_keys, validate=validate)
+    if algorithm is JoinAlgorithm.SOJ:
+        return sort_merge_join(build_keys, probe_keys)
+    if algorithm is JoinAlgorithm.BSJ:
+        return binary_search_join(build_keys, probe_keys)
+    raise PreconditionError(f"unknown join algorithm: {algorithm!r}")
+
+
+#: Kernel function per algorithm (for harnesses that sweep them).
+JOIN_KERNELS = {
+    JoinAlgorithm.HJ: hash_join,
+    JoinAlgorithm.SPHJ: perfect_hash_join,
+    JoinAlgorithm.OJ: merge_join,
+    JoinAlgorithm.SOJ: sort_merge_join,
+    JoinAlgorithm.BSJ: binary_search_join,
+}

@@ -1,0 +1,59 @@
+"""Dictionary decode operator.
+
+When a plan reads a dictionary-encoded Algorithmic View (codes instead of
+values), the encoded column must be mapped back to original values before
+leaving the plan. :class:`DecodeColumn` does exactly that, streaming:
+codes in, values out, all other columns untouched. Because the encoding
+is order-preserving, every order/clusteredness property of the stream
+survives decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.operators.base import Chunk, PhysicalOperator
+from repro.errors import ExecutionError
+from repro.storage.dictionary import DictionaryEncoded
+from repro.storage.schema import ColumnSpec, Schema
+from repro.storage.dtypes import DataType
+
+
+class DecodeColumn(PhysicalOperator):
+    """Replace one column's dictionary codes with their original values."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        column: str,
+        encoding: DictionaryEncoded,
+    ) -> None:
+        super().__init__(children=[child])
+        if column not in child.output_schema:
+            raise ExecutionError(
+                f"decode column {column!r} not in input schema"
+            )
+        self._column = column
+        self._encoding = encoding
+
+    @property
+    def output_schema(self) -> Schema:
+        specs = []
+        for spec in self.children[0].output_schema:
+            if spec.name == self._column:
+                dtype = DataType.from_numpy(self._encoding.dictionary.dtype)
+                specs.append(ColumnSpec(spec.name, dtype))
+            else:
+                specs.append(spec)
+        return Schema(specs)
+
+    def chunks(self) -> Iterator[Chunk]:
+        for chunk in self.children[0].chunks():
+            data = dict(chunk.data())
+            data[self._column] = self._encoding.decode_codes(
+                data[self._column]
+            )
+            yield Chunk(data)
+
+    def describe(self) -> str:
+        return f"DecodeColumn({self._column})"

@@ -1,0 +1,252 @@
+"""The group-by physical operator, parameterised by the §4.1 algorithm.
+
+One operator class, five behaviours: the ``algorithm`` constructor argument
+selects among HG / SPHG / OG / SOG / BSG. This is deliberate — the paper's
+point is that "physical grouping operator" hides an algorithm choice; here
+that choice is an explicit, optimiser-visible parameter rather than five
+unrelated operators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.aggregates import (
+    AggregateFunction,
+    AggregateSpec,
+    compute_aggregate,
+)
+from repro.engine.kernels.grouping import (
+    GroupingAlgorithm,
+    KeyOrder,
+    binary_search_slots,
+    hash_slots,
+    order_slots,
+    perfect_hash_slots,
+    sort_order_slots,
+)
+from repro.engine.operators.base import (
+    DEFAULT_CHUNK_SIZE,
+    Chunk,
+    PhysicalOperator,
+    table_to_chunks,
+)
+from repro.engine.operators.scan import TableScan
+from repro.errors import ExecutionError
+from repro.storage.dtypes import DataType
+from repro.storage.schema import ColumnSpec, Schema
+from repro.storage.table import Table
+
+
+class GroupBy(PhysicalOperator):
+    """Group rows by one key column and evaluate aggregates.
+
+    :param child: input operator.
+    :param key: grouping key column name.
+    :param aggregates: the aggregates to compute per group.
+    :param algorithm: which §4.1 implementation performs the grouping.
+    :param num_distinct_hint: known NDV (the paper assumes it known).
+    :param validate: verify the algorithm's precondition at runtime.
+    :param shards: morsel count for the Figure 3(e) parallel-load variant:
+        with ``shards > 1`` the input splits into shards, each grouped
+        independently, and the decomposable partial aggregates are merged
+        (sequential simulation — DESIGN.md substitution #6).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        key: str,
+        aggregates: list[AggregateSpec],
+        algorithm: GroupingAlgorithm = GroupingAlgorithm.HG,
+        num_distinct_hint: int | None = None,
+        validate: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        shards: int = 1,
+    ) -> None:
+        super().__init__(children=[child])
+        schema = child.output_schema
+        if key not in schema:
+            raise ExecutionError(f"grouping key {key!r} not in input schema")
+        for spec in aggregates:
+            if spec.column is not None and spec.column not in schema:
+                raise ExecutionError(
+                    f"aggregate input column {spec.column!r} not in schema"
+                )
+        aliases = [key] + [spec.alias for spec in aggregates]
+        if len(set(aliases)) != len(aliases):
+            raise ExecutionError(f"duplicate output column names: {aliases}")
+        self._key = key
+        self._aggregates = list(aggregates)
+        self._algorithm = algorithm
+        self._num_distinct_hint = num_distinct_hint
+        self._validate = validate
+        self._chunk_size = chunk_size
+        if shards < 1:
+            raise ExecutionError(f"shards must be >= 1, got {shards}")
+        self._shards = shards
+
+    @property
+    def output_schema(self) -> Schema:
+        key_dtype = self.children[0].output_schema[self._key].dtype
+        specs = [ColumnSpec(self._key, key_dtype)]
+        specs.extend(
+            ColumnSpec(spec.alias, spec.output_dtype) for spec in self._aggregates
+        )
+        return Schema(specs)
+
+    @property
+    def algorithm(self) -> GroupingAlgorithm:
+        """The selected grouping implementation."""
+        return self._algorithm
+
+    @property
+    def output_key_order(self) -> KeyOrder:
+        """The key order this operator's output will exhibit — the plan
+        property the optimiser propagates (without running the operator)."""
+        if self._algorithm is GroupingAlgorithm.HG:
+            return KeyOrder.UNSPECIFIED
+        if self._algorithm is GroupingAlgorithm.OG:
+            # Sorted only if the input was sorted; clustered input yields
+            # first-occurrence order. Statically we can only promise that.
+            return KeyOrder.FIRST_OCCURRENCE
+        return KeyOrder.SORTED
+
+    def chunks(self) -> Iterator[Chunk]:
+        table = self.children[0].to_table()
+        if self._shards > 1 and table.num_rows:
+            yield from self._sharded_chunks(table)
+            return
+        keys = table[self._key]
+        if self._algorithm is GroupingAlgorithm.HG:
+            assignment = hash_slots(keys, self._num_distinct_hint)
+        elif self._algorithm is GroupingAlgorithm.SPHG:
+            assignment = perfect_hash_slots(keys)
+        elif self._algorithm is GroupingAlgorithm.OG:
+            assignment = order_slots(keys, validate=self._validate)
+        elif self._algorithm is GroupingAlgorithm.SOG:
+            assignment = sort_order_slots(keys)
+        elif self._algorithm is GroupingAlgorithm.BSG:
+            assignment = binary_search_slots(keys)
+        else:
+            raise ExecutionError(f"unknown algorithm {self._algorithm!r}")
+        key_dtype = self.output_schema[self._key].dtype
+        data: dict[str, np.ndarray] = {
+            self._key: assignment.group_keys.astype(key_dtype.numpy_dtype)
+        }
+        for spec in self._aggregates:
+            values = table[spec.column] if spec.column is not None else None
+            data[spec.alias] = compute_aggregate(
+                spec, assignment.slots, assignment.num_groups, values
+            )
+        result = Table.from_arrays(
+            data, dtypes={s.name: s.dtype for s in self.output_schema}
+        )
+        yield from table_to_chunks(result, self._chunk_size)
+
+    def _group_slice(self, table: Table) -> Table:
+        """Group one shard into a partial-aggregate table.
+
+        AVG is decomposed into partial SUM and COUNT columns (suffixes
+        ``@sum`` / ``@count``) so partials merge losslessly.
+        """
+        partial_specs: list[AggregateSpec] = []
+        for spec in self._aggregates:
+            if spec.function is AggregateFunction.AVG:
+                partial_specs.append(
+                    AggregateSpec(
+                        AggregateFunction.SUM, spec.column, f"{spec.alias}@sum"
+                    )
+                )
+                partial_specs.append(
+                    AggregateSpec(
+                        AggregateFunction.COUNT, None, f"{spec.alias}@count"
+                    )
+                )
+            else:
+                partial_specs.append(spec)
+        partial = GroupBy(
+            TableScan(table),
+            key=self._key,
+            aggregates=partial_specs,
+            algorithm=self._algorithm,
+            num_distinct_hint=self._num_distinct_hint,
+            validate=self._validate,
+        )
+        return partial.to_table()
+
+    def _sharded_chunks(self, table: Table) -> Iterator[Chunk]:
+        boundaries = np.linspace(
+            0, table.num_rows, self._shards + 1, dtype=np.int64
+        )
+        partials = [
+            self._group_slice(table.slice(int(start), int(stop)))
+            for start, stop in zip(boundaries[:-1], boundaries[1:])
+            if stop > start
+        ]
+        merged = self._merge_partials(partials)
+        yield from table_to_chunks(merged, self._chunk_size)
+
+    def _merge_partials(self, partials: list[Table]) -> Table:
+        all_keys = np.concatenate([part[self._key] for part in partials])
+        merged_keys, inverse = np.unique(all_keys, return_inverse=True)
+        key_dtype = self.output_schema[self._key].dtype
+        data: dict[str, np.ndarray] = {
+            self._key: merged_keys.astype(key_dtype.numpy_dtype)
+        }
+
+        def gather(column: str) -> np.ndarray:
+            return np.concatenate([part[column] for part in partials])
+
+        for spec in self._aggregates:
+            if spec.function in (AggregateFunction.COUNT, AggregateFunction.SUM):
+                merged = np.bincount(
+                    inverse,
+                    weights=gather(spec.alias).astype(np.float64),
+                    minlength=merged_keys.size,
+                )
+                data[spec.alias] = np.rint(merged).astype(np.int64)
+            elif spec.function is AggregateFunction.MIN:
+                out = np.full(
+                    merged_keys.size, np.iinfo(np.int64).max, dtype=np.int64
+                )
+                np.minimum.at(out, inverse, gather(spec.alias).astype(np.int64))
+                data[spec.alias] = out
+            elif spec.function is AggregateFunction.MAX:
+                out = np.full(
+                    merged_keys.size, np.iinfo(np.int64).min, dtype=np.int64
+                )
+                np.maximum.at(out, inverse, gather(spec.alias).astype(np.int64))
+                data[spec.alias] = out
+            elif spec.function is AggregateFunction.AVG:
+                sums = np.bincount(
+                    inverse,
+                    weights=gather(f"{spec.alias}@sum").astype(np.float64),
+                    minlength=merged_keys.size,
+                )
+                counts = np.bincount(
+                    inverse,
+                    weights=gather(f"{spec.alias}@count").astype(np.float64),
+                    minlength=merged_keys.size,
+                )
+                data[spec.alias] = sums / counts
+            else:
+                raise ExecutionError(
+                    f"cannot merge partials of {spec.function!r}"
+                )
+        return Table.from_arrays(
+            data, dtypes={s.name: s.dtype for s in self.output_schema}
+        )
+
+    def describe(self) -> str:
+        aggs = ", ".join(
+            f"{spec.function.value.upper()}({spec.column or '*'}) AS {spec.alias}"
+            for spec in self._aggregates
+        )
+        loop = f", shards={self._shards}" if self._shards > 1 else ""
+        return (
+            f"GroupBy(key={self._key}, impl={self._algorithm.value}{loop}, "
+            f"[{aggs}])"
+        )

@@ -1,0 +1,119 @@
+"""The equi-join physical operator, parameterised by the Table 2 algorithm.
+
+Like :class:`repro.engine.operators.grouping.GroupBy`, this is one operator
+class with the implementation family as an explicit parameter. The build
+side is the left child, the probe side the right child — fixed sides, as
+assumed by the Figure 5 reconstruction (DESIGN.md substitution #5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.kernels.joins import (
+    JoinAlgorithm,
+    JoinOutputOrder,
+    binary_search_join,
+    hash_join,
+    merge_join,
+    perfect_hash_join,
+    sort_merge_join,
+)
+from repro.engine.operators.base import (
+    DEFAULT_CHUNK_SIZE,
+    Chunk,
+    PhysicalOperator,
+    table_to_chunks,
+)
+from repro.errors import ExecutionError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+class Join(PhysicalOperator):
+    """Inner equi-join: ``left.left_key = right.right_key``.
+
+    Output schema is the concatenation of both input schemas; the caller
+    must pre-qualify ambiguous column names (see :meth:`Table.qualified`).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_key: str,
+        right_key: str,
+        algorithm: JoinAlgorithm = JoinAlgorithm.HJ,
+        num_distinct_hint: int | None = None,
+        validate: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        super().__init__(children=[left, right])
+        if left_key not in left.output_schema:
+            raise ExecutionError(f"left key {left_key!r} not in left schema")
+        if right_key not in right.output_schema:
+            raise ExecutionError(f"right key {right_key!r} not in right schema")
+        overlap = set(left.output_schema.names) & set(right.output_schema.names)
+        if overlap:
+            raise ExecutionError(
+                f"join inputs share column name(s) {sorted(overlap)}; "
+                "qualify them first"
+            )
+        self._left_key = left_key
+        self._right_key = right_key
+        self._algorithm = algorithm
+        self._num_distinct_hint = num_distinct_hint
+        self._validate = validate
+        self._chunk_size = chunk_size
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.children[0].output_schema.concat(self.children[1].output_schema)
+
+    @property
+    def algorithm(self) -> JoinAlgorithm:
+        """The selected join implementation."""
+        return self._algorithm
+
+    @property
+    def output_order(self) -> JoinOutputOrder:
+        """The row-order guarantee of this join's output — the plan
+        property the optimiser propagates."""
+        if self._algorithm in (JoinAlgorithm.OJ, JoinAlgorithm.SOJ):
+            return JoinOutputOrder.KEY_SORTED
+        return JoinOutputOrder.PROBE_ORDER
+
+    def chunks(self) -> Iterator[Chunk]:
+        left_table = self.children[0].to_table()
+        right_table = self.children[1].to_table()
+        build_keys = left_table[self._left_key]
+        probe_keys = right_table[self._right_key]
+        if self._algorithm is JoinAlgorithm.HJ:
+            result = hash_join(build_keys, probe_keys, self._num_distinct_hint)
+        elif self._algorithm is JoinAlgorithm.SPHJ:
+            result = perfect_hash_join(build_keys, probe_keys)
+        elif self._algorithm is JoinAlgorithm.OJ:
+            result = merge_join(build_keys, probe_keys, validate=self._validate)
+        elif self._algorithm is JoinAlgorithm.SOJ:
+            result = sort_merge_join(build_keys, probe_keys)
+        elif self._algorithm is JoinAlgorithm.BSJ:
+            result = binary_search_join(build_keys, probe_keys)
+        else:
+            raise ExecutionError(f"unknown algorithm {self._algorithm!r}")
+        data: dict[str, np.ndarray] = {}
+        for name in left_table.schema.names:
+            data[name] = left_table[name][result.left_indices]
+        for name in right_table.schema.names:
+            data[name] = right_table[name][result.right_indices]
+        output = Table.from_arrays(
+            data, dtypes={s.name: s.dtype for s in self.output_schema}
+        )
+        yield from table_to_chunks(output, self._chunk_size)
+
+    def describe(self) -> str:
+        return (
+            f"Join({self._left_key} = {self._right_key}, "
+            f"impl={self._algorithm.value})"
+        )

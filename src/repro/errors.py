@@ -1,0 +1,68 @@
+"""Exception hierarchy for the DQO reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single ``except``
+clause while still being able to discriminate on the finer-grained classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class ColumnError(ReproError):
+    """A column is malformed, missing, or used with the wrong type."""
+
+
+class StatisticsError(ReproError):
+    """Column statistics are missing or inconsistent with the data."""
+
+
+class DataGenError(ReproError):
+    """A dataset generator received impossible parameters."""
+
+
+class IndexError_(ReproError):
+    """An index structure was misused (named with a trailing underscore to
+    avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class PreconditionError(ReproError):
+    """A physical algorithm was invoked on input that violates its
+    precondition (e.g. order-based grouping on unsorted input, or static
+    perfect hashing on a sparse key domain)."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed during execution."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is structurally invalid."""
+
+
+class ParseError(ReproError):
+    """The SQL frontend could not parse the input text."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class OptimizationError(ReproError):
+    """The optimiser could not produce a plan (e.g. no implementation
+    satisfies the required properties)."""
+
+
+class ViewError(ReproError):
+    """An Algorithmic View was registered, looked up, or applied wrongly."""
+
+
+class CostModelError(ReproError):
+    """A cost model was asked to cost an operation it does not know."""

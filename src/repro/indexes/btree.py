@@ -1,0 +1,281 @@
+"""An in-memory B+-tree.
+
+The paper's very first example of a physical decision is the access method:
+*"unclustered B-tree vs scan"* (§1), and the research agenda (§6,
+Algorithmic Index Views) points out that *"most indexes are basically
+composed of substructures (atoms), i.e. different nodes and leaf-types"*.
+This B+-tree makes that composition explicit: inner nodes and leaves are
+distinct classes, and the node fanout is a constructor parameter — the
+MOLECULE-level decision an AV can bind offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+@dataclass
+class _LeafNode:
+    """A leaf: sorted keys with parallel values, linked to the next leaf."""
+
+    keys: list[int] = field(default_factory=list)
+    values: list[object] = field(default_factory=list)
+    next_leaf: "_LeafNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass
+class _InnerNode:
+    """An inner node: separator keys with ``len(keys) + 1`` children."""
+
+    keys: list[int] = field(default_factory=list)
+    children: list[object] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class BPlusTree:
+    """A B+-tree mapping int keys to values, supporting range scans.
+
+    :param order: maximum number of keys per node (fanout - 1); >= 3.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 3:
+            raise IndexError_(f"order must be >= 3, got {order}")
+        self._order = order
+        self._root: _LeafNode | _InnerNode = _LeafNode()
+        self._size = 0
+        self._height = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def order(self) -> int:
+        """Maximum keys per node."""
+        return self._order
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone leaf)."""
+        return self._height
+
+    # -- mutation -------------------------------------------------------
+
+    def insert(self, key: int, value: object) -> None:
+        """Insert ``key`` -> ``value``; an existing key is overwritten."""
+        split = self._insert(self._root, int(key), value)
+        if split is not None:
+            separator, right = split
+            new_root = _InnerNode(keys=[separator], children=[self._root, right])
+            self._root = new_root
+            self._height += 1
+
+    def bulkload(self, keys: np.ndarray, values: list | np.ndarray) -> None:
+        """Bulk-load sorted distinct ``keys`` into an *empty* tree.
+
+        Builds leaves left-to-right at ~full occupancy then stacks inner
+        levels — the classic bottom-up bulkloading algorithm, i.e. the
+        "bulkload" granule of the paper's Figure 3(c).
+
+        :raises IndexError_: if the tree is non-empty or keys unsorted.
+        """
+        if self._size:
+            raise IndexError_("bulkload requires an empty tree")
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+            raise IndexError_("bulkload requires strictly increasing keys")
+        if keys.size == 0:
+            return
+        per_leaf = self._order
+        leaves: list[_LeafNode] = []
+        for start in range(0, keys.size, per_leaf):
+            stop = min(start + per_leaf, keys.size)
+            leaf = _LeafNode(
+                keys=[int(k) for k in keys[start:stop]],
+                values=list(values[start:stop]),
+            )
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        self._size = int(keys.size)
+        level: list[_LeafNode | _InnerNode] = list(leaves)
+        self._height = 1
+        while len(level) > 1:
+            parents: list[_InnerNode] = []
+            per_inner = self._order + 1  # children per inner node
+            for start in range(0, len(level), per_inner):
+                group = level[start : start + per_inner]
+                parents.append(
+                    _InnerNode(
+                        keys=[self._smallest_key(child) for child in group[1:]],
+                        children=list(group),
+                    )
+                )
+            level = list(parents)
+            self._height += 1
+        self._root = level[0]
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, key: int, default: object = None) -> object:
+        """Point lookup."""
+        leaf = self._descend(int(key))
+        position = self._position(leaf.keys, key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            return leaf.values[position]
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def range(self, low: int, high: int) -> Iterator[tuple[int, object]]:
+        """Yield (key, value) for keys in ``[low, high]``, key-ascending."""
+        leaf: _LeafNode | None = self._descend(int(low))
+        while leaf is not None:
+            for position, key in enumerate(leaf.keys):
+                if key > high:
+                    return
+                if key >= low:
+                    yield key, leaf.values[position]
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """All (key, value) pairs in key order (leaf-chain scan)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        leaf: _LeafNode | None = node
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises :class:`IndexError_` on
+        violation. Used by the property-based tests."""
+        keys = [key for key, __ in self.items()]
+        if keys != sorted(keys):
+            raise IndexError_("leaf chain is not key-ordered")
+        if len(set(keys)) != len(keys):
+            raise IndexError_("duplicate keys in leaf chain")
+        if len(keys) != self._size:
+            raise IndexError_(
+                f"size mismatch: counted {len(keys)}, recorded {self._size}"
+            )
+        self._check_node(self._root, depth=1)
+
+    # -- internals -------------------------------------------------------
+
+    def _check_node(self, node: _LeafNode | _InnerNode, depth: int) -> int:
+        if node.is_leaf:
+            if depth != self._height:
+                raise IndexError_("leaves at unequal depths")
+            return depth
+        inner: _InnerNode = node  # type: ignore[assignment]
+        if len(inner.children) != len(inner.keys) + 1:
+            raise IndexError_("inner node child/key arity mismatch")
+        for child in inner.children:
+            self._check_node(child, depth + 1)
+        return depth
+
+    @staticmethod
+    def _position(keys: list[int], key: int) -> int:
+        # Binary search for the first position with keys[pos] >= key.
+        low, high = 0, len(keys)
+        while low < high:
+            mid = (low + high) // 2
+            if keys[mid] < key:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _descend(self, key: int) -> _LeafNode:
+        node = self._root
+        while not node.is_leaf:
+            inner: _InnerNode = node  # type: ignore[assignment]
+            position = self._child_position(inner.keys, key)
+            node = inner.children[position]
+        return node  # type: ignore[return-value]
+
+    @staticmethod
+    def _child_position(keys: list[int], key: int) -> int:
+        # First child whose subtree may contain `key`: count separators <= key.
+        low, high = 0, len(keys)
+        while low < high:
+            mid = (low + high) // 2
+            if keys[mid] <= key:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _smallest_key(self, node: _LeafNode | _InnerNode) -> int:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _insert(
+        self, node: _LeafNode | _InnerNode, key: int, value: object
+    ) -> tuple[int, object] | None:
+        """Insert below ``node``; returns (separator, new right sibling) when
+        ``node`` split, else None."""
+        if node.is_leaf:
+            leaf: _LeafNode = node  # type: ignore[assignment]
+            position = self._position(leaf.keys, key)
+            if position < len(leaf.keys) and leaf.keys[position] == key:
+                leaf.values[position] = value
+                return None
+            leaf.keys.insert(position, key)
+            leaf.values.insert(position, value)
+            self._size += 1
+            if len(leaf.keys) <= self._order:
+                return None
+            middle = len(leaf.keys) // 2
+            right = _LeafNode(
+                keys=leaf.keys[middle:],
+                values=leaf.values[middle:],
+                next_leaf=leaf.next_leaf,
+            )
+            del leaf.keys[middle:]
+            del leaf.values[middle:]
+            leaf.next_leaf = right
+            return right.keys[0], right
+
+        inner: _InnerNode = node  # type: ignore[assignment]
+        position = self._child_position(inner.keys, key)
+        split = self._insert(inner.children[position], key, value)
+        if split is None:
+            return None
+        separator, right_child = split
+        inner.keys.insert(position, separator)
+        inner.children.insert(position + 1, right_child)
+        if len(inner.keys) <= self._order:
+            return None
+        middle = len(inner.keys) // 2
+        push_up = inner.keys[middle]
+        right = _InnerNode(
+            keys=inner.keys[middle + 1 :],
+            children=inner.children[middle + 1 :],
+        )
+        del inner.keys[middle:]
+        del inner.children[middle + 1 :]
+        return push_up, right
+
+
+class _Missing:
+    """Internal sentinel distinct from any user value."""
+
+
+_MISSING = _Missing()

@@ -1,0 +1,320 @@
+"""Hash tables.
+
+Two implementations at two granularity levels of Table 1:
+
+* :class:`ChainedHashTable` — the textbook "out-of-the-box hash table"
+  (the paper's HG uses ``std::unordered_map``, which is chained); a
+  tuple-at-a-time Python structure kept for pedagogy and correctness tests.
+* :class:`OpenAddressingHashTable` — a vectorised linear-probing table over
+  numpy arrays; this is what the benchmarked HG/HJ kernels use so that all
+  five algorithm families are compared at the same (batch) abstraction
+  level (DESIGN.md substitution #1).
+
+Both use the Murmur3 finaliser as the hash function, as in §4.1. The choice
+of table *and* of hash function are exactly the MOLECULE-level decisions
+(Table 1) that DQO exposes to the optimiser; see
+:mod:`repro.core.physiological`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+#: Multiplicative constants of the 64-bit Murmur3 finaliser.
+_MURMUR3_C1 = np.uint64(0xFF51AFD7ED558CCD)
+_MURMUR3_C2 = np.uint64(0xC4CEB9FE1A85EC53)
+
+
+def murmur3_finalizer(keys: np.ndarray | int) -> np.ndarray | int:
+    """The 64-bit Murmur3 finaliser (fmix64), scalar or vectorised.
+
+    This is the hash function the paper's HG implementation uses. It is a
+    bijective mixer on 64-bit integers, so it is collision-free on the key
+    domain and spreads dense keys over the full 64-bit space.
+    """
+    scalar = np.isscalar(keys)
+    h = np.asarray(keys).astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        h ^= h >> np.uint64(33)
+        h *= _MURMUR3_C1
+        h ^= h >> np.uint64(33)
+        h *= _MURMUR3_C2
+        h ^= h >> np.uint64(33)
+    return int(h) if scalar else h
+
+
+def identity_hash(keys: np.ndarray | int) -> np.ndarray | int:
+    """The identity "hash" — the degenerate molecule choice.
+
+    Cheap but catastrophic on clustered key distributions; kept so the
+    deep optimiser has a real hash-function decision to make.
+    """
+    if np.isscalar(keys):
+        return int(keys)
+    return np.asarray(keys).astype(np.uint64, copy=False)
+
+
+#: Named hash functions available to the MOLECULE-level optimiser choice.
+HASH_FUNCTIONS = {
+    "murmur3": murmur3_finalizer,
+    "identity": identity_hash,
+}
+
+
+class ChainedHashTable:
+    """A separate-chaining hash table mapping int keys to Python values.
+
+    Mirrors ``std::unordered_map`` structurally: an array of buckets, each
+    a list of (key, value) pairs. Grows by doubling at load factor 1.0.
+    """
+
+    def __init__(self, initial_buckets: int = 16, hash_name: str = "murmur3") -> None:
+        if initial_buckets < 1:
+            raise IndexError_(
+                f"initial_buckets must be >= 1, got {initial_buckets}"
+            )
+        if hash_name not in HASH_FUNCTIONS:
+            raise IndexError_(
+                f"unknown hash function {hash_name!r}; "
+                f"have {sorted(HASH_FUNCTIONS)}"
+            )
+        self._hash = HASH_FUNCTIONS[hash_name]
+        self._num_buckets = initial_buckets
+        self._buckets: list[list[tuple[int, object]]] = [
+            [] for __ in range(initial_buckets)
+        ]
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not None
+
+    @property
+    def load_factor(self) -> float:
+        """Entries per bucket."""
+        return self._size / self._num_buckets
+
+    def insert(self, key: int, value: object) -> None:
+        """Insert or overwrite the entry for ``key``."""
+        bucket = self._bucket_of(key)
+        for position, (existing, __) in enumerate(bucket):
+            if existing == key:
+                bucket[position] = (key, value)
+                return
+        bucket.append((key, value))
+        self._size += 1
+        if self._size > self._num_buckets:
+            self._grow()
+
+    def probe(self, key: int) -> object:
+        """The value stored under ``key``.
+
+        :raises KeyError: if absent.
+        """
+        found = self._find(key)
+        if found is None:
+            raise KeyError(key)
+        return found
+
+    def get(self, key: int, default: object = None) -> object:
+        """The value stored under ``key``, or ``default`` if absent."""
+        found = self._find(key)
+        return default if found is None else found
+
+    def key_set(self) -> Iterator[int]:
+        """Iterate over all keys in (hash-table) bucket order.
+
+        The iteration order is an artefact of the hash function and table
+        size — exactly the "unknown order" the paper warns a blackbox hash
+        table imposes on grouping output (§2.1).
+        """
+        for bucket in self._buckets:
+            for key, __ in bucket:
+                yield key
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Iterate over (key, value) pairs in bucket order."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    def _bucket_of(self, key: int) -> list[tuple[int, object]]:
+        return self._buckets[self._hash(key) % self._num_buckets]
+
+    def _find(self, key: int) -> object | None:
+        for existing, value in self._bucket_of(key):
+            if existing == key:
+                return value
+        return None
+
+    def _grow(self) -> None:
+        old_buckets = self._buckets
+        self._num_buckets *= 2
+        self._buckets = [[] for __ in range(self._num_buckets)]
+        for bucket in old_buckets:
+            for key, value in bucket:
+                self._bucket_of(key).append((key, value))
+
+
+class OpenAddressingHashTable:
+    """A vectorised linear-probing hash table over int64 keys.
+
+    Designed for *batch* build and probe: both operations take whole numpy
+    arrays and resolve collisions in vectorised probing rounds. The table
+    maps each distinct key to a dense slot id ``0..num_keys-1`` (assigned
+    at build time); callers keep their per-slot aggregate state in plain
+    arrays indexed by slot id.
+
+    :param capacity_hint: expected number of *distinct* keys. The table
+        allocates ``capacity_hint / max_load`` buckets rounded up to a
+        power of two.
+    :param max_load: maximum load factor before the constructor widens
+        the allocation.
+    :param hash_name: one of :data:`HASH_FUNCTIONS`.
+    """
+
+    #: sentinel marking an empty bucket.
+    _EMPTY = np.int64(-1)
+
+    def __init__(
+        self,
+        capacity_hint: int,
+        max_load: float = 0.5,
+        hash_name: str = "murmur3",
+    ) -> None:
+        if capacity_hint < 1:
+            raise IndexError_(
+                f"capacity_hint must be >= 1, got {capacity_hint}"
+            )
+        if not 0.0 < max_load < 1.0:
+            raise IndexError_(f"max_load must be in (0, 1), got {max_load}")
+        if hash_name not in HASH_FUNCTIONS:
+            raise IndexError_(
+                f"unknown hash function {hash_name!r}; "
+                f"have {sorted(HASH_FUNCTIONS)}"
+            )
+        self._hash = HASH_FUNCTIONS[hash_name]
+        buckets = 1
+        while buckets * max_load < capacity_hint:
+            buckets *= 2
+        self._mask = np.uint64(buckets - 1)
+        self._bucket_keys = np.full(buckets, self._EMPTY, dtype=np.int64)
+        self._bucket_slots = np.full(buckets, self._EMPTY, dtype=np.int64)
+        self._num_slots = 0
+        self._slot_keys = np.empty(capacity_hint, dtype=np.int64)
+
+    @property
+    def num_buckets(self) -> int:
+        """Allocated bucket count (a power of two)."""
+        return int(self._bucket_keys.size)
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys inserted so far."""
+        return self._num_slots
+
+    def slot_keys(self) -> np.ndarray:
+        """Key of each slot, indexed by slot id (insertion order)."""
+        return self._slot_keys[: self._num_slots].copy()
+
+    def build(self, keys: np.ndarray) -> np.ndarray:
+        """Insert ``keys`` (duplicates allowed) and return per-row slot ids.
+
+        Vectorised: each probing round resolves every not-yet-placed row at
+        once. Distinct keys get dense slot ids in first-occurrence order.
+
+        :raises IndexError_: if the table overflows its allocation (more
+            distinct keys than ``capacity_hint``).
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        positions = (self._hash(keys) & self._mask).astype(np.int64)
+        slots = np.full(keys.size, self._EMPTY, dtype=np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        rounds = 0
+        # Each row advances at most num_buckets times; additionally a row
+        # may hold position for one round per arbitration loss, and losses
+        # coincide with global slot placements (at most capacity per run).
+        max_rounds = self.num_buckets + self._slot_keys.size + 2
+        while pending.size:
+            rounds += 1
+            if rounds > max_rounds:
+                raise IndexError_(
+                    "hash table overflow: more distinct keys than capacity "
+                    f"hint ({self._slot_keys.size})"
+                )
+            pos = positions[pending]
+            occupant = self._bucket_keys[pos]
+            # Case 1: bucket already holds this row's key -> resolve.
+            matches = occupant == keys[pending]
+            if np.any(matches):
+                rows = pending[matches]
+                slots[rows] = self._bucket_slots[positions[rows]]
+            # Case 2: bucket occupied by a different key -> advance (probe).
+            empty = occupant == self._EMPTY
+            mismatches = pending[~matches & ~empty]
+            # Case 3: bucket empty -> try to claim. Multiple rows may race
+            # for one bucket within a round; scatter-then-check arbitrates:
+            # the last writer wins the scatter, then every row re-reads the
+            # bucket and only the winner (same row index) proceeds. Equal
+            # keys share a home bucket, so at most one row wins per key.
+            losers = np.empty(0, dtype=np.int64)
+            claimers = pending[empty]
+            if claimers.size:
+                claim_pos = positions[claimers]
+                arbiter = np.full(self.num_buckets, self._EMPTY, dtype=np.int64)
+                arbiter[claim_pos] = claimers
+                won = arbiter[claim_pos] == claimers
+                winners = claimers[won]
+                new_slot_base = self._num_slots
+                count = winners.size
+                if new_slot_base + count > self._slot_keys.size:
+                    raise IndexError_(
+                        "hash table overflow: more distinct keys than "
+                        f"capacity hint ({self._slot_keys.size})"
+                    )
+                new_slots = np.arange(
+                    new_slot_base, new_slot_base + count, dtype=np.int64
+                )
+                wpos = positions[winners]
+                self._bucket_keys[wpos] = keys[winners]
+                self._bucket_slots[wpos] = new_slots
+                self._slot_keys[new_slots] = keys[winners]
+                self._num_slots += count
+                slots[winners] = new_slots
+                losers = claimers[~won]
+            # Mismatches advance to the next bucket. Losers must NOT
+            # advance: the winner may have placed their key in this very
+            # bucket, so they re-read it next round (and match case 1).
+            positions[mismatches] = (
+                (positions[mismatches] + 1) & np.int64(self._mask)
+            )
+            pending = np.concatenate([mismatches, losers])
+        return slots
+
+    def probe(self, keys: np.ndarray) -> np.ndarray:
+        """Look up slot ids for ``keys``; -1 for keys never inserted."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        positions = (self._hash(keys) & self._mask).astype(np.int64)
+        slots = np.full(keys.size, self._EMPTY, dtype=np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        for __ in range(self.num_buckets + 1):
+            if not pending.size:
+                break
+            pos = positions[pending]
+            occupant = self._bucket_keys[pos]
+            matches = occupant == keys[pending]
+            misses = occupant == self._EMPTY
+            rows = pending[matches]
+            slots[rows] = self._bucket_slots[positions[rows]]
+            # Missing keys resolve to -1 (already initialised); drop them.
+            continuing = pending[~matches & ~misses]
+            positions[continuing] = (
+                (positions[continuing] + 1) & np.int64(self._mask)
+            )
+            pending = continuing
+        return slots

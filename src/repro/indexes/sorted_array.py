@@ -1,0 +1,83 @@
+"""Sorted-array index with binary search.
+
+The substrate of the paper's BSG / BSJ algorithms (§4.1): *"We store a
+mapping from grouping key to aggregate data inside a sorted array. This
+allows us to perform binary search to lookup a group by its key."* Lookups
+cost O(log #keys) per probe — the logarithmic growth visible in Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_, PreconditionError
+
+
+class SortedKeyIndex:
+    """An immutable sorted array of distinct keys with O(log n) lookups.
+
+    Keys map to dense slot ids equal to their rank, so the slot order is
+    simultaneously the sorted key order — a *property* (sorted output!)
+    the deep optimiser can exploit downstream.
+    """
+
+    def __init__(self, sorted_keys: np.ndarray) -> None:
+        """
+        :param sorted_keys: strictly increasing distinct keys.
+        :raises PreconditionError: if not strictly increasing.
+        """
+        keys = np.ascontiguousarray(sorted_keys, dtype=np.int64)
+        if keys.size > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+            raise PreconditionError(
+                "SortedKeyIndex requires strictly increasing distinct keys"
+            )
+        self._keys = keys
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "SortedKeyIndex":
+        """Build from arbitrary values by sorting and deduplicating."""
+        return cls(np.unique(np.asarray(values, dtype=np.int64)))
+
+    @property
+    def num_keys(self) -> int:
+        """Number of indexed distinct keys."""
+        return int(self._keys.size)
+
+    def keys(self) -> np.ndarray:
+        """The sorted distinct keys (read-only view)."""
+        view = self._keys.view()
+        view.flags.writeable = False
+        return view
+
+    def lookup(self, probes: np.ndarray) -> np.ndarray:
+        """Binary-search ``probes``; returns slot ids, -1 for misses."""
+        probes = np.asarray(probes, dtype=np.int64)
+        positions = np.searchsorted(self._keys, probes)
+        slots = np.where(
+            (positions < self._keys.size)
+            & (self._keys[np.minimum(positions, self._keys.size - 1)] == probes),
+            positions,
+            -1,
+        )
+        return slots.astype(np.int64)
+
+    def lookup_existing(self, probes: np.ndarray) -> np.ndarray:
+        """Like :meth:`lookup` but every probe must hit.
+
+        :raises IndexError_: if any probe misses.
+        """
+        slots = self.lookup(probes)
+        if slots.size and int(slots.min()) < 0:
+            missing = np.asarray(probes)[slots < 0]
+            raise IndexError_(
+                f"{missing.size} probe key(s) not in index, e.g. "
+                f"{missing[:5].tolist()}"
+            )
+        return slots
+
+    def range_slots(self, low: int, high: int) -> tuple[int, int]:
+        """Slot range ``[start, stop)`` of keys in the value range
+        ``[low, high]`` (inclusive on both ends)."""
+        start = int(np.searchsorted(self._keys, low, side="left"))
+        stop = int(np.searchsorted(self._keys, high, side="right"))
+        return start, stop

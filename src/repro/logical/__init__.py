@@ -1,0 +1,27 @@
+"""Logical plans and a naive reference evaluator."""
+
+from repro.logical.algebra import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOrderBy,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    validate_plan,
+)
+from repro.logical.naive import evaluate_naive
+
+__all__ = [
+    "LogicalFilter",
+    "LogicalGroupBy",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalOrderBy",
+    "LogicalPlan",
+    "LogicalProject",
+    "LogicalScan",
+    "evaluate_naive",
+    "validate_plan",
+]

@@ -1,0 +1,233 @@
+"""Logical algebra: the optimiser's input language.
+
+A logical plan is a DAG of coarse *what*-operators (scan, filter, project,
+join, group-by) with no *how* decisions — the paper's Figure 3(a) level.
+Both SQO and DQO consume these trees; they differ in how finely they
+decompose each node on the way down to a physical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.aggregates import AggregateSpec
+from repro.engine.expressions import Expression
+from repro.errors import PlanError
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+
+
+class LogicalPlan:
+    """Base class of logical plan nodes. Immutable."""
+
+    def children(self) -> list["LogicalPlan"]:
+        """Child nodes in input order."""
+        raise NotImplementedError
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        """Names of the columns this node produces, resolved against
+        ``catalog``."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented textual rendering of the subtree."""
+        lines = [f"{'  ' * indent}{self.describe()}"]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description used by :meth:`explain`."""
+        return type(self).__name__
+
+    def walk(self) -> Iterator["LogicalPlan"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class LogicalScan(LogicalPlan):
+    """Scan a base table; output columns are qualified ``alias.column``."""
+
+    table_name: str
+    #: qualification prefix; defaults to the table name.
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.alias:
+            object.__setattr__(self, "alias", self.table_name)
+
+    def children(self) -> list[LogicalPlan]:
+        return []
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        schema = catalog.table(self.table_name).schema
+        return [f"{self.alias}.{name}" for name in schema.names]
+
+    def describe(self) -> str:
+        if self.alias != self.table_name:
+            return f"Scan({self.table_name} AS {self.alias})"
+        return f"Scan({self.table_name})"
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalPlan):
+    """Keep rows satisfying a boolean expression."""
+
+    child: LogicalPlan
+    predicate: Expression
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        return self.child.output_columns(catalog)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalPlan):
+    """Evaluate named expressions; ``outputs`` are (alias, expression)."""
+
+    child: LogicalPlan
+    outputs: tuple[tuple[str, Expression], ...]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        return [alias for alias, __ in self.outputs]
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{e!r} AS {a}" for a, e in self.outputs)
+        return f"Project({inner})"
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalPlan):
+    """Inner equi-join on one column pair."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    left_key: str
+    right_key: str
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.left, self.right]
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        left_cols = self.left.output_columns(catalog)
+        right_cols = self.right.output_columns(catalog)
+        overlap = set(left_cols) & set(right_cols)
+        if overlap:
+            raise PlanError(
+                f"join children share column name(s): {sorted(overlap)}"
+            )
+        return left_cols + right_cols
+
+    def describe(self) -> str:
+        return f"Join({self.left_key} = {self.right_key})"
+
+
+@dataclass(frozen=True)
+class LogicalGroupBy(LogicalPlan):
+    """Γ: group by one key column, compute aggregates — Figure 3(a)."""
+
+    child: LogicalPlan
+    key: str
+    aggregates: tuple[AggregateSpec, ...]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        return [self.key] + [spec.alias for spec in self.aggregates]
+
+    def describe(self) -> str:
+        aggs = ", ".join(
+            f"{s.function.value.upper()}({s.column or '*'}) AS {s.alias}"
+            for s in self.aggregates
+        )
+        return f"GroupBy(key={self.key}, [{aggs}])"
+
+
+@dataclass(frozen=True)
+class LogicalOrderBy(LogicalPlan):
+    """Sort the final result by the given columns (ascending)."""
+
+    child: LogicalPlan
+    keys: tuple[str, ...]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        return self.child.output_columns(catalog)
+
+    def describe(self) -> str:
+        return f"OrderBy({', '.join(self.keys)})"
+
+
+@dataclass(frozen=True)
+class LogicalLimit(LogicalPlan):
+    """Keep at most ``count`` rows."""
+
+    child: LogicalPlan
+    count: int
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_columns(self, catalog: Catalog) -> list[str]:
+        return self.child.output_columns(catalog)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+def validate_plan(plan: LogicalPlan, catalog: Catalog) -> None:
+    """Structural validation: every referenced column must exist.
+
+    :raises PlanError: on the first unresolved reference.
+    """
+    for node in plan.walk():
+        if isinstance(node, LogicalFilter):
+            available = set(node.child.output_columns(catalog))
+            missing = node.predicate.referenced_columns() - available
+            if missing:
+                raise PlanError(f"filter references unknown: {sorted(missing)}")
+        elif isinstance(node, LogicalProject):
+            available = set(node.child.output_columns(catalog))
+            for alias, expression in node.outputs:
+                missing = expression.referenced_columns() - available
+                if missing:
+                    raise PlanError(
+                        f"projection {alias!r} references unknown: "
+                        f"{sorted(missing)}"
+                    )
+        elif isinstance(node, LogicalJoin):
+            left_cols = set(node.left.output_columns(catalog))
+            right_cols = set(node.right.output_columns(catalog))
+            if node.left_key not in left_cols:
+                raise PlanError(f"join key {node.left_key!r} not in left input")
+            if node.right_key not in right_cols:
+                raise PlanError(f"join key {node.right_key!r} not in right input")
+        elif isinstance(node, LogicalGroupBy):
+            available = set(node.child.output_columns(catalog))
+            if node.key not in available:
+                raise PlanError(f"grouping key {node.key!r} unknown")
+            for spec in node.aggregates:
+                if spec.column is not None and spec.column not in available:
+                    raise PlanError(
+                        f"aggregate column {spec.column!r} unknown"
+                    )
+        elif isinstance(node, LogicalOrderBy):
+            available = set(node.child.output_columns(catalog))
+            for key in node.keys:
+                if key not in available:
+                    raise PlanError(f"order-by key {key!r} unknown")

@@ -1,0 +1,118 @@
+"""A naive logical-plan evaluator.
+
+Evaluates a logical plan directly against the catalog with straightforward
+numpy operations — no algorithm choices, no optimisation, no chunking. It
+is deliberately *independent* of the physical engine so that integration
+tests can use it as ground truth: whatever plan the optimiser picks and
+the engine runs, the result must match this evaluator's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregates import AggregateFunction
+from repro.errors import PlanError
+from repro.logical.algebra import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOrderBy,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def evaluate_naive(plan: LogicalPlan, catalog: Catalog) -> Table:
+    """Evaluate ``plan`` against ``catalog``, the slow obvious way."""
+    if isinstance(plan, LogicalScan):
+        return catalog.table(plan.table_name).qualified(plan.alias)
+    if isinstance(plan, LogicalFilter):
+        child = evaluate_naive(plan.child, catalog)
+        mask = np.asarray(
+            plan.predicate.evaluate(
+                {name: child[name] for name in child.schema.names}
+            ),
+            dtype=bool,
+        )
+        return child.take(np.flatnonzero(mask))
+    if isinstance(plan, LogicalProject):
+        child = evaluate_naive(plan.child, catalog)
+        data = {name: child[name] for name in child.schema.names}
+        return Table.from_arrays(
+            {
+                alias: np.asarray(expression.evaluate(data))
+                for alias, expression in plan.outputs
+            }
+        )
+    if isinstance(plan, LogicalJoin):
+        return _naive_join(plan, catalog)
+    if isinstance(plan, LogicalGroupBy):
+        return _naive_group_by(plan, catalog)
+    if isinstance(plan, LogicalOrderBy):
+        child = evaluate_naive(plan.child, catalog)
+        return child.sort_by(list(plan.keys))
+    if isinstance(plan, LogicalLimit):
+        child = evaluate_naive(plan.child, catalog)
+        return child.head(plan.count)
+    raise PlanError(f"naive evaluator: unknown node {type(plan).__name__}")
+
+
+def _naive_join(plan: LogicalJoin, catalog: Catalog) -> Table:
+    left = evaluate_naive(plan.left, catalog)
+    right = evaluate_naive(plan.right, catalog)
+    left_keys = left[plan.left_key]
+    right_keys = right[plan.right_key]
+    # O(n log n) double-sort nested expansion; order-insensitive output.
+    left_pairs = []
+    right_pairs = []
+    right_by_key: dict[int, list[int]] = {}
+    for row, key in enumerate(right_keys.tolist()):
+        right_by_key.setdefault(key, []).append(row)
+    for left_row, key in enumerate(left_keys.tolist()):
+        for right_row in right_by_key.get(key, ()):
+            left_pairs.append(left_row)
+            right_pairs.append(right_row)
+    data = {}
+    left_idx = np.asarray(left_pairs, dtype=np.int64)
+    right_idx = np.asarray(right_pairs, dtype=np.int64)
+    for name in left.schema.names:
+        data[name] = left[name][left_idx]
+    for name in right.schema.names:
+        data[name] = right[name][right_idx]
+    return Table.from_arrays(data)
+
+
+def _naive_group_by(plan: LogicalGroupBy, catalog: Catalog) -> Table:
+    child = evaluate_naive(plan.child, catalog)
+    keys = child[plan.key]
+    groups: dict[int, list[int]] = {}
+    for row, key in enumerate(keys.tolist()):
+        groups.setdefault(key, []).append(row)
+    group_keys = sorted(groups)
+    data: dict[str, np.ndarray] = {
+        plan.key: np.asarray(group_keys, dtype=keys.dtype)
+    }
+    for spec in plan.aggregates:
+        values = child[spec.column] if spec.column is not None else None
+        outputs = []
+        for key in group_keys:
+            rows = groups[key]
+            if spec.function is AggregateFunction.COUNT:
+                outputs.append(len(rows))
+            elif spec.function is AggregateFunction.SUM:
+                outputs.append(values[rows].sum())
+            elif spec.function is AggregateFunction.MIN:
+                outputs.append(values[rows].min())
+            elif spec.function is AggregateFunction.MAX:
+                outputs.append(values[rows].max())
+            elif spec.function is AggregateFunction.AVG:
+                outputs.append(float(values[rows].mean()))
+            else:
+                raise PlanError(f"unknown aggregate {spec.function!r}")
+        data[spec.alias] = np.asarray(outputs)
+    return Table.from_arrays(data)

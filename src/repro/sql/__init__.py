@@ -1,0 +1,28 @@
+"""A small SQL frontend: tokenizer, parser, and logical planner."""
+
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.parser import parse
+from repro.sql.planner import plan_query, plan_statement
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "AggregateItem",
+    "ColumnItem",
+    "JoinClause",
+    "OrderItem",
+    "SelectStatement",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "parse",
+    "plan_query",
+    "plan_statement",
+    "tokenize",
+]

@@ -1,0 +1,67 @@
+"""Abstract syntax tree of the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expressions import Expression
+
+
+@dataclass(frozen=True)
+class ColumnItem:
+    """A plain column in the SELECT list: ``col [AS alias]``."""
+
+    column: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """An aggregate in the SELECT list: ``FN(col | *) [AS alias]``."""
+
+    function: str  # COUNT / SUM / MIN / MAX / AVG
+    column: str | None  # None for COUNT(*)
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM/JOIN clause: ``name [AS alias]``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        """The qualification prefix this table contributes."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN table ON left = right``."""
+
+    table: TableRef
+    left_key: str
+    right_key: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """``ORDER BY column [ASC|DESC]``."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """The parsed shape of a SELECT query."""
+
+    items: tuple[ColumnItem | AggregateItem, ...]
+    from_table: TableRef
+    joins: tuple[JoinClause, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None

@@ -1,0 +1,301 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT items FROM table_ref join* where? group? order? limit?
+    items      := item (',' item)*
+    item       := qcol (AS ident)?
+                | FN '(' (qcol | '*') ')' (AS ident)?
+    table_ref  := ident (AS? ident)?
+    join       := JOIN table_ref ON qcol '=' qcol
+    where      := WHERE disjunction
+    group      := GROUP BY qcol (',' qcol)*
+    order      := ORDER BY qcol (ASC|DESC)? (',' qcol (ASC|DESC)?)*
+    limit      := LIMIT number
+    disjunction:= conjunction (OR conjunction)*
+    conjunction:= condition (AND condition)*
+    condition  := NOT condition | '(' disjunction ')' | comparison
+    comparison := operand ('='|'<>'|'<'|'<='|'>'|'>=') operand
+    operand    := term (('+'|'-') term)*
+    term       := factor (('*'|'/'|'%') factor)*
+    factor     := qcol | number | '-' number | '(' operand ')'
+    qcol       := ident ('.' ident)?
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    NotOp,
+)
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+_COMPARISON_SYMBOLS = ("=", "<>", "<=", ">=", "<", ">")
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one SELECT statement.
+
+    :raises ParseError: with a source position on any syntax error.
+    """
+    return _Parser(tokenize(text)).parse_select()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise ParseError(
+                f"expected {word}, got {self._current.value!r} at position "
+                f"{self._current.position}",
+                self._current.position,
+            )
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self._current.is_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, got {self._current.value!r} at position "
+                f"{self._current.position}",
+                self._current.position,
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        if self._current.type is not TokenType.IDENTIFIER:
+            raise ParseError(
+                f"expected identifier, got {self._current.value!r} at position "
+                f"{self._current.position}",
+                self._current.position,
+            )
+        return self._advance().value
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._current.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar productions ----------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        """The ``query`` production: one full SELECT statement."""
+        self._expect_keyword("SELECT")
+        items = [self._parse_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_item())
+        self._expect_keyword("FROM")
+        from_table = self._parse_table_ref()
+        joins = []
+        while self._accept_keyword("JOIN"):
+            table = self._parse_table_ref()
+            self._expect_keyword("ON")
+            left_key = self._parse_qualified_column()
+            self._expect_symbol("=")
+            right_key = self._parse_qualified_column()
+            joins.append(JoinClause(table, left_key, right_key))
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_disjunction()
+        group_by: tuple[str, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys = [self._parse_qualified_column()]
+            while self._accept_symbol(","):
+                keys.append(self._parse_qualified_column())
+            group_by = tuple(keys)
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            if self._current.type is not TokenType.NUMBER:
+                raise ParseError(
+                    f"expected a number after LIMIT at position "
+                    f"{self._current.position}",
+                    self._current.position,
+                )
+            limit = int(self._advance().value)
+        if self._current.type is not TokenType.END:
+            raise ParseError(
+                f"unexpected trailing input {self._current.value!r} at "
+                f"position {self._current.position}",
+                self._current.position,
+            )
+        return SelectStatement(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _parse_item(self) -> ColumnItem | AggregateItem:
+        token = self._current
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
+            function = self._advance().value
+            self._expect_symbol("(")
+            if self._accept_symbol("*"):
+                if function != "COUNT":
+                    raise ParseError(
+                        f"{function}(*) is not valid SQL; only COUNT(*)",
+                        token.position,
+                    )
+                column = None
+            else:
+                column = self._parse_qualified_column()
+            self._expect_symbol(")")
+            alias = self._parse_optional_alias()
+            return AggregateItem(function, column, alias)
+        column = self._parse_qualified_column()
+        alias = self._parse_optional_alias()
+        return ColumnItem(column, alias)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self._accept_keyword("AS"):
+            return self._expect_identifier()
+        return None
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_identifier()
+        if self._accept_keyword("AS"):
+            return TableRef(name, self._expect_identifier())
+        if self._current.type is TokenType.IDENTIFIER:
+            return TableRef(name, self._advance().value)
+        return TableRef(name)
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_qualified_column()
+        if self._accept_keyword("DESC"):
+            return OrderItem(column, ascending=False)
+        self._accept_keyword("ASC")
+        return OrderItem(column, ascending=True)
+
+    def _parse_qualified_column(self) -> str:
+        first = self._expect_identifier()
+        if self._accept_symbol("."):
+            return f"{first}.{self._expect_identifier()}"
+        return first
+
+    # -- expressions -----------------------------------------------------
+
+    def _parse_disjunction(self) -> Expression:
+        left = self._parse_conjunction()
+        while self._accept_keyword("OR"):
+            left = BooleanOp("or", left, self._parse_conjunction())
+        return left
+
+    def _parse_conjunction(self) -> Expression:
+        left = self._parse_condition()
+        while self._accept_keyword("AND"):
+            left = BooleanOp("and", left, self._parse_condition())
+        return left
+
+    def _parse_condition(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return NotOp(self._parse_condition())
+        # A parenthesis here could open a boolean group or an arithmetic
+        # operand; try boolean first by lookahead-free backtracking.
+        if self._current.is_symbol("("):
+            saved = self._index
+            try:
+                self._advance()
+                inner = self._parse_disjunction()
+                self._expect_symbol(")")
+                return inner
+            except ParseError:
+                self._index = saved
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_operand()
+        token = self._current
+        if token.type is TokenType.SYMBOL and token.value in _COMPARISON_SYMBOLS:
+            op = self._advance().value
+            right = self._parse_operand()
+            return BinaryOp(op, left, right)
+        raise ParseError(
+            f"expected comparison operator at position {token.position}, "
+            f"got {token.value!r}",
+            token.position,
+        )
+
+    def _parse_operand(self) -> Expression:
+        left = self._parse_term()
+        while self._current.is_symbol("+") or self._current.is_symbol("-"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while (
+            self._current.is_symbol("*")
+            or self._current.is_symbol("/")
+            or self._current.is_symbol("%")
+        ):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Expression:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Literal(int(token.value))
+        if token.is_symbol("-"):
+            self._advance()
+            inner = self._parse_factor()
+            return BinaryOp("-", Literal(0), inner)
+        if token.is_symbol("("):
+            self._advance()
+            inner = self._parse_operand()
+            self._expect_symbol(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return ColumnRef(self._parse_qualified_column())
+        raise ParseError(
+            f"expected a value at position {token.position}, got "
+            f"{token.value!r}",
+            token.position,
+        )

@@ -1,0 +1,210 @@
+"""AST -> logical plan translation, with name resolution.
+
+Resolves unqualified column names against the catalog (a name must be
+unambiguous across the query's tables) and assembles the canonical logical
+tree: scans -> joins (in syntactic order) -> filter -> group-by ->
+project -> order-by -> limit.
+"""
+
+from __future__ import annotations
+
+from repro.engine.aggregates import AggregateFunction, AggregateSpec
+from repro.engine.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    NotOp,
+)
+from repro.errors import PlanError
+from repro.logical.algebra import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOrderBy,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    validate_plan,
+)
+from repro.sql.ast import AggregateItem, ColumnItem, SelectStatement, TableRef
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+
+_FUNCTIONS = {
+    "COUNT": AggregateFunction.COUNT,
+    "SUM": AggregateFunction.SUM,
+    "MIN": AggregateFunction.MIN,
+    "MAX": AggregateFunction.MAX,
+    "AVG": AggregateFunction.AVG,
+}
+
+
+def plan_statement(statement: SelectStatement, catalog: Catalog) -> LogicalPlan:
+    """Translate a parsed statement into a validated logical plan."""
+    resolver = _NameResolver(statement, catalog)
+    plan: LogicalPlan = LogicalScan(
+        statement.from_table.name, statement.from_table.effective_alias
+    )
+    for clause in statement.joins:
+        right: LogicalPlan = LogicalScan(
+            clause.table.name, clause.table.effective_alias
+        )
+        plan = LogicalJoin(
+            plan,
+            right,
+            resolver.resolve(clause.left_key),
+            resolver.resolve(clause.right_key),
+        )
+    if statement.where is not None:
+        plan = LogicalFilter(plan, resolver.resolve_expression(statement.where))
+    has_aggregates = any(
+        isinstance(item, AggregateItem) for item in statement.items
+    )
+    if statement.group_by or has_aggregates:
+        plan = _plan_group_by(statement, plan, resolver)
+    else:
+        outputs = []
+        for item in statement.items:
+            assert isinstance(item, ColumnItem)
+            resolved = resolver.resolve(item.column)
+            outputs.append((item.alias or resolved, ColumnRef(resolved)))
+        plan = LogicalProject(plan, tuple(outputs))
+    if statement.order_by:
+        for order in statement.order_by:
+            if not order.ascending:
+                raise PlanError("ORDER BY ... DESC is not supported yet")
+        keys = tuple(
+            _output_name(statement, resolver, order.column)
+            for order in statement.order_by
+        )
+        plan = LogicalOrderBy(plan, keys)
+    if statement.limit is not None:
+        plan = LogicalLimit(plan, statement.limit)
+    validate_plan(plan, catalog)
+    return plan
+
+
+def plan_query(sql: str, catalog: Catalog) -> LogicalPlan:
+    """Parse + plan in one step."""
+    return plan_statement(parse(sql), catalog)
+
+
+def _plan_group_by(
+    statement: SelectStatement, child: LogicalPlan, resolver: "_NameResolver"
+) -> LogicalPlan:
+    if len(statement.group_by) != 1:
+        raise PlanError(
+            "exactly one GROUP BY column is supported "
+            f"(got {len(statement.group_by)})"
+        )
+    key = resolver.resolve(statement.group_by[0])
+    aggregates = []
+    key_alias = None
+    for item in statement.items:
+        if isinstance(item, AggregateItem):
+            column = (
+                resolver.resolve(item.column) if item.column is not None else None
+            )
+            alias = item.alias or _default_agg_alias(item)
+            aggregates.append(
+                AggregateSpec(_FUNCTIONS[item.function], column, alias)
+            )
+        else:
+            resolved = resolver.resolve(item.column)
+            if resolved != key:
+                raise PlanError(
+                    f"non-aggregated column {item.column!r} must be the "
+                    "GROUP BY key"
+                )
+            key_alias = item.alias
+    plan: LogicalPlan = LogicalGroupBy(child, key, tuple(aggregates))
+    if key_alias and key_alias != key:
+        outputs = [(key_alias, ColumnRef(key))]
+        outputs.extend(
+            (spec.alias, ColumnRef(spec.alias)) for spec in aggregates
+        )
+        plan = LogicalProject(plan, tuple(outputs))
+    return plan
+
+
+def _default_agg_alias(item: AggregateItem) -> str:
+    if item.column is None:
+        return item.function.lower()
+    return f"{item.function.lower()}_{item.column.replace('.', '_')}"
+
+
+def _output_name(
+    statement: SelectStatement, resolver: "_NameResolver", column: str
+) -> str:
+    """Map an ORDER BY column to the final output name it has after
+    projection/grouping (alias if one was declared)."""
+    for item in statement.items:
+        if isinstance(item, ColumnItem) and (
+            item.column == column or item.alias == column
+        ):
+            return item.alias or resolver.resolve(item.column)
+        if isinstance(item, AggregateItem) and item.alias == column:
+            return column
+    return resolver.resolve(column)
+
+
+class _NameResolver:
+    """Resolve possibly-unqualified column names to ``alias.column``."""
+
+    def __init__(self, statement: SelectStatement, catalog: Catalog) -> None:
+        self._columns: dict[str, list[str]] = {}
+        tables: list[TableRef] = [statement.from_table]
+        tables.extend(clause.table for clause in statement.joins)
+        seen_aliases: set[str] = set()
+        for ref in tables:
+            alias = ref.effective_alias
+            if alias in seen_aliases:
+                raise PlanError(f"duplicate table alias {alias!r}")
+            seen_aliases.add(alias)
+            schema = catalog.table(ref.name).schema
+            for name in schema.names:
+                qualified = f"{alias}.{name}"
+                self._columns.setdefault(name, []).append(qualified)
+                self._columns.setdefault(qualified, []).append(qualified)
+
+    def resolve(self, name: str) -> str:
+        """The unique qualified name for ``name``.
+
+        :raises PlanError: on unknown or ambiguous names.
+        """
+        candidates = self._columns.get(name)
+        if not candidates:
+            raise PlanError(f"unknown column {name!r}")
+        distinct = sorted(set(candidates))
+        if len(distinct) > 1:
+            raise PlanError(
+                f"ambiguous column {name!r}: could be any of {distinct}"
+            )
+        return distinct[0]
+
+    def resolve_expression(self, expression: Expression) -> Expression:
+        """Rewrite every :class:`ColumnRef` to its qualified name."""
+        if isinstance(expression, ColumnRef):
+            return ColumnRef(self.resolve(expression.name))
+        if isinstance(expression, Literal):
+            return expression
+        if isinstance(expression, BinaryOp):
+            return BinaryOp(
+                expression.op,
+                self.resolve_expression(expression.left),
+                self.resolve_expression(expression.right),
+            )
+        if isinstance(expression, BooleanOp):
+            return BooleanOp(
+                expression.op,
+                self.resolve_expression(expression.left),
+                self.resolve_expression(expression.right),
+            )
+        if isinstance(expression, NotOp):
+            return NotOp(self.resolve_expression(expression.operand))
+        raise PlanError(
+            f"cannot resolve names in {type(expression).__name__}"
+        )

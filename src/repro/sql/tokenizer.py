@@ -1,0 +1,107 @@
+"""SQL tokenizer for the supported subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "JOIN",
+    "ON",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", "/", "%")
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True if this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def is_symbol(self, symbol: str) -> bool:
+        """True if this token is the given symbol."""
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens.
+
+    :raises ParseError: on any character that starts no valid token.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and text[position].isdigit():
+                position += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:position], start))
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, position):
+                # Normalise != to the SQL-standard <>.
+                value = "<>" if symbol == "!=" else symbol
+                tokens.append(Token(TokenType.SYMBOL, value, position))
+                position += len(symbol)
+                break
+        else:
+            raise ParseError(
+                f"unexpected character {char!r} at position {position}", position
+            )
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

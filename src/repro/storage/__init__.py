@@ -1,0 +1,37 @@
+"""Columnar storage substrate: types, columns, schemas, tables, layouts,
+compression, statistics, and the catalog."""
+
+from repro.storage.catalog import Catalog, ForeignKey
+from repro.storage.column import Column
+from repro.storage.dictionary import (
+    DictionaryEncoded,
+    dictionary_encode,
+    dictionary_encode_column,
+)
+from repro.storage.dtypes import DataType
+from repro.storage.layout import Layout, PaxStore, RowStore, convert
+from repro.storage.rle import RunLengthEncoded, rle_encode
+from repro.storage.schema import ColumnSpec, Schema
+from repro.storage.statistics import ColumnStatistics, collect_statistics
+from repro.storage.table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnSpec",
+    "ColumnStatistics",
+    "DataType",
+    "DictionaryEncoded",
+    "ForeignKey",
+    "Layout",
+    "PaxStore",
+    "RowStore",
+    "RunLengthEncoded",
+    "Schema",
+    "Table",
+    "collect_statistics",
+    "convert",
+    "dictionary_encode",
+    "dictionary_encode_column",
+    "rle_encode",
+]

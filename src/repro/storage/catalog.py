@@ -1,0 +1,108 @@
+"""The catalog: named tables plus their statistics and constraints.
+
+Optimisers consume the catalog, never raw tables: cardinalities, column
+statistics (the source of DQO plan properties), and foreign-key constraints
+(which drive the join-output cardinality assumption of §4.3) all live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.storage.statistics import ColumnStatistics
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint: ``child.child_column -> parent.parent_column``."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+
+class Catalog:
+    """A registry of named tables, with statistics and FK metadata."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    def register(self, name: str, table: Table, replace: bool = False) -> None:
+        """Register ``table`` under ``name``.
+
+        :param replace: allow overwriting an existing registration.
+        :raises SchemaError: if ``name`` is taken and ``replace`` is false.
+        """
+        if name in self._tables and not replace:
+            raise SchemaError(f"table {name!r} is already registered")
+        self._tables[name] = table
+
+    def unregister(self, name: str) -> None:
+        """Remove the registration of ``name`` (missing names are an error)."""
+        if name not in self._tables:
+            raise SchemaError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        """The table registered as ``name``.
+
+        :raises SchemaError: if absent.
+        """
+        if name not in self._tables:
+            raise SchemaError(
+                f"no table named {name!r}; catalog has {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def names(self) -> list[str]:
+        """All registered table names, sorted."""
+        return sorted(self._tables)
+
+    def cardinality(self, name: str) -> int:
+        """Row count of table ``name``."""
+        return self.table(name).num_rows
+
+    def column_statistics(self, table_name: str, column_name: str) -> ColumnStatistics:
+        """Statistics of one column of one registered table."""
+        return self.table(table_name).column(column_name).statistics
+
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        """Declare a foreign-key constraint (tables must be registered)."""
+        for table_name in (fk.child_table, fk.parent_table):
+            if table_name not in self._tables:
+                raise SchemaError(
+                    f"foreign key references unregistered table {table_name!r}"
+                )
+        self._foreign_keys.append(fk)
+
+    def foreign_keys(self) -> list[ForeignKey]:
+        """All declared foreign keys."""
+        return list(self._foreign_keys)
+
+    def foreign_key_between(
+        self, left_table: str, left_column: str, right_table: str, right_column: str
+    ) -> ForeignKey | None:
+        """The FK matching the join predicate, in either direction, if any."""
+        for fk in self._foreign_keys:
+            forward = (
+                fk.child_table == left_table
+                and fk.child_column == left_column
+                and fk.parent_table == right_table
+                and fk.parent_column == right_column
+            )
+            backward = (
+                fk.child_table == right_table
+                and fk.child_column == right_column
+                and fk.parent_table == left_table
+                and fk.parent_column == left_column
+            )
+            if forward or backward:
+                return fk
+        return None

@@ -1,0 +1,96 @@
+"""Dictionary compression.
+
+Section 2.1 of the paper observes that *"the keys of a dictionary-compressed
+column are a natural candidate for [static perfect hashing] and can directly
+be used for SPH"*: dictionary codes are dense integers ``0..NDV-1`` by
+construction. This module provides that encoding, so that density is not
+just a measured statistic but something the storage layer can *manufacture*
+— which is exactly the lever the DQO optimiser pulls when it rewrites a
+sparse-domain grouping into dictionary-encode + SPH grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ColumnError
+from repro.storage.column import Column
+from repro.storage.dtypes import DataType
+from repro.storage.statistics import ColumnStatistics
+
+
+@dataclass(frozen=True)
+class DictionaryEncoded:
+    """A dictionary-encoded column: codes plus the sorted dictionary.
+
+    ``codes[i]`` is the index of the original value in ``dictionary``;
+    because the dictionary is sorted, the encoding is *order-preserving*:
+    ``codes[i] < codes[j]  <=>  original[i] < original[j]``.
+    """
+
+    #: dense integer codes in ``[0, len(dictionary))``.
+    codes: np.ndarray
+    #: sorted array of the distinct original values.
+    dictionary: np.ndarray
+
+    @property
+    def cardinality(self) -> int:
+        """Number of dictionary entries (= NDV of the original column)."""
+        return int(self.dictionary.size)
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the original values."""
+        return self.dictionary[self.codes]
+
+    def decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Map an arbitrary array of codes back to original values."""
+        return self.dictionary[codes]
+
+    def encode_values(self, values: np.ndarray) -> np.ndarray:
+        """Map original-domain ``values`` to codes.
+
+        :raises ColumnError: if any value is not in the dictionary.
+        """
+        positions = np.searchsorted(self.dictionary, values)
+        in_range = positions < self.dictionary.size
+        if not bool(np.all(in_range)) or not bool(
+            np.all(self.dictionary[np.minimum(positions, self.dictionary.size - 1)] == values)
+        ):
+            raise ColumnError("value(s) not present in dictionary")
+        return positions.astype(np.int64)
+
+
+def dictionary_encode(values: np.ndarray) -> DictionaryEncoded:
+    """Encode ``values`` against its own sorted distinct-value dictionary.
+
+    The resulting code column is dense and order-preserving, which makes it
+    directly usable as a static perfect hash key (paper §2.1).
+    """
+    if values.ndim != 1:
+        raise ColumnError(f"expected 1-D values, got shape {values.shape}")
+    dictionary, codes = np.unique(values, return_inverse=True)
+    return DictionaryEncoded(codes=codes.astype(np.int64), dictionary=dictionary)
+
+
+def dictionary_encode_column(column: Column) -> tuple[Column, DictionaryEncoded]:
+    """Encode a :class:`Column`, returning the code column and the encoding.
+
+    The code column carries precomputed statistics: density is guaranteed by
+    construction, and sortedness is inherited from the input because the
+    encoding is order-preserving.
+    """
+    encoded = dictionary_encode(column.values)
+    source = column.statistics
+    stats = ColumnStatistics(
+        count=source.count,
+        minimum=0 if source.count else None,
+        maximum=encoded.cardinality - 1 if source.count else None,
+        distinct=encoded.cardinality,
+        is_sorted=source.is_sorted,
+        is_clustered=source.is_clustered,
+        is_dense=source.count > 0,
+    )
+    code_column = Column(column.name, encoded.codes, DataType.INT64, stats)
+    return code_column, encoded

@@ -1,0 +1,74 @@
+"""Logical data types for columns.
+
+The engine is integer-centric (the paper's experiments use 4-byte unsigned
+integer grouping keys), but float payloads are supported for aggregates.
+Each logical :class:`DataType` maps to exactly one numpy dtype so that the
+storage layer never has to guess representations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ColumnError
+
+
+class DataType(enum.Enum):
+    """Logical column type.
+
+    The ``value`` of each member is its human-readable SQL-ish name.
+    """
+
+    INT32 = "int32"
+    INT64 = "int64"
+    UINT32 = "uint32"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype backing this logical type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_integer(self) -> bool:
+        """True for the integral types (including BOOL is *not* integral)."""
+        return self in (DataType.INT32, DataType.INT64, DataType.UINT32)
+
+    @property
+    def byte_width(self) -> int:
+        """Storage width in bytes of one value."""
+        return int(self.numpy_dtype.itemsize)
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype | type) -> "DataType":
+        """Map a numpy dtype back to the logical type.
+
+        :raises ColumnError: for unsupported numpy dtypes.
+        """
+        dtype = np.dtype(dtype)
+        for member, np_dtype in _NUMPY_DTYPES.items():
+            if np_dtype == dtype:
+                return member
+        # Promote anything integral/floating to the widest member rather
+        # than failing; exotic widths (int8, float32) are accepted inputs.
+        if np.issubdtype(dtype, np.signedinteger):
+            return cls.INT64
+        if np.issubdtype(dtype, np.unsignedinteger):
+            return cls.UINT32 if dtype.itemsize <= 4 else cls.INT64
+        if np.issubdtype(dtype, np.floating):
+            return cls.FLOAT64
+        if dtype == np.bool_:
+            return cls.BOOL
+        raise ColumnError(f"unsupported numpy dtype: {dtype}")
+
+
+_NUMPY_DTYPES: dict[DataType, np.dtype] = {
+    DataType.INT32: np.dtype(np.int32),
+    DataType.INT64: np.dtype(np.int64),
+    DataType.UINT32: np.dtype(np.uint32),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.BOOL: np.dtype(np.bool_),
+}

@@ -1,0 +1,142 @@
+"""Physical page layouts: row-store (NSM), column-store (DSM), and PAX.
+
+Section 2.2 of the paper lists *layout (row, col, PAXish, in-between)* among
+the DQO plan properties that may have non-local effects. This module models
+the three classic layouts concretely enough that layout can participate in
+property propagation and that layout conversion costs can be measured.
+
+The in-memory "pages" here are numpy structures, not byte buffers; what
+matters for DQO is which values are contiguous, because that is what the
+cost model keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ColumnError
+from repro.storage.table import Table
+
+
+class Layout(enum.Enum):
+    """Physical layout of a stored relation."""
+
+    #: N-ary storage model — whole rows contiguous.
+    ROW = "row"
+    #: Decomposition storage model — whole columns contiguous.
+    COLUMNAR = "columnar"
+    #: Partition Attributes Across — rows grouped into pages, columns
+    #: contiguous *within* a page (Ailamaki et al., VLDB 2001).
+    PAX = "pax"
+
+
+@dataclass(frozen=True)
+class PaxPage:
+    """One PAX page: per-column minipages for a contiguous row range."""
+
+    row_offset: int
+    minipages: dict[str, np.ndarray]
+
+    @property
+    def num_rows(self) -> int:
+        """Rows stored in this page."""
+        first = next(iter(self.minipages.values()), None)
+        return 0 if first is None else int(first.size)
+
+
+class RowStore:
+    """A row-major (NSM) rendering of a table as a numpy structured array."""
+
+    def __init__(self, table: Table) -> None:
+        dtype = np.dtype(
+            [
+                (spec.name, spec.dtype.numpy_dtype)
+                for spec in table.schema
+            ]
+        )
+        records = np.empty(table.num_rows, dtype=dtype)
+        for spec in table.schema:
+            records[spec.name] = table[spec.name]
+        self._records = records
+        self._schema = table.schema
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows."""
+        return int(self._records.size)
+
+    def row(self, index: int) -> tuple:
+        """The ``index``-th row as a Python tuple."""
+        return tuple(v.item() for v in self._records[index])
+
+    def to_table(self) -> Table:
+        """Convert back to a columnar :class:`Table` (copies each column)."""
+        return Table.from_arrays(
+            {spec.name: np.ascontiguousarray(self._records[spec.name]) for spec in self._schema}
+        )
+
+
+class PaxStore:
+    """A PAX rendering of a table: fixed-size pages of columnar minipages."""
+
+    def __init__(self, table: Table, rows_per_page: int = 4096) -> None:
+        if rows_per_page <= 0:
+            raise ColumnError(
+                f"rows_per_page must be > 0, got {rows_per_page}"
+            )
+        self._schema = table.schema
+        self._rows_per_page = rows_per_page
+        self._pages: list[PaxPage] = []
+        for offset in range(0, table.num_rows, rows_per_page):
+            chunk = table.slice(offset, offset + rows_per_page)
+            self._pages.append(
+                PaxPage(
+                    row_offset=offset,
+                    minipages={
+                        name: np.array(chunk[name]) for name in table.schema.names
+                    },
+                )
+            )
+
+    @property
+    def num_pages(self) -> int:
+        """Number of PAX pages."""
+        return len(self._pages)
+
+    @property
+    def rows_per_page(self) -> int:
+        """Configured page capacity in rows."""
+        return self._rows_per_page
+
+    def pages(self) -> list[PaxPage]:
+        """All pages in row order."""
+        return list(self._pages)
+
+    def to_table(self) -> Table:
+        """Convert back to a columnar :class:`Table`."""
+        if not self._pages:
+            return Table.empty(self._schema)
+        data = {
+            name: np.concatenate([page.minipages[name] for page in self._pages])
+            for name in self._schema.names
+        }
+        return Table.from_arrays(data)
+
+
+def convert(table: Table, layout: Layout, rows_per_page: int = 4096):
+    """Materialise ``table`` in the requested ``layout``.
+
+    :returns: the ``table`` itself for :attr:`Layout.COLUMNAR`, a
+        :class:`RowStore` for :attr:`Layout.ROW`, or a :class:`PaxStore`
+        for :attr:`Layout.PAX`.
+    """
+    if layout is Layout.COLUMNAR:
+        return table
+    if layout is Layout.ROW:
+        return RowStore(table)
+    if layout is Layout.PAX:
+        return PaxStore(table, rows_per_page)
+    raise ColumnError(f"unknown layout: {layout!r}")

@@ -1,0 +1,118 @@
+"""Relation schemas: ordered, named, typed column specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.storage.dtypes import DataType
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and logical type of one column in a schema."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(
+                f"dtype of column {self.name!r} must be a DataType, "
+                f"got {type(self.dtype).__name__}"
+            )
+
+    def qualified(self, relation: str) -> "ColumnSpec":
+        """This spec with its name prefixed by ``relation.``."""
+        return ColumnSpec(f"{relation}.{self.name}", self.dtype)
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnSpec` with unique names.
+
+    Schemas are immutable value objects; all "modifying" operations return
+    new instances.
+    """
+
+    __slots__ = ("_specs", "_index")
+
+    def __init__(self, specs: Iterable[ColumnSpec]) -> None:
+        specs = tuple(specs)
+        index: dict[str, int] = {}
+        for position, spec in enumerate(specs):
+            if spec.name in index:
+                raise SchemaError(f"duplicate column name {spec.name!r}")
+            index[spec.name] = position
+        self._specs = specs
+        self._index = index
+
+    @classmethod
+    def of(cls, **columns: DataType) -> "Schema":
+        """Build a schema from keyword arguments: ``Schema.of(id=INT64, ...)``.
+
+        Keyword order is the column order (guaranteed by Python 3.7+).
+        """
+        return cls(ColumnSpec(name, dtype) for name, dtype in columns.items())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in schema order."""
+        return tuple(spec.name for spec in self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._specs[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name}: {s.dtype.value}" for s in self._specs)
+        return f"Schema({inner})"
+
+    def position(self, name: str) -> int:
+        """Zero-based position of column ``name``.
+
+        :raises SchemaError: if the column does not exist.
+        """
+        if name not in self._index:
+            raise SchemaError(
+                f"no column {name!r}; schema has {list(self.names)}"
+            )
+        return self._index[name]
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing ``names`` in the given order."""
+        return Schema(self[name] for name in names)
+
+    def qualified(self, relation: str) -> "Schema":
+        """All column names prefixed with ``relation.`` (for join outputs)."""
+        return Schema(spec.qualified(relation) for spec in self._specs)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation (e.g. join output) of two relations.
+
+        :raises SchemaError: on duplicate column names; qualify first.
+        """
+        return Schema(tuple(self._specs) + tuple(other._specs))

@@ -1,0 +1,128 @@
+"""Column statistics — the source of DQO plan properties.
+
+Section 2.2 of the paper lists the data properties deep query optimisation
+must track beyond the classical "interesting orders": *sparse vs dense,
+clustered, partitioned, correlated, compressed, layout*. This module measures
+the statistical ones directly from column data:
+
+* **sortedness** — is the column non-decreasing?
+* **density** — does the column use every value of ``[min, max]``? A dense
+  integer domain is what makes static perfect hashing applicable (§2.1).
+* **clusteredness** — are equal values stored contiguously even if the
+  column is not globally sorted? (Order-based grouping only needs this,
+  which the paper calls "partitioned by the grouping key".)
+* **number of distinct values (NDV)** — the paper assumes NDV is known to
+  every grouping implementation; it is collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.arrays import is_nondecreasing, runs_of
+from repro.errors import StatisticsError
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Immutable summary statistics of one column.
+
+    Instances are produced by :func:`collect_statistics`; constructing them
+    by hand is allowed in tests and by generators that know their output
+    distribution (which avoids a rescan).
+    """
+
+    #: number of values in the column.
+    count: int
+    #: smallest value; ``None`` for an empty column.
+    minimum: int | float | None
+    #: largest value; ``None`` for an empty column.
+    maximum: int | float | None
+    #: number of distinct values.
+    distinct: int
+    #: column is globally non-decreasing.
+    is_sorted: bool
+    #: equal values are stored contiguously (weaker than sorted).
+    is_clustered: bool
+    #: every integer in ``[minimum, maximum]`` occurs (integer columns only).
+    is_dense: bool
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise StatisticsError(f"count must be >= 0, got {self.count}")
+        if self.distinct > max(self.count, 0):
+            raise StatisticsError(
+                f"distinct ({self.distinct}) cannot exceed count ({self.count})"
+            )
+        if self.is_sorted and not self.is_clustered:
+            raise StatisticsError("a sorted column is by definition clustered")
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the integer interval ``[minimum, maximum]``; 0 if empty."""
+        if self.count == 0 or self.minimum is None or self.maximum is None:
+            return 0
+        return int(self.maximum) - int(self.minimum) + 1
+
+    @property
+    def density(self) -> float:
+        """``distinct / domain_size`` in (0, 1]; 0.0 for an empty column."""
+        domain = self.domain_size
+        if domain == 0:
+            return 0.0
+        return self.distinct / domain
+
+
+def collect_statistics(values: np.ndarray) -> ColumnStatistics:
+    """Scan ``values`` once and compute its :class:`ColumnStatistics`.
+
+    Works for any 1-D numeric array. Density is only meaningful for integer
+    data; for float data ``is_dense`` is reported as ``False``.
+    """
+    if values.ndim != 1:
+        raise StatisticsError(f"expected a 1-D array, got shape {values.shape}")
+    if values.size == 0:
+        return ColumnStatistics(
+            count=0,
+            minimum=None,
+            maximum=None,
+            distinct=0,
+            is_sorted=True,
+            is_clustered=True,
+            is_dense=False,
+        )
+    minimum = values.min()
+    maximum = values.max()
+    sorted_flag = is_nondecreasing(values)
+    if sorted_flag:
+        # One pass over the runs suffices: every run is a distinct value.
+        starts, run_values = runs_of(values)
+        distinct = int(run_values.size)
+        clustered = True
+        del starts
+    else:
+        unique = np.unique(values)
+        distinct = int(unique.size)
+        # Clustered: each distinct value forms exactly one run.
+        __, run_values = runs_of(values)
+        clustered = int(run_values.size) == distinct
+    if np.issubdtype(values.dtype, np.integer):
+        domain = int(maximum) - int(minimum) + 1
+        dense = distinct == domain
+        min_out: int | float = int(minimum)
+        max_out: int | float = int(maximum)
+    else:
+        dense = False
+        min_out = float(minimum)
+        max_out = float(maximum)
+    return ColumnStatistics(
+        count=int(values.size),
+        minimum=min_out,
+        maximum=max_out,
+        distinct=distinct,
+        is_sorted=sorted_flag,
+        is_clustered=clustered,
+        is_dense=dense,
+    )

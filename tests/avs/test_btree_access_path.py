@@ -1,0 +1,163 @@
+"""The §1 access-path decision: unclustered B-tree vs scan.
+
+Under the paper's Table 2 model scans are free and the decision is moot;
+:class:`~repro.core.cost.paper.AccessPathCostModel` prices scans at one
+unit per row (and index gathers at 4 units, Table 2's random-access
+factor), making it the classic selectivity crossover at 25%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.avs import AVRegistry, ViewKind, materialize_view
+from repro.core import DynamicProgrammingOptimizer, dqo_config, to_operator
+from repro.core.cost import AccessPathCostModel
+from repro.engine import execute
+from repro.engine.operators import IndexRangeScan, build_row_index
+from repro.indexes import BPlusTree
+from repro.logical import evaluate_naive
+from repro.sql import plan_query
+from repro.storage import Catalog, Table
+
+ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = np.random.default_rng(7)
+    catalog = Catalog()
+    catalog.register(
+        "T",
+        Table.from_arrays(
+            {
+                "k": rng.permutation(ROWS),
+                "v": rng.integers(0, 100, ROWS),
+            }
+        ),
+    )
+    registry = AVRegistry([materialize_view(catalog, ViewKind.BTREE, "T", "k")])
+    return catalog, registry
+
+
+def optimizer_for(catalog, registry):
+    return DynamicProgrammingOptimizer(
+        catalog, AccessPathCostModel(), dqo_config(views=registry)
+    )
+
+
+class TestIndexRangeScanOperator:
+    def test_matches_filter_semantics(self, setting, rng):
+        catalog, registry = setting
+        table = catalog.table("T")
+        index = registry.get(ViewKind.BTREE, "T", "k").artifact
+        assert isinstance(index, BPlusTree)
+        scan = IndexRangeScan(table, "k", index, 500, 800)
+        result = scan.to_table()
+        assert sorted(result["k"].tolist()) == list(range(500, 801))
+
+    def test_output_in_index_order(self, setting):
+        catalog, registry = setting
+        table = catalog.table("T")
+        index = registry.get(ViewKind.BTREE, "T", "k").artifact
+        result = IndexRangeScan(table, "k", index, 100, 5_000).to_table()
+        values = result["k"]
+        assert bool(np.all(values[:-1] <= values[1:]))
+
+    def test_duplicate_values_all_fetched(self):
+        table = Table.from_arrays({"k": np.array([5, 5, 1, 5]), "v": np.arange(4)})
+        index = build_row_index(table, "k")
+        result = IndexRangeScan(table, "k", index, 5, 5).to_table()
+        assert sorted(result["v"].tolist()) == [0, 1, 3]
+
+
+class TestAccessPathChoice:
+    def test_selective_filter_uses_index(self, setting, paper_query):
+        catalog, registry = setting
+        logical = plan_query(
+            "SELECT k, v FROM T WHERE k >= 100 AND k < 200", catalog
+        )
+        result = optimizer_for(catalog, registry).optimize(logical)
+        scan = next(n for n in result.plan.walk() if n.op == "scan")
+        assert scan.scan_view == ("btree", "k")
+        assert scan.index_range == (100, 199)
+        # cost ~ log2(20000) + 4 * 100 matches, far below a 20,000 scan
+        assert result.cost < 1_000
+
+    def test_unselective_filter_uses_full_scan(self, setting):
+        catalog, registry = setting
+        logical = plan_query("SELECT k, v FROM T WHERE k >= 100", catalog)
+        result = optimizer_for(catalog, registry).optimize(logical)
+        scan = next(n for n in result.plan.walk() if n.op == "scan")
+        assert scan.scan_view == ("", "")  # plain scan wins at ~100% sel.
+
+    def test_crossover_around_quarter_selectivity(self, setting):
+        catalog, registry = setting
+        optimizer = optimizer_for(catalog, registry)
+        narrow = plan_query(
+            f"SELECT k FROM T WHERE k < {ROWS // 5}", catalog
+        )  # 20% selective -> index
+        wide = plan_query(
+            f"SELECT k FROM T WHERE k < {ROWS // 3}", catalog
+        )  # 33% selective -> scan
+        narrow_scan = next(
+            n for n in optimizer.optimize(narrow).plan.walk() if n.op == "scan"
+        )
+        wide_scan = next(
+            n for n in optimizer.optimize(wide).plan.walk() if n.op == "scan"
+        )
+        assert narrow_scan.scan_view[0] == "btree"
+        assert wide_scan.scan_view[0] == ""
+
+    def test_equality_predicate(self, setting):
+        catalog, registry = setting
+        logical = plan_query("SELECT v FROM T WHERE k = 42", catalog)
+        result = optimizer_for(catalog, registry).optimize(logical)
+        scan = next(n for n in result.plan.walk() if n.op == "scan")
+        assert scan.scan_view[0] == "btree"
+        assert scan.index_range == (42, 42)
+
+    def test_unsupported_predicate_shape_falls_back(self, setting):
+        catalog, registry = setting
+        # k <> 5 cannot be served by a range; k + 1 < 10 neither.
+        for sql in (
+            "SELECT v FROM T WHERE k <> 5",
+            "SELECT v FROM T WHERE k + 1 < 10",
+        ):
+            logical = plan_query(sql, catalog)
+            result = optimizer_for(catalog, registry).optimize(logical)
+            scan = next(n for n in result.plan.walk() if n.op == "scan")
+            assert scan.scan_view[0] == ""
+
+    def test_index_order_property_pays_downstream(self, setting):
+        """The index emits k-sorted rows, so ORDER BY k after a selective
+        filter is free — the access path's property side effect."""
+        catalog, registry = setting
+        optimizer = optimizer_for(catalog, registry)
+        plain = optimizer.optimize(
+            plan_query("SELECT k FROM T WHERE k < 500", catalog)
+        )
+        ordered = optimizer.optimize(
+            plan_query("SELECT k FROM T WHERE k < 500 ORDER BY k", catalog)
+        )
+        assert ordered.cost == pytest.approx(plain.cost)
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT k, v FROM T WHERE k >= 100 AND k < 200",
+            "SELECT k, v FROM T WHERE k = 777",
+            "SELECT k, v FROM T WHERE k < 300 AND v >= 50",
+            "SELECT k, SUM(v) AS s FROM T WHERE k < 400 GROUP BY k ORDER BY k",
+        ],
+    )
+    def test_index_plans_match_naive(self, setting, sql):
+        catalog, registry = setting
+        logical = plan_query(sql, catalog)
+        result = optimizer_for(catalog, registry).optimize(logical)
+        truth = evaluate_naive(logical, catalog)
+        output = execute(
+            to_operator(result.plan, catalog, validate=True, views=registry)
+        )
+        assert output.equals_unordered(truth)

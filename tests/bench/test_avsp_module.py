@@ -1,0 +1,27 @@
+"""The AVSP experiment runner module."""
+
+from repro.bench.avsp import run_budget_sweep, run_property_mix_sweep
+from repro.datagen import make_workload
+
+
+class TestBudgetSweep:
+    def test_rows_and_monotonicity(self):
+        workload = make_workload(num_tables=3, num_queries=15, seed=2)
+        rows = run_budget_sweep(workload, [0.0, 100_000.0, 10_000_000.0])
+        assert len(rows) == 3
+        benefits = [float(row[3].replace(",", "")) for row in rows]
+        assert benefits == sorted(benefits)
+        assert benefits[0] == 0.0
+
+
+class TestPropertyMixSweep:
+    def test_mix_changes_selection(self):
+        rows = run_property_mix_sweep(
+            num_tables=3, num_queries=20, budget=10_000_000.0, seed=1
+        )
+        assert len(rows) == 4
+        # An all-sorted workload should want fewer/cheaper views than an
+        # all-unsorted one.
+        all_unsorted = float(rows[0][2].replace(",", ""))
+        all_sorted = float(rows[2][2].replace(",", ""))
+        assert all_unsorted > all_sorted

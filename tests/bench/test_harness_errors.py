@@ -1,0 +1,44 @@
+"""Error paths and small helpers of the bench harness."""
+
+import pytest
+
+from repro.bench.figure4 import Figure4Result, PanelResult, render_crossover
+from repro.bench.figure4 import CrossoverResult
+from repro.bench.figure5 import Figure5Result, _plan_summary
+from repro.core import optimize_dqo
+from repro.datagen import Density, Sortedness, make_join_scenario
+from repro.engine import GroupingAlgorithm
+from repro.sql import plan_query
+
+
+class TestFigure4Helpers:
+    def test_panel_lookup_error(self):
+        result = Figure4Result(rows=10)
+        with pytest.raises(ValueError, match="no panel"):
+            result.panel(Sortedness.SORTED, Density.DENSE)
+
+    def test_fastest_at_error(self):
+        panel = PanelResult(Sortedness.SORTED, Density.DENSE)
+        panel.series[GroupingAlgorithm.HG] = [(10, 5.0)]
+        assert panel.fastest_at(10) is GroupingAlgorithm.HG
+        with pytest.raises(ValueError, match="no measurement"):
+            panel.fastest_at(99)
+
+    def test_crossover_render_without_crossover(self):
+        result = CrossoverResult(points=[(2, 1.0, 2.0)], crossover_groups=0)
+        assert "never beat" in render_crossover(result)
+
+
+class TestFigure5Helpers:
+    def test_cell_lookup_error(self):
+        result = Figure5Result()
+        with pytest.raises(ValueError, match="no cell"):
+            result.cell(Sortedness.SORTED, Sortedness.SORTED, Density.DENSE)
+
+    def test_plan_summary_shape(self, paper_query):
+        catalog = make_join_scenario(
+            n_r=300, n_s=700, num_groups=30
+        ).build_catalog()
+        plan = optimize_dqo(plan_query(paper_query, catalog), catalog).plan
+        summary = _plan_summary(plan)
+        assert "(" in summary and ")" in summary  # GROUPING(JOIN) shape

@@ -1,0 +1,56 @@
+"""The ASCII reporting utilities used by the harness."""
+
+from repro.bench.reporting import Series, render_ascii_chart, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(
+            ["name", "value"], [["a", "1"], ["long-name", "22"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "-+-" in lines[2]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestAsciiChart:
+    def test_series_glyphs_and_legend(self):
+        chart = render_ascii_chart(
+            [
+                Series("alpha", [(0, 0), (10, 10)]),
+                Series("beta", [(0, 10), (10, 0)]),
+            ],
+            title="crossing",
+        )
+        assert "crossing" in chart
+        assert "o = alpha" in chart
+        assert "x = beta" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_no_data(self):
+        assert "(no data)" in render_ascii_chart([], title="t")
+        assert "(no data)" in render_ascii_chart([Series("e", [])])
+
+    def test_single_point(self):
+        chart = render_ascii_chart([Series("p", [(5, 5)])])
+        assert "o = p" in chart
+
+    def test_axis_labels(self):
+        chart = render_ascii_chart(
+            [Series("s", [(0, 0), (100, 50)])],
+            x_label="#groups",
+            y_label="ms",
+        )
+        assert "#groups" in chart
+        assert "ms" in chart
+        assert "100" in chart  # x-axis maximum
+
+    def test_constant_series_no_division_by_zero(self):
+        chart = render_ascii_chart([Series("flat", [(0, 7), (10, 7)])])
+        assert "flat" in chart

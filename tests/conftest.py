@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic datasets and catalogs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import Density, Sortedness, make_grouping_dataset, make_join_scenario
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for ad-hoc data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table():
+    """A tiny two-column table with known contents."""
+    return Table.from_arrays(
+        {
+            "k": np.array([3, 1, 2, 1, 3, 3], dtype=np.int64),
+            "v": np.array([10, 20, 30, 40, 50, 60], dtype=np.int64),
+        }
+    )
+
+
+@pytest.fixture
+def grouping_datasets():
+    """All four §4.1 dataset configurations at test scale."""
+    return {
+        (sortedness, density): make_grouping_dataset(
+            5_000, 40, sortedness=sortedness, density=density, seed=7
+        )
+        for sortedness in Sortedness
+        for density in Density
+    }
+
+
+@pytest.fixture
+def join_catalog():
+    """A reduced-size §4.3 scenario catalog (R sorted, S sorted, dense)."""
+    scenario = make_join_scenario(n_r=1_000, n_s=2_500, num_groups=100, seed=5)
+    return scenario.build_catalog()
+
+
+@pytest.fixture
+def paper_query():
+    """The §4.3 query, verbatim."""
+    return "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"

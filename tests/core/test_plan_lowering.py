@@ -1,0 +1,79 @@
+"""Physical plan rendering and lowering to the engine."""
+
+import pytest
+
+from repro.core import Granularity, optimize_dqo, optimize_sqo, to_operator
+from repro.datagen import Density, Sortedness, make_join_scenario
+from repro.engine import execute
+from repro.logical import evaluate_naive
+from repro.sql import plan_query
+
+
+@pytest.fixture
+def optimized(join_catalog, paper_query):
+    logical = plan_query(paper_query, join_catalog)
+    return join_catalog, logical, optimize_dqo(logical, join_catalog)
+
+
+class TestExplain:
+    def test_explain_annotations(self, optimized):
+        __, __, result = optimized
+        text = result.explain()
+        assert "cost=" in text and "rows=" in text and "props=" in text
+        assert "GroupBy[" in text and "Join[" in text
+
+    def test_deep_explain_shows_recipe(self, optimized):
+        __, __, result = optimized
+        deep_text = result.explain(deep=True)
+        assert "partitioned_grouping" in deep_text
+        assert "<ORGANELLE>" in deep_text
+
+    def test_max_granularity(self, optimized):
+        catalog, logical, dqo = optimized
+        assert dqo.plan.max_granularity() >= Granularity.MACROMOLECULE
+        sqo = optimize_sqo(logical, catalog)
+        assert sqo.plan.max_granularity() is Granularity.ORGANELLE
+
+
+class TestLowering:
+    def test_lowered_plan_matches_naive(self, optimized):
+        catalog, logical, result = optimized
+        truth = evaluate_naive(logical, catalog)
+        output = execute(to_operator(result.plan, catalog))
+        assert output.equals_unordered(truth)
+
+    @pytest.mark.parametrize("r_sort", list(Sortedness))
+    @pytest.mark.parametrize("s_sort", list(Sortedness))
+    @pytest.mark.parametrize("density", list(Density))
+    def test_all_grid_plans_execute_with_validation(
+        self, r_sort, s_sort, density, paper_query
+    ):
+        """Every chosen plan's property claims are *checked at runtime*:
+        to_operator(validate=True) makes OG/OJ verify their preconditions,
+        so a wrong sortedness claim would raise instead of mismatching."""
+        catalog = make_join_scenario(
+            n_r=600,
+            n_s=1_500,
+            num_groups=60,
+            r_sortedness=r_sort,
+            s_sortedness=s_sort,
+            density=density,
+            seed=9,
+        ).build_catalog()
+        logical = plan_query(paper_query, catalog)
+        truth = evaluate_naive(logical, catalog)
+        for optimizer in (optimize_sqo, optimize_dqo):
+            result = optimizer(logical, catalog)
+            output = execute(to_operator(result.plan, catalog, validate=True))
+            assert output.equals_unordered(truth)
+
+    def test_decorated_plans_execute(self, join_catalog):
+        sql = (
+            "SELECT A AS grp, COUNT(*) AS c FROM R JOIN S ON ID = R_ID "
+            "WHERE B < 500 GROUP BY A ORDER BY grp LIMIT 7"
+        )
+        logical = plan_query(sql, join_catalog)
+        truth = evaluate_naive(logical, join_catalog)
+        result = optimize_dqo(logical, join_catalog)
+        output = execute(to_operator(result.plan, join_catalog))
+        assert output.equals(truth)  # ordered + limited: exact equality

@@ -1,0 +1,117 @@
+"""Algebraic laws of dominance pruning and property vectors (hypothesis).
+
+The DP's correctness rests on ``covers`` being a partial order and on
+``pareto_insert`` maintaining an antichain that always contains a
+cheapest entry. These laws are checked on arbitrary generated vectors.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost.cardinality import RelationEstimate
+from repro.core.optimizer.base import SearchStats
+from repro.core.optimizer.pruning import DPEntry, dominates, pareto_insert
+from repro.core.plan import PhysicalNode
+from repro.core.properties import Correlations, PropertyVector
+
+COLUMNS = ("a", "b", "c")
+
+
+def subsets():
+    return st.frozensets(st.sampled_from(COLUMNS))
+
+
+vectors = st.builds(
+    PropertyVector, sorted_on=subsets(), clustered_on=subsets(), dense=subsets()
+)
+
+
+class TestCoversIsPartialOrder:
+    @given(vectors)
+    def test_reflexive(self, vector):
+        assert vector.covers(vector)
+
+    @given(vectors, vectors, vectors)
+    def test_transitive(self, a, b, c):
+        if a.covers(b) and b.covers(c):
+            assert a.covers(c)
+
+    @given(vectors, vectors)
+    def test_antisymmetric(self, a, b):
+        if a.covers(b) and b.covers(a):
+            assert a == b
+
+    @given(vectors, vectors)
+    def test_union_is_upper_bound(self, a, b):
+        union = a.union(b)
+        assert union.covers(a) and union.covers(b)
+
+    @given(vectors)
+    def test_projection_is_weaker(self, vector):
+        assert vector.covers(vector.restrict_to_orders())
+        assert vector.covers(vector.restrict_to_columns(["a"]))
+
+    @given(vectors)
+    def test_correlation_closure_is_stronger_and_idempotent(self, vector):
+        correlations = Correlations(frozenset({("a", "b"), ("b", "c")}))
+        closed = correlations.close_sorted(vector)
+        assert closed.covers(vector)
+        assert correlations.close_sorted(closed) == closed
+
+
+def entry(cost, vector):
+    node = PhysicalNode(op="scan", cost=cost, properties=vector)
+    return DPEntry(node, cost, vector, RelationEstimate(1.0, {}))
+
+
+entries_strategy = st.lists(
+    st.tuples(st.integers(0, 20), vectors), min_size=0, max_size=25
+)
+
+
+class TestParetoInsert:
+    @settings(max_examples=100)
+    @given(entries_strategy)
+    def test_frontier_is_antichain_containing_minimum(self, raw):
+        stats = SearchStats()
+        frontier: list[DPEntry] = []
+        for cost, vector in raw:
+            frontier = pareto_insert(frontier, entry(float(cost), vector), stats)
+        # Antichain: no retained entry dominates another.
+        for i, a in enumerate(frontier):
+            for j, b in enumerate(frontier):
+                if i != j:
+                    assert not dominates(a, b)
+        # A cheapest inserted entry survives (some entry of minimal cost).
+        if raw:
+            assert min(e.cost for e in frontier) == min(c for c, __ in raw)
+        # Counters add up.
+        assert stats.generated == len(raw)
+
+    @settings(max_examples=100)
+    @given(entries_strategy)
+    def test_every_inserted_entry_is_covered_by_the_frontier(self, raw):
+        """No information is lost: for every candidate there is a retained
+        entry that is at least as cheap and at least as strong — the
+        §2.2 'must not discard that information' guarantee."""
+        stats = SearchStats()
+        frontier: list[DPEntry] = []
+        for cost, vector in raw:
+            frontier = pareto_insert(frontier, entry(float(cost), vector), stats)
+        for cost, vector in raw:
+            assert any(
+                retained.cost <= cost and retained.properties.covers(vector)
+                for retained in frontier
+            )
+
+    def test_no_prune_mode_keeps_everything(self):
+        stats = SearchStats()
+        frontier: list[DPEntry] = []
+        duplicates = [entry(1.0, PropertyVector())] * 5
+        for item in duplicates:
+            frontier = pareto_insert(frontier, item, stats, prune=False)
+        assert len(frontier) == 5
+        assert stats.pruned_dominated == 0

@@ -1,0 +1,111 @@
+"""Logical plan -> QuerySpec normalisation."""
+
+import pytest
+
+from repro.core.optimizer.query import extract_query
+from repro.engine import col, count_star
+from repro.errors import PlanError
+from repro.logical import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOrderBy,
+    LogicalProject,
+    LogicalScan,
+)
+
+
+def paper_shape():
+    return LogicalGroupBy(
+        LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.ID", "S.R_ID"),
+        "R.A",
+        (count_star(),),
+    )
+
+
+class TestExtraction:
+    def test_paper_query_shape(self):
+        spec = extract_query(paper_shape())
+        assert [scan.table_name for scan in spec.scans] == ["R", "S"]
+        assert len(spec.joins) == 1
+        edge = spec.joins[0]
+        assert (edge.left_scan, edge.right_scan) == (0, 1)
+        assert edge.left_column == "R.ID"
+        assert spec.group_key == "R.A"
+        assert spec.aggregates[0].alias == "count"
+
+    def test_decoration_peeling(self):
+        plan = LogicalLimit(
+            LogicalOrderBy(
+                LogicalProject(paper_shape(), (("grp", col("R.A")),)),
+                ("grp",),
+            ),
+            7,
+        )
+        spec = extract_query(plan)
+        assert spec.limit == 7
+        assert spec.order_by == ("grp",)
+        assert spec.final_outputs is not None
+        assert spec.group_key == "R.A"
+
+    def test_filter_above_group_child_pushes_to_owner(self):
+        plan = LogicalGroupBy(
+            LogicalFilter(
+                LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.ID", "S.R_ID"),
+                (col("R.A") > 3) & (col("S.B") < 9),
+            ),
+            "R.A",
+            (count_star(),),
+        )
+        spec = extract_query(plan)
+        assert len(spec.scans[0].filters) == 1  # R.A > 3 -> scan R
+        assert len(spec.scans[1].filters) == 1  # S.B < 9 -> scan S
+
+    def test_filter_below_join_pushes_down(self):
+        plan = LogicalJoin(
+            LogicalFilter(LogicalScan("R"), col("R.A") > 1),
+            LogicalScan("S"),
+            "R.ID",
+            "S.R_ID",
+        )
+        spec = extract_query(plan)
+        assert len(spec.scans[0].filters) == 1
+        assert spec.group_key is None
+
+    def test_cross_table_conjunct_rejected(self):
+        plan = LogicalFilter(
+            LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.ID", "S.R_ID"),
+            col("R.A") < col("S.B"),
+        )
+        with pytest.raises(PlanError, match="single-table"):
+            extract_query(plan)
+
+    def test_self_join_within_one_scan_rejected(self):
+        plan = LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.ID", "R.A")
+        with pytest.raises(PlanError, match="self-join"):
+            extract_query(plan)
+
+    def test_group_by_under_join_rejected(self):
+        plan = LogicalJoin(
+            LogicalGroupBy(LogicalScan("R"), "R.A", (count_star(),)),
+            LogicalScan("S"),
+            "R.A",
+            "S.R_ID",
+        )
+        with pytest.raises(PlanError, match="group-by under a join"):
+            extract_query(plan)
+
+    def test_scan_of_column_errors(self):
+        spec = extract_query(paper_shape())
+        assert spec.scan_of_column("S.B") == 1
+        with pytest.raises(PlanError, match="no scan alias"):
+            spec.scan_of_column("T.x")
+
+    def test_aliased_scans(self):
+        plan = LogicalJoin(
+            LogicalScan("R", "x"), LogicalScan("R", "y"), "x.ID", "y.ID"
+        )
+        spec = extract_query(plan)
+        assert [scan.alias for scan in spec.scans] == ["x", "y"]
+        assert spec.scan_of_column("y.A") == 1

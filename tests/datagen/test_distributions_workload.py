@@ -1,0 +1,96 @@
+"""Distribution primitives and the AVSP workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    QueryShape,
+    clustered_keys,
+    make_workload,
+    sparsify,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.errors import DataGenError
+from repro.storage.statistics import collect_statistics
+
+
+class TestDistributions:
+    def test_uniform_exact_ndv(self):
+        rng = np.random.default_rng(0)
+        keys = uniform_keys(1_000, 37, rng)
+        assert np.unique(keys).size == 37
+
+    def test_uniform_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataGenError):
+            uniform_keys(10, 11, rng)
+        with pytest.raises(DataGenError):
+            uniform_keys(0, 1, rng)
+
+    def test_zipf_skew_concentrates(self):
+        rng = np.random.default_rng(0)
+        keys = zipf_keys(20_000, 100, skew=1.5, rng=rng)
+        counts = np.bincount(keys, minlength=100)
+        # Rank-0 value should dominate under heavy skew.
+        assert counts[0] > 5 * counts[50]
+
+    def test_zipf_zero_skew_is_uniformish(self):
+        rng = np.random.default_rng(0)
+        keys = zipf_keys(50_000, 10, skew=0.0, rng=rng)
+        counts = np.bincount(keys, minlength=10)
+        assert counts.min() > 3_500
+
+    def test_clustered_is_clustered_not_sorted(self):
+        rng = np.random.default_rng(3)
+        keys = clustered_keys(5_000, 50, rng)
+        stats = collect_statistics(keys)
+        assert stats.is_clustered
+        assert stats.distinct == 50
+
+    def test_sparsify_preserves_order_and_creates_gaps(self):
+        rng = np.random.default_rng(0)
+        dense = np.sort(uniform_keys(1_000, 20, rng))
+        sparse = sparsify(dense, spread=100, rng=rng)
+        stats = collect_statistics(sparse)
+        assert stats.is_sorted
+        assert not stats.is_dense
+        assert stats.distinct == 20
+
+    def test_sparsify_invalid_spread(self):
+        with pytest.raises(DataGenError):
+            sparsify(np.array([1, 2]), spread=1, rng=np.random.default_rng(0))
+
+
+class TestWorkload:
+    def test_shapes_and_pool_sharing(self):
+        workload = make_workload(num_tables=4, num_queries=40, seed=2)
+        assert len(workload.tables) == 4
+        assert len(workload) == 40
+        names = {t.name for t in workload.tables}
+        for query in workload:
+            assert query.left.name in names
+            if query.shape is QueryShape.JOIN_GROUPING:
+                assert query.right is not None
+                assert query.right.name in names
+                assert query.right.name != query.left.name
+
+    def test_frequencies_positive_and_sum(self):
+        workload = make_workload(num_queries=25, seed=1)
+        assert all(q.frequency > 0 for q in workload)
+        assert workload.total_frequency == pytest.approx(25.0)
+
+    def test_deterministic(self):
+        a = make_workload(seed=7)
+        b = make_workload(seed=7)
+        assert [q.left.name for q in a] == [q.left.name for q in b]
+
+    def test_join_fraction_zero(self):
+        workload = make_workload(num_queries=20, join_fraction=0.0, seed=0)
+        assert all(q.shape is QueryShape.GROUPING for q in workload)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataGenError):
+            make_workload(num_queries=0)
+        with pytest.raises(DataGenError):
+            make_workload(min_rows=100, max_rows=10)

@@ -1,0 +1,74 @@
+"""The §4.1 dataset generators: exact group counts, property grid."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    FIGURE4_GRID,
+    Density,
+    Sortedness,
+    figure4_datasets,
+    make_grouping_dataset,
+)
+from repro.errors import DataGenError
+from repro.storage.statistics import collect_statistics
+
+
+class TestGroupingDataset:
+    @pytest.mark.parametrize("sortedness,density", FIGURE4_GRID)
+    def test_properties_match_configuration(self, sortedness, density):
+        dataset = make_grouping_dataset(
+            5_000, 40, sortedness=sortedness, density=density, seed=3
+        )
+        stats = collect_statistics(dataset.keys)
+        assert stats.distinct == 40  # exact group count
+        assert stats.is_sorted == (sortedness is Sortedness.SORTED)
+        assert stats.is_dense == (density is Density.DENSE)
+        assert dataset.num_rows == 5_000
+
+    def test_deterministic_by_seed(self):
+        a = make_grouping_dataset(1000, 10, seed=9)
+        b = make_grouping_dataset(1000, 10, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.payload, b.payload)
+
+    def test_different_seeds_differ(self):
+        a = make_grouping_dataset(1000, 10, seed=1)
+        b = make_grouping_dataset(1000, 10, seed=2)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_sparse_respects_sortedness_independence(self):
+        # Sparsification must not destroy sortedness (the 2x2 grid is
+        # orthogonal by construction).
+        dataset = make_grouping_dataset(
+            2_000,
+            25,
+            sortedness=Sortedness.SORTED,
+            density=Density.SPARSE,
+            seed=4,
+        )
+        stats = collect_statistics(dataset.keys)
+        assert stats.is_sorted
+        assert not stats.is_dense
+
+    def test_roughly_uniform(self):
+        dataset = make_grouping_dataset(100_000, 10, seed=6)
+        counts = np.bincount(dataset.keys)
+        # Uniform: each group ~10k; allow generous tolerance.
+        assert counts.min() > 8_000
+        assert counts.max() < 12_000
+
+    def test_to_table(self):
+        table = make_grouping_dataset(100, 5, seed=0).to_table()
+        assert table.schema.names == ("key", "value")
+        assert table.num_rows == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataGenError):
+            make_grouping_dataset(10, 11)
+        with pytest.raises(DataGenError):
+            make_grouping_dataset(10, 0)
+
+    def test_figure4_datasets_covers_grid(self):
+        datasets = figure4_datasets(500, 8, seed=1)
+        assert set(datasets) == set(FIGURE4_GRID)

@@ -1,0 +1,77 @@
+"""The §4.3 join scenario generator: FK integrity, correlation, grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import detect_monotone_correlation
+from repro.datagen import (
+    PAPER_NUM_GROUPS,
+    PAPER_R_ROWS,
+    PAPER_S_ROWS,
+    Density,
+    Sortedness,
+    make_join_scenario,
+)
+from repro.errors import DataGenError
+
+
+class TestJoinScenario:
+    def test_paper_defaults(self):
+        scenario = make_join_scenario()
+        assert scenario.r.num_rows == PAPER_R_ROWS == 45_000
+        assert scenario.s.num_rows == PAPER_S_ROWS == 90_000
+        assert scenario.r.column("A").statistics.distinct == PAPER_NUM_GROUPS
+
+    def test_foreign_key_integrity(self):
+        scenario = make_join_scenario(n_r=500, n_s=1_000, num_groups=50)
+        r_ids = set(scenario.r["ID"].tolist())
+        assert set(scenario.s["R_ID"].tolist()) <= r_ids
+
+    def test_r_id_unique(self):
+        scenario = make_join_scenario(n_r=500, n_s=800, num_groups=50)
+        ids = scenario.r["ID"]
+        assert np.unique(ids).size == ids.size
+
+    def test_a_monotone_in_id(self):
+        # The FK-correlation assumption (DESIGN.md #5b) must hold in the
+        # generated data regardless of storage order.
+        for r_sort in Sortedness:
+            scenario = make_join_scenario(
+                n_r=800, n_s=1_000, num_groups=40, r_sortedness=r_sort
+            )
+            assert detect_monotone_correlation(scenario.r, "ID", "A")
+
+    @pytest.mark.parametrize("sortedness", list(Sortedness))
+    def test_r_storage_order(self, sortedness):
+        scenario = make_join_scenario(
+            n_r=700, n_s=900, num_groups=30, r_sortedness=sortedness
+        )
+        assert scenario.r.column("ID").statistics.is_sorted == (
+            sortedness is Sortedness.SORTED
+        )
+
+    @pytest.mark.parametrize("sortedness", list(Sortedness))
+    def test_s_storage_order(self, sortedness):
+        scenario = make_join_scenario(
+            n_r=700, n_s=900, num_groups=30, s_sortedness=sortedness
+        )
+        assert scenario.s.column("R_ID").statistics.is_sorted == (
+            sortedness is Sortedness.SORTED
+        )
+
+    @pytest.mark.parametrize("density", list(Density))
+    def test_density_of_both_key_columns(self, density):
+        scenario = make_join_scenario(
+            n_r=700, n_s=900, num_groups=30, density=density
+        )
+        expected = density is Density.DENSE
+        assert scenario.r.column("ID").statistics.is_dense == expected
+        assert scenario.r.column("A").statistics.is_dense == expected
+
+    def test_catalog_contains_fk(self):
+        catalog = make_join_scenario(n_r=100, n_s=200, num_groups=10).build_catalog()
+        assert catalog.foreign_key_between("S", "R_ID", "R", "ID") is not None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataGenError):
+            make_join_scenario(n_r=10, num_groups=11)

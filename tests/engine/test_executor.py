@@ -1,0 +1,25 @@
+"""Executor entry points."""
+
+import numpy as np
+
+from repro.engine import TableScan, execute, execute_timed, explain
+from repro.storage import Table
+
+
+def test_execute_timed_returns_result_and_duration():
+    table = Table.from_arrays({"x": np.arange(1_000)})
+    result, seconds = execute_timed(TableScan(table))
+    assert result.equals(table)
+    assert seconds >= 0.0
+
+
+def test_explain_matches_operator_explain():
+    table = Table.from_arrays({"x": np.arange(3)})
+    scan = TableScan(table)
+    assert explain(scan) == scan.explain()
+    assert "TableScan(rows=3)" in explain(scan)
+
+
+def test_execute_is_to_table():
+    table = Table.from_arrays({"x": np.arange(5)})
+    assert execute(TableScan(table)).equals(table)

@@ -1,0 +1,120 @@
+"""Expression evaluation and aggregate computation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import (
+    AggregateFunction,
+    AggregateSpec,
+    avg_of,
+    compute_aggregate,
+    count_star,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.engine.expressions import BinaryOp, Literal, NotOp, col
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def chunk():
+    return {
+        "a": np.array([1, 2, 3, 4]),
+        "b": np.array([10, 20, 30, 40]),
+    }
+
+
+class TestExpressions:
+    def test_column_ref(self, chunk):
+        assert list(col("a").evaluate(chunk)) == [1, 2, 3, 4]
+
+    def test_missing_column(self, chunk):
+        with pytest.raises(ExecutionError, match="not in chunk"):
+            col("zzz").evaluate(chunk)
+
+    def test_literal_broadcast(self, chunk):
+        assert list(Literal(7).evaluate(chunk)) == [7, 7, 7, 7]
+
+    def test_arithmetic(self, chunk):
+        expression = col("a") * 2 + col("b")
+        assert list(expression.evaluate(chunk)) == [12, 24, 36, 48]
+
+    def test_comparisons(self, chunk):
+        assert list((col("a") >= 3).evaluate(chunk)) == [False, False, True, True]
+        assert list((col("a") != 2).evaluate(chunk)) == [True, False, True, True]
+
+    def test_boolean_connectives(self, chunk):
+        expression = (col("a") > 1) & (col("b") < 40)
+        assert list(expression.evaluate(chunk)) == [False, True, True, False]
+        expression = (col("a") == 1) | (col("a") == 4)
+        assert list(expression.evaluate(chunk)) == [True, False, False, True]
+
+    def test_not(self, chunk):
+        assert list((~(col("a") > 2)).evaluate(chunk)) == [True, True, False, False]
+
+    def test_referenced_columns(self):
+        expression = (col("x") + col("y") > 3) & ~(col("z") == 1)
+        assert expression.referenced_columns() == {"x", "y", "z"}
+
+    def test_repr_roundtrips_visually(self):
+        assert repr((col("a") + 1) > col("b")) == "((a + 1) > b)"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            BinaryOp("**", col("a"), Literal(2))
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(ExecutionError):
+            col("a") + "text"
+
+
+class TestAggregates:
+    def test_count(self):
+        slots = np.array([0, 1, 0, 0])
+        out = compute_aggregate(count_star(), slots, 2, None)
+        assert list(out) == [3, 1]
+
+    def test_sum_int(self):
+        slots = np.array([0, 1, 0])
+        values = np.array([5, 7, 2])
+        out = compute_aggregate(sum_of("v"), slots, 2, values)
+        assert list(out) == [7, 7]
+        assert out.dtype == np.int64
+
+    def test_sum_float(self):
+        out = compute_aggregate(
+            sum_of("v"), np.array([0, 0]), 1, np.array([0.5, 0.75])
+        )
+        assert out.tolist() == [1.25]
+
+    def test_min_max(self):
+        slots = np.array([0, 1, 0, 1])
+        values = np.array([9, 2, 3, 8])
+        assert list(compute_aggregate(min_of("v"), slots, 2, values)) == [3, 2]
+        assert list(compute_aggregate(max_of("v"), slots, 2, values)) == [9, 8]
+
+    def test_avg(self):
+        slots = np.array([0, 0, 1])
+        values = np.array([1, 2, 9])
+        out = compute_aggregate(avg_of("v"), slots, 2, values)
+        assert out.tolist() == [1.5, 9.0]
+
+    def test_missing_values_rejected(self):
+        with pytest.raises(ExecutionError):
+            compute_aggregate(sum_of("v"), np.array([0]), 1, None)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            compute_aggregate(
+                sum_of("v"), np.array([0, 0]), 1, np.array([1])
+            )
+
+    def test_spec_validation(self):
+        with pytest.raises(ExecutionError):
+            AggregateSpec(AggregateFunction.SUM, None, "s")
+
+    def test_default_aliases(self):
+        assert sum_of("R.A").alias == "sum_R.A"
+        assert count_star().alias == "count"
+        assert avg_of("x", "m").alias == "m"

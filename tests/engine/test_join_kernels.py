@@ -1,0 +1,132 @@
+"""The five Table 2 join kernels: correctness, order guarantees, agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels.joins import (
+    JoinAlgorithm,
+    JoinOutputOrder,
+    binary_search_join,
+    hash_join,
+    join,
+    merge_join,
+    perfect_hash_join,
+    sort_merge_join,
+)
+from repro.errors import PreconditionError
+
+
+def naive_pairs(build, probe):
+    return sorted(
+        (i, j)
+        for i in range(len(build))
+        for j in range(len(probe))
+        if build[i] == probe[j]
+    )
+
+
+class TestHashJoin:
+    def test_duplicates_both_sides(self):
+        build = np.array([1, 2, 1])
+        probe = np.array([1, 3, 1])
+        result = hash_join(build, probe)
+        assert result.canonical_pairs() == naive_pairs(build, probe)
+        assert result.num_rows == 4
+
+    def test_preserves_probe_order(self, rng):
+        build = rng.integers(0, 20, 50)
+        probe = rng.integers(0, 20, 80)
+        result = hash_join(build, probe)
+        assert result.output_order is JoinOutputOrder.PROBE_ORDER
+        assert np.all(np.diff(result.right_indices) >= 0)
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert hash_join(empty, np.array([1])).num_rows == 0
+        assert hash_join(np.array([1]), empty).num_rows == 0
+
+
+class TestPerfectHashJoin:
+    def test_dense_build(self):
+        build = np.array([10, 11, 12])
+        probe = np.array([12, 9, 10, 13])
+        result = perfect_hash_join(build, probe)
+        assert result.canonical_pairs() == naive_pairs(build, probe)
+        assert result.output_order is JoinOutputOrder.PROBE_ORDER
+
+    def test_sparse_build_rejected(self):
+        with pytest.raises(PreconditionError, match="dense"):
+            perfect_hash_join(np.array([0, 10_000]), np.array([0]))
+
+    def test_out_of_domain_probes_miss(self):
+        result = perfect_hash_join(np.array([5, 6]), np.array([4, 7, 5]))
+        assert result.canonical_pairs() == [(0, 2)]
+
+
+class TestMergeJoin:
+    def test_sorted_inputs(self):
+        build = np.array([1, 2, 2, 5])
+        probe = np.array([2, 2, 5, 6])
+        result = merge_join(build, probe)
+        assert result.canonical_pairs() == naive_pairs(build, probe)
+        assert result.output_order is JoinOutputOrder.KEY_SORTED
+
+    def test_output_key_sorted(self):
+        build = np.array([1, 3, 5])
+        probe = np.array([1, 3, 5])
+        result = merge_join(build, probe)
+        keys = build[result.left_indices]
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(PreconditionError, match="unsorted"):
+            merge_join(np.array([2, 1]), np.array([1]), validate=True)
+        # Without validation the caller is on their own; no raise.
+        merge_join(np.array([2, 1]), np.array([1]))
+
+
+class TestSortMergeAndBinarySearch:
+    def test_sort_merge_unsorted_inputs(self, rng):
+        build = rng.integers(0, 15, 40)
+        probe = rng.integers(0, 15, 60)
+        result = sort_merge_join(build, probe)
+        assert result.canonical_pairs() == naive_pairs(build, probe)
+
+    def test_binary_search_preserves_probe_order(self, rng):
+        build = rng.integers(0, 15, 40)
+        probe = rng.integers(0, 15, 60)
+        result = binary_search_join(build, probe)
+        assert result.canonical_pairs() == naive_pairs(build, probe)
+        assert np.all(np.diff(result.right_indices) >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 12), max_size=60),
+    st.lists(st.integers(0, 12), max_size=60),
+)
+def test_all_join_kernels_agree(build_values, probe_values):
+    """Property (Table 2 / footnote 1): every applicable join kernel
+    produces exactly the same match multiset."""
+    build = np.array(build_values, dtype=np.int64)
+    probe = np.array(probe_values, dtype=np.int64)
+    expected = naive_pairs(build_values, probe_values)
+    for algorithm in JoinAlgorithm:
+        if algorithm is JoinAlgorithm.OJ:
+            # OJ requires sorted inputs; sorting permutes row identities,
+            # so compare against the naive pairs of the sorted inputs.
+            sorted_build = np.sort(build)
+            sorted_probe = np.sort(probe)
+            result = join(sorted_build, sorted_probe, algorithm)
+            assert result.canonical_pairs() == naive_pairs(
+                sorted_build.tolist(), sorted_probe.tolist()
+            )
+            continue
+        try:
+            result = join(build, probe, algorithm)
+        except PreconditionError:
+            assert algorithm is JoinAlgorithm.SPHJ
+            continue
+        assert result.canonical_pairs() == expected, algorithm

@@ -1,0 +1,193 @@
+"""Physical operators: streaming semantics, pipeline breakers, schemas."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Filter,
+    GroupBy,
+    GroupingAlgorithm,
+    Join,
+    JoinAlgorithm,
+    Limit,
+    PartitionBy,
+    Project,
+    Sort,
+    TableScan,
+    col,
+    count_star,
+    execute,
+    sum_of,
+)
+from repro.engine.operators.base import Chunk, table_to_chunks
+from repro.errors import ExecutionError, PreconditionError
+from repro.storage import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_arrays(
+        {
+            "k": np.array([2, 0, 1, 0, 2, 2], dtype=np.int64),
+            "v": np.array([1, 2, 3, 4, 5, 6], dtype=np.int64),
+        }
+    )
+
+
+class TestChunking:
+    def test_table_to_chunks_sizes(self, table):
+        chunks = list(table_to_chunks(table, chunk_size=4))
+        assert [c.num_rows for c in chunks] == [4, 2]
+
+    def test_empty_table_yields_one_empty_chunk(self):
+        empty = Table.from_arrays({"x": np.empty(0, dtype=np.int64)})
+        chunks = list(table_to_chunks(empty))
+        assert len(chunks) == 1
+        assert chunks[0].num_rows == 0
+
+    def test_chunk_validation(self):
+        with pytest.raises(ExecutionError):
+            Chunk({"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_invalid_chunk_size(self, table):
+        with pytest.raises(ExecutionError):
+            list(table_to_chunks(table, chunk_size=0))
+
+
+class TestScanFilterProject:
+    def test_scan_roundtrip(self, table):
+        assert execute(TableScan(table, chunk_size=2)).equals(table)
+
+    def test_filter(self, table):
+        result = execute(Filter(TableScan(table), col("v") > 3))
+        assert result.to_rows() == [(0, 4), (2, 5), (2, 6)]
+
+    def test_filter_unknown_column(self, table):
+        with pytest.raises(ExecutionError):
+            Filter(TableScan(table), col("zzz") > 0)
+
+    def test_project_expressions(self, table):
+        result = execute(
+            Project(TableScan(table), [("double_v", col("v") * 2)])
+        )
+        assert result.schema.names == ("double_v",)
+        assert list(result["double_v"]) == [2, 4, 6, 8, 10, 12]
+
+    def test_project_empty_rejected(self, table):
+        with pytest.raises(ExecutionError):
+            Project(TableScan(table), [])
+
+    def test_limit_stops_pulling(self, table):
+        result = execute(Limit(TableScan(table, chunk_size=2), 3))
+        assert result.num_rows == 3
+
+    def test_limit_zero(self, table):
+        assert execute(Limit(TableScan(table), 0)).num_rows == 0
+
+
+class TestSortAndPartition:
+    def test_sort(self, table):
+        result = execute(Sort(TableScan(table), ["k", "v"]))
+        assert result.to_rows() == [
+            (0, 2), (0, 4), (1, 3), (2, 1), (2, 5), (2, 6),
+        ]
+
+    def test_sort_unknown_key(self, table):
+        with pytest.raises(ExecutionError):
+            Sort(TableScan(table), ["zzz"])
+
+    def test_partition_by_producers(self, table):
+        partition = PartitionBy(TableScan(table), "k")
+        producers = dict(partition.producers())
+        assert set(producers) == {0, 1, 2}
+        assert sorted(producers[2]["v"].tolist()) == [1, 5, 6]
+        assert partition.num_partitions() == 3
+
+    def test_partition_by_slot_stream(self, table):
+        partition = PartitionBy(TableScan(table), "k")
+        rows = execute_slots(partition)
+        # slot column groups rows consistently with the key column
+        by_slot = {}
+        for key, slot in rows:
+            by_slot.setdefault(slot, set()).add(key)
+        assert all(len(keys) == 1 for keys in by_slot.values())
+
+
+def execute_slots(partition):
+    pairs = []
+    for chunk in partition.chunks():
+        for key, slot in zip(chunk["k"].tolist(), chunk["__slot__"].tolist()):
+            pairs.append((key, slot))
+    return pairs
+
+
+class TestGroupByOperator:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            GroupingAlgorithm.HG,
+            GroupingAlgorithm.SPHG,
+            GroupingAlgorithm.SOG,
+            GroupingAlgorithm.BSG,
+        ],
+    )
+    def test_aggregates(self, table, algorithm):
+        plan = GroupBy(
+            TableScan(table),
+            key="k",
+            aggregates=[count_star("cnt"), sum_of("v", "total")],
+            algorithm=algorithm,
+        )
+        result = execute(plan).sort_by(["k"])
+        assert result.to_rows() == [(0, 2, 6), (1, 1, 3), (2, 3, 12)]
+
+    def test_og_validates_precondition(self, table):
+        plan = GroupBy(
+            TableScan(table),
+            key="k",
+            aggregates=[count_star()],
+            algorithm=GroupingAlgorithm.OG,
+            validate=True,
+        )
+        with pytest.raises(PreconditionError):
+            execute(plan)
+
+    def test_schema(self, table):
+        plan = GroupBy(
+            TableScan(table), key="k", aggregates=[count_star("c")],
+        )
+        assert plan.output_schema.names == ("k", "c")
+
+    def test_duplicate_aliases_rejected(self, table):
+        with pytest.raises(ExecutionError):
+            GroupBy(
+                TableScan(table),
+                key="k",
+                aggregates=[count_star("k")],
+            )
+
+
+class TestJoinOperator:
+    @pytest.mark.parametrize("algorithm", list(JoinAlgorithm))
+    def test_equijoin(self, algorithm):
+        left = Table.from_arrays({"id": np.array([0, 1, 2]), "x": np.array([7, 8, 9])})
+        right = Table.from_arrays({"rid": np.array([2, 0, 2]), "y": np.array([1, 2, 3])})
+        if algorithm is JoinAlgorithm.OJ:
+            right = right.sort_by(["rid"])
+        plan = Join(
+            TableScan(left), TableScan(right), "id", "rid", algorithm=algorithm
+        )
+        result = execute(plan)
+        expected = {(0, 7, 0, 2), (2, 9, 2, 1), (2, 9, 2, 3)}
+        assert set(result.to_rows()) == expected
+
+    def test_overlapping_names_rejected(self, table):
+        with pytest.raises(ExecutionError, match="qualify"):
+            Join(TableScan(table), TableScan(table), "k", "k")
+
+    def test_explain_tree(self, table):
+        plan = GroupBy(
+            TableScan(table), key="k", aggregates=[count_star()],
+        )
+        text = plan.explain()
+        assert "GroupBy" in text and "TableScan" in text

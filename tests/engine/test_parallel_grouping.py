@@ -1,0 +1,111 @@
+"""Morsel-style parallel grouping (Figure 3e): shard + merge == serial."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import Density, Sortedness, make_grouping_dataset
+from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
+from repro.engine.kernels.parallel import merge_partials, parallel_group_by
+from repro.errors import PreconditionError
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 8, 16])
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            GroupingAlgorithm.HG,
+            GroupingAlgorithm.SPHG,
+            GroupingAlgorithm.SOG,
+            GroupingAlgorithm.BSG,
+        ],
+    )
+    def test_equivalence(self, algorithm, shards):
+        dataset = make_grouping_dataset(
+            5_000, 64, Sortedness.UNSORTED, Density.DENSE, seed=8
+        )
+        serial = group_by(
+            dataset.keys, dataset.payload, algorithm, num_distinct_hint=64
+        ).sorted_by_key()
+        parallel = parallel_group_by(
+            dataset.keys,
+            dataset.payload,
+            algorithm,
+            shards=shards,
+            num_distinct_hint=64,
+        ).sorted_by_key()
+        assert np.array_equal(parallel.keys, serial.keys)
+        assert np.array_equal(parallel.counts, serial.counts)
+        assert np.array_equal(parallel.sums, serial.sums)
+
+    def test_og_on_sorted_input_survives_shard_boundaries(self):
+        # A run crossing a shard boundary splits into two partials; the
+        # merge must recombine them into one group.
+        keys = np.sort(
+            make_grouping_dataset(
+                4_000, 37, Sortedness.SORTED, Density.DENSE, seed=9
+            ).keys
+        )
+        serial = group_by(keys, None, GroupingAlgorithm.OG).sorted_by_key()
+        parallel = parallel_group_by(
+            keys, None, GroupingAlgorithm.OG, shards=7
+        ).sorted_by_key()
+        assert np.array_equal(parallel.keys, serial.keys)
+        assert np.array_equal(parallel.counts, serial.counts)
+
+    def test_empty_input(self):
+        result = parallel_group_by(
+            np.empty(0, dtype=np.int64), None, GroupingAlgorithm.HG, shards=4
+        )
+        assert result.num_groups == 0
+
+    def test_more_shards_than_rows(self):
+        result = parallel_group_by(
+            np.array([5, 5, 6]), None, GroupingAlgorithm.SOG, shards=50
+        )
+        assert result.keys.tolist() == [5, 6]
+        assert result.counts.tolist() == [2, 1]
+
+    def test_invalid_shards(self):
+        with pytest.raises(PreconditionError):
+            parallel_group_by(np.array([1]), None, GroupingAlgorithm.HG, shards=0)
+
+
+class TestMerge:
+    def test_merge_of_nothing(self):
+        assert merge_partials([]).num_groups == 0
+
+    def test_merge_sums_overlapping_keys(self):
+        a = group_by(np.array([1, 1, 2]), np.array([1, 2, 3]), GroupingAlgorithm.SOG)
+        b = group_by(np.array([2, 3]), np.array([4, 5]), GroupingAlgorithm.SOG)
+        merged = merge_partials([a, b])
+        assert merged.keys.tolist() == [1, 2, 3]
+        assert merged.counts.tolist() == [2, 2, 1]
+        assert merged.sums.tolist() == [3, 7, 5]
+
+    def test_merged_output_is_sorted(self):
+        a = group_by(np.array([9, 1]), None, GroupingAlgorithm.HG)
+        b = group_by(np.array([5]), None, GroupingAlgorithm.HG)
+        merged = merge_partials([a, b])
+        assert merged.keys.tolist() == [1, 5, 9]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 25), min_size=1, max_size=300),
+    st.integers(1, 12),
+)
+def test_parallel_property(values, shards):
+    """Property: shard + merge equals serial for any input and shard
+    count (HG per shard)."""
+    keys = np.array(values, dtype=np.int64)
+    payload = np.ones(keys.size, dtype=np.int64)
+    serial = group_by(keys, payload, GroupingAlgorithm.HG).sorted_by_key()
+    parallel = parallel_group_by(
+        keys, payload, GroupingAlgorithm.HG, shards=shards
+    ).sorted_by_key()
+    assert np.array_equal(parallel.keys, serial.keys)
+    assert np.array_equal(parallel.counts, serial.counts)
+    assert np.array_equal(parallel.sums, serial.sums)

@@ -1,0 +1,73 @@
+"""Metadata-only grouping over RLE columns (§2.2 "compressed — how
+exactly?")."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
+from repro.engine.kernels.rle_grouping import rle_compress_with_sums, rle_group_by
+from repro.errors import PreconditionError
+from repro.storage.rle import rle_encode
+
+
+class TestRleGroupBy:
+    def test_counts_from_run_lengths(self):
+        encoded = rle_encode(np.array([3, 3, 5, 5, 5, 3]))
+        result = rle_group_by(encoded)
+        assert result.keys.tolist() == [3, 5]
+        assert result.counts.tolist() == [3, 3]
+
+    def test_sums_from_run_sums(self):
+        keys = np.array([1, 1, 2, 1])
+        values = np.array([10, 20, 30, 40])
+        encoded, run_sums = rle_compress_with_sums(keys, values)
+        result = rle_group_by(encoded, run_sums)
+        assert result.keys.tolist() == [1, 2]
+        assert result.sums.tolist() == [70, 30]
+        assert result.counts.tolist() == [3, 1]
+
+    def test_empty(self):
+        encoded = rle_encode(np.empty(0, dtype=np.int64))
+        assert rle_group_by(encoded).num_groups == 0
+
+    def test_misaligned_run_sums_rejected(self):
+        encoded = rle_encode(np.array([1, 2]))
+        with pytest.raises(PreconditionError, match="shape"):
+            rle_group_by(encoded, np.array([1.0]))
+
+    def test_mismatched_compress_inputs_rejected(self):
+        with pytest.raises(PreconditionError):
+            rle_compress_with_sums(np.array([1, 2]), np.array([1]))
+
+    def test_output_is_key_sorted(self):
+        encoded = rle_encode(np.array([9, 9, 1, 4, 4]))
+        result = rle_group_by(encoded)
+        assert result.keys.tolist() == [1, 4, 9]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 8), max_size=300))
+def test_rle_grouping_matches_row_grouping(values):
+    """Property: aggregating run metadata equals aggregating rows."""
+    keys = np.array(values, dtype=np.int64)
+    payload = np.arange(keys.size, dtype=np.int64)
+    encoded, run_sums = rle_compress_with_sums(keys, payload)
+    from_rle = rle_group_by(encoded, run_sums)
+    if keys.size == 0:
+        assert from_rle.num_groups == 0
+        return
+    from_rows = group_by(keys, payload, GroupingAlgorithm.SOG).sorted_by_key()
+    assert from_rle.keys.tolist() == from_rows.keys.tolist()
+    assert from_rle.counts.tolist() == from_rows.counts.tolist()
+    assert from_rle.sums.tolist() == from_rows.sums.tolist()
+
+
+def test_touches_only_runs_not_rows():
+    """The whole point: work scales with runs, not rows."""
+    keys = np.repeat(np.arange(100, dtype=np.int64), 10_000)  # 1M rows, 100 runs
+    encoded = rle_encode(keys)
+    assert encoded.num_runs == 100
+    result = rle_group_by(encoded)
+    assert result.counts.tolist() == [10_000] * 100

@@ -1,0 +1,111 @@
+"""B+-tree: lookups, ranges, bulkloading, structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.indexes import BPlusTree
+
+
+class TestInsertAndGet:
+    def test_basic(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3]:
+            tree.insert(key, key * 10)
+        assert tree.get(9) == 90
+        assert tree.get(2) is None
+        assert tree.get(2, default="x") == "x"
+        assert 3 in tree and 4 not in tree
+        assert len(tree) == 4
+
+    def test_overwrite_keeps_size(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    def test_many_inserts_grow_height(self, rng):
+        tree = BPlusTree(order=4)
+        keys = rng.permutation(1_000)
+        for key in keys:
+            tree.insert(int(key), int(key))
+        assert tree.height > 1
+        tree.check_invariants()
+        assert all(tree.get(int(k)) == int(k) for k in keys[:100])
+
+    def test_invalid_order(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+
+class TestRangeScan:
+    def test_range_inclusive(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):
+            tree.insert(key, key)
+        assert [k for k, __ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_range_empty(self):
+        tree = BPlusTree()
+        tree.insert(5, "x")
+        assert list(tree.range(6, 10)) == []
+
+    def test_items_sorted(self, rng):
+        tree = BPlusTree(order=5)
+        keys = rng.permutation(300)
+        for key in keys:
+            tree.insert(int(key), None)
+        assert [k for k, __ in tree.items()] == list(range(300))
+
+
+class TestBulkload:
+    def test_bulkload_matches_inserts(self):
+        keys = np.arange(0, 1_000, 3)
+        tree = BPlusTree(order=8)
+        tree.bulkload(keys, keys * 2)
+        tree.check_invariants()
+        assert len(tree) == keys.size
+        assert tree.get(999) == 1998
+        assert tree.get(1) is None
+
+    def test_bulkload_requires_empty(self):
+        tree = BPlusTree()
+        tree.insert(1, 1)
+        with pytest.raises(IndexError_, match="empty"):
+            tree.bulkload(np.array([2, 3]), [2, 3])
+
+    def test_bulkload_requires_sorted_unique(self):
+        with pytest.raises(IndexError_):
+            BPlusTree().bulkload(np.array([2, 1]), [0, 0])
+        with pytest.raises(IndexError_):
+            BPlusTree().bulkload(np.array([1, 1]), [0, 0])
+
+    def test_bulkload_empty_is_noop(self):
+        tree = BPlusTree()
+        tree.bulkload(np.empty(0, dtype=np.int64), [])
+        assert len(tree) == 0
+
+    def test_bulkload_then_insert(self):
+        tree = BPlusTree(order=4)
+        tree.bulkload(np.arange(0, 50, 2), list(range(0, 50, 2)))
+        tree.insert(7, 7)
+        tree.check_invariants()
+        assert tree.get(7) == 7
+        assert len(tree) == 26
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(-10**6, 10**6), max_size=300), st.integers(3, 16))
+def test_btree_equals_sorted_dict(key_set, order):
+    """Property: after arbitrary inserts the tree is a sorted map and all
+    structural invariants hold."""
+    tree = BPlusTree(order=order)
+    for key in key_set:
+        tree.insert(key, key + 1)
+    tree.check_invariants()
+    assert [k for k, __ in tree.items()] == sorted(key_set)
+    for key in list(key_set)[:50]:
+        assert tree.get(key) == key + 1

@@ -1,0 +1,179 @@
+"""Failure injection and degenerate inputs across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import optimize_dqo, optimize_sqo, to_operator
+from repro.engine import (
+    GroupBy,
+    GroupingAlgorithm,
+    Join,
+    JoinAlgorithm,
+    TableScan,
+    count_star,
+    execute,
+    group_by,
+    join,
+    sum_of,
+)
+from repro.errors import OptimizationError, PlanError
+from repro.logical import evaluate_naive
+from repro.sql import plan_query
+from repro.storage import Catalog, Table
+
+
+def empty_catalog():
+    catalog = Catalog()
+    catalog.register(
+        "R",
+        Table.from_arrays(
+            {"ID": np.empty(0, dtype=np.int64), "A": np.empty(0, dtype=np.int64)}
+        ),
+    )
+    catalog.register(
+        "S",
+        Table.from_arrays(
+            {"R_ID": np.empty(0, dtype=np.int64), "B": np.empty(0, dtype=np.int64)}
+        ),
+    )
+    return catalog
+
+
+class TestEmptyRelations:
+    def test_full_pipeline_on_empty_tables(self, paper_query):
+        catalog = empty_catalog()
+        logical = plan_query(paper_query, catalog)
+        for optimizer in (optimize_sqo, optimize_dqo):
+            result = optimizer(logical, catalog)
+            output = execute(to_operator(result.plan, catalog, validate=True))
+            assert output.num_rows == 0
+            assert output.schema.names == ("R.A", "count")
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            GroupingAlgorithm.HG,
+            GroupingAlgorithm.OG,
+            GroupingAlgorithm.SOG,
+            GroupingAlgorithm.BSG,
+        ],
+    )
+    def test_grouping_operators_on_empty(self, algorithm):
+        table = Table.from_arrays({"k": np.empty(0, dtype=np.int64)})
+        result = execute(
+            GroupBy(TableScan(table), "k", [count_star()], algorithm)
+        )
+        assert result.num_rows == 0
+
+    @pytest.mark.parametrize("algorithm", list(JoinAlgorithm))
+    def test_join_operators_on_empty(self, algorithm):
+        left = Table.from_arrays({"a": np.empty(0, dtype=np.int64)})
+        right = Table.from_arrays({"b": np.array([1, 2, 3])})
+        result = execute(
+            Join(TableScan(left), TableScan(right), "a", "b", algorithm)
+        )
+        assert result.num_rows == 0
+
+
+class TestSingleRowAndSingleGroup:
+    def test_one_row(self):
+        result = group_by(
+            np.array([7]), np.array([3]), GroupingAlgorithm.SOG
+        )
+        assert result.keys.tolist() == [7]
+        assert result.counts.tolist() == [1]
+        assert result.sums.tolist() == [3]
+
+    def test_one_group_many_rows(self):
+        keys = np.zeros(10_000, dtype=np.int64)
+        for algorithm in GroupingAlgorithm:
+            result = group_by(keys, None, algorithm)
+            assert result.num_groups == 1
+            assert result.counts.tolist() == [10_000]
+
+    def test_all_distinct(self):
+        keys = np.arange(1_000, dtype=np.int64)
+        for algorithm in GroupingAlgorithm:
+            result = group_by(keys, None, algorithm)
+            assert result.num_groups == 1_000
+
+
+class TestExtremeValues:
+    def test_negative_and_large_keys(self):
+        keys = np.array([-(2**40), 0, 2**40, -(2**40)])
+        for algorithm in (
+            GroupingAlgorithm.HG,
+            GroupingAlgorithm.SOG,
+            GroupingAlgorithm.BSG,
+        ):
+            result = group_by(keys, None, algorithm).sorted_by_key()
+            assert result.keys.tolist() == [-(2**40), 0, 2**40]
+            assert result.counts.tolist() == [2, 1, 1]
+
+    def test_join_with_extreme_keys(self):
+        build = np.array([-(2**50), 2**50])
+        probe = np.array([2**50, -(2**50), 0])
+        result = join(build, probe, JoinAlgorithm.HJ)
+        assert result.canonical_pairs() == [(0, 1), (1, 0)]
+
+    def test_offset_dense_domain_sph(self):
+        # Dense domain far from zero: SPH must still be minimal.
+        keys = np.arange(10**9, 10**9 + 100, dtype=np.int64)
+        result = group_by(keys, None, GroupingAlgorithm.SPHG)
+        assert result.num_groups == 100
+
+
+class TestFilterEdgeCases:
+    def test_filter_selects_nothing(self, join_catalog):
+        logical = plan_query(
+            "SELECT A, COUNT(*) FROM R WHERE ID < 0 GROUP BY A", join_catalog
+        )
+        result = optimize_dqo(logical, join_catalog)
+        output = execute(to_operator(result.plan, join_catalog))
+        assert output.num_rows == 0
+
+    def test_filter_selects_everything_keeps_density(self, join_catalog):
+        # A non-filtering filter still destroys nothing (selectivity 1.0).
+        logical = plan_query(
+            "SELECT A, COUNT(*) FROM R WHERE ID >= 0 GROUP BY A", join_catalog
+        )
+        result = optimize_dqo(logical, join_catalog)
+        truth = evaluate_naive(logical, join_catalog)
+        output = execute(to_operator(result.plan, join_catalog))
+        assert output.equals_unordered(truth)
+
+
+class TestOptimizerErrors:
+    def test_disconnected_join_graph(self):
+        from repro.core.optimizer import DynamicProgrammingOptimizer
+        from repro.core.optimizer.query import QuerySpec, ScanSpec
+
+        catalog = empty_catalog()
+        spec = QuerySpec(
+            scans=[ScanSpec("R", "R"), ScanSpec("S", "S")], joins=[]
+        )
+        with pytest.raises(OptimizationError, match="disconnected"):
+            DynamicProgrammingOptimizer(catalog).optimize_spec(spec)
+
+    def test_cross_table_filter_rejected(self, join_catalog):
+        logical = plan_query(
+            "SELECT R.A, COUNT(*) FROM R JOIN S ON ID = R_ID "
+            "WHERE ID < B GROUP BY A",
+            join_catalog,
+        )
+        with pytest.raises(PlanError, match="single-table"):
+            optimize_dqo(logical, join_catalog)
+
+
+class TestAggregateEdgeCases:
+    def test_sum_overflowing_int32_range(self):
+        keys = np.zeros(1_000, dtype=np.int64)
+        values = np.full(1_000, 2**31, dtype=np.int64)
+        result = group_by(keys, values, GroupingAlgorithm.SOG)
+        assert result.sums.tolist() == [1_000 * 2**31]
+
+    def test_negative_sums(self):
+        result = group_by(
+            np.array([1, 1]), np.array([-5, -7]), GroupingAlgorithm.HG
+        )
+        assert result.sums.tolist() == [-12]

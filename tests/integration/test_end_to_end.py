@@ -1,0 +1,92 @@
+"""End-to-end integration: SQL -> optimise -> execute == naive truth.
+
+The strongest guarantee in the suite: for randomly generated data
+properties and a family of queries, whatever plan either optimiser picks,
+executing it (with runtime precondition validation enabled) must
+reproduce the naive evaluator's result, and DQO's estimated cost never
+exceeds SQO's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import optimize_dqo, optimize_sqo, to_operator
+from repro.datagen import Density, Sortedness, make_join_scenario
+from repro.engine import execute
+from repro.logical import evaluate_naive
+from repro.sql import plan_query
+
+QUERIES = [
+    "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A",
+    "SELECT A, COUNT(*) AS c, SUM(B) AS s FROM R JOIN S ON ID = R_ID GROUP BY A",
+    "SELECT A, MIN(B) AS lo, MAX(B) AS hi, AVG(B) AS m "
+    "FROM R JOIN S ON ID = R_ID GROUP BY A",
+    "SELECT A, COUNT(*) FROM R GROUP BY A",
+    "SELECT A, SUM(ID) AS s FROM R WHERE ID >= 50 GROUP BY A ORDER BY A LIMIT 10",
+    "SELECT R.ID, S.B FROM R JOIN S ON R.ID = S.R_ID WHERE S.B < 300",
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    r_sorted=st.booleans(),
+    s_sorted=st.booleans(),
+    dense=st.booleans(),
+    query_index=st.integers(0, len(QUERIES) - 1),
+    seed=st.integers(0, 50),
+)
+def test_optimised_plans_match_naive(r_sorted, s_sorted, dense, query_index, seed):
+    scenario = make_join_scenario(
+        n_r=300,
+        n_s=700,
+        num_groups=30,
+        r_sortedness=Sortedness.SORTED if r_sorted else Sortedness.UNSORTED,
+        s_sortedness=Sortedness.SORTED if s_sorted else Sortedness.UNSORTED,
+        density=Density.DENSE if dense else Density.SPARSE,
+        seed=seed,
+    )
+    catalog = scenario.build_catalog()
+    logical = plan_query(QUERIES[query_index], catalog)
+    truth = evaluate_naive(logical, catalog)
+    sqo = optimize_sqo(logical, catalog)
+    dqo = optimize_dqo(logical, catalog)
+    # Deep optimisation never costs more than shallow (superset space).
+    assert dqo.cost <= sqo.cost + 1e-9
+    for result in (sqo, dqo):
+        output = execute(to_operator(result.plan, catalog, validate=True))
+        assert output.equals_unordered(truth)
+
+
+def test_claimed_properties_hold_on_executed_output(paper_query):
+    """A plan claiming sorted output must actually emit sorted rows."""
+    catalog = make_join_scenario(
+        n_r=400, n_s=900, num_groups=40, seed=2
+    ).build_catalog()
+    logical = plan_query(paper_query, catalog)
+    result = optimize_dqo(logical, catalog)
+    output = execute(to_operator(result.plan, catalog, validate=True))
+    for column in result.plan.properties.sorted_on:
+        if column in output.schema:
+            values = output[column]
+            assert bool(np.all(values[:-1] <= values[1:])), column
+
+
+def test_sqo_dqo_same_answer_different_cost(paper_query):
+    catalog = make_join_scenario(
+        n_r=500,
+        n_s=1_000,
+        num_groups=50,
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+        seed=8,
+    ).build_catalog()
+    logical = plan_query(paper_query, catalog)
+    sqo = optimize_sqo(logical, catalog)
+    dqo = optimize_dqo(logical, catalog)
+    assert dqo.cost < sqo.cost  # the paper's dense-unsorted 4x case
+    sqo_output = execute(to_operator(sqo.plan, catalog)).sort_by(["R.A"])
+    dqo_output = execute(to_operator(dqo.plan, catalog)).sort_by(["R.A"])
+    assert sqo_output.equals(dqo_output)

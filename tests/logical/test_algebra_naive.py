@@ -1,0 +1,103 @@
+"""Logical algebra nodes, validation, and the naive evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.engine import col, count_star, sum_of
+from repro.errors import PlanError
+from repro.logical import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOrderBy,
+    LogicalProject,
+    LogicalScan,
+    evaluate_naive,
+    validate_plan,
+)
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(
+        "R",
+        Table.from_arrays(
+            {"ID": np.arange(6), "A": np.array([0, 0, 1, 1, 2, 2])}
+        ),
+    )
+    cat.register(
+        "S",
+        Table.from_arrays({"R_ID": np.array([0, 0, 3, 5]), "B": np.arange(4)}),
+    )
+    return cat
+
+
+class TestStructure:
+    def test_scan_output_columns_qualified(self, catalog):
+        assert LogicalScan("R").output_columns(catalog) == ["R.ID", "R.A"]
+        assert LogicalScan("R", "X").output_columns(catalog) == ["X.ID", "X.A"]
+
+    def test_join_output_columns(self, catalog):
+        plan = LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.ID", "S.R_ID")
+        assert plan.output_columns(catalog) == ["R.ID", "R.A", "S.R_ID", "S.B"]
+
+    def test_join_overlap_rejected(self, catalog):
+        plan = LogicalJoin(LogicalScan("R"), LogicalScan("R"), "R.ID", "R.ID")
+        with pytest.raises(PlanError):
+            plan.output_columns(catalog)
+
+    def test_explain_and_walk(self, catalog):
+        plan = LogicalGroupBy(
+            LogicalFilter(LogicalScan("R"), col("R.A") > 0),
+            "R.A",
+            (count_star(),),
+        )
+        assert len(list(plan.walk())) == 3
+        text = plan.explain()
+        assert "GroupBy" in text and "Filter" in text and "Scan(R)" in text
+
+    def test_validate_catches_unknown_columns(self, catalog):
+        bad = LogicalFilter(LogicalScan("R"), col("R.Z") > 0)
+        with pytest.raises(PlanError, match="unknown"):
+            validate_plan(bad, catalog)
+        bad_join = LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.Z", "S.R_ID")
+        with pytest.raises(PlanError):
+            validate_plan(bad_join, catalog)
+
+
+class TestNaiveEvaluator:
+    def test_scan(self, catalog):
+        result = evaluate_naive(LogicalScan("R"), catalog)
+        assert result.schema.names == ("R.ID", "R.A")
+        assert result.num_rows == 6
+
+    def test_filter_project(self, catalog):
+        plan = LogicalProject(
+            LogicalFilter(LogicalScan("R"), col("R.A") == 1),
+            (("id2", col("R.ID") * 2),),
+        )
+        assert evaluate_naive(plan, catalog).to_rows() == [(4,), (6,)]
+
+    def test_join(self, catalog):
+        plan = LogicalJoin(LogicalScan("R"), LogicalScan("S"), "R.ID", "S.R_ID")
+        result = evaluate_naive(plan, catalog)
+        assert result.num_rows == 4  # rows 0,0,3,5 of S all match
+        assert set(result["R.ID"].tolist()) == {0, 3, 5}
+
+    def test_group_by(self, catalog):
+        plan = LogicalGroupBy(
+            LogicalScan("R"), "R.A", (count_star("c"), sum_of("R.ID", "s"))
+        )
+        result = evaluate_naive(plan, catalog)
+        assert result.to_rows() == [(0, 2, 1), (1, 2, 5), (2, 2, 9)]
+
+    def test_order_and_limit(self, catalog):
+        plan = LogicalLimit(
+            LogicalOrderBy(LogicalScan("R"), ("R.A",)), 2
+        )
+        result = evaluate_naive(plan, catalog)
+        assert result.num_rows == 2
+        assert list(result["R.A"]) == [0, 0]

@@ -1,0 +1,94 @@
+"""SQL planning: name resolution and logical tree shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    evaluate_naive,
+)
+from repro.sql import plan_query
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(
+        "R", Table.from_arrays({"ID": np.arange(8), "A": np.arange(8) % 3})
+    )
+    cat.register(
+        "S", Table.from_arrays({"R_ID": np.array([1, 1, 7]), "A": np.array([4, 5, 6])})
+    )
+    return cat
+
+
+class TestResolution:
+    def test_unqualified_unique_name(self, catalog):
+        plan = plan_query("SELECT ID FROM R", catalog)
+        assert isinstance(plan, LogicalProject)
+        assert plan.outputs[0][0] == "R.ID"
+
+    def test_ambiguous_name_rejected(self, catalog):
+        with pytest.raises(PlanError, match="ambiguous"):
+            plan_query("SELECT A FROM R JOIN S ON ID = R_ID", catalog)
+
+    def test_unknown_name_rejected(self, catalog):
+        with pytest.raises(PlanError, match="unknown column"):
+            plan_query("SELECT Z FROM R", catalog)
+
+    def test_duplicate_alias_rejected(self, catalog):
+        with pytest.raises(PlanError, match="duplicate table alias"):
+            plan_query("SELECT R.ID FROM R JOIN R ON R.ID = R.ID", catalog)
+
+    def test_alias_resolution(self, catalog):
+        plan = plan_query(
+            "SELECT x.ID FROM R AS x JOIN S ON x.ID = S.R_ID", catalog
+        )
+        scan_aliases = [
+            node.alias for node in plan.walk() if isinstance(node, LogicalScan)
+        ]
+        assert scan_aliases == ["x", "S"]
+
+
+class TestShapes:
+    def test_paper_query_shape(self, catalog, paper_query):
+        plan = plan_query(paper_query, catalog)
+        assert isinstance(plan, LogicalGroupBy)
+        assert isinstance(plan.child, LogicalJoin)
+        assert plan.key == "R.A"
+        assert plan.aggregates[0].alias == "count"
+
+    def test_group_key_alias_adds_projection(self, catalog):
+        plan = plan_query("SELECT A AS grp, COUNT(*) FROM R GROUP BY A", catalog)
+        assert isinstance(plan, LogicalProject)
+        result = evaluate_naive(plan, catalog)
+        assert result.schema.names == ("grp", "count")
+
+    def test_non_key_bare_column_rejected(self, catalog):
+        with pytest.raises(PlanError, match="GROUP BY key"):
+            plan_query("SELECT ID, COUNT(*) FROM R GROUP BY A", catalog)
+
+    def test_multi_key_group_by_rejected(self, catalog):
+        with pytest.raises(PlanError, match="exactly one"):
+            plan_query("SELECT COUNT(*) FROM R GROUP BY ID, A", catalog)
+
+    def test_desc_rejected(self, catalog):
+        with pytest.raises(PlanError, match="DESC"):
+            plan_query("SELECT ID FROM R ORDER BY ID DESC", catalog)
+
+    def test_end_to_end_with_where(self, catalog):
+        result = evaluate_naive(
+            plan_query(
+                "SELECT A, SUM(ID) AS s FROM R WHERE ID >= 2 GROUP BY A "
+                "ORDER BY A",
+                catalog,
+            ),
+            catalog,
+        )
+        # IDs 2..7, A = ID % 3
+        assert result.to_rows() == [(0, 9), (1, 11), (2, 7)]

@@ -1,0 +1,95 @@
+"""SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import parse, tokenize
+from repro.sql.ast import AggregateItem, ColumnItem
+from repro.sql.tokenizer import TokenType
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Join")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "JOIN"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("R_id myTable")
+        assert [t.value for t in tokens[:-1]] == ["R_id", "myTable"]
+
+    def test_symbols_and_numbers(self):
+        tokens = tokenize("a >= 10 <> != <=")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["a", ">=", "10", "<>", "<>", "<="]
+
+    def test_positions(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+    def test_invalid_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a ? b")
+
+
+class TestParser:
+    def test_paper_query(self, paper_query):
+        statement = parse(paper_query)
+        assert statement.from_table.name == "R"
+        assert len(statement.joins) == 1
+        assert statement.joins[0].left_key == "R.ID"
+        assert statement.joins[0].right_key == "S.R_ID"
+        assert statement.group_by == ("R.A",)
+        items = statement.items
+        assert isinstance(items[0], ColumnItem) and items[0].column == "R.A"
+        assert isinstance(items[1], AggregateItem)
+        assert items[1].function == "COUNT" and items[1].column is None
+
+    def test_aliases(self):
+        statement = parse("SELECT a AS x, SUM(b) AS s FROM t AS u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "s"
+        assert statement.from_table.alias == "u"
+
+    def test_implicit_table_alias(self):
+        assert parse("SELECT a FROM t u").from_table.alias == "u"
+
+    def test_where_precedence(self):
+        statement = parse("SELECT a FROM t WHERE a > 1 AND b < 2 OR c = 3")
+        # OR binds loosest: (a>1 AND b<2) OR c=3
+        assert repr(statement.where) == "(((a > 1) AND (b < 2)) OR (c = 3))"
+
+    def test_where_parentheses_and_not(self):
+        statement = parse("SELECT a FROM t WHERE NOT (a = 1 OR b = 2)")
+        assert repr(statement.where) == "(NOT ((a = 1) OR (b = 2)))"
+
+    def test_arithmetic_in_predicate(self):
+        statement = parse("SELECT a FROM t WHERE a + 2 * b >= 10")
+        assert repr(statement.where) == "((a + (2 * b)) >= 10)"
+
+    def test_order_by_and_limit(self):
+        statement = parse("SELECT a FROM t ORDER BY a, b DESC LIMIT 5")
+        assert statement.order_by[0].ascending
+        assert not statement.order_by[1].ascending
+        assert statement.limit == 5
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT a FROM t extra extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse("SELECT a")
+
+    def test_error_positions(self):
+        with pytest.raises(ParseError) as info:
+            parse("SELECT FROM t")
+        assert info.value.position == 7

@@ -1,0 +1,61 @@
+"""Catalog registration, statistics access, and foreign keys."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Catalog, ForeignKey, Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register("R", Table.from_arrays({"ID": np.arange(10), "A": np.arange(10) // 2}))
+    cat.register("S", Table.from_arrays({"R_ID": np.array([0, 0, 5, 9])}))
+    return cat
+
+
+class TestRegistration:
+    def test_lookup(self, catalog):
+        assert catalog.table("R").num_rows == 10
+        assert catalog.cardinality("S") == 4
+        assert "R" in catalog
+        assert catalog.names() == ["R", "S"]
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.register("R", catalog.table("S"))
+
+    def test_replace(self, catalog):
+        catalog.register("R", catalog.table("S"), replace=True)
+        assert catalog.cardinality("R") == 4
+
+    def test_unregister(self, catalog):
+        catalog.unregister("S")
+        assert "S" not in catalog
+        with pytest.raises(SchemaError):
+            catalog.unregister("S")
+
+    def test_missing_lookup(self, catalog):
+        with pytest.raises(SchemaError, match="no table"):
+            catalog.table("T")
+
+
+class TestStatistics:
+    def test_column_statistics(self, catalog):
+        stats = catalog.column_statistics("R", "ID")
+        assert stats.distinct == 10
+        assert stats.is_sorted and stats.is_dense
+
+
+class TestForeignKeys:
+    def test_add_and_find_both_directions(self, catalog):
+        fk = ForeignKey("S", "R_ID", "R", "ID")
+        catalog.add_foreign_key(fk)
+        assert catalog.foreign_key_between("S", "R_ID", "R", "ID") is fk
+        assert catalog.foreign_key_between("R", "ID", "S", "R_ID") is fk
+        assert catalog.foreign_key_between("R", "A", "S", "R_ID") is None
+
+    def test_unregistered_table_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.add_foreign_key(ForeignKey("X", "a", "R", "ID"))

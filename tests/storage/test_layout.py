@@ -1,0 +1,58 @@
+"""Row / columnar / PAX layout conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError
+from repro.storage import Layout, PaxStore, RowStore, Table, convert
+
+
+@pytest.fixture
+def table():
+    return Table.from_arrays(
+        {"a": np.arange(10, dtype=np.int64), "b": np.arange(10, 20)}
+    )
+
+
+class TestRowStore:
+    def test_roundtrip(self, table):
+        store = RowStore(table)
+        assert store.num_rows == 10
+        assert store.to_table().equals(table)
+
+    def test_row_access(self, table):
+        assert RowStore(table).row(3) == (3, 13)
+
+
+class TestPaxStore:
+    def test_paging(self, table):
+        store = PaxStore(table, rows_per_page=4)
+        assert store.num_pages == 3
+        assert [p.num_rows for p in store.pages()] == [4, 4, 2]
+        assert [p.row_offset for p in store.pages()] == [0, 4, 8]
+
+    def test_minipages_are_columnar_within_page(self, table):
+        page = PaxStore(table, rows_per_page=4).pages()[1]
+        assert list(page.minipages["a"]) == [4, 5, 6, 7]
+
+    def test_roundtrip(self, table):
+        assert PaxStore(table, rows_per_page=3).to_table().equals(table)
+
+    def test_empty_table(self):
+        empty = Table.from_arrays({"a": np.empty(0, dtype=np.int64)})
+        store = PaxStore(empty)
+        assert store.num_pages == 0
+        assert store.to_table().equals(empty)
+
+    def test_invalid_page_size(self, table):
+        with pytest.raises(ColumnError):
+            PaxStore(table, rows_per_page=0)
+
+
+class TestConvert:
+    def test_columnar_is_identity(self, table):
+        assert convert(table, Layout.COLUMNAR) is table
+
+    def test_dispatch(self, table):
+        assert isinstance(convert(table, Layout.ROW), RowStore)
+        assert isinstance(convert(table, Layout.PAX), PaxStore)

@@ -1,0 +1,120 @@
+"""Statistics collection: the measurements DQO plan properties rest on."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.storage.statistics import ColumnStatistics, collect_statistics
+
+
+class TestCollectStatistics:
+    def test_empty_column(self):
+        stats = collect_statistics(np.empty(0, dtype=np.int64))
+        assert stats.count == 0
+        assert stats.minimum is None
+        assert stats.maximum is None
+        assert stats.is_sorted
+        assert stats.is_clustered
+        assert not stats.is_dense
+
+    def test_sorted_dense(self):
+        stats = collect_statistics(np.array([0, 0, 1, 2, 2, 3]))
+        assert stats.is_sorted
+        assert stats.is_clustered
+        assert stats.is_dense
+        assert stats.distinct == 4
+        assert stats.minimum == 0
+        assert stats.maximum == 3
+
+    def test_sorted_sparse(self):
+        stats = collect_statistics(np.array([0, 10, 20, 30]))
+        assert stats.is_sorted
+        assert not stats.is_dense
+        assert stats.domain_size == 31
+        assert stats.density == pytest.approx(4 / 31)
+
+    def test_unsorted_dense(self):
+        stats = collect_statistics(np.array([2, 0, 1, 2, 0]))
+        assert not stats.is_sorted
+        assert stats.is_dense
+        assert stats.distinct == 3
+
+    def test_clustered_but_not_sorted(self):
+        # Equal values contiguous, run order not ascending.
+        stats = collect_statistics(np.array([5, 5, 1, 1, 1, 3]))
+        assert not stats.is_sorted
+        assert stats.is_clustered
+
+    def test_not_clustered(self):
+        stats = collect_statistics(np.array([1, 2, 1]))
+        assert not stats.is_clustered
+
+    def test_dense_offset_domain(self):
+        # Density is about gaps, not about starting at zero.
+        stats = collect_statistics(np.array([100, 101, 102]))
+        assert stats.is_dense
+
+    def test_float_column_never_dense(self):
+        stats = collect_statistics(np.array([1.0, 2.0, 3.0]))
+        assert not stats.is_dense
+        assert stats.minimum == 1.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(StatisticsError):
+            collect_statistics(np.zeros((2, 2)))
+
+    def test_single_value(self):
+        stats = collect_statistics(np.array([42]))
+        assert stats.is_sorted and stats.is_clustered and stats.is_dense
+        assert stats.distinct == 1
+
+
+class TestColumnStatisticsInvariants:
+    def test_sorted_implies_clustered_enforced(self):
+        with pytest.raises(StatisticsError):
+            ColumnStatistics(
+                count=2,
+                minimum=0,
+                maximum=1,
+                distinct=2,
+                is_sorted=True,
+                is_clustered=False,
+                is_dense=True,
+            )
+
+    def test_distinct_bounded_by_count(self):
+        with pytest.raises(StatisticsError):
+            ColumnStatistics(
+                count=1,
+                minimum=0,
+                maximum=5,
+                distinct=2,
+                is_sorted=True,
+                is_clustered=True,
+                is_dense=False,
+            )
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200)
+)
+def test_statistics_match_definitions(values):
+    """Property: every collected statistic matches its first-principles
+    definition on arbitrary integer data."""
+    array = np.array(values, dtype=np.int64)
+    stats = collect_statistics(array)
+    assert stats.count == len(values)
+    assert stats.distinct == len(set(values))
+    if values:
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+        assert stats.is_sorted == (sorted(values) == values)
+        domain = max(values) - min(values) + 1
+        assert stats.is_dense == (len(set(values)) == domain)
+        # clustered: each value forms one contiguous run
+        runs = 1 + sum(
+            1 for a, b in zip(values, values[1:]) if a != b
+        )
+        assert stats.is_clustered == (runs == len(set(values)))

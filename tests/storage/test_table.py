@@ -1,0 +1,113 @@
+"""Tables: construction, projection, sorting, equality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError, SchemaError
+from repro.storage import Column, DataType, Schema, Table
+
+
+class TestConstruction:
+    def test_from_arrays_preserves_order(self):
+        table = Table.from_arrays({"b": [1, 2], "a": [3, 4]})
+        assert table.schema.names == ("b", "a")
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ColumnError):
+            Table.from_arrays({"a": [1, 2], "b": [1]})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([Column("a", [1]), Column("a", [2])])
+
+    def test_from_rows_roundtrip(self):
+        schema = Schema.of(x=DataType.INT64, y=DataType.INT64)
+        rows = [(1, 10), (2, 20), (3, 30)]
+        table = Table.from_rows(schema, rows)
+        assert table.to_rows() == rows
+
+    def test_empty(self):
+        table = Table.empty(Schema.of(x=DataType.INT32))
+        assert table.num_rows == 0
+        assert table["x"].dtype == np.int32
+
+
+class TestAccess:
+    def test_column_lookup(self, small_table):
+        assert list(small_table["k"]) == [3, 1, 2, 1, 3, 3]
+
+    def test_missing_column(self, small_table):
+        with pytest.raises(SchemaError, match="no column"):
+            small_table.column("zzz")
+
+    def test_len(self, small_table):
+        assert len(small_table) == 6
+
+
+class TestTransforms:
+    def test_project(self, small_table):
+        projected = small_table.project(["v"])
+        assert projected.schema.names == ("v",)
+        assert projected.num_rows == 6
+
+    def test_rename(self, small_table):
+        renamed = small_table.rename({"k": "key"})
+        assert renamed.schema.names == ("key", "v")
+        assert np.array_equal(renamed["key"], small_table["k"])
+
+    def test_qualified(self, small_table):
+        qualified = small_table.qualified("T")
+        assert qualified.schema.names == ("T.k", "T.v")
+
+    def test_take(self, small_table):
+        taken = small_table.take(np.array([5, 0]))
+        assert taken.to_rows() == [(3, 60), (3, 10)]
+
+    def test_slice_is_zero_copy(self, small_table):
+        sliced = small_table.slice(1, 3)
+        assert sliced.to_rows() == [(1, 20), (2, 30)]
+        assert sliced["k"].base is not None  # a view, not a copy
+
+    def test_slice_clamps(self, small_table):
+        assert small_table.slice(4, 100).num_rows == 2
+        assert small_table.slice(-5, 2).num_rows == 2
+
+    def test_sort_by_single(self, small_table):
+        sorted_table = small_table.sort_by(["k"])
+        assert list(sorted_table["k"]) == [1, 1, 2, 3, 3, 3]
+
+    def test_sort_by_is_stable_lexicographic(self):
+        table = Table.from_arrays(
+            {"a": [2, 1, 2, 1], "b": [9, 8, 7, 6]}
+        )
+        result = table.sort_by(["a", "b"])
+        assert result.to_rows() == [(1, 6), (1, 8), (2, 7), (2, 9)]
+
+
+class TestEquality:
+    def test_equals_exact(self, small_table):
+        clone = Table.from_arrays(
+            {"k": small_table["k"].copy(), "v": small_table["v"].copy()}
+        )
+        assert small_table.equals(clone)
+
+    def test_equals_unordered(self, small_table):
+        shuffled = small_table.take(np.array([5, 4, 3, 2, 1, 0]))
+        assert not small_table.equals(shuffled)
+        assert small_table.equals_unordered(shuffled)
+
+    def test_unordered_detects_multiset_difference(self):
+        a = Table.from_arrays({"x": [1, 1, 2]})
+        b = Table.from_arrays({"x": [1, 2, 2]})
+        assert not a.equals_unordered(b)
+
+
+class TestPretty:
+    def test_pretty_contains_data(self, small_table):
+        text = small_table.pretty()
+        assert "k" in text and "60" in text
+
+    def test_pretty_truncates(self):
+        table = Table.from_arrays({"x": np.arange(100)})
+        text = table.pretty(limit=3)
+        assert "97 more rows" in text

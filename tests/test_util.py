@@ -1,0 +1,103 @@
+"""Internal utilities: timers, array helpers, validation."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    Timer,
+    as_int_array,
+    check_positive,
+    check_probability,
+    check_type,
+    is_nondecreasing,
+    time_callable,
+)
+from repro._util.arrays import runs_of
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+        assert timer.elapsed_ms == pytest.approx(timer.elapsed * 1000)
+
+    def test_time_callable_repeats_and_warmup(self):
+        calls = []
+        result = time_callable(lambda: calls.append(1) or 42, repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(result.samples) == 3
+        assert result.last_result == 42
+        assert result.best <= result.mean
+
+    def test_time_callable_validates(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestArrays:
+    def test_as_int_array_from_list(self):
+        array = as_int_array([1, 2, 3])
+        assert array.dtype == np.int64
+
+    def test_as_int_array_from_integral_floats(self):
+        array = as_int_array(np.array([1.0, 2.0]))
+        assert array.tolist() == [1, 2]
+
+    def test_as_int_array_rejects_fractions(self):
+        with pytest.raises(ValueError, match="non-integral"):
+            as_int_array(np.array([1.5]))
+
+    def test_as_int_array_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_int_array(np.zeros((2, 2)))
+
+    def test_is_nondecreasing(self):
+        assert is_nondecreasing(np.array([1, 1, 2]))
+        assert not is_nondecreasing(np.array([2, 1]))
+        assert is_nondecreasing(np.empty(0))
+        assert is_nondecreasing(np.array([5]))
+
+    def test_runs_of(self):
+        starts, values = runs_of(np.array([3, 3, 5, 5, 5, 3]))
+        assert starts.tolist() == [0, 2, 5]
+        assert values.tolist() == [3, 5, 3]
+
+    def test_runs_of_empty(self):
+        starts, values = runs_of(np.empty(0, dtype=np.int64))
+        assert starts.size == 0 and values.size == 0
+
+    @given(st.lists(st.integers(0, 5), max_size=100))
+    def test_runs_reconstruct(self, values):
+        array = np.array(values, dtype=np.int64)
+        starts, run_values = runs_of(array)
+        if array.size:
+            boundaries = np.append(starts, array.size)
+            lengths = np.diff(boundaries)
+            assert np.array_equal(np.repeat(run_values, lengths), array)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0, allow_zero=True)
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+    def test_check_type(self):
+        check_type("v", 1, int)
+        check_type("v", 1, (int, float))
+        with pytest.raises(TypeError, match="v must be str"):
+            check_type("v", 1, str)
