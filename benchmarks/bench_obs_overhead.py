@@ -1,0 +1,84 @@
+"""Observability overhead: disabled instrumentation must be (near) free.
+
+The contract of `repro.obs` is zero-cost-by-default: with the global
+registry and tracer disabled, `execute()` must run within 5% of the
+seed's bare `root.to_table()` loop. A second (non-asserting) measurement
+reports what fully-enabled metrics+tracing and `explain_analyze` cost,
+so regressions in the *enabled* path stay visible in the artifact
+record (`REPRO_BENCH_ARTIFACTS=dir pytest benchmarks/bench_obs_overhead.py`).
+"""
+
+from repro import (
+    Density,
+    Sortedness,
+    disable_observability,
+    enable_observability,
+    execute,
+    make_join_scenario,
+    optimize_dqo,
+    plan_query,
+    to_operator,
+)
+from repro._util.timer import time_callable
+from repro.engine.executor import explain_analyze
+
+QUERY = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+#: overhead budget for the disabled path (fraction of baseline best time).
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def _build_plan():
+    scenario = make_join_scenario(
+        n_r=45_000,
+        n_s=90_000,
+        num_groups=20_000,
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+    )
+    catalog = scenario.build_catalog()
+    logical = plan_query(QUERY, catalog)
+    return to_operator(optimize_dqo(logical, catalog).plan, catalog)
+
+
+def test_disabled_observability_overhead(bench_artifact):
+    disable_observability()
+    plan = _build_plan()
+
+    baseline = time_callable(lambda: plan.to_table(), repeats=9, warmup=2)
+    via_execute = time_callable(lambda: execute(plan), repeats=9, warmup=2)
+    overhead = via_execute.best / baseline.best - 1.0
+
+    metrics, tracer = enable_observability()
+    try:
+        enabled = time_callable(lambda: execute(plan), repeats=5, warmup=1)
+        analyzed = time_callable(
+            lambda: explain_analyze(plan).table, repeats=5, warmup=1
+        )
+        snapshot = metrics.snapshot()
+    finally:
+        disable_observability()
+
+    bench_artifact(
+        "obs_overhead",
+        {
+            "seed_to_table": baseline,
+            "execute_disabled": via_execute,
+            "execute_enabled": enabled,
+            "explain_analyze": analyzed,
+        },
+        metrics=snapshot,
+        meta={
+            "rows_r": 45_000,
+            "rows_s": 90_000,
+            "disabled_overhead": overhead,
+        },
+    )
+
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-observability execute() is {overhead:.1%} slower than "
+        f"bare to_table() (budget {MAX_DISABLED_OVERHEAD:.0%}); best "
+        f"{via_execute.best_ms:.2f}ms vs {baseline.best_ms:.2f}ms"
+    )
+    # Sanity: the instrumented run still computes the same result shape.
+    assert analyzed.last_result.num_rows == via_execute.last_result.num_rows

@@ -6,8 +6,11 @@ Override with ``REPRO_BENCH_ROWS``.
 """
 
 import os
+from pathlib import Path
 
 import pytest
+
+from repro.bench.reporting import write_json_artifact
 
 #: rows per grouping benchmark (paper: 100,000,000).
 BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "1000000"))
@@ -16,3 +19,26 @@ BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "1000000"))
 @pytest.fixture(scope="session")
 def bench_rows():
     return BENCH_ROWS
+
+
+@pytest.fixture
+def bench_artifact():
+    """Write a machine-readable JSON record of a benchmark run.
+
+    Returns ``record(name, timings, metrics=None, meta=None)``. When
+    ``REPRO_BENCH_ARTIFACTS`` names a directory, the record is written
+    there as ``<name>.json`` (slashes become underscores) and the path
+    is returned; otherwise the call is a no-op returning None, so
+    benchmarks can record unconditionally.
+    """
+
+    def record(name, timings, metrics=None, meta=None):
+        directory = os.environ.get("REPRO_BENCH_ARTIFACTS")
+        if not directory:
+            return None
+        filename = name.replace("/", "_").replace(" ", "_") + ".json"
+        return write_json_artifact(
+            Path(directory) / filename, name, timings, metrics, meta
+        )
+
+    return record

@@ -13,6 +13,7 @@ from repro import (
     Density,
     Sortedness,
     execute,
+    explain_analyze,
     make_join_scenario,
     optimize_dqo,
     optimize_sqo,
@@ -50,6 +51,9 @@ def main() -> None:
     print(f"DQO plan (cost {dqo.cost:,.0f}):")
     print(dqo.explain(deep=True))
     print()
+    print("How hard the optimiser searched for it:")
+    print(dqo.stats.render())
+    print()
     print(
         f"DQO improvement factor: {sqo.cost / dqo.cost:.1f}x "
         "(the paper's Figure 5, dense & both-unsorted cell: 4x)"
@@ -61,6 +65,10 @@ def main() -> None:
     assert sqo_result.equals(dqo_result), "plans disagree!"
     print("Both plans executed; results agree. First rows:")
     print(dqo_result.pretty(limit=5))
+    print()
+
+    print("EXPLAIN ANALYZE of the DQO plan (measured actuals):")
+    print(explain_analyze(to_operator(dqo.plan, catalog)))
 
 
 if __name__ == "__main__":

@@ -43,6 +43,7 @@ from repro.core import (
     PaperCostModel,
     PhysicalNode,
     PropertyVector,
+    SearchStats,
     dqo_config,
     enumerate_recipes,
     logical_grouping,
@@ -68,9 +69,18 @@ from repro.engine import (
     col,
     count_star,
     execute,
+    explain_analyze,
     group_by,
     join,
     sum_of,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    disable_observability,
+    enable_observability,
+    get_metrics,
+    get_tracer,
 )
 from repro.logical import evaluate_naive
 from repro.sql import parse, plan_query
@@ -93,6 +103,7 @@ __all__ = [
     "Granule",
     "GroupingAlgorithm",
     "JoinAlgorithm",
+    "MetricsRegistry",
     "OptimizationResult",
     "OptimizerConfig",
     "PaperCostModel",
@@ -100,18 +111,25 @@ __all__ = [
     "PhysicalNode",
     "PropertyVector",
     "Schema",
+    "SearchStats",
     "Sortedness",
     "Table",
+    "Tracer",
     "ViewKind",
     "bind_offline",
     "col",
     "count_star",
+    "disable_observability",
     "dqo_config",
+    "enable_observability",
     "enumerate_candidates",
     "enumerate_recipes",
     "evaluate_naive",
     "execute",
     "exhaustive_avsp",
+    "explain_analyze",
+    "get_metrics",
+    "get_tracer",
     "figure4_datasets",
     "greedy_avsp",
     "group_by",

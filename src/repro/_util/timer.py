@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -57,6 +58,26 @@ class TimingResult:
     def mean(self) -> float:
         """Arithmetic mean of the samples in seconds."""
         return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Median sample in seconds (midpoint average for even counts)."""
+        ordered = sorted(self.samples)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile sample in seconds (nearest-rank method).
+
+        With fewer than 20 samples the nearest rank is the maximum —
+        use enough repeats for a meaningful tail estimate.
+        """
+        ordered = sorted(self.samples)
+        rank = math.ceil(0.95 * len(ordered))
+        return ordered[max(rank, 1) - 1]
 
 
 def time_callable(

@@ -25,7 +25,13 @@ from repro.bench.figure5 import (
     render_figure5,
     run_figure5,
 )
-from repro.bench.reporting import Series, render_ascii_chart, render_table
+from repro.bench.reporting import (
+    Series,
+    make_artifact,
+    render_ascii_chart,
+    render_table,
+    write_json_artifact,
+)
 from repro.bench.table2 import render_table2
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "PAPER_FACTORS",
     "PanelResult",
     "Series",
+    "make_artifact",
     "render_ascii_chart",
     "render_crossover",
     "render_figure4",
@@ -45,4 +52,5 @@ __all__ = [
     "run_crossover",
     "run_figure4",
     "run_figure5",
+    "write_json_artifact",
 ]

@@ -1,19 +1,38 @@
-"""Textual reporting: fixed-width tables and ASCII line charts.
+"""Textual reporting: fixed-width tables, ASCII line charts, and
+machine-readable JSON benchmark artifacts.
 
 The harness renders every figure/table of the paper as terminal text so
 that runs are reproducible without a plotting stack (nothing to install,
-output diffs cleanly).
+output diffs cleanly). :func:`write_json_artifact` additionally persists
+each run as JSON — timings plus an optional metrics snapshot — so
+benchmark results can be diffed, plotted, or tracked across commits
+without re-parsing the ASCII output.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
 
 
 def render_table(
     headers: list[str], rows: list[list[str]], title: str = ""
 ) -> str:
-    """A fixed-width table with a header rule."""
+    """A fixed-width table with a header rule.
+
+    :raises ValueError: when any row's cell count differs from the
+        header's column count (a ragged row would otherwise be silently
+        truncated by ``zip``).
+    """
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cell(s) but the table has "
+                f"{len(headers)} column(s): {row!r}"
+            )
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rows), 1)
         if rows
@@ -98,3 +117,79 @@ def render_ascii_chart(
     )
     lines.append(" " * (margin + 1) + legend)
     return "\n".join(lines)
+
+
+# -- JSON benchmark artifacts ------------------------------------------------
+
+
+def _timing_record(value: Any) -> Any:
+    """Normalise one timing entry to JSON-friendly data.
+
+    Accepts a :class:`repro._util.timer.TimingResult` (duck-typed on
+    ``samples``), a bare number of seconds, or any mapping/JSON value,
+    which is passed through.
+    """
+    samples = getattr(value, "samples", None)
+    if samples is not None:
+        record = {
+            "samples_s": list(samples),
+            "best_s": value.best,
+            "mean_s": value.mean,
+        }
+        if hasattr(value, "median"):
+            record["median_s"] = value.median
+        if hasattr(value, "p95"):
+            record["p95_s"] = value.p95
+        return record
+    if isinstance(value, (int, float)):
+        return {"seconds": float(value)}
+    return value
+
+
+def make_artifact(
+    name: str,
+    timings: Mapping[str, Any],
+    metrics: Any = None,
+    meta: Mapping[str, Any] | None = None,
+) -> dict:
+    """A machine-readable record of one benchmark run.
+
+    :param name: benchmark identifier (e.g. ``"figure4/sorted-dense"``).
+    :param timings: label -> :class:`~repro._util.timer.TimingResult`,
+        seconds, or pre-built mapping.
+    :param metrics: a :class:`repro.obs.MetricsRegistry` (its snapshot is
+        embedded), a plain snapshot mapping, or None.
+    :param meta: free-form extra context (rows, seeds, config names...).
+    """
+    snapshot = metrics
+    if hasattr(metrics, "snapshot"):
+        snapshot = metrics.snapshot()
+    return {
+        "name": name,
+        "timings": {label: _timing_record(t) for label, t in timings.items()},
+        "metrics": snapshot,
+        "meta": dict(meta or {}),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+
+def write_json_artifact(
+    path: str | Path,
+    name: str,
+    timings: Mapping[str, Any],
+    metrics: Any = None,
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write a :func:`make_artifact` record to ``path`` as JSON.
+
+    Parent directories are created; the written path is returned so
+    callers can log it next to their ASCII tables.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    artifact = make_artifact(name, timings, metrics, meta)
+    target.write_text(json.dumps(artifact, indent=2, sort_keys=True, default=str))
+    return target

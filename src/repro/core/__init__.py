@@ -41,6 +41,7 @@ from repro.core.optimizer import (
     DynamicProgrammingOptimizer,
     OptimizationResult,
     OptimizerConfig,
+    SearchStats,
     dqo_config,
     optimize_dqo,
     optimize_greedy,
@@ -63,6 +64,7 @@ __all__ = [
     "PhysicalNode",
     "PropertyVector",
     "Requirements",
+    "SearchStats",
     "TABLE1",
     "correlations_from_table",
     "count_recipes",

@@ -84,7 +84,7 @@ def dqo_config(**overrides) -> OptimizerConfig:
 @dataclass
 class SearchStats:
     """Enumeration-effort counters (the pruning/depth ablations report
-    these)."""
+    these, and benchmark artifacts serialise them via :meth:`as_dict`)."""
 
     #: candidate plans generated (before any pruning).
     generated: int = 0
@@ -94,6 +94,48 @@ class SearchStats:
     displaced: int = 0
     #: entries alive at the end across all DP classes.
     retained: int = 0
+    #: property-vector closure computations (correlation-implied orders).
+    closures: int = 0
+    #: DP-table frontier entries alive per subset size after that size's
+    #: enumeration round (size 1 = base access paths).
+    table_entries_by_size: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def pruned_total(self) -> int:
+        """Candidates that did not survive: dominated plus displaced."""
+        return self.pruned_dominated + self.displaced
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly representation."""
+        return {
+            "generated": self.generated,
+            "pruned_dominated": self.pruned_dominated,
+            "displaced": self.displaced,
+            "retained": self.retained,
+            "closures": self.closures,
+            "table_entries_by_size": {
+                str(size): count
+                for size, count in sorted(self.table_entries_by_size.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A one-block human-readable dump."""
+        sizes = ", ".join(
+            f"|S|={size}: {count}"
+            for size, count in sorted(self.table_entries_by_size.items())
+        )
+        return "\n".join(
+            [
+                "search stats:",
+                f"  candidates generated   {self.generated}",
+                f"  pruned (dominated)     {self.pruned_dominated}",
+                f"  displaced              {self.displaced}",
+                f"  retained               {self.retained}",
+                f"  property closures      {self.closures}",
+                f"  DP entries per size    {sizes or '(none)'}",
+            ]
+        )
 
 
 @dataclass

@@ -46,6 +46,7 @@ from repro.core.properties import (
 )
 from repro.engine.kernels.joins import JoinAlgorithm
 from repro.errors import OptimizationError
+from repro.obs.runtime import get_metrics, get_tracer
 from repro.logical.algebra import LogicalPlan
 from repro.storage.catalog import Catalog
 
@@ -133,6 +134,7 @@ class DynamicProgrammingOptimizer:
         self._cost_model = cost_model or PaperCostModel()
         self._config = config or dqo_config()
         self._estimator = CardinalityEstimator(catalog)
+        self._stats = SearchStats()  # rebound per optimize_spec() call
 
     @property
     def config(self) -> OptimizerConfig:
@@ -155,19 +157,34 @@ class DynamicProgrammingOptimizer:
     def optimize_spec(self, spec: QuerySpec) -> OptimizationResult:
         """Optimise a pre-extracted :class:`QuerySpec`."""
         stats = SearchStats()
+        self._stats = stats
+        tracer = get_tracer()
         self._aggregate_columns = {
             aggregate.column
             for aggregate in spec.aggregates
             if aggregate.column is not None
         }
-        contexts, correlations = self._prepare_contexts(spec)
-        frontier = self._join_dp(spec, contexts, correlations, stats)
-        finals = self._apply_grouping(spec, frontier, correlations, stats)
-        finals = [self._apply_decoration(spec, entry, stats) for entry in finals]
+        with tracer.span(
+            "optimizer.optimize",
+            scans=len(spec.scans),
+            deep=self._config.is_deep,
+        ):
+            contexts, correlations = self._prepare_contexts(spec)
+            with tracer.span("optimizer.join_dp"):
+                frontier = self._join_dp(spec, contexts, correlations, stats)
+            with tracer.span("optimizer.grouping"):
+                finals = self._apply_grouping(
+                    spec, frontier, correlations, stats
+                )
+                finals = [
+                    self._apply_decoration(spec, entry, stats)
+                    for entry in finals
+                ]
         if not finals:
             raise OptimizationError("no applicable plan found")
         finals.sort(key=lambda entry: entry.cost)
         stats.retained += len(finals)
+        self._report_metrics(stats)
         best = finals[0]
         return OptimizationResult(
             plan=best.plan,
@@ -175,6 +192,22 @@ class DynamicProgrammingOptimizer:
             config=self._config,
             stats=stats,
             alternatives=[entry.plan for entry in finals[1:6]],
+        )
+
+    @staticmethod
+    def _report_metrics(stats: SearchStats) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter("optimizer.optimizations", exist_ok=True).inc()
+        metrics.counter("optimizer.candidates_generated", exist_ok=True).inc(
+            stats.generated
+        )
+        metrics.counter("optimizer.pruned_dominated", exist_ok=True).inc(
+            stats.pruned_dominated
+        )
+        metrics.counter("optimizer.closures", exist_ok=True).inc(
+            stats.closures
         )
 
     # -- preparation ---------------------------------------------------------
@@ -212,6 +245,7 @@ class DynamicProgrammingOptimizer:
                     )
             if self._config.property_scope is PropertyScope.ORDERS:
                 properties = properties.restrict_to_orders()
+            self._stats.closures += 1
             properties = correlations.close_sorted(properties)
             contexts.append(
                 _ScanContext(
@@ -433,6 +467,7 @@ class DynamicProgrammingOptimizer:
         return entries
 
     def _close(self, properties: PropertyVector) -> PropertyVector:
+        self._stats.closures += 1
         properties = self._correlations_cache.close_sorted(properties)
         if self._config.property_scope is PropertyScope.ORDERS:
             return properties.restrict_to_orders()
@@ -452,11 +487,15 @@ class DynamicProgrammingOptimizer:
         table: dict[frozenset[int], list[DPEntry]] = {}
         for index, context in enumerate(contexts):
             table[frozenset([index])] = self._base_entries(context, stats)
+        stats.table_entries_by_size[1] = sum(
+            len(entries) for entries in table.values()
+        )
         if count == 1:
             return table[frozenset([0])]
         options = join_options(self._config)
         all_scans = frozenset(range(count))
         for size in range(2, count + 1):
+            size_entries = 0
             for subset_tuple in combinations(range(count), size):
                 subset = frozenset(subset_tuple)
                 entries: list[DPEntry] = []
@@ -479,6 +518,8 @@ class DynamicProgrammingOptimizer:
                         )
                 if entries:
                     table[subset] = entries
+                    size_entries += len(entries)
+            stats.table_entries_by_size[size] = size_entries
         result = table.get(all_scans, [])
         if not result:
             raise OptimizationError(

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.cost.model import CostModel
 from repro.core.cost.paper import PaperCostModel
-from repro.core.optimizer.base import OptimizerConfig, dqo_config
+from repro.core.optimizer.base import OptimizerConfig, SearchStats, dqo_config
 from repro.core.optimizer.dp import DynamicProgrammingOptimizer
 from repro.core.optimizer.query import QuerySpec, extract_query
 from repro.core.optimizer.rules import grouping_options, join_options
@@ -39,9 +39,13 @@ def enumerate_exhaustive(
     catalog: Catalog,
     cost_model: CostModel | None = None,
     config: OptimizerConfig | None = None,
+    stats: SearchStats | None = None,
 ) -> list[ExhaustivePlan]:
     """All complete plans for a 1- or 2-relation query, any cost order.
 
+    :param stats: when given, ``generated``/``retained`` record the size
+        of the enumerated space (the oracle never prunes, so both equal
+        the number of plans).
     :raises OptimizationError: for queries outside the supported shape.
     """
     spec = extract_query(plan)
@@ -116,7 +120,7 @@ def enumerate_exhaustive(
                     config, correlations,
                 )
             )
-        return plans
+        return _record(plans, stats)
 
     edge = spec.joins[0]
     orientations = [(0, 1, edge.left_column, edge.right_column)]
@@ -189,6 +193,15 @@ def enumerate_exhaustive(
                             correlations,
                         )
                     )
+    return _record(plans, stats)
+
+
+def _record(
+    plans: list[ExhaustivePlan], stats: SearchStats | None
+) -> list[ExhaustivePlan]:
+    if stats is not None:
+        stats.generated += len(plans)
+        stats.retained += len(plans)
     return plans
 
 
@@ -241,12 +254,13 @@ def exhaustive_minimum(
     catalog: Catalog,
     cost_model: CostModel | None = None,
     config: OptimizerConfig | None = None,
+    stats: SearchStats | None = None,
 ) -> ExhaustivePlan:
     """The cheapest plan in the exhaustive space.
 
     :raises OptimizationError: if the space is empty.
     """
-    plans = enumerate_exhaustive(plan, catalog, cost_model, config)
+    plans = enumerate_exhaustive(plan, catalog, cost_model, config, stats)
     if not plans:
         raise OptimizationError("exhaustive enumeration found no plan")
     return min(plans, key=lambda p: p.cost)

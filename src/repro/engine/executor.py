@@ -1,24 +1,90 @@
-"""Plan execution entry points."""
+"""Plan execution entry points.
+
+Besides running plans, this module is the engine's observability
+surface: :func:`execute` reports into the process-wide metrics/tracer
+handles (no-ops unless :func:`repro.obs.enable_observability` was
+called), and :func:`explain_analyze` runs a plan under per-operator
+instrumentation and renders the tree annotated with actuals — the
+runtime counterpart of :func:`explain`.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro._util.timer import Timer
 from repro.engine.operators.base import PhysicalOperator
+from repro.obs.instrument import OperatorStats, instrumented
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.runtime import get_metrics, get_tracer
 from repro.storage.table import Table
 
 
 def execute(root: PhysicalOperator) -> Table:
     """Run a physical operator tree to completion and return the result."""
-    return root.to_table()
+    metrics = get_metrics()
+    tracer = get_tracer()
+    if not (metrics.enabled or tracer.enabled):
+        return root.to_table()
+    with tracer.span("engine.execute", root=root.name):
+        with Timer() as timer:
+            result = root.to_table()
+    if metrics.enabled:
+        metrics.counter("engine.executions", exist_ok=True).inc()
+        metrics.counter("engine.rows_out", exist_ok=True).inc(result.num_rows)
+        metrics.histogram(
+            "engine.execute_seconds", DEFAULT_BUCKETS, exist_ok=True
+        ).observe(timer.elapsed)
+    return result
 
 
 def execute_timed(root: PhysicalOperator) -> tuple[Table, float]:
     """Run a plan and also return its wall-clock execution time in seconds."""
     with Timer() as timer:
-        result = root.to_table()
+        result = execute(root)
     return result, timer.elapsed
 
 
 def explain(root: PhysicalOperator) -> str:
     """Render a plan tree as indented text."""
     return root.explain()
+
+
+@dataclass
+class AnalyzedPlan:
+    """Result of :func:`explain_analyze`: the output table plus the
+    measured per-operator stats tree."""
+
+    #: the query result (the plan really ran).
+    table: Table
+    #: per-operator actuals, mirroring the plan tree.
+    root: OperatorStats
+    #: end-to-end wall seconds, including the driver loop.
+    wall_seconds: float
+
+    def render(self) -> str:
+        """The plan tree annotated with measured actuals."""
+        return "\n".join(
+            [
+                self.root.render(),
+                f"Execution time: {self.wall_seconds * 1e3:.3f}ms "
+                f"({self.table.num_rows:,} row(s) out)",
+            ]
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def explain_analyze(root: PhysicalOperator) -> AnalyzedPlan:
+    """EXPLAIN ANALYZE: run ``root`` instrumented and report actuals.
+
+    Every operator's rows in/out, chunks produced, and self vs.
+    cumulative wall time are measured while the plan executes for
+    real; the instrumentation hooks are removed afterwards, so the
+    plan can be re-run at full speed.
+    """
+    with instrumented(root) as stats:
+        with Timer() as timer:
+            table = root.to_table()
+    return AnalyzedPlan(table=table, root=stats, wall_seconds=timer.elapsed)

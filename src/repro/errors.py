@@ -66,3 +66,8 @@ class ViewError(ReproError):
 
 class CostModelError(ReproError):
     """A cost model was asked to cost an operation it does not know."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused (e.g. ending a span that was
+    never started, or registering two metrics under one name)."""

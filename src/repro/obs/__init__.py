@@ -1,0 +1,52 @@
+"""Observability: metrics, span tracing, and operator instrumentation.
+
+Three independent layers, each zero-cost unless switched on:
+
+- :class:`MetricsRegistry` — thread-safe counters / gauges / fixed-bucket
+  histograms with snapshot, reset, and text/JSON rendering.
+- :class:`Tracer` — nested spans exported as JSON or Chrome trace events.
+- :func:`instrumented` — per-operator rows/chunks/time actuals, the
+  machinery behind :func:`repro.engine.executor.explain_analyze`.
+
+The engine and optimiser report into the process-wide handles from
+:mod:`repro.obs.runtime`; call :func:`enable_observability` to start
+collecting.
+"""
+
+from repro.obs.instrument import OperatorStats, instrumented
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.runtime import (
+    disable_observability,
+    enable_observability,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorStats",
+    "Span",
+    "Tracer",
+    "disable_observability",
+    "enable_observability",
+    "get_metrics",
+    "get_tracer",
+    "instrumented",
+    "merge_snapshots",
+    "set_metrics",
+    "set_tracer",
+]

@@ -1,0 +1,134 @@
+"""Operator-level actuals: rows, chunks, and wall time per plan node.
+
+:func:`instrumented` hooks every operator in a physical plan tree by
+shadowing its bound ``chunks`` method with a counting/timing wrapper
+(an instance attribute, so ``self.children[i].chunks()`` and the base
+``to_table`` both hit it). Because a parent's generator only advances
+while the driver is inside *its* ``next()``, the time a child spends
+producing chunks nests inside the parent's measurement — cumulative
+time is inclusive, and ``self_seconds`` subtracts the children out.
+
+The hooks are removed when the context exits, so instrumentation is
+strictly opt-in and the un-instrumented engine stays untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.operators.base import PhysicalOperator
+
+
+@dataclass
+class OperatorStats:
+    """Measured actuals of one operator node after execution."""
+
+    name: str
+    description: str
+    rows_out: int = 0
+    chunks_out: int = 0
+    #: wall seconds spent inside this operator's iterator, children
+    #: included (inclusive time).
+    cumulative_seconds: float = 0.0
+    children: list["OperatorStats"] = field(default_factory=list)
+
+    @property
+    def rows_in(self) -> int:
+        """Rows that flowed into this operator (sum of children's output)."""
+        return sum(child.rows_out for child in self.children)
+
+    @property
+    def self_seconds(self) -> float:
+        """Exclusive time: cumulative minus the children's cumulative."""
+        return max(
+            0.0,
+            self.cumulative_seconds
+            - sum(child.cumulative_seconds for child in self.children),
+        )
+
+    def walk(self) -> Iterator["OperatorStats"]:
+        """Pre-order traversal of the stats tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> str:
+        """The stats tree as indented text, mirroring ``explain()``."""
+        lines = [
+            f"{'  ' * indent}{self.description}  "
+            f"[actual rows={self.rows_out:,} chunks={self.chunks_out} "
+            f"self={self.self_seconds * 1e3:.3f}ms "
+            f"cum={self.cumulative_seconds * 1e3:.3f}ms]"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly representation of the subtree."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "chunks_out": self.chunks_out,
+            "self_seconds": self.self_seconds,
+            "cumulative_seconds": self.cumulative_seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def _hook(operator: PhysicalOperator, stats: OperatorStats) -> None:
+    original = operator.chunks  # the bound, un-instrumented method
+
+    def instrumented_chunks():
+        iterator = original()
+        while True:
+            started = time.perf_counter()
+            try:
+                chunk = next(iterator)
+            except StopIteration:
+                stats.cumulative_seconds += time.perf_counter() - started
+                return
+            stats.cumulative_seconds += time.perf_counter() - started
+            stats.rows_out += chunk.num_rows
+            stats.chunks_out += 1
+            yield chunk
+
+    operator.chunks = instrumented_chunks  # type: ignore[method-assign]
+
+
+@contextmanager
+def instrumented(root: PhysicalOperator) -> Iterator[OperatorStats]:
+    """Hook ``root``'s whole tree; yields the mirror stats tree.
+
+    Executions inside the ``with`` block accumulate into the stats;
+    on exit every hook is removed, restoring the plan to its
+    zero-overhead state. Shared sub-operators (diamond plans) are
+    hooked once and their stats object appears under every parent.
+    """
+    hooked: list[PhysicalOperator] = []
+    memo: dict[int, OperatorStats] = {}
+
+    def build(operator: PhysicalOperator) -> OperatorStats:
+        if id(operator) in memo:
+            return memo[id(operator)]
+        stats = OperatorStats(
+            name=operator.name, description=operator.describe()
+        )
+        memo[id(operator)] = stats
+        for child in operator.children:
+            stats.children.append(build(child))
+        _hook(operator, stats)
+        hooked.append(operator)
+        return stats
+
+    stats_root = build(root)
+    try:
+        yield stats_root
+    finally:
+        for operator in hooked:
+            operator.__dict__.pop("chunks", None)

@@ -1,0 +1,347 @@
+"""Thread-safe metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of named instruments.
+The design follows the usual production pattern (Prometheus-style
+client): instruments are registered once, cheap to update from hot
+paths, and read out as an atomic :meth:`~MetricsRegistry.snapshot`.
+
+Observability is zero-cost by default: a registry constructed with
+``enabled=False`` hands out shared no-op instruments whose update
+methods do nothing, so instrumented code never needs an ``if`` around
+its metric calls.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+#: default histogram bucket upper bounds, in seconds — tuned for the
+#: engine's execution times (sub-millisecond kernels up to multi-second
+#: benchmark queries). The implicit +Inf bucket is always appended.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. frontier size, queue depth)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are inclusive upper bounds in ascending order; an
+    implicit +Inf bucket catches everything above the last bound.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs >= 1 bucket")
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be strictly increasing: "
+                f"{bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = tuple(bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts (last entry is the +Inf bucket)."""
+        return list(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": {
+                    **{
+                        repr(bound): count
+                        for bound, count in zip(self.buckets, self._counts)
+                    },
+                    "+Inf": self._counts[-1],
+                },
+            }
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by a disabled registry."""
+
+    kind = "null"
+    name = ""
+    help = ""
+    value = 0
+    count = 0
+    sum = 0.0
+    buckets = ()
+    bucket_counts: list[int] = []
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self):
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A named collection of instruments with atomic read-out.
+
+    :param enabled: when False, every factory returns a shared no-op
+        instrument and the registry stays empty — instrumented code
+        pays only an attribute lookup.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def _register(self, instrument, exist_ok: bool):
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None:
+                if exist_ok and existing.kind == instrument.kind:
+                    return existing
+                raise ObservabilityError(
+                    f"metric {instrument.name!r} already registered as a "
+                    f"{existing.kind}"
+                )
+            self._instruments[instrument.name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", exist_ok: bool = False) -> Counter:
+        """Register (or with ``exist_ok`` fetch) a counter."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._register(Counter(name, help), exist_ok)
+
+    def gauge(self, name: str, help: str = "", exist_ok: bool = False) -> Gauge:
+        """Register (or with ``exist_ok`` fetch) a gauge."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._register(Gauge(name, help), exist_ok)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        exist_ok: bool = False,
+    ) -> Histogram:
+        """Register (or with ``exist_ok`` fetch) a histogram."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._register(Histogram(name, buckets, help), exist_ok)
+
+    # -- read-out -----------------------------------------------------------
+
+    def get(self, name: str):
+        """The instrument registered under ``name``.
+
+        :raises ObservabilityError: when no such metric exists.
+        """
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            raise ObservabilityError(
+                f"no metric named {name!r}; have {sorted(self._instruments)}"
+            )
+        return instrument
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """An atomic ``{name: value}`` view of every instrument.
+
+        Counters and gauges map to their scalar value; histograms map to
+        a ``{count, sum, buckets}`` dict.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return {
+            instrument.name: instrument.snapshot() for instrument in instruments
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_text(self, title: str = "metrics") -> str:
+        """A fixed-width human-readable dump, one line per instrument."""
+        lines = [title]
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.kind == "histogram":
+                mean = instrument.sum / instrument.count if instrument.count else 0.0
+                lines.append(
+                    f"  {name} = count={instrument.count} "
+                    f"sum={instrument.sum:.6g} mean={mean:.6g}"
+                )
+            else:
+                lines.append(f"  {name} = {instrument.snapshot()}")
+        if len(lines) == 1:
+            lines.append("  (no metrics registered)")
+        return "\n".join(lines)
+
+    def render_json(self, **extra: object) -> str:
+        """The snapshot as a JSON document (``extra`` merges in as-is)."""
+        record: dict = {"metrics": self.snapshot()}
+        record.update(extra)
+        return json.dumps(record, indent=2, sort_keys=True, default=str)
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Sum counter/gauge values across snapshots (histograms are kept
+    from the last snapshot that has them) — used when per-thread
+    registries are aggregated for reporting."""
+    merged: dict = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if isinstance(value, (int, float)) and isinstance(
+                merged.get(name), (int, float)
+            ):
+                merged[name] += value
+            else:
+                merged[name] = value
+    return merged

@@ -1,0 +1,53 @@
+"""Process-wide observability handles, disabled by default.
+
+The engine and optimiser consult these globals so that callers do not
+have to thread a registry/tracer through every API. Out of the box both
+are disabled no-ops (zero cost); :func:`enable_observability` swaps in
+live instances and returns them.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+_metrics = MetricsRegistry(enabled=False)
+_tracer = Tracer(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (a no-op unless enabled)."""
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide registry; returns it."""
+    global _metrics
+    _metrics = registry
+    return registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (a no-op unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns it."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def enable_observability() -> tuple[MetricsRegistry, Tracer]:
+    """Install and return a live registry + tracer pair."""
+    return (
+        set_metrics(MetricsRegistry(enabled=True)),
+        set_tracer(Tracer(enabled=True)),
+    )
+
+
+def disable_observability() -> None:
+    """Restore the zero-cost disabled defaults."""
+    set_metrics(MetricsRegistry(enabled=False))
+    set_tracer(Tracer(enabled=False))

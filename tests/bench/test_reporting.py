@@ -1,6 +1,18 @@
-"""The ASCII reporting utilities used by the harness."""
+"""The ASCII reporting utilities and JSON artifacts of the harness."""
 
-from repro.bench.reporting import Series, render_ascii_chart, render_table
+import json
+
+import pytest
+
+from repro._util.timer import TimingResult
+from repro.bench.reporting import (
+    Series,
+    make_artifact,
+    render_ascii_chart,
+    render_table,
+    write_json_artifact,
+)
+from repro.obs import MetricsRegistry
 
 
 class TestRenderTable:
@@ -17,6 +29,14 @@ class TestRenderTable:
     def test_empty_rows(self):
         text = render_table(["a", "b"], [])
         assert "a" in text and "b" in text
+
+    def test_ragged_row_raises_clear_error(self):
+        with pytest.raises(ValueError, match=r"row 1 has 3 cell\(s\)"):
+            render_table(["a", "b"], [["1", "2"], ["1", "2", "3"]])
+
+    def test_short_row_raises_too(self):
+        with pytest.raises(ValueError, match="row 0 has 1"):
+            render_table(["a", "b"], [["only"]])
 
 
 class TestAsciiChart:
@@ -54,3 +74,37 @@ class TestAsciiChart:
     def test_constant_series_no_division_by_zero(self):
         chart = render_ascii_chart([Series("flat", [(0, 7), (10, 7)])])
         assert "flat" in chart
+
+
+class TestJsonArtifacts:
+    def test_make_artifact_shapes_timings(self):
+        timing = TimingResult(samples=[0.2, 0.1, 0.3])
+        artifact = make_artifact(
+            "demo", {"run": timing, "scalar": 0.5}, meta={"rows": 10}
+        )
+        run = artifact["timings"]["run"]
+        assert run["best_s"] == 0.1
+        assert run["median_s"] == 0.2
+        assert run["p95_s"] == 0.3
+        assert artifact["timings"]["scalar"] == {"seconds": 0.5}
+        assert artifact["meta"] == {"rows": 10}
+        assert "python" in artifact["environment"]
+
+    def test_metrics_registry_embeds_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        artifact = make_artifact("demo", {}, metrics=registry)
+        assert artifact["metrics"] == {"c": 7}
+
+    def test_write_json_artifact_round_trip(self, tmp_path):
+        path = write_json_artifact(
+            tmp_path / "sub" / "run.json",
+            "bench/x",
+            {"total": TimingResult(samples=[1.0])},
+            metrics={"plans": 3},
+            meta={"seed": 0},
+        )
+        record = json.loads(path.read_text())
+        assert record["name"] == "bench/x"
+        assert record["metrics"] == {"plans": 3}
+        assert record["timings"]["total"]["best_s"] == 1.0

@@ -1,0 +1,109 @@
+"""Optimiser search telemetry: SearchStats invariants and coverage."""
+
+import pytest
+
+from repro.core import SearchStats, optimize_dqo, optimize_sqo
+from repro.core.optimizer.exhaustive import enumerate_exhaustive
+from repro.core.optimizer.greedy import optimize_greedy
+from repro.datagen import Density, Sortedness, make_join_scenario, make_star_scenario
+from repro.sql import plan_query
+
+
+@pytest.fixture(scope="module")
+def star():
+    scenario = make_star_scenario(fact_rows=2_000, seed=5)
+    catalog = scenario.build_catalog()
+    query = (
+        "SELECT D0.A, COUNT(*) FROM FACT "
+        "JOIN D0 ON FACT.D0_ID = D0.ID "
+        "JOIN D1 ON FACT.D1_ID = D1.ID "
+        "GROUP BY D0.A"
+    )
+    return catalog, plan_query(query, catalog)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    scenario = make_join_scenario(
+        n_r=2_000,
+        n_s=4_000,
+        num_groups=500,
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+    )
+    catalog = scenario.build_catalog()
+    query = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+    return catalog, plan_query(query, catalog)
+
+
+class TestInvariants:
+    def test_three_scan_query_counts(self, star):
+        catalog, logical = star
+        result = optimize_dqo(logical, catalog)
+        stats = result.stats
+        assert stats.generated > 0
+        assert stats.pruned_dominated <= stats.generated
+        assert stats.pruned_total <= stats.generated
+        assert stats.retained >= 1
+        assert stats.closures > 0
+        # The DP table saw all three subset sizes of a 3-scan query.
+        assert set(stats.table_entries_by_size) == {1, 2, 3}
+        assert all(
+            count >= 1 for count in stats.table_entries_by_size.values()
+        )
+
+    def test_multi_join_generates_candidates(self, pair):
+        catalog, logical = pair
+        result = optimize_dqo(logical, catalog)
+        assert result.stats.generated > 0
+
+    def test_sqo_and_greedy_also_count(self, star):
+        catalog, logical = star
+        for result in (
+            optimize_sqo(logical, catalog),
+            optimize_greedy(logical, catalog),
+        ):
+            assert result.stats.generated > 0
+            assert result.stats.pruned_dominated <= result.stats.generated
+
+    def test_greedy_explores_no_more_than_dp_retains_less(self, star):
+        catalog, logical = star
+        dqo = optimize_dqo(logical, catalog)
+        greedy = optimize_greedy(logical, catalog)
+        # Greedy truncates frontiers to one entry, so it can never keep
+        # more alive per subset size than the Pareto DP.
+        for size, kept in greedy.stats.table_entries_by_size.items():
+            assert kept <= dqo.stats.table_entries_by_size[size]
+
+    def test_stats_independent_across_runs(self, pair):
+        catalog, logical = pair
+        first = optimize_dqo(logical, catalog).stats
+        second = optimize_dqo(logical, catalog).stats
+        assert first.generated == second.generated
+        assert first.table_entries_by_size == second.table_entries_by_size
+
+
+class TestRendering:
+    def test_as_dict_and_render(self, pair):
+        catalog, logical = pair
+        stats = optimize_dqo(logical, catalog).stats
+        record = stats.as_dict()
+        assert record["generated"] == stats.generated
+        assert "1" in record["table_entries_by_size"]
+        text = stats.render()
+        assert "candidates generated" in text
+        assert "|S|=1" in text
+
+    def test_empty_stats_render(self):
+        text = SearchStats().render()
+        assert "(none)" in text
+
+
+class TestExhaustiveStats:
+    def test_oracle_counts_its_space(self, pair):
+        catalog, logical = pair
+        stats = SearchStats()
+        plans = enumerate_exhaustive(logical, catalog, stats=stats)
+        assert stats.generated == len(plans) > 0
+        assert stats.retained == stats.generated  # the oracle never prunes

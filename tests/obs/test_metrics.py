@@ -1,0 +1,135 @@
+"""The metrics registry: instruments, thread-safety, rendering."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, merge_snapshots
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_threaded_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for __ in range(10_000)]
+            )
+            for __ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        # 0.5 and 1.0 fall in the <=1.0 bucket; 5.0 in <=10.0; 100 in +Inf.
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(106.5)
+
+    def test_snapshot_shape(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0])
+        histogram.observe(2.0)
+        snap = histogram.snapshot()
+        assert snap["count"] == 1
+        assert snap["buckets"]["+Inf"] == 1
+
+    def test_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="increasing"):
+            registry.histogram("h", buckets=[2.0, 1.0])
+        with pytest.raises(ObservabilityError, match="bucket"):
+            registry.histogram("h2", buckets=[])
+
+
+class TestRegistry:
+    def test_double_register_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.counter("x")
+        # ...even across kinds.
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("x")
+
+    def test_exist_ok_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x")
+        assert registry.counter("x", exist_ok=True) is first
+        # exist_ok does not bridge kinds.
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x", exist_ok=True)
+
+    def test_get_and_missing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("present")
+        assert registry.get("present") is counter
+        assert "present" in registry
+        with pytest.raises(ObservabilityError, match="no metric"):
+            registry.get("absent")
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        snap = registry.snapshot()
+        assert snap == {"c": 3, "g": 1.5}
+        registry.reset()
+        assert registry.snapshot() == {"c": 0, "g": 0.0}
+        assert registry.names() == ["c", "g"]  # registrations survive reset
+
+    def test_render_text_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        text = registry.render_text()
+        assert "c = 2" in text
+        assert "count=1" in text
+        record = json.loads(registry.render_json(run="r1"))
+        assert record["metrics"]["c"] == 2
+        assert record["run"] == "r1"
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc(100)
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(5)
+        assert registry.snapshot() == {}
+        assert registry.names() == []
+        # Repeated registration never raises when disabled.
+        registry.counter("c")
+
+
+def test_merge_snapshots_sums_scalars():
+    merged = merge_snapshots([{"a": 1, "b": 2.5}, {"a": 3, "c": 1}])
+    assert merged == {"a": 4, "b": 2.5, "c": 1}

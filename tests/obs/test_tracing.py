@@ -1,0 +1,108 @@
+"""Span tracing: nesting, misuse errors, and export round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Span, Tracer
+
+
+class TestNesting:
+    def test_parent_linkage(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration <= outer.duration
+        assert inner.start >= outer.start
+
+
+class TestMisuse:
+    def test_end_unstarted_span_raises(self):
+        span = Span("orphan")
+        with pytest.raises(ObservabilityError, match="never started"):
+            span.end()
+
+    def test_double_end_raises(self):
+        tracer = Tracer()
+        span = tracer.span("s")
+        span.end()
+        with pytest.raises(ObservabilityError, match="already ended"):
+            span.end()
+
+    def test_exception_tags_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.tags["error"] == "ValueError"
+        assert span.duration is not None  # still recorded
+
+
+class TestExport:
+    def test_json_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("work", table="R", rows=42):
+            pass
+        spans = json.loads(tracer.export_json())["spans"]
+        assert len(spans) == 1
+        record = spans[0]
+        assert record["name"] == "work"
+        assert record["tags"] == {"table": "R", "rows": 42}
+        assert record["duration_s"] >= 0.0
+        assert record["parent_id"] is None
+
+    def test_chrome_trace_format(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        document = json.loads(tracer.export_chrome_trace())
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+        by_name = {event["name"]: event for event in events}
+        # Microsecond timestamps preserve the nesting.
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    def test_reset_clears(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished_spans == []
+        with tracer.span("t") as span:
+            pass
+        assert span.span_id == 1  # ids restart
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as span:
+            span.set_tag("k", "v")
+        assert tracer.finished_spans == []
+        assert json.loads(tracer.export_chrome_trace())["traceEvents"] == []

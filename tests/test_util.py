@@ -39,6 +39,43 @@ class TestTimer:
             time_callable(lambda: None, repeats=0)
 
 
+class TestTimingPercentiles:
+    def _result(self, samples):
+        from repro._util.timer import TimingResult
+
+        return TimingResult(samples=samples)
+
+    def test_median_odd(self):
+        assert self._result([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_median_even_averages_midpoints(self):
+        assert self._result([4.0, 1.0, 3.0, 2.0]).median == 2.5
+
+    def test_median_single_sample(self):
+        result = self._result([0.5])
+        assert result.median == 0.5
+        assert result.p95 == 0.5
+
+    def test_p95_nearest_rank(self):
+        # 20 samples: ceil(0.95 * 20) = 19 -> the 19th smallest.
+        samples = [float(i) for i in range(1, 21)]
+        assert self._result(samples).p95 == 19.0
+
+    def test_p95_small_sample_is_max(self):
+        assert self._result([1.0, 5.0, 2.0]).p95 == 5.0
+
+    def test_ordering_invariants(self):
+        result = self._result([5.0, 1.0, 4.0, 2.0, 3.0])
+        assert result.best <= result.median <= result.p95
+        assert result.p95 <= max(result.samples)
+
+    @given(st.lists(st.floats(0.0, 1e3), min_size=1, max_size=50))
+    def test_percentiles_within_range(self, samples):
+        result = self._result(samples)
+        assert min(samples) <= result.median <= max(samples)
+        assert min(samples) <= result.p95 <= max(samples)
+
+
 class TestArrays:
     def test_as_int_array_from_list(self):
         array = as_int_array([1, 2, 3])
