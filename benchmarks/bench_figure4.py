@@ -54,42 +54,59 @@ def test_figure4_panel(benchmark, bench_rows, sortedness, density, algorithm):
     assert result.num_groups == GROUPS
 
 
-def test_figure4_shape_assertions(bench_rows):
+def test_figure4_shape_assertions(bench_rows, bench_artifact):
     """The qualitative Figure 4 claims, asserted once per run."""
     from repro._util.timer import time_callable
 
-    def best_ms(dataset, algorithm):
-        return time_callable(
+    timings = {}
+
+    def timing(dataset, panel, algorithm):
+        result = time_callable(
             lambda: group_by(
                 dataset.keys, dataset.payload, algorithm,
                 num_distinct_hint=GROUPS,
             ),
             repeats=2,
             warmup=1,
-        ).best_ms
+        )
+        timings[f"figure4/{panel}/{algorithm.name}"] = result
+        return result.best_ms
 
     rows = min(bench_rows, 1_000_000)
     sorted_dense = make_grouping_dataset(
         rows, GROUPS, Sortedness.SORTED, Density.DENSE, seed=0
     )
     # Sorted & dense: OG and SPHG beat HG (paper: >4x faster).
-    og = best_ms(sorted_dense, GroupingAlgorithm.OG)
-    sphg = best_ms(sorted_dense, GroupingAlgorithm.SPHG)
-    hg = best_ms(sorted_dense, GroupingAlgorithm.HG)
-    assert og < hg and sphg < hg
+    og = timing(sorted_dense, "sorted-dense", GroupingAlgorithm.OG)
+    sphg = timing(sorted_dense, "sorted-dense", GroupingAlgorithm.SPHG)
+    hg = timing(sorted_dense, "sorted-dense", GroupingAlgorithm.HG)
 
     unsorted_dense = make_grouping_dataset(
         rows, GROUPS, Sortedness.UNSORTED, Density.DENSE, seed=0
     )
-    # Unsorted & dense: SPHG best, unaffected by sortedness.
-    assert best_ms(unsorted_dense, GroupingAlgorithm.SPHG) < best_ms(
-        unsorted_dense, GroupingAlgorithm.HG
+    sphg_unsorted = timing(
+        unsorted_dense, "unsorted-dense", GroupingAlgorithm.SPHG
     )
+    hg_unsorted = timing(unsorted_dense, "unsorted-dense", GroupingAlgorithm.HG)
 
     unsorted_sparse = make_grouping_dataset(
         rows, GROUPS, Sortedness.UNSORTED, Density.SPARSE, seed=0
     )
+    hg_sparse = timing(unsorted_sparse, "unsorted-sparse", GroupingAlgorithm.HG)
+    sog_sparse = timing(
+        unsorted_sparse, "unsorted-sparse", GroupingAlgorithm.SOG
+    )
+    bsg_sparse = timing(
+        unsorted_sparse, "unsorted-sparse", GroupingAlgorithm.BSG
+    )
+
+    bench_artifact(
+        "figure4_shapes", timings, meta={"rows": rows, "groups": GROUPS}
+    )
+
+    assert og < hg and sphg < hg
+    # Unsorted & dense: SPHG best, unaffected by sortedness.
+    assert sphg_unsorted < hg_unsorted
     # Unsorted & sparse at 10k groups: HG superior (paper's wide range).
-    hg_sparse = best_ms(unsorted_sparse, GroupingAlgorithm.HG)
-    assert hg_sparse < best_ms(unsorted_sparse, GroupingAlgorithm.SOG)
-    assert hg_sparse < best_ms(unsorted_sparse, GroupingAlgorithm.BSG)
+    assert hg_sparse < sog_sparse
+    assert hg_sparse < bsg_sparse

@@ -10,9 +10,10 @@ record (`REPRO_BENCH_ARTIFACTS=dir pytest benchmarks/bench_obs_overhead.py`).
 
 from repro import (
     Density,
+    FeedbackStore,
     Sortedness,
+    capture_observability,
     disable_observability,
-    enable_observability,
     execute,
     make_join_scenario,
     optimize_dqo,
@@ -49,15 +50,15 @@ def test_disabled_observability_overhead(bench_artifact):
     via_execute = time_callable(lambda: execute(plan), repeats=9, warmup=2)
     overhead = via_execute.best / baseline.best - 1.0
 
-    metrics, tracer = enable_observability()
-    try:
+    feedback = FeedbackStore()
+    with capture_observability() as (metrics, tracer):
         enabled = time_callable(lambda: execute(plan), repeats=5, warmup=1)
         analyzed = time_callable(
-            lambda: explain_analyze(plan).table, repeats=5, warmup=1
+            lambda: explain_analyze(plan, feedback=feedback).table,
+            repeats=5,
+            warmup=1,
         )
         snapshot = metrics.snapshot()
-    finally:
-        disable_observability()
 
     bench_artifact(
         "obs_overhead",
@@ -72,6 +73,7 @@ def test_disabled_observability_overhead(bench_artifact):
             "rows_r": 45_000,
             "rows_s": 90_000,
             "disabled_overhead": overhead,
+            "qerror_summary": feedback.qerror_summary(),
         },
     )
 

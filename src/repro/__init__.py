@@ -75,8 +75,10 @@ from repro.engine import (
     sum_of,
 )
 from repro.obs import (
+    FeedbackStore,
     MetricsRegistry,
     Tracer,
+    capture_observability,
     disable_observability,
     enable_observability,
     get_metrics,
@@ -99,6 +101,7 @@ __all__ = [
     "DataType",
     "Density",
     "DynamicProgrammingOptimizer",
+    "FeedbackStore",
     "Granularity",
     "Granule",
     "GroupingAlgorithm",
@@ -117,6 +120,7 @@ __all__ = [
     "Tracer",
     "ViewKind",
     "bind_offline",
+    "capture_observability",
     "col",
     "count_star",
     "disable_observability",

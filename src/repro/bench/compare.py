@@ -1,0 +1,320 @@
+"""Benchmark artifact comparison — the perf regression gate.
+
+:func:`write_json_artifact` records each benchmark run as JSON (timings
+plus a metrics snapshot). This module diffs two such artifacts and turns
+"the numbers moved" into an actionable verdict:
+
+- every timing shared by both artifacts is compared as a relative delta
+  (``current/baseline - 1``) against a configurable threshold;
+- timings present in the baseline but *missing* from the current run
+  are treated as regressions too — a gate that goes green because a
+  benchmark vanished is worse than a red one;
+- metric snapshots (counters, histogram count/sum/p50/p90/p99) are
+  diffed informationally, so a timing regression arrives with its
+  likely cause attached (e.g. ``optimizer.candidates_generated`` doubled).
+
+CLI (exit code 1 on regression, 0 otherwise)::
+
+    python -m repro.bench.compare baseline.json current.json --threshold 0.15
+    python -m repro.bench.compare BENCH_baseline.json   # self-diff smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.bench.reporting import render_table
+
+#: default relative slowdown budget: 15% over baseline fails the gate.
+DEFAULT_THRESHOLD = 0.15
+
+#: timing-record keys probed for "the" scalar seconds of one timing, in
+#: preference order (best-of-N is the conventional micro-benchmark stat).
+_TIMING_KEYS = ("best_s", "seconds", "median_s", "mean_s")
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Read one :func:`~repro.bench.reporting.write_json_artifact` file.
+
+    :raises ValueError: when the file is not a JSON object with a
+        ``timings`` mapping (anything else was not written by the
+        harness and would fail later with a worse message).
+    """
+    target = Path(path)
+    record = json.loads(target.read_text())
+    if not isinstance(record, dict) or not isinstance(
+        record.get("timings"), dict
+    ):
+        raise ValueError(
+            f"{target} is not a benchmark artifact (expected a JSON "
+            "object with a 'timings' mapping)"
+        )
+    return record
+
+
+def timing_seconds(record: Any) -> float | None:
+    """The scalar seconds of one timing record, or None when the record
+    carries no recognisable number."""
+    if isinstance(record, (int, float)):
+        return float(record)
+    if isinstance(record, Mapping):
+        for key in _TIMING_KEYS:
+            value = record.get(key)
+            if isinstance(value, (int, float)):
+                return float(value)
+    return None
+
+
+@dataclass(frozen=True)
+class TimingDelta:
+    """One timing's baseline-vs-current verdict."""
+
+    label: str
+    baseline_s: float | None
+    current_s: float | None
+    #: relative change ``current/baseline - 1``; None when not computable
+    #: (a side is missing, or the baseline is zero).
+    delta: float | None
+    #: 'ok' | 'regression' | 'improvement' | 'missing-baseline' |
+    #: 'missing-current' | 'zero-baseline'
+    status: str
+
+    @property
+    def is_regression(self) -> bool:
+        """True when this delta should fail the gate."""
+        return self.status in ("regression", "missing-current")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's relative change (informational, never gates)."""
+
+    name: str
+    baseline: float
+    current: float
+    delta: float | None
+
+
+@dataclass
+class ComparisonReport:
+    """The full diff of two benchmark artifacts."""
+
+    baseline_name: str
+    current_name: str
+    threshold: float
+    timings: list[TimingDelta] = field(default_factory=list)
+    metrics: list[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[TimingDelta]:
+        """Timings that fail the gate, worst first."""
+        failing = [t for t in self.timings if t.is_regression]
+        return sorted(
+            failing,
+            key=lambda t: t.delta if t.delta is not None else float("inf"),
+            reverse=True,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when no timing regressed."""
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any timing regressed."""
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        """The report as fixed-width terminal text."""
+
+        def fmt_seconds(value: float | None) -> str:
+            return "-" if value is None else f"{value * 1e3:.3f}ms"
+
+        def fmt_delta(value: float | None) -> str:
+            return "-" if value is None else f"{value:+.1%}"
+
+        rows = [
+            [t.label, fmt_seconds(t.baseline_s), fmt_seconds(t.current_s),
+             fmt_delta(t.delta), t.status]
+            for t in self.timings
+        ]
+        lines = [
+            f"bench compare: {self.baseline_name!r} -> "
+            f"{self.current_name!r} (threshold {self.threshold:+.0%})",
+            render_table(
+                ["timing", "baseline", "current", "delta", "status"], rows
+            ),
+        ]
+        changed = [m for m in self.metrics if m.delta]
+        if changed:
+            lines.append("")
+            lines.append(
+                render_table(
+                    ["metric", "baseline", "current", "delta"],
+                    [
+                        [m.name, f"{m.baseline:g}", f"{m.current:g}",
+                         fmt_delta(m.delta)]
+                        for m in changed
+                    ],
+                    title="metrics (informational):",
+                )
+            )
+        lines.append("")
+        if self.ok:
+            lines.append(
+                f"OK: {len(self.timings)} timing(s) within "
+                f"{self.threshold:.0%} of baseline"
+            )
+        else:
+            worst = self.regressions[0]
+            lines.append(
+                f"REGRESSION: {len(self.regressions)} timing(s) over "
+                f"budget; worst is {worst.label!r} "
+                f"({fmt_delta(worst.delta)} vs. baseline)"
+            )
+        return "\n".join(lines)
+
+
+def _flatten_metrics(snapshot: Any) -> dict[str, float]:
+    """Scalar view of a metrics snapshot: counters/gauges as-is,
+    histograms as ``name.count`` / ``name.sum`` / ``name.p50``..."""
+    flat: dict[str, float] = {}
+    if not isinstance(snapshot, Mapping):
+        return flat
+    for name, value in snapshot.items():
+        if isinstance(value, (int, float)):
+            flat[name] = float(value)
+        elif isinstance(value, Mapping):
+            for key in ("count", "sum", "p50", "p90", "p99"):
+                sub = value.get(key)
+                if isinstance(sub, (int, float)):
+                    flat[f"{name}.{key}"] = float(sub)
+    return flat
+
+
+def compare_artifacts(
+    baseline: Mapping,
+    current: Mapping,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonReport:
+    """Diff two artifacts (as returned by :func:`load_artifact`).
+
+    :param threshold: relative slowdown budget; a timing is a regression
+        when ``current/baseline - 1`` exceeds it *strictly*, so a delta
+        landing exactly on the threshold still passes.
+    :raises ValueError: when ``threshold`` is negative.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    baseline_timings = dict(baseline.get("timings") or {})
+    current_timings = dict(current.get("timings") or {})
+    deltas: list[TimingDelta] = []
+    for label in sorted(set(baseline_timings) | set(current_timings)):
+        base_s = timing_seconds(baseline_timings.get(label))
+        cur_s = timing_seconds(current_timings.get(label))
+        if label not in baseline_timings or base_s is None:
+            deltas.append(
+                TimingDelta(label, None, cur_s, None, "missing-baseline")
+            )
+            continue
+        if label not in current_timings or cur_s is None:
+            deltas.append(
+                TimingDelta(label, base_s, None, None, "missing-current")
+            )
+            continue
+        if base_s == 0.0:
+            # No ratio against a zero baseline; report, never gate.
+            deltas.append(
+                TimingDelta(label, base_s, cur_s, None, "zero-baseline")
+            )
+            continue
+        delta = cur_s / base_s - 1.0
+        if delta > threshold:
+            status = "regression"
+        elif delta < -threshold:
+            status = "improvement"
+        else:
+            status = "ok"
+        deltas.append(TimingDelta(label, base_s, cur_s, delta, status))
+
+    base_metrics = _flatten_metrics(baseline.get("metrics"))
+    cur_metrics = _flatten_metrics(current.get("metrics"))
+    metric_deltas = [
+        MetricDelta(
+            name,
+            base_metrics[name],
+            cur_metrics[name],
+            (cur_metrics[name] / base_metrics[name] - 1.0)
+            if base_metrics[name]
+            else None,
+        )
+        for name in sorted(set(base_metrics) & set(cur_metrics))
+    ]
+    return ComparisonReport(
+        baseline_name=str(baseline.get("name", "?")),
+        current_name=str(current.get("name", "?")),
+        threshold=threshold,
+        timings=deltas,
+        metrics=metric_deltas,
+    )
+
+
+def compare_files(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonReport:
+    """:func:`compare_artifacts` over two artifact files."""
+    return compare_artifacts(
+        load_artifact(baseline_path), load_artifact(current_path), threshold
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description=(
+            "Diff two benchmark JSON artifacts and fail on timing "
+            "regressions. With a single artifact, self-diff it (a "
+            "smoke check of the artifact and the gate itself)."
+        ),
+    )
+    parser.add_argument("baseline", help="baseline artifact JSON")
+    parser.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="current artifact JSON (omit to self-diff the baseline)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=(
+            "relative slowdown budget, e.g. 0.15 = fail beyond +15%% "
+            "(default %(default)s)"
+        ),
+    )
+    options = parser.parse_args(argv)
+    try:
+        report = compare_files(
+            options.baseline,
+            options.current if options.current is not None else options.baseline,
+            threshold=options.threshold,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,9 +10,28 @@ of hard-coding them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.storage.catalog import Catalog
+
+
+def qerror(estimated: float, actual: float) -> float:
+    """The q-error of one estimate: ``max(est/act, act/est)``.
+
+    The standard multiplicative estimation-accuracy metric (Moerkotte et
+    al.): 1.0 is a perfect estimate, 2.0 is off by 2x in either
+    direction. Edge cases: both sides zero is a perfect estimate (1.0);
+    exactly one side zero is an unbounded miss (``inf``). Negative
+    inputs are clamped to zero — cardinalities cannot be negative.
+    """
+    est = max(float(estimated), 0.0)
+    act = max(float(actual), 0.0)
+    if est == 0.0 and act == 0.0:
+        return 1.0
+    if est == 0.0 or act == 0.0:
+        return math.inf
+    return max(est / act, act / est)
 
 
 @dataclass(frozen=True)

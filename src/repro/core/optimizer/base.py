@@ -148,6 +148,9 @@ class OptimizationResult:
     cost: float
     #: the configuration that produced this result.
     config: OptimizerConfig
+    #: estimated output cardinality of the whole query — the root of the
+    #: estimate chain that instrumented execution grades with q-error.
+    estimated_rows: float = 0.0
     #: enumeration-effort counters.
     stats: SearchStats = field(default_factory=SearchStats)
     #: runner-up complete plans, best-first (for reporting/debugging).

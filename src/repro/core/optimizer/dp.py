@@ -190,6 +190,7 @@ class DynamicProgrammingOptimizer:
             plan=best.plan,
             cost=best.cost,
             config=self._config,
+            estimated_rows=best.plan.rows,
             stats=stats,
             alternatives=[entry.plan for entry in finals[1:6]],
         )
@@ -654,6 +655,7 @@ class DynamicProgrammingOptimizer:
                 rows=estimate.rows,
                 local_cost=cost,
                 cost=build.cost + probe.cost + cost,
+                estimated_groups=group_hint,
                 properties=properties,
             )
             entries = self._insert(
@@ -747,6 +749,7 @@ class DynamicProgrammingOptimizer:
                     rows=out_estimate.rows,
                     local_cost=cost,
                     cost=entry.cost + cost,
+                    estimated_groups=groups,
                     properties=properties,
                 )
                 results = self._insert(

@@ -32,6 +32,8 @@ class ExhaustivePlan:
 
     description: str
     cost: float
+    #: estimated output cardinality (same estimation chain as the DP).
+    rows: float = 0.0
 
 
 def enumerate_exhaustive(
@@ -217,7 +219,7 @@ def _grouping_plans(
     correlations: Correlations,
 ) -> list[ExhaustivePlan]:
     if spec.group_key is None:
-        return [ExhaustivePlan(description, cost)]
+        return [ExhaustivePlan(description, cost, rows)]
     key = spec.group_key
     groups = min(ndv.get(key, rows), rows)
     inputs = [(description, cost, props)]
@@ -244,6 +246,7 @@ def _grouping_plans(
                 ExhaustivePlan(
                     f"{option.algorithm.name}({in_description})",
                     in_cost + g_cost,
+                    groups,
                 )
             )
     return plans

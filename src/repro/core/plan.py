@@ -79,6 +79,10 @@ class PhysicalNode:
     rows: float = 0.0
     local_cost: float = 0.0
     cost: float = 0.0
+    #: estimated distinct groups this node builds/probes over (join and
+    #: group-by nodes; 0.0 elsewhere) — the cost model's second input,
+    #: recorded so runtime feedback can refit coefficients per algorithm.
+    estimated_groups: float = 0.0
     properties: PropertyVector = field(default_factory=PropertyVector)
 
     # -- rendering ----------------------------------------------------------
@@ -162,6 +166,31 @@ def to_operator(
     :raises PlanError: when the plan uses a view but no registry (or the
         wrong registry) is supplied.
     """
+    operator = _lower_node(node, catalog, validate, views)
+    _annotate_estimates(operator, node)
+    return operator
+
+
+def _annotate_estimates(operator: PhysicalOperator, node: PhysicalNode) -> None:
+    """Carry the optimiser's predictions onto the executable operator so
+    instrumented execution can join estimates against actuals."""
+    operator.estimated_rows = node.rows
+    operator.estimated_cost = node.cost
+    if node.op in ("join", "group_by"):
+        operator.estimated_groups = node.estimated_groups
+    operator.plan_op = node.op
+    if node.join_algorithm is not None:
+        operator.plan_algorithm = node.join_algorithm.name
+    elif node.grouping_algorithm is not None:
+        operator.plan_algorithm = node.grouping_algorithm.name
+
+
+def _lower_node(
+    node: PhysicalNode,
+    catalog: Catalog,
+    validate: bool,
+    views,
+) -> PhysicalOperator:
     if node.op == "scan":
         return _lower_scan(node, catalog, views)
     if node.op == "filter":

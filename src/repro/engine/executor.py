@@ -10,14 +10,20 @@ runtime counterpart of :func:`explain`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro._util.timer import Timer
 from repro.engine.operators.base import PhysicalOperator
+from repro.obs.feedback import FeedbackStore
 from repro.obs.instrument import OperatorStats, instrumented
 from repro.obs.metrics import DEFAULT_BUCKETS
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.storage.table import Table
+
+#: q-error histogram bucket upper bounds — 1.0 is a perfect estimate,
+#: each bucket roughly doubles the misestimation factor.
+QERROR_BUCKETS = (1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0)
 
 
 def execute(root: PhysicalOperator) -> Table:
@@ -63,28 +69,77 @@ class AnalyzedPlan:
     wall_seconds: float
 
     def render(self) -> str:
-        """The plan tree annotated with measured actuals."""
-        return "\n".join(
-            [
-                self.root.render(),
-                f"Execution time: {self.wall_seconds * 1e3:.3f}ms "
-                f"({self.table.num_rows:,} row(s) out)",
-            ]
-        )
+        """The plan tree annotated with measured actuals (and, for
+        optimised plans, estimates + per-operator q-error)."""
+        lines = [
+            self.root.render(),
+            f"Execution time: {self.wall_seconds * 1e3:.3f}ms "
+            f"({self.table.num_rows:,} row(s) out)",
+        ]
+        worst = self.max_qerror
+        if worst is not None:
+            lines.append(f"Worst cardinality q-error: {worst:.2f}")
+        return "\n".join(lines)
+
+    @property
+    def max_qerror(self) -> float | None:
+        """The worst per-operator cardinality q-error, or None when no
+        operator carries an estimate."""
+        errors = [
+            node.qerror
+            for node in self.root.walk()
+            if node.qerror is not None
+        ]
+        return max(errors) if errors else None
+
+    def qerrors(self) -> list[tuple[str, float]]:
+        """(operator kind, q-error) for every estimate-carrying node,
+        in plan pre-order."""
+        return [
+            (node.operator_kind, node.qerror)
+            for node in self.root.walk()
+            if node.qerror is not None
+        ]
 
     def __str__(self) -> str:
         return self.render()
 
 
-def explain_analyze(root: PhysicalOperator) -> AnalyzedPlan:
+def explain_analyze(
+    root: PhysicalOperator, feedback: FeedbackStore | None = None
+) -> AnalyzedPlan:
     """EXPLAIN ANALYZE: run ``root`` instrumented and report actuals.
 
     Every operator's rows in/out, chunks produced, and self vs.
     cumulative wall time are measured while the plan executes for
     real; the instrumentation hooks are removed afterwards, so the
     plan can be re-run at full speed.
+
+    For plans lowered from an optimised plan tree
+    (:func:`repro.core.plan.to_operator`), each operator's estimated
+    cardinality is joined against the measured actuals: the rendering
+    gains ``est ... rows · act ... · q=...`` annotations, per-operator
+    q-errors feed the process-wide ``optimizer.qerror`` histogram when
+    metrics are enabled, and — when a :class:`~repro.obs.feedback.
+    FeedbackStore` is passed — (estimate, actual, seconds) samples are
+    accumulated for cost-model refitting.
     """
     with instrumented(root) as stats:
         with Timer() as timer:
             table = root.to_table()
-    return AnalyzedPlan(table=table, root=stats, wall_seconds=timer.elapsed)
+    analyzed = AnalyzedPlan(table=table, root=stats, wall_seconds=timer.elapsed)
+    metrics = get_metrics()
+    if metrics.enabled:
+        histogram = metrics.histogram(
+            "optimizer.qerror", QERROR_BUCKETS, exist_ok=True
+        )
+        for __, error in analyzed.qerrors():
+            if math.isfinite(error):
+                histogram.observe(error)
+            else:
+                metrics.counter(
+                    "optimizer.qerror_unbounded", exist_ok=True
+                ).inc()
+    if feedback is not None:
+        feedback.record_plan(stats)
+    return analyzed

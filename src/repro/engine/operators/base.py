@@ -72,7 +72,25 @@ class PhysicalOperator:
 
     Subclasses implement :meth:`chunks` (the data flow) and expose
     :attr:`output_schema`. ``children`` enables generic plan walking.
+
+    The ``estimated_*`` class attributes are the optimiser's predictions
+    for this node, attached by :func:`repro.core.plan.to_operator` when a
+    plan is lowered from an optimised :class:`~repro.core.plan.PhysicalNode`
+    tree. Hand-built operator trees keep the ``None`` defaults, which
+    :func:`repro.obs.instrument.instrumented` reads as "no estimate" —
+    q-error reporting then stays silent for those nodes.
     """
+
+    #: optimiser-estimated output cardinality (None = not optimised).
+    estimated_rows: float | None = None
+    #: optimiser-estimated cumulative cost in cost-model units.
+    estimated_cost: float | None = None
+    #: optimiser-estimated distinct groups (join/group-by nodes only).
+    estimated_groups: float | None = None
+    #: the plan-node kind ('scan', 'join', ...) this operator lowers.
+    plan_op: str = ""
+    #: the algorithm family the optimiser chose (e.g. 'HG', 'SPHJ').
+    plan_algorithm: str = ""
 
     def __init__(self, children: list["PhysicalOperator"]) -> None:
         self.children = children

@@ -13,6 +13,7 @@ The engine and optimiser report into the process-wide handles from
 collecting.
 """
 
+from repro.obs.feedback import FeedbackSample, FeedbackStore
 from repro.obs.instrument import OperatorStats, instrumented
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -23,6 +24,7 @@ from repro.obs.metrics import (
     merge_snapshots,
 )
 from repro.obs.runtime import (
+    capture_observability,
     disable_observability,
     enable_observability,
     get_metrics,
@@ -35,12 +37,15 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FeedbackSample",
+    "FeedbackStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OperatorStats",
     "Span",
     "Tracer",
+    "capture_observability",
     "disable_observability",
     "enable_observability",
     "get_metrics",

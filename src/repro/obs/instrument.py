@@ -24,7 +24,12 @@ from repro.engine.operators.base import PhysicalOperator
 
 @dataclass
 class OperatorStats:
-    """Measured actuals of one operator node after execution."""
+    """Measured actuals of one operator node after execution.
+
+    When the plan was lowered from an optimised plan tree, the
+    ``estimated_*`` fields carry the optimiser's predictions for the
+    node, and :attr:`qerror` grades them against the measured actuals.
+    """
 
     name: str
     description: str
@@ -33,12 +38,39 @@ class OperatorStats:
     #: wall seconds spent inside this operator's iterator, children
     #: included (inclusive time).
     cumulative_seconds: float = 0.0
+    #: the optimiser's predicted output cardinality (None = no estimate).
+    estimated_rows: float | None = None
+    #: the optimiser's predicted cumulative cost, in cost-model units.
+    estimated_cost: float | None = None
+    #: the optimiser's predicted distinct-group count (join/group-by).
+    estimated_groups: float | None = None
+    #: the plan-node kind ('scan', 'join', ...) behind this operator.
+    plan_op: str = ""
+    #: the algorithm family the optimiser chose (e.g. 'HG', 'SPHJ').
+    plan_algorithm: str = ""
     children: list["OperatorStats"] = field(default_factory=list)
 
     @property
     def rows_in(self) -> int:
         """Rows that flowed into this operator (sum of children's output)."""
         return sum(child.rows_out for child in self.children)
+
+    @property
+    def qerror(self) -> float | None:
+        """Cardinality q-error ``max(est/act, act/est)``; None when the
+        operator carries no estimate (hand-built plans)."""
+        if self.estimated_rows is None:
+            return None
+        from repro.core.cost.cardinality import qerror as _qerror
+
+        return _qerror(self.estimated_rows, self.rows_out)
+
+    @property
+    def operator_kind(self) -> str:
+        """Stable feedback key: plan op plus algorithm, e.g.
+        ``'group_by[HG]'``; falls back to the operator class name."""
+        base = self.plan_op or self.name
+        return f"{base}[{self.plan_algorithm}]" if self.plan_algorithm else base
 
     @property
     def self_seconds(self) -> float:
@@ -57,19 +89,25 @@ class OperatorStats:
 
     def render(self, indent: int = 0) -> str:
         """The stats tree as indented text, mirroring ``explain()``."""
-        lines = [
+        line = (
             f"{'  ' * indent}{self.description}  "
             f"[actual rows={self.rows_out:,} chunks={self.chunks_out} "
             f"self={self.self_seconds * 1e3:.3f}ms "
             f"cum={self.cumulative_seconds * 1e3:.3f}ms]"
-        ]
+        )
+        if self.estimated_rows is not None:
+            line += (
+                f"  [est {self.estimated_rows:,.0f} rows · "
+                f"act {self.rows_out:,} · q={self.qerror:.2f}]"
+            )
+        lines = [line]
         for child in self.children:
             lines.append(child.render(indent + 1))
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         """A JSON-friendly representation of the subtree."""
-        return {
+        record = {
             "name": self.name,
             "description": self.description,
             "rows_in": self.rows_in,
@@ -79,6 +117,11 @@ class OperatorStats:
             "cumulative_seconds": self.cumulative_seconds,
             "children": [child.to_dict() for child in self.children],
         }
+        if self.estimated_rows is not None:
+            record["estimated_rows"] = self.estimated_rows
+            record["estimated_cost"] = self.estimated_cost
+            record["qerror"] = self.qerror
+        return record
 
 
 def _hook(operator: PhysicalOperator, stats: OperatorStats) -> None:
@@ -117,7 +160,13 @@ def instrumented(root: PhysicalOperator) -> Iterator[OperatorStats]:
         if id(operator) in memo:
             return memo[id(operator)]
         stats = OperatorStats(
-            name=operator.name, description=operator.describe()
+            name=operator.name,
+            description=operator.describe(),
+            estimated_rows=operator.estimated_rows,
+            estimated_cost=operator.estimated_cost,
+            estimated_groups=operator.estimated_groups,
+            plan_op=operator.plan_op,
+            plan_algorithm=operator.plan_algorithm,
         )
         memo[id(operator)] = stats
         for child in operator.children:

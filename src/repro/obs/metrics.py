@@ -158,6 +158,60 @@ class Histogram:
         """Per-bucket counts (last entry is the +Inf bucket)."""
         return list(self._counts)
 
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation within the covering bucket.
+
+        The fixed buckets only bound each observation, so the estimate
+        interpolates the rank inside the bucket's [lower, upper] range
+        (the first bucket's lower edge is 0, matching the registry's
+        non-negative durations). Ranks landing in the +Inf bucket clamp
+        to the last finite bound — the histogram cannot know more. An
+        empty histogram reports 0.0.
+
+        :raises ObservabilityError: when ``q`` is outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q!r}"
+            )
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        return self._quantile_from(counts, total, q)
+
+    def _quantile_from(self, counts: list[int], total: int, q: float) -> float:
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]  # +Inf bucket: clamp
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = self.buckets[index]
+                fraction = (rank - previous) / count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.buckets[-1]
+
+    @property
+    def p50(self) -> float:
+        """Approximate median (see :meth:`quantile`)."""
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """Approximate 90th percentile (see :meth:`quantile`)."""
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """Approximate 99th percentile (see :meth:`quantile`)."""
+        return self.quantile(0.99)
+
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.buckets) + 1)
@@ -166,17 +220,23 @@ class Histogram:
 
     def snapshot(self) -> dict:
         with self._lock:
-            return {
-                "count": self._count,
-                "sum": self._sum,
-                "buckets": {
-                    **{
-                        repr(bound): count
-                        for bound, count in zip(self.buckets, self._counts)
-                    },
-                    "+Inf": self._counts[-1],
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        return {
+            "count": total,
+            "sum": total_sum,
+            "p50": self._quantile_from(counts, total, 0.50),
+            "p90": self._quantile_from(counts, total, 0.90),
+            "p99": self._quantile_from(counts, total, 0.99),
+            "buckets": {
+                **{
+                    repr(bound): count
+                    for bound, count in zip(self.buckets, counts)
                 },
-            }
+                "+Inf": counts[-1],
+            },
+        }
 
 
 class _NullInstrument:
@@ -190,6 +250,10 @@ class _NullInstrument:
     sum = 0.0
     buckets = ()
     bucket_counts: list[int] = []
+    p50 = p90 = p99 = 0.0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     def inc(self, amount: int = 1) -> None:
         pass

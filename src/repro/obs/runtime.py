@@ -8,6 +8,9 @@ live instances and returns them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -51,3 +54,29 @@ def disable_observability() -> None:
     """Restore the zero-cost disabled defaults."""
     set_metrics(MetricsRegistry(enabled=False))
     set_tracer(Tracer(enabled=False))
+
+
+@contextmanager
+def capture_observability() -> Iterator[tuple[MetricsRegistry, Tracer]]:
+    """Scoped observability: a fresh live registry + tracer for the
+    duration of the ``with`` block, previous globals restored on exit.
+
+    Unlike :func:`enable_observability`, which mutates the process-wide
+    handles until someone calls :func:`disable_observability`, this
+    cannot leak state across callers (or tests): whatever registry and
+    tracer were installed before — enabled, disabled, or someone else's
+    capture — come back even when the body raises. ::
+
+        with capture_observability() as (metrics, tracer):
+            execute(plan)
+            print(metrics.render_text())
+    """
+    previous_metrics, previous_tracer = _metrics, _tracer
+    pair = (MetricsRegistry(enabled=True), Tracer(enabled=True))
+    set_metrics(pair[0])
+    set_tracer(pair[1])
+    try:
+        yield pair
+    finally:
+        set_metrics(previous_metrics)
+        set_tracer(previous_tracer)

@@ -1,0 +1,170 @@
+"""The perf regression gate: artifact diffing, thresholds, exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    compare_artifacts,
+    compare_files,
+    load_artifact,
+    main,
+    timing_seconds,
+)
+from repro.bench.reporting import make_artifact, write_json_artifact
+
+
+def artifact(timings, metrics=None, name="run"):
+    return make_artifact(name, timings, metrics=metrics)
+
+
+class TestTimingSeconds:
+    def test_prefers_best(self):
+        assert timing_seconds({"best_s": 1.0, "mean_s": 2.0}) == 1.0
+
+    def test_scalar_and_seconds_forms(self):
+        assert timing_seconds(0.25) == 0.25
+        assert timing_seconds({"seconds": 0.5}) == 0.5
+
+    def test_unrecognisable_is_none(self):
+        assert timing_seconds({"note": "n/a"}) is None
+        assert timing_seconds("fast") is None
+
+
+class TestCompareArtifacts:
+    def test_self_diff_is_clean(self):
+        record = artifact({"a": 0.10, "b": 0.25})
+        report = compare_artifacts(record, record)
+        assert report.ok
+        assert report.exit_code == 0
+        assert all(t.status == "ok" for t in report.timings)
+
+    def test_injected_2x_regression_fails(self):
+        baseline = artifact({"a": 0.10, "b": 0.25})
+        current = artifact({"a": 0.10, "b": 0.50})
+        report = compare_artifacts(baseline, current, threshold=0.15)
+        assert not report.ok
+        assert report.exit_code == 1
+        (regression,) = report.regressions
+        assert regression.label == "b"
+        assert regression.delta == pytest.approx(1.0)
+        assert "REGRESSION" in report.render()
+
+    def test_threshold_boundary_is_not_a_regression(self):
+        baseline = artifact({"a": 1.0})
+        exactly = artifact({"a": 1.15})
+        just_over = artifact({"a": 1.15 + 1e-9})
+        assert compare_artifacts(baseline, exactly, threshold=0.15).ok
+        assert not compare_artifacts(
+            baseline, just_over, threshold=0.15
+        ).ok
+
+    def test_improvement_is_not_a_regression(self):
+        report = compare_artifacts(
+            artifact({"a": 1.0}), artifact({"a": 0.5})
+        )
+        assert report.ok
+        assert report.timings[0].status == "improvement"
+
+    def test_missing_in_current_gates(self):
+        report = compare_artifacts(
+            artifact({"a": 1.0, "b": 1.0}), artifact({"a": 1.0})
+        )
+        assert not report.ok
+        assert report.regressions[0].status == "missing-current"
+
+    def test_missing_in_baseline_is_informational(self):
+        report = compare_artifacts(
+            artifact({"a": 1.0}), artifact({"a": 1.0, "new": 9.9})
+        )
+        assert report.ok
+        statuses = {t.label: t.status for t in report.timings}
+        assert statuses["new"] == "missing-baseline"
+
+    def test_zero_baseline_never_gates(self):
+        report = compare_artifacts(
+            artifact({"a": 0.0}), artifact({"a": 123.0})
+        )
+        assert report.ok
+        assert report.timings[0].status == "zero-baseline"
+        assert report.timings[0].delta is None
+
+    def test_negative_threshold_rejected(self):
+        record = artifact({"a": 1.0})
+        with pytest.raises(ValueError):
+            compare_artifacts(record, record, threshold=-0.1)
+
+    def test_metric_deltas_are_informational(self):
+        baseline = artifact(
+            {"a": 1.0}, metrics={"optimizer.candidates_generated": 100}
+        )
+        current = artifact(
+            {"a": 1.0}, metrics={"optimizer.candidates_generated": 250}
+        )
+        report = compare_artifacts(baseline, current)
+        assert report.ok  # metrics never gate
+        (delta,) = report.metrics
+        assert delta.name == "optimizer.candidates_generated"
+        assert delta.delta == pytest.approx(1.5)
+        assert "optimizer.candidates_generated" in report.render()
+
+    def test_histogram_metrics_flattened(self):
+        snapshot = {
+            "h": {"count": 4, "sum": 2.0, "p50": 0.4, "buckets": {"+Inf": 4}}
+        }
+        report = compare_artifacts(
+            artifact({"a": 1.0}, metrics=snapshot),
+            artifact({"a": 1.0}, metrics=snapshot),
+        )
+        names = {m.name for m in report.metrics}
+        assert {"h.count", "h.sum", "h.p50"} <= names
+
+
+class TestFilesAndCli:
+    @pytest.fixture
+    def paths(self, tmp_path):
+        baseline = write_json_artifact(
+            tmp_path / "baseline.json", "base", {"a": 0.10, "b": 0.20}
+        )
+        regressed = write_json_artifact(
+            tmp_path / "regressed.json", "cur", {"a": 0.10, "b": 0.40}
+        )
+        return baseline, regressed
+
+    def test_compare_files(self, paths):
+        baseline, regressed = paths
+        assert compare_files(baseline, baseline).exit_code == 0
+        assert compare_files(baseline, regressed).exit_code == 1
+
+    def test_load_artifact_rejects_non_artifacts(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_artifact(bogus)
+
+    def test_cli_self_diff_exits_zero(self, paths, capsys):
+        baseline, __ = paths
+        assert main([str(baseline)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_regression_exits_one(self, paths, capsys):
+        baseline, regressed = paths
+        assert main([str(baseline), str(regressed)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_threshold_flag(self, paths):
+        baseline, regressed = paths
+        # 2x slower passes a 120% budget.
+        assert main([str(baseline), str(regressed), "--threshold", "1.2"]) == 0
+
+    def test_cli_missing_file_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_committed_baseline_self_diff(self, capsys):
+        """The committed seed artifact must satisfy the gate's smoke check."""
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[2] / "BENCH_baseline.json"
+        assert baseline.exists(), "BENCH_baseline.json must stay committed"
+        assert main([str(baseline)]) == 0

@@ -114,6 +114,81 @@ class TestExplainAnalyze:
         assert "chunks" not in plan.__dict__
 
 
+class TestEstimatesAndQError:
+    """The plan-quality feedback loop on an optimiser-chosen 2-join plan."""
+
+    @pytest.fixture
+    def optimised(self):
+        from repro import optimize_dqo, plan_query, to_operator
+        from repro.datagen import DimensionSpec, make_star_scenario
+
+        scenario = make_star_scenario(
+            fact_rows=4_000,
+            dimensions=[
+                DimensionSpec(rows=500, num_groups=50),
+                DimensionSpec(rows=800, num_groups=80),
+            ],
+            seed=11,
+        )
+        catalog = scenario.build_catalog()
+        logical = plan_query(scenario.join_query(0), catalog)
+        result = optimize_dqo(logical, catalog)
+        return to_operator(result.plan, catalog), result
+
+    def test_operators_carry_estimates(self, optimised):
+        operator, result = optimised
+        assert operator.estimated_rows is not None
+        assert operator.estimated_cost is not None
+        assert operator.plan_op == "group_by"
+        assert result.estimated_rows == operator.estimated_rows
+
+    def test_analyzed_plan_reports_qerror_per_operator(self, optimised):
+        operator, __ = optimised
+        analyzed = explain_analyze(operator)
+        kinds = dict(analyzed.qerrors())
+        assert any(k.startswith("group_by") for k in kinds)
+        assert any(k.startswith("join") for k in kinds)
+        for q in kinds.values():
+            assert q >= 1.0
+        assert analyzed.max_qerror >= 1.0
+
+    def test_render_shows_est_act_q(self, optimised):
+        operator, __ = optimised
+        text = explain_analyze(operator).render()
+        assert "[est " in text
+        assert "· act " in text
+        assert "· q=" in text
+        assert "Worst cardinality q-error:" in text
+
+    def test_to_dict_includes_estimates(self, optimised):
+        operator, __ = optimised
+        record = explain_analyze(operator).root.to_dict()
+        assert record["estimated_rows"] is not None
+        assert record["qerror"] >= 1.0
+
+    def test_feedback_store_populated(self, optimised):
+        from repro.obs import FeedbackStore
+
+        operator, __ = optimised
+        store = FeedbackStore()
+        explain_analyze(operator, feedback=store)
+        assert len(store) >= 3  # group_by + 2 joins at minimum
+        kinds = {s.plan_op for s in store.samples()}
+        assert {"group_by", "join"} <= kinds
+
+    def test_qerror_histogram_recorded(self, optimised):
+        operator, __ = optimised
+        metrics = set_metrics(MetricsRegistry(enabled=True))
+        set_tracer(Tracer(enabled=True))
+        try:
+            explain_analyze(operator)
+            histogram = metrics.get("optimizer.qerror")
+            assert histogram.count >= 3
+            assert histogram.p50 >= 0.0
+        finally:
+            disable_observability()
+
+
 class TestExecuteObservability:
     def test_disabled_observability_records_nothing(self, plan):
         disable_observability()

@@ -1,0 +1,183 @@
+"""q-error math and the FeedbackStore estimate->actual->refit loop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cost.calibrated import (
+    CalibratedCostModel,
+    Sample,
+    _basis,
+    fit_coefficients,
+)
+from repro.core.cost.cardinality import qerror
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.errors import CostModelError
+from repro.obs.feedback import FeedbackSample, FeedbackStore
+from repro.obs.instrument import OperatorStats
+
+
+class TestQError:
+    def test_perfect_estimate_is_one(self):
+        assert qerror(1000.0, 1000) == 1.0
+
+    def test_symmetric_in_direction(self):
+        assert qerror(1000.0, 412) == pytest.approx(1000.0 / 412)
+        assert qerror(412.0, 1000) == pytest.approx(1000.0 / 412)
+
+    def test_both_zero_is_perfect(self):
+        assert qerror(0.0, 0) == 1.0
+
+    def test_one_side_zero_is_unbounded(self):
+        assert qerror(0.0, 10) == math.inf
+        assert qerror(10.0, 0) == math.inf
+
+    def test_negative_inputs_clamped(self):
+        # Negative cardinalities cannot occur; clamping keeps the metric
+        # total rather than raising mid-report.
+        assert qerror(-5.0, -3.0) == 1.0
+        assert qerror(-5.0, 10.0) == math.inf
+
+    def test_always_at_least_one(self):
+        for est, act in [(1, 2), (7, 3), (1e6, 1e6), (0.5, 0.25)]:
+            assert qerror(est, act) >= 1.0
+
+
+def _stats(plan_op, algorithm, est, act, seconds=0.01, children=()):
+    node = OperatorStats(
+        name=plan_op,
+        description=plan_op,
+        rows_out=act,
+        estimated_rows=est,
+        plan_op=plan_op,
+        plan_algorithm=algorithm,
+        cumulative_seconds=seconds
+        + sum(c.cumulative_seconds for c in children),
+        children=list(children),
+    )
+    return node
+
+
+class TestFeedbackStore:
+    def test_record_plan_skips_estimate_free_nodes(self):
+        scan = OperatorStats(name="TableScan", description="scan", rows_out=10)
+        root = _stats("group_by", "HG", 5.0, 5, children=(scan,))
+        store = FeedbackStore()
+        assert store.record_plan(root) == 1
+        assert len(store) == 1
+        assert store.samples()[0].operator_kind == "group_by[HG]"
+
+    def test_rows_in_comes_from_children(self):
+        scan = _stats("scan", "", 100.0, 100)
+        root = _stats("group_by", "SPHG", 20.0, 18, children=(scan,))
+        store = FeedbackStore()
+        store.record_plan(root)
+        group_sample = [
+            s for s in store.samples() if s.plan_op == "group_by"
+        ][0]
+        assert group_sample.rows_in == 100
+        assert group_sample.actual_rows == 18
+
+    def test_qerror_summary_by_kind(self):
+        store = FeedbackStore()
+        store.record(
+            FeedbackSample("join[HJ]", "join", "HJ", 100.0, 50, 150, 50.0, 0.1)
+        )
+        store.record(
+            FeedbackSample("join[HJ]", "join", "HJ", 100.0, 100, 200, 50.0, 0.1)
+        )
+        store.record(
+            FeedbackSample("scan", "scan", "", 0.0, 7, 0, 0.0, 0.0)
+        )
+        summary = store.qerror_summary()
+        assert summary["join[HJ]"]["count"] == 2
+        assert summary["join[HJ]"]["mean"] == pytest.approx(1.5)
+        assert summary["join[HJ]"]["max"] == pytest.approx(2.0)
+        # The unbounded scan miss shows up in max but not the mean.
+        assert summary["scan"]["max"] == math.inf
+        assert len(store.render().splitlines()) == 3
+
+    def test_grouping_samples_use_measured_groups(self):
+        store = FeedbackStore()
+        scan = _stats("scan", "", 1000.0, 1000)
+        root = _stats(
+            "group_by", "HG", 64.0, 80, seconds=0.25, children=(scan,)
+        )
+        store.record_plan(root)
+        samples = store.grouping_samples()
+        assert list(samples) == [GroupingAlgorithm.HG]
+        (sample,) = samples[GroupingAlgorithm.HG]
+        assert sample.rows == 1000  # measured input, not the estimate
+        assert sample.groups == 80  # measured output groups
+        assert sample.seconds == pytest.approx(0.25)
+
+    def test_joins_not_converted_to_grouping_samples(self):
+        store = FeedbackStore()
+        store.record(
+            FeedbackSample(
+                "join[HJ]", "join", "HJ", 100.0, 100, 200, 50.0, 0.1
+            )
+        )
+        assert store.grouping_samples() == {}
+
+    def test_refit_requires_enough_samples(self):
+        store = FeedbackStore()
+        store.record(
+            FeedbackSample(
+                "group_by[HG]", "group_by", "HG", 10.0, 10, 100, 10.0, 0.1
+            )
+        )
+        with pytest.raises(CostModelError):
+            store.refit()
+
+    def test_refit_roundtrip_into_fit_coefficients(self):
+        """Samples generated from known coefficients refit to a model
+        whose predictions match the generating ground truth."""
+        rng = np.random.default_rng(7)
+        true = np.array([0.0, 2e-8, 1e-9, 3e-9])
+        store = FeedbackStore()
+        grid = [(n, g) for n in (10_000, 50_000, 200_000, 800_000)
+                for g in (16, 1024, 65_536)]
+        for n, g in grid:
+            seconds = float(true @ _basis(n, g)) * (1 + rng.normal(0, 0.01))
+            scan = _stats("scan", "", float(n), n)
+            store.record_plan(
+                _stats(
+                    "group_by", "HG", float(g), g,
+                    seconds=seconds, children=(scan,),
+                )
+            )
+        model = store.refit()
+        assert isinstance(model, CalibratedCostModel)
+        for n, g in [(100_000, 256), (400_000, 20_000)]:
+            predicted = model.grouping_cost(GroupingAlgorithm.HG, n, g)
+            truth = float(true @ _basis(n, g))
+            assert predicted == pytest.approx(truth, rel=0.15)
+
+    def test_refit_agrees_with_direct_fit(self):
+        store = FeedbackStore()
+        raw = []
+        for i, (n, g) in enumerate(
+            [(1000, 10), (5000, 100), (20000, 500), (80000, 4000), (160000, 8000)]
+        ):
+            seconds = 1e-8 * n + 2e-9 * n * math.log2(g)
+            raw.append(Sample(n, g, seconds))
+            scan = _stats("scan", "", float(n), n)
+            store.record_plan(
+                _stats(
+                    "group_by", "SPHG", float(g), g,
+                    seconds=seconds, children=(scan,),
+                )
+            )
+        direct = fit_coefficients(raw)
+        refit = store.refit().grouping_coefficients[GroupingAlgorithm.SPHG]
+        np.testing.assert_allclose(refit, direct, rtol=1e-6, atol=1e-12)
+
+    def test_clear(self):
+        store = FeedbackStore()
+        store.record(
+            FeedbackSample("scan", "scan", "", 1.0, 1, 0, 0.0, 0.0)
+        )
+        store.clear()
+        assert len(store) == 0

@@ -133,3 +133,55 @@ class TestRegistry:
 def test_merge_snapshots_sums_scalars():
     merged = merge_snapshots([{"a": 1, "b": 2.5}, {"a": 3, "c": 1}])
     assert merged == {"a": 4, "b": 2.5, "c": 1}
+
+
+class TestHistogramQuantiles:
+    """Approximate p50/p90/p99 by linear interpolation within buckets."""
+
+    def test_uniform_fill_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0, 2.0, 4.0])
+        for __ in range(10):
+            histogram.observe(0.5)  # all land in the [0, 1.0] bucket
+        # rank q*10 lands inside the first bucket: lower 0.0, upper 1.0.
+        assert histogram.quantile(0.5) == pytest.approx(0.5)
+        assert histogram.p50 == pytest.approx(0.5)
+        assert histogram.p99 == pytest.approx(0.99)
+
+    def test_quantile_spans_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in [0.5] * 5 + [1.5] * 5:
+            histogram.observe(value)
+        # p50 is the top of the first bucket, p90 interpolates the second.
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        assert histogram.p90 == pytest.approx(1.0 + (9 - 5) / 5 * 1.0)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0, 2.0])
+        histogram.observe(100.0)
+        assert histogram.p50 == 2.0
+        assert histogram.p99 == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0])
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0])
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+
+    def test_snapshot_includes_quantiles(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1.0, 2.0])
+        histogram.observe(0.5)
+        snapshot = histogram.snapshot()
+        assert set(snapshot) >= {"count", "sum", "p50", "p90", "p99"}
+        assert 0.0 < snapshot["p50"] <= 1.0
+
+    def test_disabled_registry_quantile_is_zero(self):
+        registry = MetricsRegistry(enabled=False)
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.p99 == 0.0

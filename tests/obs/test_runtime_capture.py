@@ -1,0 +1,66 @@
+"""Scoped observability: capture_observability must never leak globals."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    capture_observability,
+    disable_observability,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    disable_observability()
+    yield
+    disable_observability()
+
+
+class TestCaptureObservability:
+    def test_yields_fresh_enabled_pair(self):
+        with capture_observability() as (metrics, tracer):
+            assert metrics.enabled and tracer.enabled
+            assert get_metrics() is metrics
+            assert get_tracer() is tracer
+            metrics.counter("c").inc()
+            assert metrics.snapshot() == {"c": 1}
+
+    def test_restores_disabled_defaults_on_exit(self):
+        before_metrics, before_tracer = get_metrics(), get_tracer()
+        with capture_observability():
+            pass
+        assert get_metrics() is before_metrics
+        assert get_tracer() is before_tracer
+        assert not get_metrics().enabled
+
+    def test_restores_previous_live_handles(self):
+        mine = set_metrics(MetricsRegistry(enabled=True))
+        my_tracer = set_tracer(Tracer(enabled=True))
+        with capture_observability() as (inner, __):
+            assert inner is not mine
+        assert get_metrics() is mine
+        assert get_tracer() is my_tracer
+
+    def test_restores_on_exception(self):
+        before = get_metrics()
+        with pytest.raises(RuntimeError):
+            with capture_observability():
+                raise RuntimeError("boom")
+        assert get_metrics() is before
+
+    def test_nested_captures_unwind_in_order(self):
+        with capture_observability() as (outer, __):
+            with capture_observability() as (inner, __):
+                assert get_metrics() is inner
+            assert get_metrics() is outer
+
+    def test_no_cross_capture_contamination(self):
+        with capture_observability() as (first, __):
+            first.counter("c").inc(5)
+        with capture_observability() as (second, __):
+            assert second.snapshot() == {}
