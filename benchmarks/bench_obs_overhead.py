@@ -2,10 +2,12 @@
 
 The contract of `repro.obs` is zero-cost-by-default: with the global
 registry and tracer disabled, `execute()` must run within 5% of the
-seed's bare `root.to_table()` loop. A second (non-asserting) measurement
-reports what fully-enabled metrics+tracing and `explain_analyze` cost,
-so regressions in the *enabled* path stay visible in the artifact
-record (`REPRO_BENCH_ARTIFACTS=dir pytest benchmarks/bench_obs_overhead.py`).
+seed's bare `root.to_table()` loop. The *enabled* path has a budget
+too: a full profile capture (metrics + tracing + per-operator
+instrumentation + memory accounting, bundled by `capture_profile`)
+must stay within 15% of bare execution. Both modes land in the
+artifact record
+(`REPRO_BENCH_ARTIFACTS=dir pytest benchmarks/bench_obs_overhead.py`).
 """
 
 from repro import (
@@ -13,6 +15,7 @@ from repro import (
     FeedbackStore,
     Sortedness,
     capture_observability,
+    capture_profile,
     disable_observability,
     execute,
     make_join_scenario,
@@ -26,6 +29,8 @@ from repro.engine.executor import explain_analyze
 QUERY = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
 #: overhead budget for the disabled path (fraction of baseline best time).
 MAX_DISABLED_OVERHEAD = 0.05
+#: overhead budget for a full profile capture over bare execution.
+MAX_ENABLED_OVERHEAD = 0.15
 
 
 def _build_plan():
@@ -60,6 +65,11 @@ def test_disabled_observability_overhead(bench_artifact):
         )
         snapshot = metrics.snapshot()
 
+    profiled = time_callable(
+        lambda: capture_profile(plan, query=QUERY), repeats=5, warmup=1
+    )
+    enabled_overhead = profiled.best / baseline.best - 1.0
+
     bench_artifact(
         "obs_overhead",
         {
@@ -67,12 +77,14 @@ def test_disabled_observability_overhead(bench_artifact):
             "execute_disabled": via_execute,
             "execute_enabled": enabled,
             "explain_analyze": analyzed,
+            "capture_profile": profiled,
         },
         metrics=snapshot,
         meta={
             "rows_r": 45_000,
             "rows_s": 90_000,
             "disabled_overhead": overhead,
+            "enabled_overhead": enabled_overhead,
             "qerror_summary": feedback.qerror_summary(),
         },
     )
@@ -82,5 +94,11 @@ def test_disabled_observability_overhead(bench_artifact):
         f"bare to_table() (budget {MAX_DISABLED_OVERHEAD:.0%}); best "
         f"{via_execute.best_ms:.2f}ms vs {baseline.best_ms:.2f}ms"
     )
+    assert enabled_overhead < MAX_ENABLED_OVERHEAD, (
+        f"full profile capture is {enabled_overhead:.1%} slower than bare "
+        f"to_table() (budget {MAX_ENABLED_OVERHEAD:.0%}); best "
+        f"{profiled.best_ms:.2f}ms vs {baseline.best_ms:.2f}ms"
+    )
     # Sanity: the instrumented run still computes the same result shape.
     assert analyzed.last_result.num_rows == via_execute.last_result.num_rows
+    assert profiled.last_result.rows_out == via_execute.last_result.num_rows

@@ -77,12 +77,17 @@ from repro.engine import (
 from repro.obs import (
     FeedbackStore,
     MetricsRegistry,
+    QueryLog,
+    QueryProfile,
     Tracer,
     capture_observability,
+    capture_profile,
     disable_observability,
     enable_observability,
     get_metrics,
+    get_query_log,
     get_tracer,
+    set_query_log,
 )
 from repro.logical import evaluate_naive
 from repro.sql import parse, plan_query
@@ -113,6 +118,8 @@ __all__ = [
     "PartialAlgorithmicView",
     "PhysicalNode",
     "PropertyVector",
+    "QueryLog",
+    "QueryProfile",
     "Schema",
     "SearchStats",
     "Sortedness",
@@ -121,6 +128,7 @@ __all__ = [
     "ViewKind",
     "bind_offline",
     "capture_observability",
+    "capture_profile",
     "col",
     "count_star",
     "disable_observability",
@@ -132,9 +140,10 @@ __all__ = [
     "execute",
     "exhaustive_avsp",
     "explain_analyze",
-    "get_metrics",
-    "get_tracer",
     "figure4_datasets",
+    "get_metrics",
+    "get_query_log",
+    "get_tracer",
     "greedy_avsp",
     "group_by",
     "join",
@@ -150,6 +159,7 @@ __all__ = [
     "parse",
     "plan_query",
     "render_table1",
+    "set_query_log",
     "sqo_config",
     "sum_of",
     "to_operator",

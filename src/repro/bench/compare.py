@@ -33,6 +33,11 @@ from repro.bench.reporting import render_table
 #: default relative slowdown budget: 15% over baseline fails the gate.
 DEFAULT_THRESHOLD = 0.15
 
+#: baselines at or below this many seconds are treated as zero: a ratio
+#: against clock-noise (or a literal 0.0 from a degenerate run) would
+#: report million-percent "regressions" that mean nothing.
+ZERO_BASELINE_S = 1e-9
+
 #: timing-record keys probed for "the" scalar seconds of one timing, in
 #: preference order (best-of-N is the conventional micro-benchmark stat).
 _TIMING_KEYS = ("best_s", "seconds", "median_s", "mean_s")
@@ -137,11 +142,26 @@ class ComparisonReport:
             return "-" if value is None else f"{value * 1e3:.3f}ms"
 
         def fmt_delta(value: float | None) -> str:
-            return "-" if value is None else f"{value:+.1%}"
+            if value is None:
+                return "-"
+            if value == float("inf"):
+                return "∞"
+            return f"{value:+.1%}"
+
+        def fmt_timing_delta(timing: TimingDelta) -> str:
+            # A non-zero current over a (near-)zero baseline is an
+            # unbounded ratio: show "∞", not a nonsense percentage.
+            if (
+                timing.status == "zero-baseline"
+                and timing.current_s is not None
+                and timing.current_s > ZERO_BASELINE_S
+            ):
+                return "∞"
+            return fmt_delta(timing.delta)
 
         rows = [
             [t.label, fmt_seconds(t.baseline_s), fmt_seconds(t.current_s),
-             fmt_delta(t.delta), t.status]
+             fmt_timing_delta(t), t.status]
             for t in self.timings
         ]
         lines = [
@@ -228,8 +248,11 @@ def compare_artifacts(
                 TimingDelta(label, base_s, None, None, "missing-current")
             )
             continue
-        if base_s == 0.0:
-            # No ratio against a zero baseline; report, never gate.
+        if base_s <= ZERO_BASELINE_S:
+            # No ratio against a (near-)zero baseline; report, never
+            # gate. The rendering shows "∞" when the current side is
+            # non-zero, but ``delta`` stays None so nothing downstream
+            # does arithmetic on it.
             deltas.append(
                 TimingDelta(label, base_s, cur_s, None, "zero-baseline")
             )
@@ -245,14 +268,19 @@ def compare_artifacts(
 
     base_metrics = _flatten_metrics(baseline.get("metrics"))
     cur_metrics = _flatten_metrics(current.get("metrics"))
+    def metric_delta(base: float, cur: float) -> float | None:
+        if abs(base) > ZERO_BASELINE_S:
+            return cur / base - 1.0
+        # Near-zero baseline: an unchanged metric has no delta; a grown
+        # one has an unbounded relative change.
+        return float("inf") if abs(cur) > ZERO_BASELINE_S else None
+
     metric_deltas = [
         MetricDelta(
             name,
             base_metrics[name],
             cur_metrics[name],
-            (cur_metrics[name] / base_metrics[name] - 1.0)
-            if base_metrics[name]
-            else None,
+            metric_delta(base_metrics[name], cur_metrics[name]),
         )
         for name in sorted(set(base_metrics) & set(cur_metrics))
     ]

@@ -17,6 +17,13 @@ paper's 100,000,000. The claims under reproduction are *shapes*:
 Run as a script::
 
     python -m repro.bench.figure4 [--rows N] [--crossover]
+    python -m repro.bench.figure4 --profile fig4_profile.html
+
+``--profile`` runs one representative shape (unsorted & dense, the
+SPHG-vs-HG panel) through the operator engine under full profiling and
+writes a self-contained HTML report plus folded flamegraph stacks; the
+profile also lands in the active query log when ``REPRO_QUERY_LOG`` is
+set.
 """
 
 from __future__ import annotations
@@ -239,6 +246,50 @@ def render_crossover(result: CrossoverResult) -> str:
     return table + verdict
 
 
+def profile_shape_run(
+    rows: int = DEFAULT_ROWS,
+    num_groups: int = 20_000,
+    sortedness: Sortedness = Sortedness.UNSORTED,
+    density: Density = Density.DENSE,
+    seed: int = 0,
+):
+    """One Figure 4 shape run through the operator engine, profiled.
+
+    Returns a :class:`~repro.obs.profile.QueryProfile` whose grouping
+    operator carries the per-algorithm memory footprint (Table 1's
+    "Memory req." column, measured).
+    """
+    from repro.engine.aggregates import count_star
+    from repro.engine.operators.grouping import GroupBy
+    from repro.engine.operators.scan import TableScan
+    from repro.obs.profile import capture_profile
+    from repro.storage.table import Table
+
+    dataset = make_grouping_dataset(
+        rows, num_groups, sortedness=sortedness, density=density, seed=seed
+    )
+    table = Table.from_arrays({"K": dataset.keys})
+    algorithm = (
+        GroupingAlgorithm.SPHG
+        if density is Density.DENSE
+        else GroupingAlgorithm.HG
+    )
+    plan = GroupBy(
+        TableScan(table),
+        key="K",
+        aggregates=[count_star()],
+        algorithm=algorithm,
+        num_distinct_hint=num_groups,
+    )
+    return capture_profile(
+        plan,
+        query=(
+            f"figure4 shape run: {sortedness.value} & {density.value}, "
+            f"{rows:,} rows, {num_groups:,} groups, {algorithm.value}"
+        ),
+    )
+
+
 def main() -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -249,7 +300,28 @@ def main() -> None:
         action="store_true",
         help="also run the BSG-vs-HG zoom-in",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="REPORT_HTML",
+        default="",
+        help=(
+            "skip the sweep; profile one shape run and write a "
+            "standalone HTML report (+ .folded flamegraph stacks)"
+        ),
+    )
     args = parser.parse_args()
+    if args.profile:
+        from pathlib import Path
+
+        profile = profile_shape_run(rows=args.rows)
+        report = Path(args.profile)
+        report.write_text(profile.to_html(), encoding="utf-8")
+        folded = report.with_suffix(".folded")
+        folded.write_text(profile.to_folded_stacks(), encoding="utf-8")
+        print(profile.render())
+        print(f"wrote HTML report: {report}")
+        print(f"wrote folded stacks: {folded}")
+        return
     print(render_figure4(run_figure4(rows=args.rows, repeats=args.repeats)))
     if args.crossover:
         print()

@@ -46,6 +46,7 @@ from repro.core.properties import (
 )
 from repro.engine.kernels.joins import JoinAlgorithm
 from repro.errors import OptimizationError
+from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.logical.algebra import LogicalPlan
 from repro.storage.catalog import Catalog
@@ -186,6 +187,19 @@ class DynamicProgrammingOptimizer:
         stats.retained += len(finals)
         self._report_metrics(stats)
         best = finals[0]
+        query_log = get_query_log()
+        if query_log is not None:
+            query_log.append(
+                {
+                    "kind": "optimize",
+                    "plan": best.plan.explain(),
+                    "cost": best.cost,
+                    "estimated_rows": best.plan.rows,
+                    "scans": len(spec.scans),
+                    "deep": self._config.is_deep,
+                    "search": stats.as_dict(),
+                }
+            )
         return OptimizationResult(
             plan=best.plan,
             cost=best.cost,

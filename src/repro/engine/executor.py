@@ -16,8 +16,9 @@ from dataclasses import dataclass
 from repro._util.timer import Timer
 from repro.engine.operators.base import PhysicalOperator
 from repro.obs.feedback import FeedbackStore
-from repro.obs.instrument import OperatorStats, instrumented
+from repro.obs.instrument import OperatorStats, format_bytes, instrumented
 from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.storage.table import Table
 
@@ -25,12 +26,23 @@ from repro.storage.table import Table
 #: each bucket roughly doubles the misestimation factor.
 QERROR_BUCKETS = (1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0)
 
+#: memory histogram bucket upper bounds, in bytes (4KiB .. 4GiB).
+MEMORY_BUCKETS = (
+    4096.0,
+    65536.0,
+    1048576.0,
+    16777216.0,
+    268435456.0,
+    4294967296.0,
+)
+
 
 def execute(root: PhysicalOperator) -> Table:
     """Run a physical operator tree to completion and return the result."""
     metrics = get_metrics()
     tracer = get_tracer()
-    if not (metrics.enabled or tracer.enabled):
+    query_log = get_query_log()
+    if not (metrics.enabled or tracer.enabled or query_log is not None):
         return root.to_table()
     with tracer.span("engine.execute", root=root.name):
         with Timer() as timer:
@@ -41,6 +53,18 @@ def execute(root: PhysicalOperator) -> Table:
         metrics.histogram(
             "engine.execute_seconds", DEFAULT_BUCKETS, exist_ok=True
         ).observe(timer.elapsed)
+    if query_log is not None:
+        entry = {
+            "kind": "execute",
+            "root": root.name,
+            "plan": root.explain(),
+            "rows_out": result.num_rows,
+            "wall_seconds": timer.elapsed,
+        }
+        if root.estimated_rows is not None:
+            entry["estimated_rows"] = root.estimated_rows
+            entry["estimated_cost"] = root.estimated_cost
+        query_log.append(entry)
     return result
 
 
@@ -75,11 +99,27 @@ class AnalyzedPlan:
             self.root.render(),
             f"Execution time: {self.wall_seconds * 1e3:.3f}ms "
             f"({self.table.num_rows:,} row(s) out)",
+            "Peak operator memory: "
+            f"{format_bytes(self.peak_memory_bytes)} "
+            "(sum of per-node peaks)",
         ]
         worst = self.max_qerror
         if worst is not None:
             lines.append(f"Worst cardinality q-error: {worst:.2f}")
         return "\n".join(lines)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Sum of every operator's peak working-set bytes (each node
+        counted once even when shared across a diamond plan)."""
+        seen: set[int] = set()
+        total = 0
+        for node in self.root.walk():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            total += node.peak_memory_bytes
+        return total
 
     @property
     def max_qerror(self) -> float | None:
@@ -140,6 +180,25 @@ def explain_analyze(
                 metrics.counter(
                     "optimizer.qerror_unbounded", exist_ok=True
                 ).inc()
+        per_operator = metrics.histogram(
+            "operator.bytes", MEMORY_BUCKETS, exist_ok=True
+        )
+        seen: set[int] = set()
+        for node in stats.walk():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            per_operator.observe(node.peak_memory_bytes)
+        metrics.histogram(
+            "query.peak_bytes", MEMORY_BUCKETS, exist_ok=True
+        ).observe(analyzed.peak_memory_bytes)
     if feedback is not None:
         feedback.record_plan(stats)
+    query_log = get_query_log()
+    if query_log is not None:
+        from repro.obs.profile import QueryProfile
+
+        query_log.append(
+            QueryProfile.from_analyzed(analyzed).to_dict()
+        )
     return analyzed

@@ -79,11 +79,22 @@ class GroupingAssignment:
     group_keys: np.ndarray
     #: guaranteed order of :attr:`group_keys`.
     key_order: KeyOrder
+    #: bytes of the auxiliary structure stage 1 built (hash table, SPH
+    #: array, sort order, ...) — the Table 1 footprint of the algorithm.
+    structure_bytes: int = 0
 
     @property
     def num_groups(self) -> int:
         """Number of groups."""
         return int(self.group_keys.size)
+
+    def memory_bytes(self) -> int:
+        """Total bytes: the slot/key arrays plus the stage-1 structure."""
+        return (
+            int(self.slots.nbytes)
+            + int(self.group_keys.nbytes)
+            + self.structure_bytes
+        )
 
 
 @dataclass(frozen=True)
@@ -144,6 +155,7 @@ def hash_slots(
         # Insertion order is an artefact of hash + arrival order; per §2.1
         # a consumer must treat it as unordered.
         key_order=KeyOrder.UNSPECIFIED,
+        structure_bytes=table.memory_bytes(),
     )
 
 
@@ -180,6 +192,7 @@ def perfect_hash_slots(
             "static perfect hashing requires a dense key domain: density "
             f"{num_occupied / sph.num_slots:.4f} < required {min_density:.4f}"
         )
+    structure_bytes = sph.memory_bytes()
     if num_occupied == sph.num_slots:
         # Minimal SPH: slots are exactly the compacted key domain.
         slots = raw_slots
@@ -189,10 +202,12 @@ def perfect_hash_slots(
         compaction = np.cumsum(occupied) - 1
         slots = compaction[raw_slots]
         group_keys = sph.key_of_slot(np.flatnonzero(occupied).astype(np.int64))
+        structure_bytes += int(compaction.nbytes)
     return GroupingAssignment(
         slots=slots.astype(np.int64),
         group_keys=np.asarray(group_keys, dtype=np.int64),
         key_order=KeyOrder.SORTED,
+        structure_bytes=structure_bytes,
     )
 
 
@@ -226,6 +241,9 @@ def order_slots(keys: np.ndarray, validate: bool = False) -> GroupingAssignment:
         slots=slots,
         group_keys=run_values.astype(np.int64),
         key_order=KeyOrder.SORTED if sorted_keys else KeyOrder.FIRST_OCCURRENCE,
+        # OG inspects run boundaries only; no auxiliary structure beyond
+        # the per-run arrays.
+        structure_bytes=int(starts.nbytes) + int(lengths.nbytes),
     )
 
 
@@ -244,6 +262,9 @@ def sort_order_slots(keys: np.ndarray) -> GroupingAssignment:
         slots=slots,
         group_keys=sorted_assignment.group_keys,
         key_order=KeyOrder.SORTED,
+        # SOG pays for the sort permutation on top of OG's run arrays.
+        structure_bytes=int(order.nbytes)
+        + sorted_assignment.structure_bytes,
     )
 
 
@@ -278,6 +299,7 @@ def binary_search_slots(
         slots=slots.astype(np.int64),
         group_keys=distinct_keys,
         key_order=KeyOrder.SORTED,
+        structure_bytes=int(distinct_keys.nbytes),
     )
 
 

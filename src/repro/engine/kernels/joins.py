@@ -60,11 +60,22 @@ class JoinResult:
     #: indices into the right (probe) input, one per output row.
     right_indices: np.ndarray
     output_order: JoinOutputOrder
+    #: bytes of the build-side structure the kernel erected (hash table,
+    #: SPH array, sort permutations, ...) — Table 2's footprint column.
+    structure_bytes: int = 0
 
     @property
     def num_rows(self) -> int:
         """Number of matches."""
         return int(self.left_indices.size)
+
+    def memory_bytes(self) -> int:
+        """Total bytes: the index-pair arrays plus the build structure."""
+        return (
+            int(self.left_indices.nbytes)
+            + int(self.right_indices.nbytes)
+            + self.structure_bytes
+        )
 
     def canonical_pairs(self) -> list[tuple[int, int]]:
         """Sorted (left, right) index pairs, for comparing join kernels."""
@@ -138,7 +149,12 @@ def hash_join(
     offsets, counts, grouped = _group_build_rows(build_slots, table.num_keys)
     probe_slots = table.probe(probe_keys)
     left, right = _expand_matches(probe_slots, offsets, counts, grouped)
-    return JoinResult(left, right, JoinOutputOrder.PROBE_ORDER)
+    structure = table.memory_bytes() + int(
+        offsets.nbytes + counts.nbytes + grouped.nbytes
+    )
+    return JoinResult(
+        left, right, JoinOutputOrder.PROBE_ORDER, structure_bytes=structure
+    )
 
 
 def perfect_hash_join(
@@ -165,7 +181,12 @@ def perfect_hash_join(
     in_domain = (raw >= 0) & (raw < sph.num_slots)
     probe_slots = np.where(in_domain, raw, -1)
     left, right = _expand_matches(probe_slots, offsets, counts, grouped)
-    return JoinResult(left, right, JoinOutputOrder.PROBE_ORDER)
+    structure = sph.memory_bytes() + int(
+        offsets.nbytes + counts.nbytes + grouped.nbytes
+    )
+    return JoinResult(
+        left, right, JoinOutputOrder.PROBE_ORDER, structure_bytes=structure
+    )
 
 
 def merge_join(
@@ -205,7 +226,10 @@ def merge_join(
     left_out = np.repeat(lo, lengths) + ranks
     # Right keys are sorted, so probe-major expansion IS key order here.
     return JoinResult(
-        left_out.astype(np.int64), right_out, JoinOutputOrder.KEY_SORTED
+        left_out.astype(np.int64),
+        right_out,
+        JoinOutputOrder.KEY_SORTED,
+        structure_bytes=int(lo.nbytes + hi.nbytes),
     )
 
 
@@ -222,6 +246,9 @@ def sort_merge_join(
         left_indices=left_order[merged.left_indices],
         right_indices=right_order[merged.right_indices],
         output_order=JoinOutputOrder.KEY_SORTED,
+        # SOJ pays for both sort permutations on top of OJ's structure.
+        structure_bytes=int(left_order.nbytes + right_order.nbytes)
+        + merged.structure_bytes,
     )
 
 
@@ -251,7 +278,12 @@ def binary_search_join(
     )
     left_out = build_order[np.repeat(lo, lengths) + ranks]
     return JoinResult(
-        left_out.astype(np.int64), probe_out, JoinOutputOrder.PROBE_ORDER
+        left_out.astype(np.int64),
+        probe_out,
+        JoinOutputOrder.PROBE_ORDER,
+        structure_bytes=int(
+            build_order.nbytes + sorted_build.nbytes + lo.nbytes + hi.nbytes
+        ),
     )
 
 

@@ -66,6 +66,10 @@ class Chunk:
         """Rows where ``mask`` is true."""
         return Chunk({name: values[mask] for name, values in self._data.items()})
 
+    def memory_bytes(self) -> int:
+        """Total bytes of the chunk's arrays."""
+        return sum(int(values.nbytes) for values in self._data.values())
+
 
 class PhysicalOperator:
     """Base class of all physical operators.
@@ -91,9 +95,31 @@ class PhysicalOperator:
     plan_op: str = ""
     #: the algorithm family the optimiser chose (e.g. 'HG', 'SPHJ').
     plan_algorithm: str = ""
+    #: peak working-set bytes observed during the latest execution; a
+    #: class attribute so operators that never note memory stay at 0
+    #: without any per-instance cost.
+    _peak_memory_bytes: int = 0
 
     def __init__(self, children: list["PhysicalOperator"]) -> None:
         self.children = children
+
+    def memory_bytes(self) -> int:
+        """Peak bytes of working state (build structures, sort buffers,
+        materialised inputs/outputs) this operator held while producing
+        its latest output. 0 until the operator has executed, and for
+        purely pass-through operators. Child operators account for their
+        own state; this value is per-node, not cumulative."""
+        return self._peak_memory_bytes
+
+    def reset_memory_accounting(self) -> None:
+        """Forget the recorded peak (called before a fresh instrumented
+        execution, so repeated runs never report stale peaks)."""
+        self._peak_memory_bytes = 0
+
+    def _note_memory(self, nbytes: int) -> None:
+        """Record a working-set high-water mark (monotone per run)."""
+        if nbytes > self._peak_memory_bytes:
+            self._peak_memory_bytes = int(nbytes)
 
     @property
     def output_schema(self) -> Schema:

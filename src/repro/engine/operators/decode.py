@@ -53,7 +53,12 @@ class DecodeColumn(PhysicalOperator):
             data[self._column] = self._encoding.decode_codes(
                 data[self._column]
             )
-            yield Chunk(data)
+            decoded = Chunk(data)
+            # Working set: the pinned dictionary plus one decoded chunk.
+            self._note_memory(
+                self._encoding.memory_bytes() + decoded.memory_bytes()
+            )
+            yield decoded
 
     def describe(self) -> str:
         return f"DecodeColumn({self._column})"

@@ -144,6 +144,14 @@ class GroupBy(PhysicalOperator):
         result = Table.from_arrays(
             data, dtypes={s.name: s.dtype for s in self.output_schema}
         )
+        # Working set: the materialised input, the slot assignment with
+        # its algorithm structure (HG's hash table vs SPHG's dense array
+        # — the Table 1 contrast), and the group-state output arrays.
+        self._note_memory(
+            table.memory_bytes()
+            + assignment.memory_bytes()
+            + result.memory_bytes()
+        )
         yield from table_to_chunks(result, self._chunk_size)
 
     def _group_slice(self, table: Table) -> Table:
@@ -187,6 +195,11 @@ class GroupBy(PhysicalOperator):
             if stop > start
         ]
         merged = self._merge_partials(partials)
+        self._note_memory(
+            table.memory_bytes()
+            + sum(part.memory_bytes() for part in partials)
+            + merged.memory_bytes()
+        )
         yield from table_to_chunks(merged, self._chunk_size)
 
     def _merge_partials(self, partials: list[Table]) -> Table:

@@ -82,7 +82,14 @@ class IndexRangeScan(PhysicalOperator):
             row_ids = np.concatenate(row_lists)
         else:
             row_ids = np.empty(0, dtype=np.int64)
-        yield from table_to_chunks(self._table.take(row_ids), self._chunk_size)
+        gathered = self._table.take(row_ids)
+        # Working set: the consulted index plus the gathered row copy.
+        self._note_memory(
+            self._index.memory_bytes()
+            + int(row_ids.nbytes)
+            + gathered.memory_bytes()
+        )
+        yield from table_to_chunks(gathered, self._chunk_size)
 
     def describe(self) -> str:
         return (

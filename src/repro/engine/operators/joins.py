@@ -110,6 +110,14 @@ class Join(PhysicalOperator):
         output = Table.from_arrays(
             data, dtypes={s.name: s.dtype for s in self.output_schema}
         )
+        # Working set: both materialised inputs, the kernel's build-side
+        # structure plus match-index arrays, and the gathered output.
+        self._note_memory(
+            left_table.memory_bytes()
+            + right_table.memory_bytes()
+            + result.memory_bytes()
+            + output.memory_bytes()
+        )
         yield from table_to_chunks(output, self._chunk_size)
 
     def describe(self) -> str:

@@ -37,6 +37,8 @@ class TableScan(PhysicalOperator):
         return self._table
 
     def chunks(self) -> Iterator[Chunk]:
+        # The scan pins its table for the duration of the query.
+        self._note_memory(self._table.memory_bytes())
         yield from table_to_chunks(self._table, self._chunk_size)
 
     def describe(self) -> str:
@@ -62,7 +64,10 @@ class Filter(PhysicalOperator):
     def chunks(self) -> Iterator[Chunk]:
         for chunk in self.children[0].chunks():
             mask = np.asarray(self._predicate.evaluate(chunk.data()), dtype=bool)
-            yield chunk.filter(mask)
+            filtered = chunk.filter(mask)
+            # Working set: the mask plus the filtered copy of one chunk.
+            self._note_memory(int(mask.nbytes) + filtered.memory_bytes())
+            yield filtered
 
     def describe(self) -> str:
         return f"Filter({self._predicate!r})"
@@ -108,12 +113,14 @@ class Project(PhysicalOperator):
 
     def chunks(self) -> Iterator[Chunk]:
         for chunk in self.children[0].chunks():
-            yield Chunk(
+            projected = Chunk(
                 {
                     alias: np.asarray(expression.evaluate(chunk.data()))
                     for alias, expression in self._outputs
                 }
             )
+            self._note_memory(projected.memory_bytes())
+            yield projected
 
     def describe(self) -> str:
         inner = ", ".join(

@@ -56,7 +56,10 @@ class Sort(PhysicalOperator):
 
     def chunks(self) -> Iterator[Chunk]:
         table = self.children[0].to_table()
-        yield from table_to_chunks(table.sort_by(self._keys), self._chunk_size)
+        ordered = table.sort_by(self._keys)
+        # Sort buffer: the materialised input plus the reordered copy.
+        self._note_memory(table.memory_bytes() + ordered.memory_bytes())
+        yield from table_to_chunks(ordered, self._chunk_size)
 
     def describe(self) -> str:
         return f"Sort(by={self._keys})"
@@ -118,6 +121,9 @@ class PartitionBy(PhysicalOperator):
                 assignment = binary_search_slots(keys)
             self._materialised = table
             self._assignment = assignment
+            self._note_memory(
+                table.memory_bytes() + assignment.memory_bytes()
+            )
         return self._materialised, self._assignment
 
     def num_partitions(self) -> int:

@@ -71,6 +71,22 @@ class BPlusTree:
         """Number of levels (1 for a lone leaf)."""
         return self._height
 
+    def memory_bytes(self) -> int:
+        """Estimated bytes of the node structure: 8 per key/value/child
+        slot plus a nominal 64 per node — the substructure ("different
+        nodes and leaf-types", §6) an AV could account per atom."""
+        total = 0
+        stack: list[object] = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 64 + len(node.keys) * 8
+            if node.is_leaf:
+                total += len(node.values) * 8
+            else:
+                total += len(node.children) * 8
+                stack.extend(node.children)
+        return total
+
     # -- mutation -------------------------------------------------------
 
     def insert(self, key: int, value: object) -> None:

@@ -52,6 +52,11 @@ class CrackedColumn:
         """Total partitioning operations performed so far (work measure)."""
         return self._crack_count
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the working copy plus the cracker index
+        (pivot/position pairs, 8 bytes each)."""
+        return int(self._values.nbytes) + len(self._pivots) * 16
+
     def values(self) -> np.ndarray:
         """Current physical order of the values (read-only view)."""
         view = self._values.view()

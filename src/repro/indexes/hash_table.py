@@ -127,6 +127,12 @@ class ChainedHashTable:
         found = self._find(key)
         return default if found is None else found
 
+    def memory_bytes(self) -> int:
+        """Estimated bytes of the chained structure: 8 per bucket pointer
+        plus a nominal 24 per (key, value) entry — chaining's per-entry
+        node overhead, the Table 1 cost SPH avoids."""
+        return self._num_buckets * 8 + self._size * 24
+
     def key_set(self) -> Iterator[int]:
         """Iterate over all keys in (hash-table) bucket order.
 
@@ -221,6 +227,15 @@ class OpenAddressingHashTable:
     def slot_keys(self) -> np.ndarray:
         """Key of each slot, indexed by slot id (insertion order)."""
         return self._slot_keys[: self._num_slots].copy()
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the bucket and slot arrays — the HG footprint
+        Table 1 contrasts with SPH's dense array."""
+        return int(
+            self._bucket_keys.nbytes
+            + self._bucket_slots.nbytes
+            + self._slot_keys.nbytes
+        )
 
     def build(self, keys: np.ndarray) -> np.ndarray:
         """Insert ``keys`` (duplicates allowed) and return per-row slot ids.

@@ -75,6 +75,12 @@ class StaticPerfectHash:
         """Size of the slot array: ``max_key - min_key + 1``."""
         return self._max_key - self._min_key + 1
 
+    def memory_bytes(self) -> int:
+        """Bytes of the dense slot array SPH stands for: one 8-byte entry
+        per domain slot (§2.1: "an array of groups of tuples ... the
+        grouping key then serves as the index into that array")."""
+        return self.num_slots * 8
+
     @property
     def is_minimal(self) -> bool:
         """True when every slot is used (paper: "the SPH is even minimal")."""

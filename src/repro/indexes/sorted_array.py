@@ -43,6 +43,10 @@ class SortedKeyIndex:
         """Number of indexed distinct keys."""
         return int(self._keys.size)
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the sorted key array."""
+        return int(self._keys.nbytes)
+
     def keys(self) -> np.ndarray:
         """The sorted distinct keys (read-only view)."""
         view = self._keys.view()

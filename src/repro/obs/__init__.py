@@ -14,7 +14,18 @@ collecting.
 """
 
 from repro.obs.feedback import FeedbackSample, FeedbackStore
-from repro.obs.instrument import OperatorStats, instrumented
+from repro.obs.instrument import OperatorStats, format_bytes, instrumented
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    QueryProfile,
+    capture_profile,
+)
+from repro.obs.querylog import (
+    ENV_QUERY_LOG,
+    QueryLog,
+    get_query_log,
+    set_query_log,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -37,21 +48,29 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "ENV_QUERY_LOG",
     "FeedbackSample",
     "FeedbackStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OperatorStats",
+    "PROFILE_SCHEMA_VERSION",
+    "QueryLog",
+    "QueryProfile",
     "Span",
     "Tracer",
     "capture_observability",
+    "capture_profile",
     "disable_observability",
     "enable_observability",
+    "format_bytes",
     "get_metrics",
+    "get_query_log",
     "get_tracer",
     "instrumented",
     "merge_snapshots",
     "set_metrics",
+    "set_query_log",
     "set_tracer",
 ]

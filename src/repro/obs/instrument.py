@@ -22,6 +22,18 @@ from typing import Iterator
 from repro.engine.operators.base import PhysicalOperator
 
 
+def format_bytes(nbytes: int | float) -> str:
+    """Human-readable bytes: ``0B``, ``512B``, ``4.0KiB``, ``1.5MiB``..."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
 @dataclass
 class OperatorStats:
     """Measured actuals of one operator node after execution.
@@ -48,6 +60,9 @@ class OperatorStats:
     plan_op: str = ""
     #: the algorithm family the optimiser chose (e.g. 'HG', 'SPHJ').
     plan_algorithm: str = ""
+    #: peak working-set bytes the operator reported while executing
+    #: (sampled from ``PhysicalOperator.memory_bytes()``).
+    peak_memory_bytes: int = 0
     children: list["OperatorStats"] = field(default_factory=list)
 
     @property
@@ -93,7 +108,8 @@ class OperatorStats:
             f"{'  ' * indent}{self.description}  "
             f"[actual rows={self.rows_out:,} chunks={self.chunks_out} "
             f"self={self.self_seconds * 1e3:.3f}ms "
-            f"cum={self.cumulative_seconds * 1e3:.3f}ms]"
+            f"cum={self.cumulative_seconds * 1e3:.3f}ms "
+            f"peak {format_bytes(self.peak_memory_bytes)}]"
         )
         if self.estimated_rows is not None:
             line += (
@@ -110,24 +126,48 @@ class OperatorStats:
         record = {
             "name": self.name,
             "description": self.description,
+            "operator_kind": self.operator_kind,
+            "plan_op": self.plan_op,
+            "plan_algorithm": self.plan_algorithm,
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "chunks_out": self.chunks_out,
             "self_seconds": self.self_seconds,
             "cumulative_seconds": self.cumulative_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
             "children": [child.to_dict() for child in self.children],
         }
         if self.estimated_rows is not None:
             record["estimated_rows"] = self.estimated_rows
             record["estimated_cost"] = self.estimated_cost
+            if self.estimated_groups is not None:
+                record["estimated_groups"] = self.estimated_groups
             record["qerror"] = self.qerror
         return record
 
 
-def _hook(operator: PhysicalOperator, stats: OperatorStats) -> None:
+def _hook(
+    operator: PhysicalOperator,
+    stats: OperatorStats,
+    state: dict,
+    is_root: bool,
+) -> None:
     original = operator.chunks  # the bound, un-instrumented method
 
     def instrumented_chunks():
+        if is_root:
+            # A fresh pull on the root is a fresh execution: every
+            # operator resets on its first call of this generation, so
+            # re-running the same tree never double-counts rows, time,
+            # or memory peaks.
+            state["generation"] += 1
+        if state["seen"].get(id(stats)) != state["generation"]:
+            state["seen"][id(stats)] = state["generation"]
+            stats.rows_out = 0
+            stats.chunks_out = 0
+            stats.cumulative_seconds = 0.0
+            stats.peak_memory_bytes = 0
+            operator.reset_memory_accounting()
         iterator = original()
         while True:
             started = time.perf_counter()
@@ -135,10 +175,18 @@ def _hook(operator: PhysicalOperator, stats: OperatorStats) -> None:
                 chunk = next(iterator)
             except StopIteration:
                 stats.cumulative_seconds += time.perf_counter() - started
+                peak = operator.memory_bytes()
+                if peak > stats.peak_memory_bytes:
+                    stats.peak_memory_bytes = peak
                 return
             stats.cumulative_seconds += time.perf_counter() - started
             stats.rows_out += chunk.num_rows
             stats.chunks_out += 1
+            # Sample after every chunk too, so early-terminated pulls
+            # (e.g. below a Limit) still record their peak.
+            peak = operator.memory_bytes()
+            if peak > stats.peak_memory_bytes:
+                stats.peak_memory_bytes = peak
             yield chunk
 
     operator.chunks = instrumented_chunks  # type: ignore[method-assign]
@@ -148,13 +196,16 @@ def _hook(operator: PhysicalOperator, stats: OperatorStats) -> None:
 def instrumented(root: PhysicalOperator) -> Iterator[OperatorStats]:
     """Hook ``root``'s whole tree; yields the mirror stats tree.
 
-    Executions inside the ``with`` block accumulate into the stats;
-    on exit every hook is removed, restoring the plan to its
-    zero-overhead state. Shared sub-operators (diamond plans) are
+    Each pull on the *root* inside the ``with`` block starts a fresh
+    execution: per-operator counters (rows, chunks, time, memory peaks)
+    reset rather than accumulate, so the stats always describe the most
+    recent run. On exit every hook is removed, restoring the plan to
+    its zero-overhead state. Shared sub-operators (diamond plans) are
     hooked once and their stats object appears under every parent.
     """
     hooked: list[PhysicalOperator] = []
     memo: dict[int, OperatorStats] = {}
+    state: dict = {"generation": 0, "seen": {}}
 
     def build(operator: PhysicalOperator) -> OperatorStats:
         if id(operator) in memo:
@@ -171,8 +222,9 @@ def instrumented(root: PhysicalOperator) -> Iterator[OperatorStats]:
         memo[id(operator)] = stats
         for child in operator.children:
             stats.children.append(build(child))
-        _hook(operator, stats)
+        _hook(operator, stats, state, is_root=operator is root)
         hooked.append(operator)
+        operator.reset_memory_accounting()
         return stats
 
     stats_root = build(root)

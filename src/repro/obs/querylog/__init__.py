@@ -1,0 +1,487 @@
+"""A persistent, append-only query log plus its CLI.
+
+Every :func:`repro.engine.executor.execute`,
+:func:`~repro.engine.executor.explain_analyze`, and
+:meth:`repro.core.optimizer.dp.DPOptimizer.optimize_spec` call appends a
+JSON line to the active log — enabled either explicitly
+(:func:`set_query_log`) or via the ``REPRO_QUERY_LOG`` environment
+variable. Lines are self-describing (``kind`` is ``'execute'``,
+``'profile'``, or ``'optimize'``), so history survives schema growth and
+a half-written trailing line never poisons the reader.
+
+``python -m repro.obs.querylog`` turns the log back into insight::
+
+    python -m repro.obs.querylog --log run.jsonl list
+    python -m repro.obs.querylog --log run.jsonl show <id> --html out.html
+    python -m repro.obs.querylog --log run.jsonl diff <id-a> <id-b>
+    python -m repro.obs.querylog --log run.jsonl summary
+
+``summary`` replays every logged profile through a
+:class:`~repro.obs.feedback.FeedbackStore`, reporting per-operator
+q-error alongside self-time and query-latency percentiles — the paper's
+"did the optimiser's guesses survive contact with execution?" question
+asked across history instead of per run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ObservabilityError
+from repro.obs.feedback import FeedbackSample, FeedbackStore
+
+#: environment variable holding the default log path.
+ENV_QUERY_LOG = "REPRO_QUERY_LOG"
+
+#: schema version stamped on every appended entry.
+LOG_SCHEMA_VERSION = 1
+
+
+class QueryLog:
+    """An append-only JSONL file of query-lifecycle events.
+
+    Appends are line-atomic (one ``write`` of one ``\\n``-terminated
+    line in append mode), and reads tolerate malformed lines, so
+    concurrent writers and a crashed process degrade to *missing*
+    entries rather than an unreadable log.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._sequence = 0
+
+    @property
+    def path(self) -> Path:
+        """Where the log lives on disk."""
+        return self._path
+
+    def _new_id(self) -> str:
+        self._sequence += 1
+        return f"q{time.time_ns() // 1_000_000:011x}-{self._sequence:03d}"
+
+    def append(self, entry: dict) -> str:
+        """Append one entry; returns the (assigned) entry id.
+
+        ``id``, ``ts`` (unix seconds), and ``log_schema_version`` are
+        stamped in unless the entry already carries them.
+        """
+        record = dict(entry)
+        record.setdefault("id", self._new_id())
+        record.setdefault("ts", time.time())
+        record.setdefault("log_schema_version", LOG_SCHEMA_VERSION)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, default=str) + "\n")
+        return record["id"]
+
+    def entries(self) -> list[dict]:
+        """Every parseable entry, in append order.
+
+        Blank and malformed lines (torn writes) are skipped silently.
+        """
+        if not self._path.exists():
+            return []
+        entries = []
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    entries.append(record)
+        return entries
+
+    def entry(self, entry_id: str) -> dict:
+        """The entry with the given id; unique prefixes also match.
+
+        :raises ObservabilityError: when no entry (or more than one)
+            matches.
+        """
+        matches = [
+            record
+            for record in self.entries()
+            if str(record.get("id", "")).startswith(entry_id)
+        ]
+        exact = [r for r in matches if r.get("id") == entry_id]
+        if exact:
+            return exact[0]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ObservabilityError(
+                f"no query-log entry matches {entry_id!r} in {self._path}"
+            )
+        raise ObservabilityError(
+            f"{entry_id!r} is ambiguous: matches "
+            f"{[r.get('id') for r in matches]}"
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+# -- process-wide handle ----------------------------------------------------
+
+#: the explicitly-installed log (None = fall back to the environment).
+_query_log: QueryLog | None = None
+#: cache for the environment-configured log, keyed by the env value.
+_env_log: tuple[str, QueryLog] | None = None
+
+
+def set_query_log(target: QueryLog | str | Path | None) -> None:
+    """Install (or with ``None`` uninstall) the process-wide query log.
+
+    An explicitly installed log wins over ``REPRO_QUERY_LOG``; passing
+    ``None`` restores the environment-variable behaviour.
+    """
+    global _query_log
+    if target is None or isinstance(target, QueryLog):
+        _query_log = target
+    else:
+        _query_log = QueryLog(target)
+
+
+def get_query_log() -> QueryLog | None:
+    """The active query log, or None when logging is disabled.
+
+    Resolution order: the log installed via :func:`set_query_log`, then
+    the path named by the ``REPRO_QUERY_LOG`` environment variable.
+    """
+    global _env_log
+    if _query_log is not None:
+        return _query_log
+    path = os.environ.get(ENV_QUERY_LOG, "")
+    if not path:
+        _env_log = None
+        return None
+    if _env_log is None or _env_log[0] != path:
+        _env_log = (path, QueryLog(path))
+    return _env_log[1]
+
+
+# -- summary helpers --------------------------------------------------------
+
+
+def _walk_operator_nodes(node: dict) -> Iterator[dict]:
+    yield node
+    for child in node.get("children", []) or []:
+        yield from _walk_operator_nodes(child)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted, non-empty list."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def feedback_from_entries(entries: list[dict]) -> FeedbackStore:
+    """Rebuild a :class:`FeedbackStore` from logged profile entries.
+
+    Every estimate-carrying operator node of every ``kind='profile'``
+    entry becomes one :class:`FeedbackSample` — the same shape
+    :func:`~repro.engine.executor.explain_analyze` records live, so
+    :meth:`FeedbackStore.qerror_summary` and even
+    :meth:`FeedbackStore.refit` work across persisted history.
+    """
+    store = FeedbackStore()
+    for entry in entries:
+        if entry.get("kind") != "profile":
+            continue
+        operators = entry.get("operators")
+        if not isinstance(operators, dict):
+            continue
+        for node in _walk_operator_nodes(operators):
+            if node.get("estimated_rows") is None:
+                continue
+            store.record(
+                FeedbackSample(
+                    operator_kind=node.get("operator_kind", ""),
+                    plan_op=node.get("plan_op", ""),
+                    algorithm=node.get("plan_algorithm", ""),
+                    estimated_rows=float(node["estimated_rows"]),
+                    actual_rows=int(node.get("rows_out", 0)),
+                    rows_in=int(node.get("rows_in", 0)),
+                    estimated_groups=float(
+                        node.get("estimated_groups") or 0.0
+                    ),
+                    seconds=float(node.get("self_seconds", 0.0)),
+                )
+            )
+    return store
+
+
+def summarise(entries: list[dict]) -> str:
+    """The ``summary`` report: q-error plus latency percentiles."""
+    from repro.bench.reporting import render_table
+    from repro.obs.instrument import format_bytes
+
+    kinds: dict[str, int] = {}
+    for entry in entries:
+        kind = entry.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    breakdown = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(kinds.items())
+    )
+    lines = [f"query log: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} ({breakdown or 'empty'})"]
+
+    store = feedback_from_entries(entries)
+    summary = store.qerror_summary()
+    if summary:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["operator", "count", "mean q", "p50 q", "max q"],
+                [
+                    [
+                        kind,
+                        str(stats["count"]),
+                        f"{stats['mean']:.2f}",
+                        f"{stats['p50']:.2f}",
+                        f"{stats['max']:.2f}",
+                    ]
+                    for kind, stats in summary.items()
+                ],
+                title="per-operator cardinality q-error",
+            )
+        )
+
+    self_times: dict[str, list[float]] = {}
+    peaks: dict[str, list[float]] = {}
+    for entry in entries:
+        if entry.get("kind") != "profile":
+            continue
+        operators = entry.get("operators")
+        if not isinstance(operators, dict):
+            continue
+        for node in _walk_operator_nodes(operators):
+            kind = node.get("operator_kind") or node.get("name", "?")
+            self_times.setdefault(kind, []).append(
+                float(node.get("self_seconds", 0.0))
+            )
+            peaks.setdefault(kind, []).append(
+                float(node.get("peak_memory_bytes", 0))
+            )
+    if self_times:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["operator", "count", "p50", "p90", "p99", "peak mem p50"],
+                [
+                    [
+                        kind,
+                        str(len(values)),
+                        f"{_percentile(values, 0.50) * 1e3:.3f}ms",
+                        f"{_percentile(values, 0.90) * 1e3:.3f}ms",
+                        f"{_percentile(values, 0.99) * 1e3:.3f}ms",
+                        format_bytes(_percentile(peaks[kind], 0.50)),
+                    ]
+                    for kind, values in sorted(self_times.items())
+                ],
+                title="per-operator self-time percentiles",
+            )
+        )
+
+    walls = [
+        float(entry["wall_seconds"])
+        for entry in entries
+        if entry.get("kind") in ("execute", "profile")
+        and entry.get("wall_seconds") is not None
+    ]
+    if walls:
+        lines.append("")
+        lines.append(
+            "query latency: "
+            f"count={len(walls)} "
+            f"p50={_percentile(walls, 0.50) * 1e3:.3f}ms "
+            f"p90={_percentile(walls, 0.90) * 1e3:.3f}ms "
+            f"p99={_percentile(walls, 0.99) * 1e3:.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def _cli_log(args: argparse.Namespace) -> QueryLog:
+    if args.log:
+        return QueryLog(args.log)
+    log = get_query_log()
+    if log is None:
+        raise ObservabilityError(
+            f"no query log: pass --log PATH or set ${ENV_QUERY_LOG}"
+        )
+    return log
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import render_table
+    from repro.obs.instrument import format_bytes
+
+    log = _cli_log(args)
+    rows = []
+    for entry in log.entries():
+        kind = entry.get("kind", "?")
+        if kind == "profile":
+            detail = (
+                f"{entry.get('rows_out', 0):,} row(s), peak "
+                f"{format_bytes(entry.get('peak_memory_bytes', 0))}"
+            )
+        elif kind == "execute":
+            detail = f"{entry.get('rows_out', 0):,} row(s)"
+        elif kind == "optimize":
+            detail = f"cost={entry.get('cost', 0.0):.1f}"
+        else:
+            detail = ""
+        wall = entry.get("wall_seconds")
+        rows.append(
+            [
+                str(entry.get("id", "?")),
+                kind,
+                f"{wall * 1e3:.3f}ms" if wall is not None else "-",
+                detail,
+            ]
+        )
+    if not rows:
+        print(f"(empty query log: {log.path})")
+        return 0
+    print(render_table(["id", "kind", "wall", "detail"], rows))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.obs.profile import QueryProfile
+
+    log = _cli_log(args)
+    entry = log.entry(args.id)
+    if entry.get("kind") == "profile":
+        profile = QueryProfile.from_dict(entry)
+        print(profile.render())
+        if args.html:
+            Path(args.html).write_text(profile.to_html(), encoding="utf-8")
+            print(f"wrote HTML report: {args.html}")
+        if args.flamegraph:
+            Path(args.flamegraph).write_text(
+                profile.to_folded_stacks(), encoding="utf-8"
+            )
+            print(f"wrote folded stacks: {args.flamegraph}")
+    else:
+        if args.html or args.flamegraph:
+            raise ObservabilityError(
+                "--html/--flamegraph need a 'profile' entry; "
+                f"{entry.get('id')} is {entry.get('kind', '?')!r}"
+            )
+        print(json.dumps(entry, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _collect_nodes(entry: dict) -> list[dict]:
+    operators = entry.get("operators")
+    if not isinstance(operators, dict):
+        return []
+    return list(_walk_operator_nodes(operators))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import render_table
+    from repro.obs.instrument import format_bytes
+
+    log = _cli_log(args)
+    a, b = log.entry(args.a), log.entry(args.b)
+    nodes_a, nodes_b = _collect_nodes(a), _collect_nodes(b)
+    if not nodes_a or not nodes_b:
+        raise ObservabilityError(
+            "diff needs two 'profile' entries with operator trees"
+        )
+    rows = []
+    for index in range(max(len(nodes_a), len(nodes_b))):
+        node_a = nodes_a[index] if index < len(nodes_a) else None
+        node_b = nodes_b[index] if index < len(nodes_b) else None
+        name_a = node_a.get("operator_kind", "?") if node_a else "-"
+        name_b = node_b.get("operator_kind", "?") if node_b else "-"
+        name = name_a if name_a == name_b else f"{name_a} vs {name_b}"
+
+        def _fmt(node: dict | None) -> tuple[str, str, str]:
+            if node is None:
+                return "-", "-", "-"
+            return (
+                f"{node.get('rows_out', 0):,}",
+                f"{node.get('self_seconds', 0.0) * 1e3:.3f}ms",
+                format_bytes(node.get("peak_memory_bytes", 0)),
+            )
+
+        rows_a, self_a, peak_a = _fmt(node_a)
+        rows_b, self_b, peak_b = _fmt(node_b)
+        rows.append([name, rows_a, rows_b, self_a, self_b, peak_a, peak_b])
+    wall_a = a.get("wall_seconds", 0.0) or 0.0
+    wall_b = b.get("wall_seconds", 0.0) or 0.0
+    print(
+        f"diff {a.get('id')} ({wall_a * 1e3:.3f}ms) vs "
+        f"{b.get('id')} ({wall_b * 1e3:.3f}ms)"
+    )
+    print(
+        render_table(
+            ["operator", "rows A", "rows B", "self A", "self B", "peak A", "peak B"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    log = _cli_log(args)
+    print(summarise(log.entries()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.querylog`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.querylog",
+        description="Inspect a repro query log (append-only JSONL).",
+    )
+    parser.add_argument(
+        "--log",
+        default="",
+        help=f"log path (default: ${ENV_QUERY_LOG})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="one line per logged entry")
+    show = commands.add_parser("show", help="render one entry")
+    show.add_argument("id", help="entry id (unique prefixes work)")
+    show.add_argument("--html", default="", help="also write an HTML report")
+    show.add_argument(
+        "--flamegraph", default="", help="also write folded stacks"
+    )
+    diff = commands.add_parser("diff", help="compare two profiles")
+    diff.add_argument("a")
+    diff.add_argument("b")
+    commands.add_parser(
+        "summary", help="q-error and latency percentiles across history"
+    )
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "diff": _cmd_diff,
+        "summary": _cmd_summary,
+    }
+    try:
+        return handlers[args.command](args)
+    except ObservabilityError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

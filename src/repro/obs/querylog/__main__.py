@@ -1,0 +1,8 @@
+"""``python -m repro.obs.querylog`` dispatch."""
+
+import sys
+
+from repro.obs.querylog import main
+
+if __name__ == "__main__":
+    sys.exit(main())

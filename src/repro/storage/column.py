@@ -74,6 +74,11 @@ class Column:
             self._stats = collect_statistics(self._values)
         return self._stats
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the backing array (the memory-accounting
+        protocol every storage structure, index, and operator speaks)."""
+        return int(self._values.nbytes)
+
     def __len__(self) -> int:
         return int(self._values.size)
 

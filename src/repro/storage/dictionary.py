@@ -40,6 +40,10 @@ class DictionaryEncoded:
         """Number of dictionary entries (= NDV of the original column)."""
         return int(self.dictionary.size)
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the code and dictionary arrays."""
+        return int(self.codes.nbytes) + int(self.dictionary.nbytes)
+
     def decode(self) -> np.ndarray:
         """Reconstruct the original values."""
         return self.dictionary[self.codes]

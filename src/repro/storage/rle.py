@@ -53,6 +53,10 @@ class RunLengthEncoded:
             return 1.0
         return self.decoded_size / self.num_runs
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the run arrays (values plus lengths)."""
+        return int(self.values.nbytes) + int(self.lengths.nbytes)
+
     def decode(self) -> np.ndarray:
         """Expand back to the original element sequence."""
         return np.repeat(self.values, self.lengths)

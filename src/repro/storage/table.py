@@ -119,6 +119,10 @@ class Table:
         """Iterate over the columns in schema order."""
         return iter(self._columns.values())
 
+    def memory_bytes(self) -> int:
+        """Total bytes held by all column arrays."""
+        return sum(column.memory_bytes() for column in self._columns.values())
+
     # -- relational-ish helpers -------------------------------------------
 
     def project(self, names: Iterable[str]) -> "Table":

@@ -168,3 +168,47 @@ class TestFilesAndCli:
         baseline = Path(__file__).resolve().parents[2] / "BENCH_baseline.json"
         assert baseline.exists(), "BENCH_baseline.json must stay committed"
         assert main([str(baseline)]) == 0
+
+
+class TestNearZeroBaselines:
+    """Satellite guard: clock-noise baselines must not produce nonsense
+    percentages or exceptions — only "∞" at render time."""
+
+    def test_near_zero_baseline_is_zero_baseline(self):
+        report = compare_artifacts(
+            artifact({"a": 1e-12}), artifact({"a": 0.5})
+        )
+        assert report.ok
+        assert report.timings[0].status == "zero-baseline"
+        assert report.timings[0].delta is None
+
+    def test_render_shows_infinity_for_grown_zero_baseline(self):
+        report = compare_artifacts(
+            artifact({"a": 0.0}), artifact({"a": 0.5})
+        )
+        assert "∞" in report.render()
+
+    def test_render_no_infinity_when_both_sides_zero(self):
+        report = compare_artifacts(
+            artifact({"a": 0.0}), artifact({"a": 0.0})
+        )
+        assert "∞" not in report.render()
+        assert report.ok
+
+    def test_near_zero_metric_baseline_renders_infinity(self):
+        report = compare_artifacts(
+            artifact({"a": 1.0}, metrics={"m": 0.0}),
+            artifact({"a": 1.0}, metrics={"m": 7.0}),
+        )
+        (delta,) = report.metrics
+        assert delta.delta == float("inf")
+        assert "∞" in report.render()
+        assert report.ok  # metrics never gate
+
+    def test_unchanged_zero_metric_has_no_delta(self):
+        report = compare_artifacts(
+            artifact({"a": 1.0}, metrics={"m": 0.0}),
+            artifact({"a": 1.0}, metrics={"m": 0.0}),
+        )
+        (delta,) = report.metrics
+        assert delta.delta is None

@@ -1,0 +1,126 @@
+"""QueryProfile: capture, round-trip, folded stacks, and the HTML report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import count_star
+from repro.engine.operators.grouping import GroupBy, GroupingAlgorithm
+from repro.engine.operators.scan import TableScan
+from repro.errors import ObservabilityError
+from repro.obs import (
+    PROFILE_SCHEMA_VERSION,
+    QueryProfile,
+    capture_profile,
+    disable_observability,
+    get_metrics,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    disable_observability()
+    yield
+    disable_observability()
+
+
+@pytest.fixture
+def plan():
+    table = Table.from_arrays(
+        {"K": (np.arange(3_000, dtype=np.int64) % 30)}
+    )
+    return GroupBy(
+        TableScan(table),
+        key="K",
+        aggregates=[count_star()],
+        algorithm=GroupingAlgorithm.HG,
+    )
+
+
+class TestCaptureProfile:
+    def test_bundles_actuals_spans_and_metrics(self, plan):
+        profile = capture_profile(plan, query="SELECT ...")
+        assert profile.query == "SELECT ..."
+        assert profile.rows_out == 30
+        assert profile.wall_seconds > 0
+        assert profile.peak_memory_bytes > 0
+        assert profile.operators["rows_out"] == 30
+        assert profile.operators["children"][0]["rows_out"] == 3_000
+        assert any(
+            span["name"] == "profile.capture" for span in profile.spans
+        )
+        assert "query.peak_bytes" in profile.metrics
+
+    def test_does_not_perturb_ambient_observability(self, plan):
+        before = get_metrics()
+        capture_profile(plan)
+        assert get_metrics() is before
+        assert not get_metrics().enabled
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, plan):
+        profile = capture_profile(plan, query="q")
+        clone = QueryProfile.from_dict(
+            json.loads(profile.to_json())
+        )
+        assert clone.query == profile.query
+        assert clone.rows_out == profile.rows_out
+        assert clone.peak_memory_bytes == profile.peak_memory_bytes
+        assert clone.operators == profile.operators
+        assert len(clone.spans) == len(profile.spans)
+
+    def test_to_dict_is_a_profile_log_entry(self, plan):
+        record = capture_profile(plan).to_dict()
+        assert record["kind"] == "profile"
+        assert record["schema_version"] == PROFILE_SCHEMA_VERSION
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(ObservabilityError):
+            QueryProfile.from_dict({"schema_version": 999})
+
+
+class TestFoldedStacks:
+    def test_span_stacks_are_semicolon_paths(self, plan):
+        profile = capture_profile(plan)
+        folded = profile.to_folded_stacks()
+        for line in folded.splitlines():
+            path, count = line.rsplit(" ", 1)
+            assert path
+            assert int(count) >= 1
+
+    def test_spanless_profile_folds_the_operator_tree(self, plan):
+        profile = capture_profile(plan)
+        profile.spans = []
+        folded = profile.to_folded_stacks()
+        assert any(
+            line.startswith("GroupBy;TableScan ")
+            for line in folded.splitlines()
+        )
+
+
+class TestHtmlReport:
+    def test_report_is_self_contained(self, plan):
+        html = capture_profile(plan, query="SELECT 1 < 2").to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        # No external assets: everything inline.
+        assert "http://" not in html and "https://" not in html
+        assert "<link" not in html and "src=" not in html
+        # The query text is escaped, the operator table present.
+        assert "SELECT 1 &lt; 2" in html
+        assert "GroupBy" in html
+
+    def test_report_embeds_the_profile_json(self, plan):
+        profile = capture_profile(plan)
+        html = profile.to_html()
+        start = html.index('id="profile-json">') + len('id="profile-json">')
+        stop = html.index("</script>", start)
+        embedded = json.loads(html[start:stop].replace("<\\/", "</"))
+        assert embedded["rows_out"] == profile.rows_out
+
+    def test_render_mentions_memory_and_rows(self, plan):
+        text = capture_profile(plan).render()
+        assert "peak" in text
+        assert "row(s)" in text

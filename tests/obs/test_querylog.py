@@ -1,0 +1,257 @@
+"""The persistent query log: appends, env gating, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import count_star
+from repro.engine.executor import execute, explain_analyze
+from repro.engine.operators.grouping import GroupBy, GroupingAlgorithm
+from repro.engine.operators.scan import TableScan
+from repro.errors import ObservabilityError
+from repro.obs import disable_observability
+from repro.obs.querylog import (
+    ENV_QUERY_LOG,
+    QueryLog,
+    get_query_log,
+    main,
+    set_query_log,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals(monkeypatch):
+    monkeypatch.delenv(ENV_QUERY_LOG, raising=False)
+    disable_observability()
+    set_query_log(None)
+    yield
+    set_query_log(None)
+    disable_observability()
+
+
+@pytest.fixture
+def plan():
+    table = Table.from_arrays(
+        {"K": (np.arange(2_000, dtype=np.int64) % 20)}
+    )
+    return GroupBy(
+        TableScan(table),
+        key="K",
+        aggregates=[count_star()],
+        algorithm=GroupingAlgorithm.SPHG,
+    )
+
+
+class TestQueryLog:
+    def test_append_assigns_ids_and_persists(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        first = log.append({"kind": "execute", "rows_out": 1})
+        second = log.append({"kind": "execute", "rows_out": 2})
+        assert first != second
+        entries = log.entries()
+        assert [e["rows_out"] for e in entries] == [1, 2]
+        assert all("ts" in e and "log_schema_version" in e for e in entries)
+
+    def test_entries_skip_malformed_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = QueryLog(path)
+        log.append({"kind": "execute"})
+        with path.open("a") as handle:
+            handle.write('{"kind": "truncat\n')  # torn write
+        log.append({"kind": "profile"})
+        assert [e["kind"] for e in log.entries()] == ["execute", "profile"]
+
+    def test_entry_lookup_supports_unique_prefixes(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        log.append({"kind": "execute", "id": "aaa-1"})
+        log.append({"kind": "execute", "id": "abb-2"})
+        assert log.entry("aaa")["id"] == "aaa-1"
+        with pytest.raises(ObservabilityError):
+            log.entry("a")  # ambiguous
+        with pytest.raises(ObservabilityError):
+            log.entry("zzz")  # absent
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert QueryLog(tmp_path / "absent.jsonl").entries() == []
+
+
+class TestProcessWideHandle:
+    def test_disabled_by_default(self):
+        assert get_query_log() is None
+
+    def test_env_variable_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_QUERY_LOG, str(tmp_path / "env.jsonl"))
+        log = get_query_log()
+        assert log is not None
+        assert log.path.name == "env.jsonl"
+        assert get_query_log() is log  # cached per env value
+
+    def test_explicit_set_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_QUERY_LOG, str(tmp_path / "env.jsonl"))
+        set_query_log(tmp_path / "mine.jsonl")
+        assert get_query_log().path.name == "mine.jsonl"
+        set_query_log(None)
+        assert get_query_log().path.name == "env.jsonl"
+
+
+class TestEngineIntegration:
+    def test_execute_appends_an_entry(self, tmp_path, plan):
+        set_query_log(tmp_path / "log.jsonl")
+        execute(plan)
+        (entry,) = get_query_log().entries()
+        assert entry["kind"] == "execute"
+        assert entry["rows_out"] == 20
+        assert entry["wall_seconds"] > 0
+
+    def test_explain_analyze_appends_a_profile(self, tmp_path, plan):
+        set_query_log(tmp_path / "log.jsonl")
+        explain_analyze(plan)
+        (entry,) = get_query_log().entries()
+        assert entry["kind"] == "profile"
+        assert entry["rows_out"] == 20
+        assert entry["operators"]["peak_memory_bytes"] > 0
+
+    def test_optimizer_appends_an_entry(self, tmp_path):
+        from repro import optimize_dqo, plan_query
+        from repro.datagen import DimensionSpec, make_star_scenario
+
+        scenario = make_star_scenario(
+            fact_rows=500,
+            dimensions=[DimensionSpec(rows=50, num_groups=5)],
+            seed=3,
+        )
+        catalog = scenario.build_catalog()
+        set_query_log(tmp_path / "log.jsonl")
+        optimize_dqo(plan_query(scenario.join_query(0), catalog), catalog)
+        entries = get_query_log().entries()
+        assert [e["kind"] for e in entries] == ["optimize"]
+        assert entries[0]["cost"] > 0
+        assert "search" in entries[0]
+
+    def test_disabled_log_keeps_execute_on_fast_path(self, plan):
+        # No log, no observability: nothing to write, nothing written.
+        assert get_query_log() is None
+        result = execute(plan)
+        assert result.num_rows == 20
+
+
+class TestCli:
+    @pytest.fixture
+    def populated(self, tmp_path, plan):
+        path = tmp_path / "log.jsonl"
+        set_query_log(path)
+        explain_analyze(plan)
+        explain_analyze(plan)
+        execute(plan)
+        set_query_log(None)
+        return path
+
+    def test_list(self, populated, capsys):
+        assert main(["--log", str(populated), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out and "execute" in out
+
+    def test_show_renders_a_profile(self, populated, capsys):
+        log = QueryLog(populated)
+        profile_id = next(
+            e["id"] for e in log.entries() if e["kind"] == "profile"
+        )
+        assert main(["--log", str(populated), "show", profile_id]) == 0
+        out = capsys.readouterr().out
+        assert "GroupBy" in out and "peak" in out
+
+    def test_show_writes_html_and_flamegraph(
+        self, populated, tmp_path, capsys
+    ):
+        log = QueryLog(populated)
+        profile_id = next(
+            e["id"] for e in log.entries() if e["kind"] == "profile"
+        )
+        html_path = tmp_path / "report.html"
+        folded_path = tmp_path / "stacks.folded"
+        assert (
+            main(
+                [
+                    "--log",
+                    str(populated),
+                    "show",
+                    profile_id,
+                    "--html",
+                    str(html_path),
+                    "--flamegraph",
+                    str(folded_path),
+                ]
+            )
+            == 0
+        )
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        assert "GroupBy" in folded_path.read_text()
+
+    def test_diff_two_profiles(self, populated, capsys):
+        ids = [
+            e["id"]
+            for e in QueryLog(populated).entries()
+            if e["kind"] == "profile"
+        ]
+        assert main(["--log", str(populated), "diff", ids[0], ids[1]]) == 0
+        out = capsys.readouterr().out
+        assert "GroupBy" in out
+        assert "rows A" in out and "peak B" in out
+
+    def test_summary_reports_qerror_and_latency(self, populated, capsys):
+        assert main(["--log", str(populated), "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "per-operator self-time percentiles" in out
+        assert "query latency" in out
+        assert "p99" in out
+
+    def test_missing_log_is_a_clean_error(self, capsys):
+        assert main(["list"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_show_unknown_id_is_a_clean_error(self, populated, capsys):
+        assert main(["--log", str(populated), "show", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSummaryAcceptance:
+    def test_summary_over_two_quickstart_style_runs(self, tmp_path, capsys):
+        """The acceptance shape: optimise + execute + analyze twice,
+        summary shows per-operator q-error and latency percentiles."""
+        from repro import optimize_dqo, plan_query, to_operator
+        from repro.datagen import DimensionSpec, make_star_scenario
+
+        scenario = make_star_scenario(
+            fact_rows=1_000,
+            dimensions=[DimensionSpec(rows=100, num_groups=10)],
+            seed=7,
+        )
+        catalog = scenario.build_catalog()
+        path = tmp_path / "log.jsonl"
+        set_query_log(path)
+        for __ in range(2):
+            result = optimize_dqo(
+                plan_query(scenario.join_query(0), catalog), catalog
+            )
+            root = to_operator(result.plan, catalog)
+            execute(root)
+            explain_analyze(root)
+        set_query_log(None)
+        kinds = [e["kind"] for e in QueryLog(path).entries()]
+        assert kinds.count("optimize") == 2
+        assert kinds.count("execute") == 2
+        assert kinds.count("profile") == 2
+        assert main(["--log", str(path), "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "per-operator cardinality q-error" in out
+        assert "q" in out and "p50" in out
+
+
+def test_log_entries_are_plain_json(tmp_path, plan):
+    set_query_log(tmp_path / "log.jsonl")
+    explain_analyze(plan)
+    set_query_log(None)
+    for line in (tmp_path / "log.jsonl").read_text().splitlines():
+        json.loads(line)  # every line parses standalone

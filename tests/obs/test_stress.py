@@ -1,0 +1,115 @@
+"""Thread-safety stress: concurrent metrics and tracing must not lose
+updates or corrupt span stacks.
+
+Both :class:`MetricsRegistry` and :class:`Tracer` are advertised as
+thread-safe (sharded execution and the optimiser report into the same
+process-wide handles). These tests hammer them from many threads and
+assert *exact* totals — a single lost increment or an unbalanced span
+stack fails deterministically.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry, Tracer
+
+NUM_THREADS = 8
+OPS_PER_THREAD = 2_000
+
+
+def _run_in_threads(target) -> None:
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def runner(index: int) -> None:
+        barrier.wait()  # maximise interleaving: everyone starts together
+        target(index)
+
+    threads = [
+        threading.Thread(target=runner, args=(index,))
+        for index in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsUnderContention:
+    def test_counter_increments_are_exact(self):
+        metrics = MetricsRegistry(enabled=True)
+        counter = metrics.counter("stress.ops")
+
+        def work(index: int) -> None:
+            for __ in range(OPS_PER_THREAD):
+                counter.inc()
+
+        _run_in_threads(work)
+        assert counter.value == NUM_THREADS * OPS_PER_THREAD
+
+    def test_concurrent_exist_ok_registration_shares_one_counter(self):
+        metrics = MetricsRegistry(enabled=True)
+
+        def work(index: int) -> None:
+            for __ in range(OPS_PER_THREAD):
+                metrics.counter("stress.shared", exist_ok=True).inc()
+
+        _run_in_threads(work)
+        assert metrics.get("stress.shared").value == (
+            NUM_THREADS * OPS_PER_THREAD
+        )
+
+    def test_histogram_observation_count_is_exact(self):
+        metrics = MetricsRegistry(enabled=True)
+        histogram = metrics.histogram("stress.h", buckets=(1.0, 10.0, 100.0))
+
+        def work(index: int) -> None:
+            for op in range(OPS_PER_THREAD):
+                histogram.observe(float(op % 200))
+
+        _run_in_threads(work)
+        total = NUM_THREADS * OPS_PER_THREAD
+        assert histogram.count == total
+        assert sum(histogram.bucket_counts) == total
+        expected_sum = NUM_THREADS * sum(
+            float(op % 200) for op in range(OPS_PER_THREAD)
+        )
+        assert histogram.sum == expected_sum
+
+    def test_gauge_add_is_exact(self):
+        metrics = MetricsRegistry(enabled=True)
+        gauge = metrics.gauge("stress.g")
+
+        def work(index: int) -> None:
+            for __ in range(OPS_PER_THREAD):
+                gauge.add(1.0)
+
+        _run_in_threads(work)
+        assert gauge.value == float(NUM_THREADS * OPS_PER_THREAD)
+
+
+class TestTracerUnderContention:
+    def test_spans_balance_per_thread(self):
+        tracer = Tracer(enabled=True)
+        depth = 4
+        rounds = OPS_PER_THREAD // depth
+
+        def work(index: int) -> None:
+            for __ in range(rounds):
+                with tracer.span(f"outer-{index}"):
+                    for level in range(depth - 1):
+                        with tracer.span(f"inner-{index}-{level}"):
+                            pass
+
+        _run_in_threads(work)
+        spans = tracer.finished_spans
+        assert len(spans) == NUM_THREADS * rounds * depth
+        # Every span finished (no dangling stack) with a valid duration.
+        assert all(span.duration is not None for span in spans)
+        # Parentage never crosses threads: each span's parent, when
+        # present, lives on the same thread.
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert by_id[span.parent_id].thread_id == span.thread_id
+        # Exactly the roots have no parent.
+        roots = [span for span in spans if span.parent_id is None]
+        assert len(roots) == NUM_THREADS * rounds
