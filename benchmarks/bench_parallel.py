@@ -1,25 +1,34 @@
-"""Extension bench: morsel-style parallel grouping (Figure 3e).
+"""Extension bench: real morsel-driven parallel execution.
 
-Measures the shard-and-merge structure of the parallel-load molecule
-choice at several shard counts, against the serial kernel. Shards run
-sequentially (DESIGN.md substitution #6), so this quantifies the *merge
-overhead* the parallel recipe pays — the structural cost a real
-multi-core engine would trade against core scaling — not a speedup.
+Measures wall-clock speedup of the shared-worker-pool kernels
+(`repro.engine.kernels.parallel`) over the serial kernels at 1/2/4
+workers on >= 1M rows. The numpy kernels release the GIL, so speedup is
+genuine on multi-core hosts; on a single-core host the scheduling is
+still exercised but no speedup is asserted (the assertion is gated on
+``os.cpu_count()``). A JSON artifact records the timings, speedups, and
+the host's core count either way.
 """
+
+import os
 
 import pytest
 
-from repro.datagen import Density, Sortedness, make_grouping_dataset
+from repro._util.timer import time_callable
+from repro.datagen import Density, Sortedness, make_grouping_dataset, make_join_scenario
 from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
-from repro.engine.kernels.parallel import parallel_group_by
+from repro.engine.kernels.joins import JoinAlgorithm, join
+from repro.engine.kernels.parallel import parallel_group_by, parallel_join
 
 GROUPS = 10_000
+WORKER_COUNTS = [1, 2, 4]
+#: speedup floor asserted for 4-worker grouping when the host has the cores.
+SPEEDUP_FLOOR = 1.5
 
 
 @pytest.fixture(scope="module")
 def dataset(bench_rows):
     return make_grouping_dataset(
-        min(bench_rows, 1_000_000),
+        max(min(bench_rows, 4_000_000), 1_000_000),
         GROUPS,
         Sortedness.UNSORTED,
         Density.DENSE,
@@ -27,40 +36,117 @@ def dataset(bench_rows):
     )
 
 
-@pytest.mark.parametrize("shards", [1, 2, 4, 8])
-def test_sharded_sphg(benchmark, dataset, shards):
-    benchmark.group = "parallel load (SPHG)"
+@pytest.fixture(scope="module")
+def join_scenario(bench_rows):
+    rows = max(min(bench_rows, 4_000_000), 1_000_000)
+    return make_join_scenario(
+        n_r=rows // 4,
+        n_s=rows,
+        num_groups=GROUPS,
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_grouping_workers(benchmark, dataset, workers):
+    benchmark.group = "parallel grouping (SPHG, 8 shards)"
     result = benchmark(
         parallel_group_by,
         dataset.keys,
         dataset.payload,
         GroupingAlgorithm.SPHG,
-        shards,
+        8,
         GROUPS,
+        workers,
     )
     assert result.num_groups == GROUPS
 
 
-@pytest.mark.parametrize("shards", [1, 4])
-def test_sharded_hg(benchmark, dataset, shards):
-    benchmark.group = "parallel load (HG)"
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_join_probe_workers(benchmark, join_scenario, workers):
+    benchmark.group = "parallel join probe (HJ, 8 shards)"
+    build = join_scenario.r["ID"]
+    probe = join_scenario.s["R_ID"]
     result = benchmark(
-        parallel_group_by,
-        dataset.keys,
-        dataset.payload,
-        GroupingAlgorithm.HG,
-        shards,
-        GROUPS,
+        parallel_join, build, probe, JoinAlgorithm.HJ, 8, None, workers
     )
-    assert result.num_groups == GROUPS
+    assert result.left_indices.size == probe.size
+
+
+def test_speedup_serial_vs_workers(dataset, join_scenario, bench_artifact):
+    """The tentpole's wall-clock claim, measured end to end.
+
+    Serial kernel vs the morsel-parallel kernels at 1/2/4 workers; the
+    >= 1.5x grouping-speedup floor at 4 workers only applies when the
+    host actually has 4 cores.
+    """
+    cores = os.cpu_count() or 1
+    timings: dict = {}
+
+    timings["grouping/serial"] = time_callable(
+        lambda: group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+            num_distinct_hint=GROUPS,
+        ),
+        repeats=3, warmup=1,
+    )
+    for workers in WORKER_COUNTS:
+        timings[f"grouping/workers{workers}"] = time_callable(
+            lambda w=workers: parallel_group_by(
+                dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+                shards=8, num_distinct_hint=GROUPS, workers=w,
+            ),
+            repeats=3, warmup=1,
+        )
+
+    build = join_scenario.r["ID"]
+    probe = join_scenario.s["R_ID"]
+    timings["join/serial"] = time_callable(
+        lambda: join(build, probe, JoinAlgorithm.HJ), repeats=3, warmup=1
+    )
+    for workers in WORKER_COUNTS:
+        timings[f"join/workers{workers}"] = time_callable(
+            lambda w=workers: parallel_join(
+                build, probe, JoinAlgorithm.HJ, shards=8, workers=w
+            ),
+            repeats=3, warmup=1,
+        )
+
+    speedups = {
+        f"{kind}/workers{workers}": (
+            timings[f"{kind}/serial"].best / timings[f"{kind}/workers{workers}"].best
+        )
+        for kind in ("grouping", "join")
+        for workers in WORKER_COUNTS
+    }
+    for label, speedup in sorted(speedups.items()):
+        print(f"  speedup {label}: {speedup:.2f}x")
+    bench_artifact(
+        "parallel/speedup",
+        timings,
+        meta={
+            "rows": dataset.num_rows,
+            "cpu_count": cores,
+            "workers": WORKER_COUNTS,
+            "speedups": speedups,
+        },
+    )
+    if cores >= 4:
+        assert speedups["grouping/workers4"] >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x grouping speedup at 4 workers on "
+            f"a {cores}-core host, got {speedups['grouping/workers4']:.2f}x"
+        )
+    # One worker must not regress badly: same kernel work plus a merge.
+    assert speedups["grouping/workers1"] > 1 / 3.0
 
 
 def test_merge_overhead_bounded(dataset):
-    """The merge must not dominate: 8-way shard+merge stays within 3x of
-    the serial kernel (it processes the same rows once, plus an
-    8 x #groups merge)."""
-    from repro._util.timer import time_callable
-
+    """The merge must not dominate: 8-way shard+merge on one worker stays
+    within 3x of the serial kernel (same rows once, plus an 8 x #groups
+    merge)."""
     serial = time_callable(
         lambda: group_by(
             dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
@@ -71,7 +157,7 @@ def test_merge_overhead_bounded(dataset):
     sharded = time_callable(
         lambda: parallel_group_by(
             dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
-            shards=8, num_distinct_hint=GROUPS,
+            shards=8, num_distinct_hint=GROUPS, workers=1,
         ),
         repeats=3,
     ).best

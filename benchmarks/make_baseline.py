@@ -18,6 +18,7 @@ machine that will run the gate::
 from __future__ import annotations
 
 import argparse
+import os
 from pathlib import Path
 
 from repro import (
@@ -106,6 +107,35 @@ def measure_figure4(timings: dict, rows: int) -> None:
             print(f"  {label}: {timings[label].best_ms:.2f}ms")
 
 
+def measure_parallel(timings: dict, rows: int) -> None:
+    """Serial vs morsel-parallel kernel times at 1/2/4 workers — the
+    ``bench_parallel.py`` quantities (speedups are host-core-dependent;
+    the baseline records absolute times)."""
+    from repro.engine.kernels.parallel import parallel_group_by
+
+    dataset = make_grouping_dataset(
+        rows, GROUPS, sortedness=Sortedness.UNSORTED, density=Density.DENSE,
+        seed=0,
+    )
+    timings["parallel/grouping_serial"] = time_callable(
+        lambda: group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+            num_distinct_hint=GROUPS,
+        ),
+        repeats=3, warmup=1,
+    )
+    for workers in (1, 2, 4):
+        label = f"parallel/grouping_workers{workers}"
+        timings[label] = time_callable(
+            lambda w=workers: parallel_group_by(
+                dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+                shards=8, num_distinct_hint=GROUPS, workers=w,
+            ),
+            repeats=3, warmup=1,
+        )
+        print(f"  {label}: {timings[label].best_ms:.2f}ms")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -126,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
     snapshot = measure_obs_overhead(timings)
     print(f"measuring figure4 grid at {options.rows:,} rows...")
     measure_figure4(timings, options.rows)
+    print(f"measuring parallel kernels at {options.rows:,} rows...")
+    measure_parallel(timings, options.rows)
 
     path = write_json_artifact(
         options.out,
@@ -137,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
             "figure4_groups": GROUPS,
             "obs_rows_r": 45_000,
             "obs_rows_s": 90_000,
+            "cpu_count": os.cpu_count(),
             "generated_by": "benchmarks/make_baseline.py",
         },
     )

@@ -20,6 +20,17 @@ class CostModel:
     assumes it known (§4.1) and Table 2's BSG/BSJ formulas depend on it.
     """
 
+    def cache_fingerprint(self) -> tuple:
+        """What the plan cache keys this model on.
+
+        The default is instance identity — safe for any model, including
+        stateful fitted ones, at the price of never sharing cache entries
+        across instances. Stateless models (every instance costs
+        identically) should override to drop the ``id`` term.
+        """
+        kind = type(self)
+        return (kind.__module__, kind.__qualname__, id(self))
+
     def grouping_cost(
         self, algorithm: GroupingAlgorithm, input_rows: float, num_groups: float
     ) -> float:
@@ -74,3 +85,49 @@ class CostModel:
         """The build-side portion of :meth:`join_cost` (see
         :meth:`grouping_build_cost`)."""
         return 0.0
+
+    # -- morsel-parallel loop variants (Figure 3e's "parallel load") -------
+
+    def parallel_merge_cost(self, num_groups: float, workers: float) -> float:
+        """Cost of merging the per-shard partial aggregates: the shards
+        contribute up to ``workers * num_groups`` partial rows which are
+        sorted (``np.unique``) and summed."""
+        merged = max(float(workers) * max(float(num_groups), 1.0), 1.0)
+        log_term = math.log2(merged) if merged > 1 else 0.0
+        return merged * log_term + merged
+
+    def parallel_grouping_cost(
+        self,
+        algorithm: GroupingAlgorithm,
+        input_rows: float,
+        num_groups: float,
+        workers: float,
+    ) -> float:
+        """Cost of the parallel-loop grouping variant: the serial work
+        divides across ``workers`` shards, then the partials merge, plus
+        one dispatch unit per worker. At ``workers = 1`` this is strictly
+        worse than :meth:`grouping_cost` — the optimiser then rightly
+        keeps the serial loop."""
+        w = max(float(workers), 1.0)
+        serial = self.grouping_cost(algorithm, input_rows, num_groups)
+        return serial / w + self.parallel_merge_cost(num_groups, w) + w
+
+    def parallel_join_cost(
+        self,
+        algorithm: JoinAlgorithm,
+        left_rows: float,
+        right_rows: float,
+        num_groups: float,
+        workers: float,
+    ) -> float:
+        """Cost of the shared-build, sharded-probe join variant: the
+        build phase stays serial (erected once), the probe phase divides
+        across ``workers``, plus one dispatch unit per worker. Strictly
+        worse than :meth:`join_cost` at ``workers = 1``."""
+        w = max(float(workers), 1.0)
+        serial = self.join_cost(algorithm, left_rows, right_rows, num_groups)
+        build = min(
+            self.join_build_cost(algorithm, left_rows, right_rows, num_groups),
+            serial,
+        )
+        return build + (serial - build) / w + w

@@ -36,6 +36,13 @@ class PaperCostModel(CostModel):
     the join and grouping terms.
     """
 
+    def cache_fingerprint(self) -> tuple:
+        # Stateless: every instance costs identically, so plan-cache
+        # entries are shared across instances (each optimize_dqo() call
+        # constructs a fresh default model).
+        kind = type(self)
+        return (kind.__module__, kind.__qualname__)
+
     def grouping_cost(
         self, algorithm: GroupingAlgorithm, input_rows: float, num_groups: float
     ) -> float:

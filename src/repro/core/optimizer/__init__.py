@@ -16,6 +16,14 @@ from repro.core.optimizer.exhaustive import (
     exhaustive_minimum,
 )
 from repro.core.optimizer.greedy import GreedyOptimizer, optimize_greedy
+from repro.core.optimizer.plancache import (
+    PlanCache,
+    disable_plan_cache,
+    enable_plan_cache,
+    get_plan_cache,
+    set_plan_cache,
+    spec_fingerprint,
+)
 from repro.core.optimizer.pruning import DPEntry, dominates, pareto_insert
 from repro.core.optimizer.query import (
     JoinEdge,
@@ -41,17 +49,23 @@ __all__ = [
     "JoinOption",
     "OptimizationResult",
     "OptimizerConfig",
+    "PlanCache",
     "PropertyScope",
     "QuerySpec",
     "ScanSpec",
     "SearchStats",
+    "disable_plan_cache",
     "dominates",
     "dqo_config",
+    "enable_plan_cache",
     "enumerate_exhaustive",
     "exhaustive_minimum",
     "extract_query",
+    "get_plan_cache",
     "grouping_options",
     "join_options",
+    "set_plan_cache",
+    "spec_fingerprint",
     "optimize_dqo",
     "optimize_greedy",
     "optimize_sqo",

@@ -49,6 +49,14 @@ class OptimizerConfig:
     prune_dominated: bool = True
     #: registered Algorithmic Views to exploit, if any.
     views: "AVRegistry | None" = None
+    #: morsel workers the optimiser plans for. With > 1 worker a deep
+    #: enumeration also costs the lattice's MOLECULE-level parallel-loop
+    #: recipes against their serial siblings. ``None`` resolves the
+    #: ambient executor configuration (``REPRO_WORKERS``) at optimise
+    #: time. The default of 1 keeps the classic serial space, so the
+    #: paper's Figure 5 cost ratios are invariant to the runtime
+    #: executor setting.
+    workers: int | None = 1
 
     @property
     def is_deep(self) -> bool:
@@ -155,6 +163,9 @@ class OptimizationResult:
     stats: SearchStats = field(default_factory=SearchStats)
     #: runner-up complete plans, best-first (for reporting/debugging).
     alternatives: list[PhysicalNode] = field(default_factory=list)
+    #: True when this result came from the optimiser plan cache without a
+    #: fresh search (then :attr:`stats` is all-zero: no enumeration ran).
+    cached: bool = False
 
     def explain(self, deep: bool = False) -> str:
         """Render the chosen plan."""

@@ -29,6 +29,7 @@ from repro.core.optimizer.base import (
     SearchStats,
     dqo_config,
 )
+from repro.core.optimizer.plancache import PlanCache, get_plan_cache
 from repro.core.optimizer.pruning import DPEntry, pareto_insert
 from repro.core.optimizer.query import QuerySpec, ScanSpec, extract_query
 from repro.core.optimizer.rules import (
@@ -45,6 +46,7 @@ from repro.core.properties import (
     properties_from_table,
 )
 from repro.engine.kernels.joins import JoinAlgorithm
+from repro.engine.parallel import get_executor_config
 from repro.errors import OptimizationError
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
@@ -130,12 +132,15 @@ class DynamicProgrammingOptimizer:
         catalog: Catalog,
         cost_model: CostModel | None = None,
         config: OptimizerConfig | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self._catalog = catalog
         self._cost_model = cost_model or PaperCostModel()
         self._config = config or dqo_config()
         self._estimator = CardinalityEstimator(catalog)
         self._stats = SearchStats()  # rebound per optimize_spec() call
+        self._plan_cache = plan_cache
+        self._workers = 1  # rebound per optimize_spec() call
 
     @property
     def config(self) -> OptimizerConfig:
@@ -156,7 +161,35 @@ class DynamicProgrammingOptimizer:
         return self.optimize_spec(extract_query(plan))
 
     def optimize_spec(self, spec: QuerySpec) -> OptimizationResult:
-        """Optimise a pre-extracted :class:`QuerySpec`."""
+        """Optimise a pre-extracted :class:`QuerySpec`.
+
+        The configuration's worker count (``config.workers``; ``None``
+        resolves the ambient
+        :func:`repro.engine.parallel.get_executor_config`) scopes the
+        implementation space: with more than one worker the deep
+        enumeration includes the lattice's parallel-loop recipes, costed
+        against their serial siblings. When a plan cache is attached
+        (constructor argument, else the process-wide
+        :func:`~repro.core.optimizer.plancache.get_plan_cache`), a
+        fingerprint match on an unchanged catalog returns the memoised
+        plan without any enumeration (``result.cached`` is True and the
+        search stats stay zero).
+        """
+        self._workers = max(
+            self._config.workers
+            if self._config.workers is not None
+            else get_executor_config().workers,
+            1,
+        )
+        cache = self._plan_cache if self._plan_cache is not None else get_plan_cache()
+        cache_key: tuple | None = None
+        if cache is not None:
+            cache_key = cache.key_for(
+                spec, self._catalog, self._config, self._cost_model, self._workers
+            )
+            hit = cache.get(cache_key)
+            if hit is not None:
+                return hit
         stats = SearchStats()
         self._stats = stats
         tracer = get_tracer()
@@ -200,7 +233,7 @@ class DynamicProgrammingOptimizer:
                     "search": stats.as_dict(),
                 }
             )
-        return OptimizationResult(
+        result = OptimizationResult(
             plan=best.plan,
             cost=best.cost,
             config=self._config,
@@ -208,6 +241,9 @@ class DynamicProgrammingOptimizer:
             stats=stats,
             alternatives=[entry.plan for entry in finals[1:6]],
         )
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, result)
+        return result
 
     @staticmethod
     def _report_metrics(stats: SearchStats) -> None:
@@ -507,7 +543,7 @@ class DynamicProgrammingOptimizer:
         )
         if count == 1:
             return table[frozenset([0])]
-        options = join_options(self._config)
+        options = join_options(self._config, self._workers)
         all_scans = frozenset(range(count))
         for size in range(2, count + 1):
             size_entries = 0
@@ -644,12 +680,21 @@ class DynamicProgrammingOptimizer:
                 build.properties, probe.properties, build_key, probe_key, scope
             ):
                 continue
-            cost = self._cost_model.join_cost(
-                option.algorithm,
-                build.estimate.rows,
-                probe.estimate.rows,
-                group_hint,
-            )
+            if option.parallel:
+                cost = self._cost_model.parallel_join_cost(
+                    option.algorithm,
+                    build.estimate.rows,
+                    probe.estimate.rows,
+                    group_hint,
+                    float(self._workers),
+                )
+            else:
+                cost = self._cost_model.join_cost(
+                    option.algorithm,
+                    build.estimate.rows,
+                    probe.estimate.rows,
+                    group_hint,
+                )
             cost -= self._view_credit(option, build, build_key, group_hint, spec)
             properties = option.derive(
                 build.properties,
@@ -666,6 +711,7 @@ class DynamicProgrammingOptimizer:
                 left_key=build_key,
                 right_key=probe_key,
                 recipe=option.recipe,
+                parallel=option.parallel,
                 rows=estimate.rows,
                 local_cost=cost,
                 cost=build.cost + probe.cost + cost,
@@ -713,7 +759,7 @@ class DynamicProgrammingOptimizer:
         if spec.group_key is None:
             return list(frontier)
         scope = self._config.property_scope
-        options = grouping_options(self._config)
+        options = grouping_options(self._config, self._workers)
         key = spec.group_key
         results: list[DPEntry] = []
         candidates = list(frontier)
@@ -746,9 +792,17 @@ class DynamicProgrammingOptimizer:
             for option in options:
                 if not option.applicable(entry.properties, key, scope):
                     continue
-                cost = self._cost_model.grouping_cost(
-                    option.algorithm, entry.estimate.rows, groups
-                )
+                if option.parallel:
+                    cost = self._cost_model.parallel_grouping_cost(
+                        option.algorithm,
+                        entry.estimate.rows,
+                        groups,
+                        float(self._workers),
+                    )
+                else:
+                    cost = self._cost_model.grouping_cost(
+                        option.algorithm, entry.estimate.rows, groups
+                    )
                 cost -= self._grouping_view_credit(option, entry, key, groups, spec)
                 properties = option.derive(
                     entry.properties, key, correlations, scope
@@ -760,6 +814,7 @@ class DynamicProgrammingOptimizer:
                     group_key=key,
                     aggregates=spec.aggregates,
                     recipe=option.recipe,
+                    parallel=option.parallel,
                     rows=out_estimate.rows,
                     local_cost=cost,
                     cost=entry.cost + cost,

@@ -21,6 +21,7 @@ from repro.core.properties import (
     correlations_from_table,
     properties_from_table,
 )
+from repro.engine.parallel import get_executor_config
 from repro.errors import OptimizationError
 from repro.logical.algebra import LogicalPlan
 from repro.storage.catalog import Catalog
@@ -53,6 +54,14 @@ def enumerate_exhaustive(
     spec = extract_query(plan)
     cost_model = cost_model or PaperCostModel()
     config = config or dqo_config()
+    # Same worker resolution as the DP: the oracle must cost the same
+    # implementation space, parallel-loop variants included.
+    workers = max(
+        config.workers
+        if config.workers is not None
+        else get_executor_config().workers,
+        1,
+    )
     if len(spec.scans) > 2:
         raise OptimizationError(
             "exhaustive oracle supports at most 2 relations, got "
@@ -119,7 +128,7 @@ def enumerate_exhaustive(
             plans.extend(
                 _grouping_plans(
                     spec, description, cost, props, rows, ndv, cost_model,
-                    config, correlations,
+                    config, correlations, workers,
                 )
             )
         return _record(plans, stats)
@@ -162,14 +171,23 @@ def enumerate_exhaustive(
         }
         for b_desc, b_cost, b_props in build_variants:
             for p_desc, p_cost, p_props in probe_variants:
-                for option in join_options(config):
+                for option in join_options(config, workers):
                     if not option.applicable(
                         b_props, p_props, build_key, probe_key, config.property_scope
                     ):
                         continue
-                    j_cost = cost_model.join_cost(
-                        option.algorithm, build_rows, probe_rows, group_hint
-                    )
+                    if option.parallel:
+                        j_cost = cost_model.parallel_join_cost(
+                            option.algorithm,
+                            build_rows,
+                            probe_rows,
+                            group_hint,
+                            float(workers),
+                        )
+                    else:
+                        j_cost = cost_model.join_cost(
+                            option.algorithm, build_rows, probe_rows, group_hint
+                        )
                     j_props = option.derive(
                         b_props,
                         p_props,
@@ -193,6 +211,7 @@ def enumerate_exhaustive(
                             cost_model,
                             config,
                             correlations,
+                            workers,
                         )
                     )
     return _record(plans, stats)
@@ -217,6 +236,7 @@ def _grouping_plans(
     cost_model: CostModel,
     config: OptimizerConfig,
     correlations: Correlations,
+    workers: int = 1,
 ) -> list[ExhaustivePlan]:
     if spec.group_key is None:
         return [ExhaustivePlan(description, cost, rows)]
@@ -238,10 +258,15 @@ def _grouping_plans(
         )
     plans = []
     for in_description, in_cost, in_props in inputs:
-        for option in grouping_options(config):
+        for option in grouping_options(config, workers):
             if not option.applicable(in_props, key, config.property_scope):
                 continue
-            g_cost = cost_model.grouping_cost(option.algorithm, rows, groups)
+            if option.parallel:
+                g_cost = cost_model.parallel_grouping_cost(
+                    option.algorithm, rows, groups, float(workers)
+                )
+            else:
+                g_cost = cost_model.grouping_cost(option.algorithm, rows, groups)
             plans.append(
                 ExhaustivePlan(
                     f"{option.algorithm.name}({in_description})",

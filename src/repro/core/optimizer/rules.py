@@ -28,11 +28,13 @@ from repro.core.physiological import (
     logical_join,
     recipe_algorithm,
     recipe_join_algorithm,
+    recipe_loop,
     recipe_requirements,
 )
 from repro.core.properties import Correlations, PropertyVector
 from repro.engine.kernels.grouping import GroupingAlgorithm
 from repro.engine.kernels.joins import JoinAlgorithm, JoinOutputOrder
+from repro.engine.kernels.parallel import PARALLEL_PROBE_ALGORITHMS
 
 #: the blackbox textbook operator catalogue available to SQO. SPH variants
 #: are absent: without density tracking they can never be proven safe.
@@ -53,10 +55,17 @@ SQO_JOIN_CATALOG = (
 @dataclass(frozen=True)
 class GroupingOption:
     """One candidate grouping implementation (with its deep recipe, if
-    the configuration is deep)."""
+    the configuration is deep).
+
+    ``parallel`` reflects the recipe's MOLECULE-level ``loop`` binding:
+    the shard-local runs merge through
+    :func:`repro.engine.kernels.parallel.merge_partials`, whose output is
+    always key-sorted — a property only a deep optimiser can exploit.
+    """
 
     algorithm: GroupingAlgorithm
     recipe: Granule | None = None
+    parallel: bool = False
 
     def applicable(
         self, props: PropertyVector, key: str, scope: PropertyScope
@@ -82,11 +91,14 @@ class GroupingOption:
         """
         sorted_on: frozenset[str] = frozenset()
         clustered_on: frozenset[str] = frozenset()
-        if self.algorithm in (
+        if self.parallel or self.algorithm in (
             GroupingAlgorithm.SPHG,
             GroupingAlgorithm.SOG,
             GroupingAlgorithm.BSG,
         ):
+            # Sort variants emit key order by construction; the parallel
+            # loop's partial-merge sorts the merged keys regardless of the
+            # per-shard algorithm.
             sorted_on = frozenset([key])
         elif self.algorithm is GroupingAlgorithm.OG:
             # Clustered input gives first-occurrence order; only a fully
@@ -111,10 +123,18 @@ class GroupingOption:
 
 @dataclass(frozen=True)
 class JoinOption:
-    """One candidate join implementation (build = left, probe = right)."""
+    """One candidate join implementation (build = left, probe = right).
+
+    ``parallel`` reflects the recipe's MOLECULE-level ``loop`` binding:
+    the build structure is erected once, then probed by concurrent probe
+    morsels. Only the probe-streaming families (HJ/SPHJ/BSJ) shard this
+    way, and shard outputs concatenate back in probe order, so the
+    parallel variant derives exactly the serial variant's properties.
+    """
 
     algorithm: JoinAlgorithm
     recipe: Granule | None = None
+    parallel: bool = False
 
     @property
     def output_order(self) -> JoinOutputOrder:
@@ -182,38 +202,58 @@ class JoinOption:
         return result if scope is PropertyScope.FULL else result.restrict_to_orders()
 
 
-def grouping_options(config: OptimizerConfig) -> list[GroupingOption]:
+def grouping_options(
+    config: OptimizerConfig, workers: int = 1
+) -> list[GroupingOption]:
     """The grouping implementation space of a configuration.
 
     Shallow configurations get the blackbox catalogue; deep ones get the
-    recipes of the physiological lattice, deduplicated by executable
-    algorithm (molecule variants with equal paper-model cost collapse to
-    their default representative — kept distinct only in the recipe).
+    recipes of the physiological lattice, deduplicated by (executable
+    algorithm, loop mode) — molecule variants with equal paper-model cost
+    collapse to their default representative, kept distinct only in the
+    recipe.
+
+    :param workers: the executor's worker count. Parallel-loop recipes
+        are enumerated only when ``workers > 1`` — with one worker the
+        parallel variant is strictly worse (merge + dispatch overhead on
+        top of the serial cost), so it is not worth a DP entry. Shallow
+        configurations never see the ``loop`` granule at all: morsel
+        parallelism is a MOLECULE-level decision, below SQO's reach.
     """
     if not config.is_deep:
         return [GroupingOption(algorithm) for algorithm in SQO_GROUPING_CATALOG]
     options: list[GroupingOption] = []
-    seen: set[GroupingAlgorithm] = set()
+    seen: set[tuple[GroupingAlgorithm, bool]] = set()
     for recipe in enumerate_recipes(logical_grouping(), config.max_granularity):
         algorithm = recipe_algorithm(recipe)
-        if algorithm in seen:
+        parallel = recipe_loop(recipe) == "parallel"
+        if parallel and workers <= 1:
             continue
-        seen.add(algorithm)
-        options.append(GroupingOption(algorithm, recipe))
+        if (algorithm, parallel) in seen:
+            continue
+        seen.add((algorithm, parallel))
+        options.append(GroupingOption(algorithm, recipe, parallel))
     return options
 
 
-def join_options(config: OptimizerConfig) -> list[JoinOption]:
+def join_options(config: OptimizerConfig, workers: int = 1) -> list[JoinOption]:
     """The join implementation space of a configuration (see
-    :func:`grouping_options`)."""
+    :func:`grouping_options`). Parallel-loop recipes are kept only for
+    the probe-streaming families whose sharded probe is bit-identical to
+    the serial kernel (:data:`PARALLEL_PROBE_ALGORITHMS`)."""
     if not config.is_deep:
         return [JoinOption(algorithm) for algorithm in SQO_JOIN_CATALOG]
     options: list[JoinOption] = []
-    seen: set[JoinAlgorithm] = set()
+    seen: set[tuple[JoinAlgorithm, bool]] = set()
     for recipe in enumerate_recipes(logical_join(), config.max_granularity):
         algorithm = recipe_join_algorithm(recipe)
-        if algorithm in seen:
+        parallel = recipe_loop(recipe) == "parallel"
+        if parallel and (
+            workers <= 1 or algorithm not in PARALLEL_PROBE_ALGORITHMS
+        ):
             continue
-        seen.add(algorithm)
-        options.append(JoinOption(algorithm, recipe))
+        if (algorithm, parallel) in seen:
+            continue
+        seen.add((algorithm, parallel))
+        options.append(JoinOption(algorithm, recipe, parallel))
     return options

@@ -359,6 +359,21 @@ def recipe_hash_function(recipe: Granule) -> str:
     return "murmur3"
 
 
+def recipe_loop(recipe: Granule) -> str:
+    """The bound MOLECULE-level ``loop`` mode of a recipe: ``'serial'`` or
+    ``'parallel'``.
+
+    The ``loop`` parameter lives on the ``bulkload`` granule (Figure 3e's
+    "parallel load"), so only index-partition recipes — the executable
+    HG/SPHG/BSG and HJ/SPHJ/BSJ families — ever carry a parallel binding;
+    every other recipe is serial by construction.
+    """
+    for node in recipe.walk():
+        if node.kind == "bulkload":
+            return node.binding("loop") or "serial"
+    return "serial"
+
+
 def enumerate_prefixes(
     seed: Granule, bound_level: Granularity
 ) -> list[Granule]:

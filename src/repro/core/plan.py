@@ -75,6 +75,9 @@ class PhysicalNode:
     count: int = 0
     # deep recipe (None for shallow / non-algorithmic nodes):
     recipe: Granule | None = None
+    #: the recipe's MOLECULE-level ``loop`` decision: True pins the
+    #: morsel-parallel implementation at lowering, False pins serial.
+    parallel: bool = False
     # annotations:
     rows: float = 0.0
     local_cost: float = 0.0
@@ -102,13 +105,18 @@ class PhysicalNode:
             head = f"Sort(by={list(self.sort_keys)})"
         elif self.op == "join":
             assert self.join_algorithm is not None
+            loop = "/parallel" if self.parallel else ""
             head = (
-                f"Join[{self.join_algorithm.name}]"
+                f"Join[{self.join_algorithm.name}{loop}]"
                 f"({self.left_key} = {self.right_key})"
             )
         elif self.op == "group_by":
             assert self.grouping_algorithm is not None
-            head = f"GroupBy[{self.grouping_algorithm.name}](key={self.group_key})"
+            loop = "/parallel" if self.parallel else ""
+            head = (
+                f"GroupBy[{self.grouping_algorithm.name}{loop}]"
+                f"(key={self.group_key})"
+            )
         elif self.op == "project":
             head = f"Project({', '.join(a for a, __ in self.outputs)})"
         elif self.op == "limit":
@@ -213,6 +221,9 @@ def _lower_node(
             node.right_key,
             algorithm=node.join_algorithm,
             validate=validate,
+            # Pin the optimiser's loop decision (True/False, never the
+            # auto-detect None): a costed plan must execute as costed.
+            parallel=node.parallel,
         )
     if node.op == "group_by":
         assert node.grouping_algorithm is not None
@@ -222,6 +233,7 @@ def _lower_node(
             aggregates=list(node.aggregates),
             algorithm=node.grouping_algorithm,
             validate=validate,
+            parallel=node.parallel,
         )
         # If the grouping key column came out of a dictionary view, the
         # group keys are codes: plant the decode right after grouping.

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro._util.timer import Timer
 from repro.engine.operators.base import PhysicalOperator
+from repro.engine.parallel import parallel_execution
 from repro.obs.feedback import FeedbackStore
 from repro.obs.instrument import OperatorStats, format_bytes, instrumented
 from repro.obs.metrics import DEFAULT_BUCKETS
@@ -37,8 +38,17 @@ MEMORY_BUCKETS = (
 )
 
 
-def execute(root: PhysicalOperator) -> Table:
-    """Run a physical operator tree to completion and return the result."""
+def execute(root: PhysicalOperator, workers: int | None = None) -> Table:
+    """Run a physical operator tree to completion and return the result.
+
+    :param workers: run the plan under a scoped worker-count override —
+        the morsel-parallel pipeline driver. ``None`` keeps the ambient
+        :func:`repro.engine.parallel.get_executor_config` setting
+        (``REPRO_WORKERS``); ``1`` forces serial execution.
+    """
+    if workers is not None:
+        with parallel_execution(workers):
+            return execute(root)
     metrics = get_metrics()
     tracer = get_tracer()
     query_log = get_query_log()
@@ -68,10 +78,12 @@ def execute(root: PhysicalOperator) -> Table:
     return result
 
 
-def execute_timed(root: PhysicalOperator) -> tuple[Table, float]:
+def execute_timed(
+    root: PhysicalOperator, workers: int | None = None
+) -> tuple[Table, float]:
     """Run a plan and also return its wall-clock execution time in seconds."""
     with Timer() as timer:
-        result = execute(root)
+        result = execute(root, workers=workers)
     return result, timer.elapsed
 
 
@@ -146,7 +158,9 @@ class AnalyzedPlan:
 
 
 def explain_analyze(
-    root: PhysicalOperator, feedback: FeedbackStore | None = None
+    root: PhysicalOperator,
+    feedback: FeedbackStore | None = None,
+    workers: int | None = None,
 ) -> AnalyzedPlan:
     """EXPLAIN ANALYZE: run ``root`` instrumented and report actuals.
 
@@ -163,7 +177,14 @@ def explain_analyze(
     metrics are enabled, and — when a :class:`~repro.obs.feedback.
     FeedbackStore` is passed — (estimate, actual, seconds) samples are
     accumulated for cost-model refitting.
+
+    With a multi-worker configuration (ambient ``REPRO_WORKERS`` or the
+    ``workers`` override) the rendering annotates each morsel-parallel
+    node with its parallelism degree and summed worker busy time.
     """
+    if workers is not None:
+        with parallel_execution(workers):
+            return explain_analyze(root, feedback=feedback)
     with instrumented(root) as stats:
         with Timer() as timer:
             table = root.to_table()

@@ -1,16 +1,22 @@
-"""Morsel-style parallel grouping (Figure 3e's "parallel load").
+"""Morsel-parallel grouping and join kernels (Figure 3e's "parallel load").
 
 Figure 3(e) unnests grouping into *SPH + parallel load*; the MOLECULE-level
 ``loop`` parameter of the physiological lattice chooses serial vs parallel.
-This module implements the parallel variant the way morsel-driven engines
+This module implements the parallel variants the way morsel-driven engines
 do ([14] Leis et al.): the input splits into shards (morsels), each shard
-is grouped independently with the chosen algorithm, and the decomposable
-partial aggregates (§2.1) are merged.
+runs independently on the shared worker pool
+(:mod:`repro.engine.parallel`), and the results are combined:
 
-Per DESIGN.md substitution #6 the shards run sequentially — Python's GIL
-would invert the paper's intent — so this is a *simulation* that exercises
-the exact code structure (independent partials + merge) and measures the
-merge overhead honestly; wall-clock speedup is out of scope.
+* **grouping** — each shard is grouped with the chosen algorithm and the
+  decomposable partial aggregates (§2.1) are merged exactly;
+* **join** — the build-side structure is erected once, then read-only
+  shared across workers that probe contiguous probe shards; the
+  probe-major outputs concatenate back in shard order, so the result is
+  bit-identical to the serial kernel's.
+
+The numpy kernels release the GIL, so on a multi-core host the shards
+genuinely overlap; with one worker (the default) everything runs inline
+on the calling thread, preserving serial behaviour.
 """
 
 from __future__ import annotations
@@ -23,7 +29,26 @@ from repro.engine.kernels.grouping import (
     KeyOrder,
     group_by,
 )
+from repro.engine.kernels.joins import (
+    JoinAlgorithm,
+    JoinOutputOrder,
+    JoinResult,
+    _expand_matches,
+    _group_build_rows,
+    join,
+)
+from repro.engine.parallel import morsel_boundaries, run_morsels
 from repro.errors import PreconditionError
+from repro.indexes.hash_table import OpenAddressingHashTable
+from repro.indexes.perfect_hash import StaticPerfectHash
+
+#: join algorithms whose probe phase shards safely: the build structure is
+#: read-only during probing and output is probe-major, so concatenating
+#: shard outputs reproduces the serial result exactly. OJ/SOJ interleave
+#: both inputs and fall back to the serial kernel.
+PARALLEL_PROBE_ALGORITHMS = frozenset(
+    {JoinAlgorithm.HJ, JoinAlgorithm.SPHJ, JoinAlgorithm.BSJ}
+)
 
 
 def merge_partials(partials: list[GroupingResult]) -> GroupingResult:
@@ -32,6 +57,10 @@ def merge_partials(partials: list[GroupingResult]) -> GroupingResult:
     COUNT and SUM are distributive, so merging is grouping the
     concatenated partial rows again, summing both aggregates. The merged
     result is key-sorted (the merge itself sorts).
+
+    Integer counts and sums merge with exact int64 ``np.add.at`` — a
+    float64 detour (e.g. ``np.bincount`` weights) would silently round
+    partial sums at magnitudes >= 2**53.
     """
     non_empty = [partial for partial in partials if partial.num_groups]
     if not non_empty:
@@ -45,20 +74,18 @@ def merge_partials(partials: list[GroupingResult]) -> GroupingResult:
     all_counts = np.concatenate([partial.counts for partial in non_empty])
     all_sums = np.concatenate([partial.sums for partial in non_empty])
     merged_keys, inverse = np.unique(all_keys, return_inverse=True)
-    counts = np.bincount(
-        inverse, weights=all_counts.astype(np.float64), minlength=merged_keys.size
-    )
-    sums = np.bincount(
-        inverse, weights=all_sums.astype(np.float64), minlength=merged_keys.size
-    )
-    sums_out = (
-        np.rint(sums).astype(np.int64)
-        if np.issubdtype(all_sums.dtype, np.integer)
-        else sums
-    )
+    counts = np.zeros(merged_keys.size, dtype=np.int64)
+    np.add.at(counts, inverse, all_counts.astype(np.int64))
+    if np.issubdtype(all_sums.dtype, np.integer):
+        sums_out = np.zeros(merged_keys.size, dtype=np.int64)
+        np.add.at(sums_out, inverse, all_sums.astype(np.int64))
+    else:
+        sums_out = np.bincount(
+            inverse, weights=all_sums, minlength=merged_keys.size
+        )
     return GroupingResult(
         keys=merged_keys.astype(np.int64),
-        counts=np.rint(counts).astype(np.int64),
+        counts=counts,
         sums=sums_out,
         key_order=KeyOrder.SORTED,
     )
@@ -70,6 +97,7 @@ def parallel_group_by(
     algorithm: GroupingAlgorithm,
     shards: int = 4,
     num_distinct_hint: int | None = None,
+    workers: int | None = None,
 ) -> GroupingResult:
     """Group via independent shard-local runs plus a merge.
 
@@ -78,6 +106,9 @@ def parallel_group_by(
     :param algorithm: the per-shard implementation.
     :param shards: number of morsels; 1 degenerates to the serial kernel.
     :param num_distinct_hint: known global NDV (sizes per-shard HG tables).
+    :param workers: worker threads to schedule shards on; defaults to the
+        process-wide :func:`repro.engine.parallel.get_executor_config`
+        value (1 = run the shards inline, serially).
     :raises PreconditionError: if ``shards`` < 1, or the per-shard
         algorithm's own precondition fails on some shard (note: sharding
         *preserves* clusteredness only within shards — a run crossing a
@@ -91,19 +122,145 @@ def parallel_group_by(
         return group_by(
             keys, values, algorithm, num_distinct_hint=num_distinct_hint
         )
-    boundaries = np.linspace(0, keys.size, shards + 1, dtype=np.int64)
-    partials = []
-    for index in range(shards):
-        start, stop = int(boundaries[index]), int(boundaries[index + 1])
-        if start == stop:
-            continue
+
+    def shard_task(start: int, stop: int):
         shard_values = values[start:stop] if values is not None else None
-        partials.append(
-            group_by(
-                keys[start:stop],
-                shard_values,
-                algorithm,
-                num_distinct_hint=num_distinct_hint,
-            )
+        return group_by(
+            keys[start:stop],
+            shard_values,
+            algorithm,
+            num_distinct_hint=num_distinct_hint,
         )
-    return merge_partials(partials)
+
+    tasks = [
+        (lambda s=start, e=stop: shard_task(s, e))
+        for start, stop in morsel_boundaries(keys.size, shards)
+    ]
+    report = run_morsels(tasks, workers=workers)
+    return merge_partials(report.results)
+
+
+def parallel_join(
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    algorithm: JoinAlgorithm,
+    shards: int = 4,
+    num_distinct_hint: int | None = None,
+    workers: int | None = None,
+    on_report=None,
+) -> JoinResult:
+    """Shared-build, sharded-probe join: the morsel-parallel join form.
+
+    The build side's structure (hash table / SPH array / sorted array)
+    is erected once on the calling thread; probe morsels then scan it
+    read-only in parallel. Because HJ/SPHJ/BSJ expand matches
+    probe-major, concatenating the shard outputs in shard order yields
+    exactly the serial kernel's output.
+
+    OJ and SOJ merge both inputs in lockstep — there is no read-only
+    shared structure to probe — so they fall back to the serial kernel.
+
+    :param on_report: optional callback receiving the scheduling
+        :class:`~repro.engine.parallel.MorselReport` (operators use it to
+        attribute per-node parallelism degree and worker busy time).
+    :raises PreconditionError: if ``shards`` < 1, or the underlying
+        kernel's precondition fails (e.g. SPHJ over a sparse domain).
+    """
+    if shards < 1:
+        raise PreconditionError(f"shards must be >= 1, got {shards}")
+    if algorithm not in PARALLEL_PROBE_ALGORITHMS:
+        return join(
+            build_keys,
+            probe_keys,
+            algorithm,
+            num_distinct_hint=num_distinct_hint,
+        )
+    build_keys = np.ascontiguousarray(build_keys, dtype=np.int64)
+    probe_keys = np.ascontiguousarray(probe_keys, dtype=np.int64)
+    if shards == 1 or build_keys.size == 0 or probe_keys.size == 0:
+        return join(
+            build_keys,
+            probe_keys,
+            algorithm,
+            num_distinct_hint=num_distinct_hint,
+        )
+
+    if algorithm is JoinAlgorithm.HJ:
+        capacity = (
+            num_distinct_hint if num_distinct_hint else int(build_keys.size)
+        )
+        table = OpenAddressingHashTable(capacity, hash_name="murmur3")
+        build_slots = table.build(build_keys)
+        offsets, counts, grouped = _group_build_rows(
+            build_slots, table.num_keys
+        )
+        structure = table.memory_bytes() + int(
+            offsets.nbytes + counts.nbytes + grouped.nbytes
+        )
+
+        def probe_slots_of(shard: np.ndarray) -> np.ndarray:
+            return table.probe(shard)
+
+    elif algorithm is JoinAlgorithm.SPHJ:
+        sph = StaticPerfectHash.for_keys(build_keys, min_density=0.5)
+        build_slots = np.asarray(sph.slot(build_keys))
+        offsets, counts, grouped = _group_build_rows(
+            build_slots, sph.num_slots
+        )
+        structure = sph.memory_bytes() + int(
+            offsets.nbytes + counts.nbytes + grouped.nbytes
+        )
+
+        def probe_slots_of(shard: np.ndarray) -> np.ndarray:
+            raw = shard - np.int64(sph.min_key)
+            in_domain = (raw >= 0) & (raw < sph.num_slots)
+            return np.where(in_domain, raw, -1)
+
+    else:  # BSJ: a sorted copy of the build keys is the shared structure.
+        build_order = np.argsort(build_keys, kind="stable")
+        sorted_build = build_keys[build_order]
+        structure = int(build_order.nbytes + sorted_build.nbytes)
+
+    def probe_shard(start: int, stop: int):
+        shard = probe_keys[start:stop]
+        if algorithm is JoinAlgorithm.BSJ:
+            lo = np.searchsorted(sorted_build, shard, side="left")
+            hi = np.searchsorted(sorted_build, shard, side="right")
+            lengths = (hi - lo).astype(np.int64)
+            total = int(lengths.sum())
+            if total == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty.copy()
+            probe_out = np.repeat(
+                np.arange(shard.size, dtype=np.int64), lengths
+            )
+            boundaries = np.cumsum(lengths)
+            ranks = np.arange(total, dtype=np.int64) - np.repeat(
+                boundaries - lengths, lengths
+            )
+            left = build_order[np.repeat(lo, lengths) + ranks]
+        else:
+            left, probe_out = _expand_matches(
+                probe_slots_of(shard), offsets, counts, grouped
+            )
+        return left.astype(np.int64), probe_out + np.int64(start)
+
+    bounds = morsel_boundaries(probe_keys.size, shards)
+    tasks = [
+        (lambda s=start, e=stop: probe_shard(s, e)) for start, stop in bounds
+    ]
+    report = run_morsels(tasks, workers=workers)
+    if on_report is not None:
+        on_report(report)
+    left_parts = [left for left, __ in report.results]
+    right_parts = [right for __, right in report.results]
+    return JoinResult(
+        left_indices=np.concatenate(left_parts)
+        if left_parts
+        else np.empty(0, dtype=np.int64),
+        right_indices=np.concatenate(right_parts)
+        if right_parts
+        else np.empty(0, dtype=np.int64),
+        output_order=JoinOutputOrder.PROBE_ORDER,
+        structure_bytes=structure,
+    )

@@ -10,6 +10,7 @@ pass chunks through.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Mapping
 
 import numpy as np
@@ -20,6 +21,10 @@ from repro.storage.table import Table
 
 #: default rows per chunk, in the vectorised sweet-spot range.
 DEFAULT_CHUNK_SIZE = 4096
+
+#: guards the read-compare-write accounting updates below: morsel workers
+#: report into the same operator instance concurrently.
+_ACCOUNTING_LOCK = threading.Lock()
 
 
 class Chunk:
@@ -99,6 +104,11 @@ class PhysicalOperator:
     #: class attribute so operators that never note memory stay at 0
     #: without any per-instance cost.
     _peak_memory_bytes: int = 0
+    #: workers the latest execution actually scheduled across (0 = this
+    #: operator never ran a morsel batch; 1 = batches ran inline/serial).
+    _parallel_degree: int = 0
+    #: summed worker wall seconds of the latest execution's morsel batches.
+    _parallel_busy_seconds: float = 0.0
 
     def __init__(self, children: list["PhysicalOperator"]) -> None:
         self.children = children
@@ -112,14 +122,42 @@ class PhysicalOperator:
         return self._peak_memory_bytes
 
     def reset_memory_accounting(self) -> None:
-        """Forget the recorded peak (called before a fresh instrumented
-        execution, so repeated runs never report stale peaks)."""
+        """Forget the recorded peak and parallelism facts (called before
+        a fresh instrumented execution, so repeated runs never report
+        stale numbers)."""
         self._peak_memory_bytes = 0
+        self._parallel_degree = 0
+        self._parallel_busy_seconds = 0.0
 
     def _note_memory(self, nbytes: int) -> None:
-        """Record a working-set high-water mark (monotone per run)."""
-        if nbytes > self._peak_memory_bytes:
-            self._peak_memory_bytes = int(nbytes)
+        """Record a working-set high-water mark (monotone per run).
+
+        Thread-safe: parallel morsels executing inside one operator may
+        report concurrently, and an unlocked read-compare-write would
+        drop peaks."""
+        with _ACCOUNTING_LOCK:
+            if nbytes > self._peak_memory_bytes:
+                self._peak_memory_bytes = int(nbytes)
+
+    def parallel_degree(self) -> int:
+        """Workers the latest execution scheduled morsels across (0 when
+        the operator ran no morsel batch at all)."""
+        return self._parallel_degree
+
+    def worker_busy_seconds(self) -> float:
+        """Summed worker wall seconds of the latest execution's morsel
+        batches (across all workers; compare against the operator's own
+        wall time for effective speedup)."""
+        return self._parallel_busy_seconds
+
+    def _note_parallelism(self, workers_used: int, busy_seconds: float) -> None:
+        """Record a morsel batch's scheduling facts (accumulates per run)."""
+        with _ACCOUNTING_LOCK:
+            if workers_used > self._parallel_degree:
+                self._parallel_degree = int(workers_used)
+            self._parallel_busy_seconds = (
+                self._parallel_busy_seconds + float(busy_seconds)
+            )
 
     @property
     def output_schema(self) -> Schema:

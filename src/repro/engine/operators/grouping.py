@@ -34,6 +34,11 @@ from repro.engine.operators.base import (
     table_to_chunks,
 )
 from repro.engine.operators.scan import TableScan
+from repro.engine.parallel import (
+    get_executor_config,
+    morsel_boundaries,
+    run_morsels,
+)
 from repro.errors import ExecutionError
 from repro.storage.dtypes import DataType
 from repro.storage.schema import ColumnSpec, Schema
@@ -51,8 +56,15 @@ class GroupBy(PhysicalOperator):
     :param validate: verify the algorithm's precondition at runtime.
     :param shards: morsel count for the Figure 3(e) parallel-load variant:
         with ``shards > 1`` the input splits into shards, each grouped
-        independently, and the decomposable partial aggregates are merged
-        (sequential simulation — DESIGN.md substitution #6).
+        independently on the shared worker pool
+        (:mod:`repro.engine.parallel`), and the decomposable partial
+        aggregates are merged. The merged output is key-sorted.
+    :param parallel: the optimiser's MOLECULE-level ``loop`` decision.
+        ``True`` forces morsel-parallel execution (one shard per
+        configured worker), ``False`` forces the serial path, and
+        ``None`` (default) auto-parallelises large inputs when the
+        process-wide :class:`~repro.engine.parallel.ExecutorConfig` has
+        more than one worker.
     """
 
     def __init__(
@@ -65,6 +77,7 @@ class GroupBy(PhysicalOperator):
         validate: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         shards: int = 1,
+        parallel: bool | None = None,
     ) -> None:
         super().__init__(children=[child])
         schema = child.output_schema
@@ -87,6 +100,7 @@ class GroupBy(PhysicalOperator):
         if shards < 1:
             raise ExecutionError(f"shards must be >= 1, got {shards}")
         self._shards = shards
+        self._parallel = parallel
 
     @property
     def output_schema(self) -> Schema:
@@ -114,10 +128,24 @@ class GroupBy(PhysicalOperator):
             return KeyOrder.FIRST_OCCURRENCE
         return KeyOrder.SORTED
 
+    def _effective_shards(self, num_rows: int) -> int:
+        """Morsel count for this execution: the explicit ``shards``
+        argument wins; otherwise the ``parallel`` mode consults the
+        process-wide executor configuration."""
+        if self._shards > 1:
+            return self._shards
+        config = get_executor_config()
+        if self._parallel is False or config.workers <= 1:
+            return 1
+        if self._parallel is None and num_rows < config.min_parallel_rows:
+            return 1
+        return config.workers
+
     def chunks(self) -> Iterator[Chunk]:
         table = self.children[0].to_table()
-        if self._shards > 1 and table.num_rows:
-            yield from self._sharded_chunks(table)
+        shards = self._effective_shards(table.num_rows)
+        if shards > 1 and table.num_rows:
+            yield from self._sharded_chunks(table, shards)
             return
         keys = table[self._key]
         if self._algorithm is GroupingAlgorithm.HG:
@@ -185,15 +213,14 @@ class GroupBy(PhysicalOperator):
         )
         return partial.to_table()
 
-    def _sharded_chunks(self, table: Table) -> Iterator[Chunk]:
-        boundaries = np.linspace(
-            0, table.num_rows, self._shards + 1, dtype=np.int64
-        )
-        partials = [
-            self._group_slice(table.slice(int(start), int(stop)))
-            for start, stop in zip(boundaries[:-1], boundaries[1:])
-            if stop > start
+    def _sharded_chunks(self, table: Table, shards: int) -> Iterator[Chunk]:
+        tasks = [
+            (lambda s=start, e=stop: self._group_slice(table.slice(s, e)))
+            for start, stop in morsel_boundaries(table.num_rows, shards)
         ]
+        report = run_morsels(tasks)
+        self._note_parallelism(report.workers_used, report.busy_seconds)
+        partials = report.results
         merged = self._merge_partials(partials)
         self._note_memory(
             table.memory_bytes()
@@ -213,14 +240,22 @@ class GroupBy(PhysicalOperator):
         def gather(column: str) -> np.ndarray:
             return np.concatenate([part[column] for part in partials])
 
+        def exact_sum(values: np.ndarray) -> np.ndarray:
+            # Integer partials merge with exact int64 scatter-adds; a
+            # float64 detour (bincount weights) would round >= 2**53.
+            if np.issubdtype(values.dtype, np.integer):
+                out = np.zeros(merged_keys.size, dtype=np.int64)
+                np.add.at(out, inverse, values.astype(np.int64))
+                return out
+            return np.bincount(
+                inverse,
+                weights=values.astype(np.float64),
+                minlength=merged_keys.size,
+            )
+
         for spec in self._aggregates:
             if spec.function in (AggregateFunction.COUNT, AggregateFunction.SUM):
-                merged = np.bincount(
-                    inverse,
-                    weights=gather(spec.alias).astype(np.float64),
-                    minlength=merged_keys.size,
-                )
-                data[spec.alias] = np.rint(merged).astype(np.int64)
+                data[spec.alias] = exact_sum(gather(spec.alias))
             elif spec.function is AggregateFunction.MIN:
                 out = np.full(
                     merged_keys.size, np.iinfo(np.int64).max, dtype=np.int64
@@ -234,16 +269,8 @@ class GroupBy(PhysicalOperator):
                 np.maximum.at(out, inverse, gather(spec.alias).astype(np.int64))
                 data[spec.alias] = out
             elif spec.function is AggregateFunction.AVG:
-                sums = np.bincount(
-                    inverse,
-                    weights=gather(f"{spec.alias}@sum").astype(np.float64),
-                    minlength=merged_keys.size,
-                )
-                counts = np.bincount(
-                    inverse,
-                    weights=gather(f"{spec.alias}@count").astype(np.float64),
-                    minlength=merged_keys.size,
-                )
+                sums = exact_sum(gather(f"{spec.alias}@sum"))
+                counts = exact_sum(gather(f"{spec.alias}@count"))
                 data[spec.alias] = sums / counts
             else:
                 raise ExecutionError(
@@ -258,7 +285,12 @@ class GroupBy(PhysicalOperator):
             f"{spec.function.value.upper()}({spec.column or '*'}) AS {spec.alias}"
             for spec in self._aggregates
         )
-        loop = f", shards={self._shards}" if self._shards > 1 else ""
+        if self._shards > 1:
+            loop = f", shards={self._shards}"
+        elif self._parallel:
+            loop = ", loop=parallel"
+        else:
+            loop = ""
         return (
             f"GroupBy(key={self._key}, impl={self._algorithm.value}{loop}, "
             f"[{aggs}])"

@@ -21,6 +21,11 @@ from repro.engine.kernels.joins import (
     perfect_hash_join,
     sort_merge_join,
 )
+from repro.engine.kernels.parallel import (
+    PARALLEL_PROBE_ALGORITHMS,
+    parallel_join,
+)
+from repro.engine.parallel import get_executor_config
 from repro.engine.operators.base import (
     DEFAULT_CHUNK_SIZE,
     Chunk,
@@ -37,6 +42,14 @@ class Join(PhysicalOperator):
 
     Output schema is the concatenation of both input schemas; the caller
     must pre-qualify ambiguous column names (see :meth:`Table.qualified`).
+
+    :param parallel: the optimiser's MOLECULE-level ``loop`` decision for
+        the probe phase. ``True`` forces the shared-build, sharded-probe
+        morsel path (HJ/SPHJ/BSJ; output is bit-identical to serial),
+        ``False`` forces serial, ``None`` (default) auto-parallelises
+        large probe sides when the process-wide
+        :class:`~repro.engine.parallel.ExecutorConfig` has more than one
+        worker. OJ/SOJ always run serially.
     """
 
     def __init__(
@@ -49,6 +62,7 @@ class Join(PhysicalOperator):
         num_distinct_hint: int | None = None,
         validate: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        parallel: bool | None = None,
     ) -> None:
         super().__init__(children=[left, right])
         if left_key not in left.output_schema:
@@ -67,6 +81,7 @@ class Join(PhysicalOperator):
         self._num_distinct_hint = num_distinct_hint
         self._validate = validate
         self._chunk_size = chunk_size
+        self._parallel = parallel
 
     @property
     def output_schema(self) -> Schema:
@@ -85,12 +100,35 @@ class Join(PhysicalOperator):
             return JoinOutputOrder.KEY_SORTED
         return JoinOutputOrder.PROBE_ORDER
 
+    def _probe_shards(self, probe_rows: int) -> int:
+        """Probe-morsel count for this execution (1 = serial kernel)."""
+        if self._algorithm not in PARALLEL_PROBE_ALGORITHMS:
+            return 1
+        config = get_executor_config()
+        if self._parallel is False or config.workers <= 1:
+            return 1
+        if self._parallel is None and probe_rows < config.min_parallel_rows:
+            return 1
+        return config.workers
+
     def chunks(self) -> Iterator[Chunk]:
         left_table = self.children[0].to_table()
         right_table = self.children[1].to_table()
         build_keys = left_table[self._left_key]
         probe_keys = right_table[self._right_key]
-        if self._algorithm is JoinAlgorithm.HJ:
+        shards = self._probe_shards(right_table.num_rows)
+        if shards > 1:
+            result = parallel_join(
+                build_keys,
+                probe_keys,
+                self._algorithm,
+                shards=shards,
+                num_distinct_hint=self._num_distinct_hint,
+                on_report=lambda report: self._note_parallelism(
+                    report.workers_used, report.busy_seconds
+                ),
+            )
+        elif self._algorithm is JoinAlgorithm.HJ:
             result = hash_join(build_keys, probe_keys, self._num_distinct_hint)
         elif self._algorithm is JoinAlgorithm.SPHJ:
             result = perfect_hash_join(build_keys, probe_keys)
@@ -121,7 +159,8 @@ class Join(PhysicalOperator):
         yield from table_to_chunks(output, self._chunk_size)
 
     def describe(self) -> str:
+        loop = ", loop=parallel" if self._parallel else ""
         return (
             f"Join({self._left_key} = {self._right_key}, "
-            f"impl={self._algorithm.value})"
+            f"impl={self._algorithm.value}{loop})"
         )

@@ -13,6 +13,7 @@ from repro.engine.operators.base import (
     PhysicalOperator,
     table_to_chunks,
 )
+from repro.engine.parallel import get_executor_config, run_morsels
 from repro.errors import ExecutionError
 from repro.storage.dtypes import DataType
 from repro.storage.schema import ColumnSpec, Schema
@@ -46,9 +47,21 @@ class TableScan(PhysicalOperator):
 
 
 class Filter(PhysicalOperator):
-    """Keep rows where a boolean expression holds. Streaming."""
+    """Keep rows where a boolean expression holds. Streaming.
 
-    def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
+    With a multi-worker :class:`~repro.engine.parallel.ExecutorConfig`,
+    incoming chunks are batched and the predicate+filter morsels run on
+    the shared worker pool; output chunk order is preserved, so parallel
+    and serial execution produce identical streams. ``parallel=False``
+    pins the serial path.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        predicate: Expression,
+        parallel: bool | None = None,
+    ) -> None:
         super().__init__(children=[child])
         missing = predicate.referenced_columns() - set(child.output_schema.names)
         if missing:
@@ -56,18 +69,46 @@ class Filter(PhysicalOperator):
                 f"filter references missing column(s): {sorted(missing)}"
             )
         self._predicate = predicate
+        self._parallel = parallel
 
     @property
     def output_schema(self) -> Schema:
         return self.children[0].output_schema
 
+    def _filter_chunk(self, chunk: Chunk) -> Chunk:
+        mask = np.asarray(self._predicate.evaluate(chunk.data()), dtype=bool)
+        filtered = chunk.filter(mask)
+        # Working set: the mask plus the filtered copy of one chunk.
+        self._note_memory(int(mask.nbytes) + filtered.memory_bytes())
+        return filtered
+
     def chunks(self) -> Iterator[Chunk]:
+        config = get_executor_config()
+        workers = config.workers
+        if self._parallel is False or workers <= 1:
+            for chunk in self.children[0].chunks():
+                yield self._filter_chunk(chunk)
+            return
+        # Morsel mode: evaluate a batch of chunks concurrently, yield in
+        # arrival order (determinism), then pull the next batch.
+        batch: list[Chunk] = []
+        batch_size = workers * 4
         for chunk in self.children[0].chunks():
-            mask = np.asarray(self._predicate.evaluate(chunk.data()), dtype=bool)
-            filtered = chunk.filter(mask)
-            # Working set: the mask plus the filtered copy of one chunk.
-            self._note_memory(int(mask.nbytes) + filtered.memory_bytes())
-            yield filtered
+            batch.append(chunk)
+            if len(batch) < batch_size:
+                continue
+            report = run_morsels(
+                [(lambda c=c: self._filter_chunk(c)) for c in batch]
+            )
+            self._note_parallelism(report.workers_used, report.busy_seconds)
+            yield from report.results
+            batch = []
+        if batch:
+            report = run_morsels(
+                [(lambda c=c: self._filter_chunk(c)) for c in batch]
+            )
+            self._note_parallelism(report.workers_used, report.busy_seconds)
+            yield from report.results
 
     def describe(self) -> str:
         return f"Filter({self._predicate!r})"

@@ -1,0 +1,271 @@
+"""The morsel scheduler: a shared worker pool for intra-operator parallelism.
+
+Morsel-driven parallelism ([14] Leis et al.) splits an operator's input
+into fixed-size *morsels* and lets a pool of workers pull them; the
+engine's vectorised kernels release the GIL inside numpy, so CPython
+threads achieve genuine wall-clock speedup on multi-core hosts.
+
+This module owns the process-wide pieces:
+
+* :class:`ExecutorConfig` — worker count and morsel sizing, settable via
+  ``REPRO_WORKERS`` (environment), :func:`set_executor_config`, or the
+  scoped :func:`parallel_execution` context manager;
+* one lazily-created, shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (named ``repro-worker-N`` threads) that every parallel operator
+  schedules onto — one pool per process, as in the morsel paper;
+* :func:`run_morsels` — the scheduling primitive: submit a list of
+  morsel thunks, collect results *in submission order* (determinism),
+  and attribute per-worker busy time to the process-wide metrics
+  (``parallel.morsels``, ``worker.busy_seconds``) and tracer
+  (``parallel.morsel`` spans).
+
+Degenerate cases run inline on the calling thread: a single morsel, a
+one-worker configuration, or a call made *from* a worker thread (nested
+parallelism would deadlock a bounded pool; morsels stay coarse instead).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.errors import ExecutionError
+from repro.obs.runtime import get_metrics, get_tracer
+
+T = TypeVar("T")
+
+#: thread-name prefix of pool workers; also the nested-scheduling sentinel.
+WORKER_THREAD_PREFIX = "repro-worker"
+
+#: default rows per morsel — large enough that numpy kernel time dominates
+#: scheduling overhead, small enough to load-balance across workers.
+DEFAULT_MORSEL_ROWS = 65_536
+
+#: inputs below this row count are not worth scheduling: the kernels
+#: finish in tens of microseconds, under the pool's dispatch latency.
+DEFAULT_MIN_PARALLEL_ROWS = 32_768
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Process-wide parallel-execution settings.
+
+    ``workers=1`` (the default) keeps every operator on the serial code
+    path — the engine behaves exactly as before this module existed.
+    """
+
+    #: worker threads available to morsel scheduling (>= 1).
+    workers: int = 1
+    #: target rows per morsel when an operator auto-splits its input.
+    morsel_rows: int = DEFAULT_MORSEL_ROWS
+    #: inputs smaller than this stay serial even when workers > 1.
+    min_parallel_rows: int = DEFAULT_MIN_PARALLEL_ROWS
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+        if self.morsel_rows < 1:
+            raise ExecutionError(
+                f"morsel_rows must be >= 1, got {self.morsel_rows}"
+            )
+
+    @staticmethod
+    def from_env() -> "ExecutorConfig":
+        """The configuration implied by the environment.
+
+        ``REPRO_WORKERS`` sets the worker count (``0`` or an unparsable
+        value falls back to 1 — serial). ``REPRO_MORSEL_ROWS`` overrides
+        the morsel size.
+        """
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+        try:
+            morsel_rows = int(
+                os.environ.get("REPRO_MORSEL_ROWS", str(DEFAULT_MORSEL_ROWS))
+            )
+        except ValueError:
+            morsel_rows = DEFAULT_MORSEL_ROWS
+        return ExecutorConfig(
+            workers=max(workers, 1), morsel_rows=max(morsel_rows, 1)
+        )
+
+
+_config: ExecutorConfig | None = None
+_config_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+_pool_lock = threading.Lock()
+
+
+def get_executor_config() -> ExecutorConfig:
+    """The active configuration (initialised from the environment once)."""
+    global _config
+    if _config is None:
+        with _config_lock:
+            if _config is None:
+                _config = ExecutorConfig.from_env()
+    return _config
+
+
+def set_executor_config(config: ExecutorConfig) -> None:
+    """Replace the process-wide configuration."""
+    global _config
+    with _config_lock:
+        _config = config
+
+
+@contextmanager
+def parallel_execution(workers: int) -> Iterator[ExecutorConfig]:
+    """Scoped worker-count override: restores the prior config on exit."""
+    previous = get_executor_config()
+    config = replace(previous, workers=max(int(workers), 1))
+    set_executor_config(config)
+    try:
+        yield config
+    finally:
+        set_executor_config(previous)
+
+
+def _get_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared pool, grown (never shrunk) to at least ``workers``."""
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool_size = max(_pool_size, workers)
+            _pool = ThreadPoolExecutor(
+                max_workers=_pool_size,
+                thread_name_prefix=WORKER_THREAD_PREFIX,
+            )
+        return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests / interpreter shutdown)."""
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = None
+        _pool_size = 0
+
+
+def on_worker_thread() -> bool:
+    """True when the calling thread is a pool worker (nested scheduling
+    from here would deadlock a bounded pool — run inline instead)."""
+    return threading.current_thread().name.startswith(WORKER_THREAD_PREFIX)
+
+
+@dataclass
+class MorselReport:
+    """What :func:`run_morsels` did: results plus scheduling facts."""
+
+    #: one result per task, in submission order.
+    results: list
+    #: workers the batch was scheduled across (1 = ran inline, serial).
+    workers_used: int = 1
+    #: summed wall time the tasks spent executing (across all workers).
+    busy_seconds: float = 0.0
+
+
+def run_morsels(
+    tasks: Sequence[Callable[[], T]],
+    workers: int | None = None,
+) -> MorselReport:
+    """Run morsel ``tasks`` and return their results in submission order.
+
+    :param tasks: zero-argument callables, one per morsel.
+    :param workers: worker-count override; defaults to the process-wide
+        :func:`get_executor_config` value.
+    :returns: a :class:`MorselReport`; ``results[i]`` is ``tasks[i]()``.
+
+    Exceptions propagate: the first failing task's exception is re-raised
+    after the whole batch has settled (no partially-consumed state).
+
+    Runs inline — on the calling thread, sequentially — when fewer than
+    two tasks or workers are involved, or when called from a worker
+    thread (nested parallelism).
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = get_executor_config().workers
+    workers = max(int(workers), 1)
+    if len(tasks) <= 1 or workers == 1 or on_worker_thread():
+        started = time.perf_counter()
+        results = [task() for task in tasks]
+        return MorselReport(
+            results=results,
+            workers_used=1,
+            busy_seconds=time.perf_counter() - started,
+        )
+
+    metrics = get_metrics()
+    tracer = get_tracer()
+    busy_lock = threading.Lock()
+    busy_by_worker: dict[str, float] = {}
+
+    def timed(task: Callable[[], T], index: int) -> T:
+        worker = threading.current_thread().name
+        started = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span("parallel.morsel", index=index, worker=worker):
+                result = task()
+        else:
+            result = task()
+        elapsed = time.perf_counter() - started
+        with busy_lock:
+            busy_by_worker[worker] = busy_by_worker.get(worker, 0.0) + elapsed
+        return result
+
+    pool = _get_pool(workers)
+    futures = [
+        pool.submit(timed, task, index) for index, task in enumerate(tasks)
+    ]
+    results = []
+    first_error: BaseException | None = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            if first_error is None:
+                first_error = error
+            results.append(None)
+    if first_error is not None:
+        raise first_error
+    busy_seconds = sum(busy_by_worker.values())
+    if metrics.enabled:
+        metrics.counter("parallel.morsels", exist_ok=True).inc(len(tasks))
+        metrics.gauge("worker.busy_seconds", exist_ok=True).add(busy_seconds)
+        for worker, seconds in sorted(busy_by_worker.items()):
+            metrics.gauge(
+                f"worker.{worker}.busy_seconds", exist_ok=True
+            ).add(seconds)
+    return MorselReport(
+        results=results,
+        workers_used=min(workers, len(tasks)),
+        busy_seconds=busy_seconds,
+    )
+
+
+def morsel_boundaries(num_rows: int, morsels: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``[start, stop)`` splits of ``num_rows``.
+
+    Empty splits are dropped, so fewer than ``morsels`` pairs may return.
+    """
+    if morsels < 1:
+        raise ExecutionError(f"morsels must be >= 1, got {morsels}")
+    bounds = []
+    for index in range(morsels):
+        start = num_rows * index // morsels
+        stop = num_rows * (index + 1) // morsels
+        if stop > start:
+            bounds.append((start, stop))
+    return bounds

@@ -63,6 +63,11 @@ class OperatorStats:
     #: peak working-set bytes the operator reported while executing
     #: (sampled from ``PhysicalOperator.memory_bytes()``).
     peak_memory_bytes: int = 0
+    #: workers this operator's morsel batches were scheduled across
+    #: (0 = no morsel batch ran; 1 = batches ran inline, serial).
+    parallel_degree: int = 0
+    #: summed worker wall seconds of the operator's morsel batches.
+    worker_busy_seconds: float = 0.0
     children: list["OperatorStats"] = field(default_factory=list)
 
     @property
@@ -88,6 +93,16 @@ class OperatorStats:
         return f"{base}[{self.plan_algorithm}]" if self.plan_algorithm else base
 
     @property
+    def parallel_speedup(self) -> float | None:
+        """Effective intra-operator speedup: summed worker busy time over
+        the operator's exclusive wall time. ``None`` when the operator
+        ran no parallel morsel batch (degree < 2) or no time was
+        measured."""
+        if self.parallel_degree < 2 or self.self_seconds <= 0.0:
+            return None
+        return self.worker_busy_seconds / self.self_seconds
+
+    @property
     def self_seconds(self) -> float:
         """Exclusive time: cumulative minus the children's cumulative."""
         return max(
@@ -111,6 +126,15 @@ class OperatorStats:
             f"cum={self.cumulative_seconds * 1e3:.3f}ms "
             f"peak {format_bytes(self.peak_memory_bytes)}]"
         )
+        if self.parallel_degree > 1:
+            line += (
+                f"  [parallel workers={self.parallel_degree} "
+                f"busy={self.worker_busy_seconds * 1e3:.3f}ms"
+            )
+            speedup = self.parallel_speedup
+            if speedup is not None:
+                line += f" speedup={speedup:.2f}x"
+            line += "]"
         if self.estimated_rows is not None:
             line += (
                 f"  [est {self.estimated_rows:,.0f} rows · "
@@ -137,6 +161,9 @@ class OperatorStats:
             "peak_memory_bytes": self.peak_memory_bytes,
             "children": [child.to_dict() for child in self.children],
         }
+        if self.parallel_degree > 0:
+            record["parallel_degree"] = self.parallel_degree
+            record["worker_busy_seconds"] = self.worker_busy_seconds
         if self.estimated_rows is not None:
             record["estimated_rows"] = self.estimated_rows
             record["estimated_cost"] = self.estimated_cost
@@ -144,6 +171,19 @@ class OperatorStats:
                 record["estimated_groups"] = self.estimated_groups
             record["qerror"] = self.qerror
         return record
+
+
+def _sample_parallelism(
+    operator: PhysicalOperator, stats: OperatorStats
+) -> None:
+    """Copy the operator's morsel-scheduling facts into its stats node
+    (monotone within one run; the accounting accumulates per run)."""
+    degree = operator.parallel_degree()
+    if degree > stats.parallel_degree:
+        stats.parallel_degree = degree
+    busy = operator.worker_busy_seconds()
+    if busy > stats.worker_busy_seconds:
+        stats.worker_busy_seconds = busy
 
 
 def _hook(
@@ -167,6 +207,8 @@ def _hook(
             stats.chunks_out = 0
             stats.cumulative_seconds = 0.0
             stats.peak_memory_bytes = 0
+            stats.parallel_degree = 0
+            stats.worker_busy_seconds = 0.0
             operator.reset_memory_accounting()
         iterator = original()
         while True:
@@ -178,6 +220,7 @@ def _hook(
                 peak = operator.memory_bytes()
                 if peak > stats.peak_memory_bytes:
                     stats.peak_memory_bytes = peak
+                _sample_parallelism(operator, stats)
                 return
             stats.cumulative_seconds += time.perf_counter() - started
             stats.rows_out += chunk.num_rows
@@ -187,6 +230,7 @@ def _hook(
             peak = operator.memory_bytes()
             if peak > stats.peak_memory_bytes:
                 stats.peak_memory_bytes = peak
+            _sample_parallelism(operator, stats)
             yield chunk
 
     operator.chunks = instrumented_chunks  # type: ignore[method-assign]

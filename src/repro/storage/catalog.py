@@ -8,6 +8,7 @@ statistics (the source of DQO plan properties), and foreign-key constraints
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 
 from repro.errors import SchemaError
 from repro.storage.statistics import ColumnStatistics
@@ -24,12 +25,30 @@ class ForeignKey:
     parent_column: str
 
 
+#: process-unique catalog identity tokens (see :meth:`Catalog.fingerprint`).
+_CATALOG_TOKENS = count(1)
+
+
 class Catalog:
     """A registry of named tables, with statistics and FK metadata."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._foreign_keys: list[ForeignKey] = []
+        self._token = next(_CATALOG_TOKENS)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumps on every registration change,
+        table replacement (fresh statistics), or constraint addition."""
+        return self._version
+
+    def fingerprint(self) -> tuple[int, int]:
+        """(identity token, version): stable while the catalog's contents
+        are unchanged, different across catalogs and across mutations —
+        the optimiser plan cache's invalidation key."""
+        return (self._token, self._version)
 
     def register(self, name: str, table: Table, replace: bool = False) -> None:
         """Register ``table`` under ``name``.
@@ -40,12 +59,14 @@ class Catalog:
         if name in self._tables and not replace:
             raise SchemaError(f"table {name!r} is already registered")
         self._tables[name] = table
+        self._version += 1
 
     def unregister(self, name: str) -> None:
         """Remove the registration of ``name`` (missing names are an error)."""
         if name not in self._tables:
             raise SchemaError(f"no table named {name!r}")
         del self._tables[name]
+        self._version += 1
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
@@ -81,6 +102,7 @@ class Catalog:
                     f"foreign key references unregistered table {table_name!r}"
                 )
         self._foreign_keys.append(fk)
+        self._version += 1
 
     def foreign_keys(self) -> list[ForeignKey]:
         """All declared foreign keys."""

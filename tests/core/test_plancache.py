@@ -1,0 +1,339 @@
+"""The optimiser plan cache: fingerprints, invalidation, LRU, metrics.
+
+A cached plan may be reused only while everything it depended on is
+unchanged: the normalised query, the catalog contents and statistics,
+the optimiser configuration, the cost model instance, and the planned
+worker count. Each of those dimensions gets an invalidation test here;
+the tail of the file covers the parallel option space the worker
+dimension exists for.
+"""
+
+import pytest
+
+from repro.core import (
+    DynamicProgrammingOptimizer,
+    PlanCache,
+    disable_plan_cache,
+    dqo_config,
+    enable_plan_cache,
+    get_plan_cache,
+    optimize_dqo,
+    set_plan_cache,
+    sqo_config,
+)
+from repro.core.optimizer import exhaustive_minimum, extract_query, spec_fingerprint
+from repro.core.optimizer.plancache import config_fingerprint
+from repro.core.optimizer.rules import grouping_options, join_options
+from repro.datagen import Density, Sortedness, make_join_scenario
+from repro.engine import GroupingAlgorithm, JoinAlgorithm, parallel_execution
+from repro.engine.kernels.parallel import PARALLEL_PROBE_ALGORITHMS
+from repro.obs import capture_observability
+from repro.sql import plan_query
+from repro.storage.catalog import ForeignKey
+
+
+@pytest.fixture
+def catalog():
+    return make_join_scenario(
+        n_r=800,
+        n_s=2_000,
+        num_groups=80,
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+        seed=3,
+    ).build_catalog()
+
+
+@pytest.fixture
+def spec(catalog, paper_query):
+    return extract_query(plan_query(paper_query, catalog))
+
+
+class TestSpecFingerprint:
+    def test_stable_across_parses(self, catalog, paper_query):
+        a = extract_query(plan_query(paper_query, catalog))
+        b = extract_query(plan_query(paper_query, catalog))
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_conjunct_order_is_normalised(self, catalog):
+        a = extract_query(
+            plan_query(
+                "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID "
+                "WHERE R.A > 3 AND R.ID > 10 GROUP BY R.A",
+                catalog,
+            )
+        )
+        b = extract_query(
+            plan_query(
+                "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID "
+                "WHERE R.ID > 10 AND R.A > 3 GROUP BY R.A",
+                catalog,
+            )
+        )
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_different_queries_differ(self, catalog, paper_query):
+        a = extract_query(plan_query(paper_query, catalog))
+        b = extract_query(
+            plan_query(
+                "SELECT R.A, COUNT(*), SUM(S.B) FROM R JOIN S ON "
+                "R.ID = S.R_ID GROUP BY R.A",
+                catalog,
+            )
+        )
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+
+class TestCatalogFingerprint:
+    def test_register_replace_bumps_version(self, catalog):
+        before = catalog.fingerprint()
+        catalog.register("R", catalog.table("R"), replace=True)
+        after = catalog.fingerprint()
+        assert before != after
+        assert after[0] == before[0]  # same catalog, new version
+
+    def test_add_foreign_key_bumps_version(self, catalog):
+        before = catalog.fingerprint()
+        catalog.add_foreign_key(ForeignKey("S", "R_ID", "R", "ID"))
+        assert catalog.fingerprint() != before
+
+    def test_distinct_catalogs_never_collide(self):
+        a = make_join_scenario(n_r=200, n_s=400, num_groups=20, seed=1)
+        b = make_join_scenario(n_r=200, n_s=400, num_groups=20, seed=1)
+        assert a.build_catalog().fingerprint() != b.build_catalog().fingerprint()
+
+
+class TestPlanCacheUnit:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_miss_then_hit(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        first = optimizer.optimize_spec(spec)
+        assert not first.cached
+        assert cache.misses == 1 and cache.hits == 0
+        second = optimizer.optimize_spec(spec)
+        assert second.cached
+        assert cache.hits == 1
+        assert second.cost == first.cost
+        assert second.explain(deep=True) == first.explain(deep=True)
+
+    def test_cached_result_skips_the_search(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        first = optimizer.optimize_spec(spec)
+        assert first.stats.generated > 0
+        second = optimizer.optimize_spec(spec)
+        assert second.stats.generated == 0
+        assert second.stats.closures == 0
+        assert second.stats.retained == 0
+
+    def test_hit_does_not_expose_stored_alternatives(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        optimizer.optimize_spec(spec)
+        hit = optimizer.optimize_spec(spec)
+        hit.alternatives.clear()
+        again = optimizer.optimize_spec(spec)
+        assert again.cached
+        assert len(again.alternatives) == len(
+            optimizer.optimize_spec(spec).alternatives
+        )
+
+    def test_lru_eviction(self, catalog, paper_query):
+        cache = PlanCache(capacity=2)
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        queries = [
+            paper_query,
+            "SELECT R.A, COUNT(*), SUM(S.B) FROM R JOIN S ON R.ID = S.R_ID "
+            "GROUP BY R.A",
+            "SELECT S.B, COUNT(*) FROM S GROUP BY S.B",
+        ]
+        specs = [extract_query(plan_query(q, catalog)) for q in queries]
+        for spec in specs:
+            optimizer.optimize_spec(spec)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The oldest entry is gone: re-optimising it is a miss...
+        assert not optimizer.optimize_spec(specs[0]).cached
+        # ...and the most recent two were still resident.
+        assert cache.info()["evictions"] == 2
+
+    def test_clear_keeps_counters(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        optimizer.optimize_spec(spec)
+        optimizer.optimize_spec(spec)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert not optimizer.optimize_spec(spec).cached
+
+
+class TestInvalidation:
+    def test_stats_update_invalidates(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        optimizer.optimize_spec(spec)
+        catalog.register("R", catalog.table("R"), replace=True)
+        result = optimizer.optimize_spec(spec)
+        assert not result.cached
+        assert cache.misses == 2
+        assert len(cache) == 2  # old entry retained under the old version
+
+    def test_config_is_part_of_the_key(self, catalog, spec):
+        cache = PlanCache()
+        deep = DynamicProgrammingOptimizer(
+            catalog, config=dqo_config(), plan_cache=cache
+        )
+        shallow = DynamicProgrammingOptimizer(
+            catalog, config=sqo_config(), plan_cache=cache
+        )
+        deep.optimize_spec(spec)
+        assert not shallow.optimize_spec(spec).cached
+        assert len(cache) == 2
+        assert config_fingerprint(dqo_config()) != config_fingerprint(sqo_config())
+
+    def test_workers_are_part_of_the_key(self, catalog, spec):
+        cache = PlanCache()
+        serial = DynamicProgrammingOptimizer(
+            catalog, config=dqo_config(workers=1), plan_cache=cache
+        )
+        wide = DynamicProgrammingOptimizer(
+            catalog, config=dqo_config(workers=4), plan_cache=cache
+        )
+        serial.optimize_spec(spec)
+        assert not wide.optimize_spec(spec).cached
+        assert len(cache) == 2
+        assert wide.optimize_spec(spec).cached
+
+    def test_stateless_cost_models_share_entries(self, catalog, spec):
+        from repro.core import PaperCostModel
+
+        cache = PlanCache()
+        a = DynamicProgrammingOptimizer(
+            catalog, cost_model=PaperCostModel(), plan_cache=cache
+        )
+        b = DynamicProgrammingOptimizer(
+            catalog, cost_model=PaperCostModel(), plan_cache=cache
+        )
+        a.optimize_spec(spec)
+        # PaperCostModel is stateless: a different instance costs
+        # identically, so its fingerprint carries no instance identity.
+        assert b.optimize_spec(spec).cached
+
+    def test_stateful_cost_models_keep_instance_identity(self):
+        from repro.core import CalibratedCostModel
+
+        a = CalibratedCostModel()
+        b = CalibratedCostModel()
+        assert a.cache_fingerprint() != b.cache_fingerprint()
+
+
+class TestMetricsAndGlobalCache:
+    def test_hit_miss_counters_in_snapshot(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        with capture_observability() as (metrics, __):
+            optimizer.optimize_spec(spec)
+            optimizer.optimize_spec(spec)
+            snapshot = metrics.snapshot()
+        assert snapshot["optimizer.plancache.miss"] == 1
+        assert snapshot["optimizer.plancache.hit"] == 1
+
+    def test_eviction_counter_in_snapshot(self, catalog, paper_query):
+        cache = PlanCache(capacity=1)
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        specs = [
+            extract_query(plan_query(q, catalog))
+            for q in (
+                paper_query,
+                "SELECT S.B, COUNT(*) FROM S GROUP BY S.B",
+            )
+        ]
+        with capture_observability() as (metrics, __):
+            for spec in specs:
+                optimizer.optimize_spec(spec)
+            snapshot = metrics.snapshot()
+        assert snapshot["optimizer.plancache.evictions"] == 1
+
+    def test_process_wide_cache_serves_optimize_dqo(self, catalog, paper_query):
+        previous = get_plan_cache()
+        try:
+            cache = enable_plan_cache()
+            assert enable_plan_cache() is cache  # idempotent
+            logical = plan_query(paper_query, catalog)
+            first = optimize_dqo(logical, catalog)
+            second = optimize_dqo(logical, catalog)
+            assert not first.cached
+            assert second.cached
+            assert cache.hits >= 1
+        finally:
+            set_plan_cache(previous)
+
+    def test_disable_plan_cache(self):
+        previous = get_plan_cache()
+        try:
+            enable_plan_cache()
+            disable_plan_cache()
+            assert get_plan_cache() is None
+        finally:
+            set_plan_cache(previous)
+
+
+class TestParallelOptionSpace:
+    """The worker dimension the cache keys on: what it unlocks and what
+    it must not disturb."""
+
+    def test_serial_space_has_no_parallel_options(self):
+        assert not any(o.parallel for o in grouping_options(dqo_config(), 1))
+        assert not any(o.parallel for o in join_options(dqo_config(), 1))
+
+    def test_deep_multiworker_space_adds_parallel_variants(self):
+        grouping = grouping_options(dqo_config(), 4)
+        parallel_algorithms = {o.algorithm for o in grouping if o.parallel}
+        assert parallel_algorithms  # the lattice's parallel-loop recipes
+        joins = join_options(dqo_config(), 4)
+        assert {o.algorithm for o in joins if o.parallel} == set(
+            PARALLEL_PROBE_ALGORITHMS
+        )
+
+    def test_sqo_never_sees_the_loop_granule(self):
+        assert not any(o.parallel for o in grouping_options(sqo_config(), 4))
+        assert not any(o.parallel for o in join_options(sqo_config(), 4))
+
+    def test_optimizer_picks_parallel_plan_when_cheaper(
+        self, catalog, paper_query
+    ):
+        logical = plan_query(paper_query, catalog)
+        serial = optimize_dqo(logical, catalog, workers=1)
+        wide = optimize_dqo(logical, catalog, workers=4)
+        assert wide.cost < serial.cost
+        assert any(node.parallel for node in wide.plan.walk())
+        assert not any(node.parallel for node in serial.plan.walk())
+
+    def test_oracle_agreement_with_workers(self, catalog, paper_query):
+        logical = plan_query(paper_query, catalog)
+        config = dqo_config(workers=4)
+        dp = optimize_dqo(logical, catalog, workers=4)
+        oracle = exhaustive_minimum(logical, catalog, config=config)
+        assert dp.cost == pytest.approx(oracle.cost)
+
+    def test_figure5_costs_invariant_to_ambient_workers(
+        self, catalog, paper_query
+    ):
+        # The default config plans for one worker regardless of
+        # REPRO_WORKERS, so published cost ratios never drift with the
+        # runtime executor setting.
+        logical = plan_query(paper_query, catalog)
+        baseline = optimize_dqo(logical, catalog)
+        with parallel_execution(4):
+            under_ambient = optimize_dqo(logical, catalog)
+        assert under_ambient.cost == baseline.cost
+        # Opting in to the ambient setting is explicit:
+        with parallel_execution(4):
+            ambient_aware = optimize_dqo(logical, catalog, workers=None)
+        assert ambient_aware.cost < baseline.cost

@@ -1,0 +1,386 @@
+"""Real parallel execution: the morsel scheduler, worker-count
+determinism, and the shared-build parallel join.
+
+The sharding dimension (shard + merge == serial, any shard count) is
+covered by test_parallel_grouping.py; this file covers the *workers*
+dimension — scheduling morsels on the shared thread pool must change
+wall-clock behaviour only, never results. Every (algorithm x workers)
+combination is asserted identical to the serial kernel: grouping up to
+key order (the merge sorts), joins bit-for-bit.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datagen import Density, Sortedness, make_grouping_dataset, make_join_scenario
+from repro.engine import (
+    ExecutorConfig,
+    col,
+    count_star,
+    execute,
+    get_executor_config,
+    parallel_execution,
+    set_executor_config,
+    sum_of,
+)
+from repro.engine.kernels.grouping import GroupingAlgorithm, GroupingResult, KeyOrder, group_by
+from repro.engine.kernels.joins import JoinAlgorithm, join
+from repro.engine.kernels.parallel import (
+    PARALLEL_PROBE_ALGORITHMS,
+    merge_partials,
+    parallel_group_by,
+    parallel_join,
+)
+from repro.engine.operators import Filter, GroupBy, Join, TableScan
+from repro.engine.parallel import (
+    morsel_boundaries,
+    on_worker_thread,
+    run_morsels,
+)
+from repro.errors import ExecutionError
+from repro.obs import capture_observability
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture
+def sorted_dense_dataset():
+    """Sorted + dense satisfies every grouping algorithm's precondition."""
+    return make_grouping_dataset(
+        20_000, 64, Sortedness.SORTED, Density.DENSE, seed=11
+    )
+
+
+@pytest.fixture
+def join_scenario():
+    """Sorted/sorted dense: every join algorithm is applicable."""
+    return make_join_scenario(n_r=1_500, n_s=6_000, num_groups=75, seed=13)
+
+
+class TestExecutorConfig:
+    def test_defaults_are_serial(self):
+        assert ExecutorConfig().workers == 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ExecutionError):
+            ExecutorConfig(workers=0)
+
+    def test_rejects_zero_morsel_rows(self):
+        with pytest.raises(ExecutionError):
+            ExecutorConfig(morsel_rows=0)
+
+    def test_from_env_reads_repro_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert ExecutorConfig.from_env().workers == 4
+
+    def test_from_env_clamps_zero_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert ExecutorConfig.from_env().workers == 1
+
+    def test_from_env_ignores_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert ExecutorConfig.from_env().workers == 1
+
+    def test_from_env_morsel_rows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_ROWS", "1024")
+        assert ExecutorConfig.from_env().morsel_rows == 1024
+
+    def test_parallel_execution_scopes_and_restores(self):
+        before = get_executor_config()
+        with parallel_execution(3) as config:
+            assert config.workers == 3
+            assert get_executor_config().workers == 3
+        assert get_executor_config() == before
+
+    def test_parallel_execution_restores_on_error(self):
+        before = get_executor_config()
+        with pytest.raises(RuntimeError):
+            with parallel_execution(2):
+                raise RuntimeError("boom")
+        assert get_executor_config() == before
+
+    def test_set_executor_config_round_trip(self):
+        before = get_executor_config()
+        try:
+            set_executor_config(ExecutorConfig(workers=2, morsel_rows=4096))
+            assert get_executor_config().workers == 2
+            assert get_executor_config().morsel_rows == 4096
+        finally:
+            set_executor_config(before)
+
+
+class TestMorselBoundaries:
+    @pytest.mark.parametrize("num_rows", [0, 1, 7, 100, 65_537])
+    @pytest.mark.parametrize("morsels", [1, 2, 3, 8, 64])
+    def test_contiguous_cover(self, num_rows, morsels):
+        bounds = morsel_boundaries(num_rows, morsels)
+        position = 0
+        for start, stop in bounds:
+            assert start == position
+            assert stop > start
+            position = stop
+        assert position == num_rows
+
+    def test_near_equal_sizes(self):
+        sizes = [stop - start for start, stop in morsel_boundaries(100, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_morsel_count(self):
+        with pytest.raises(ExecutionError):
+            morsel_boundaries(10, 0)
+
+
+class TestRunMorsels:
+    def test_results_in_submission_order(self):
+        tasks = [(lambda i=i: i * i) for i in range(32)]
+        report = run_morsels(tasks, workers=4)
+        assert report.results == [i * i for i in range(32)]
+
+    def test_single_task_runs_inline(self):
+        report = run_morsels([lambda: threading.current_thread().name])
+        assert report.workers_used == 1
+        assert not report.results[0].startswith("repro-worker")
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise ValueError("morsel failure")
+
+        with pytest.raises(ValueError, match="morsel failure"):
+            run_morsels([lambda: 1, boom, lambda: 3], workers=2)
+
+    def test_nested_scheduling_runs_inline(self):
+        # A task that itself calls run_morsels must not deadlock the
+        # bounded pool: the inner batch runs inline on the worker.
+        def outer():
+            assert on_worker_thread()
+            inner = run_morsels([lambda: 1, lambda: 2], workers=4)
+            return inner.workers_used
+
+        report = run_morsels([outer, outer], workers=2)
+        assert report.results == [1, 1]
+
+    def test_morsel_metrics_are_exact(self):
+        with capture_observability() as (metrics, tracer):
+            run_morsels([(lambda i=i: i) for i in range(12)], workers=4)
+            assert metrics.get("parallel.morsels").value == 12
+            assert metrics.get("worker.busy_seconds").value >= 0.0
+
+    def test_morsel_spans_are_traced(self):
+        with capture_observability() as (metrics, tracer):
+            run_morsels([(lambda i=i: i) for i in range(8)], workers=4)
+            spans = [
+                span
+                for span in tracer.finished_spans
+                if span.name == "parallel.morsel"
+            ]
+            assert len(spans) == 8
+
+
+GROUPING_CASES = [
+    GroupingAlgorithm.HG,
+    GroupingAlgorithm.SPHG,
+    GroupingAlgorithm.OG,
+    GroupingAlgorithm.SOG,
+    GroupingAlgorithm.BSG,
+]
+
+
+class TestGroupingWorkersDeterminism:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("algorithm", GROUPING_CASES)
+    def test_every_algorithm_matches_serial(
+        self, sorted_dense_dataset, algorithm, workers
+    ):
+        dataset = sorted_dense_dataset
+        serial = group_by(
+            dataset.keys, dataset.payload, algorithm, num_distinct_hint=64
+        ).sorted_by_key()
+        parallel = parallel_group_by(
+            dataset.keys,
+            dataset.payload,
+            algorithm,
+            shards=8,
+            num_distinct_hint=64,
+            workers=workers,
+        ).sorted_by_key()
+        assert np.array_equal(parallel.keys, serial.keys)
+        assert np.array_equal(parallel.counts, serial.counts)
+        assert np.array_equal(parallel.sums, serial.sums)
+
+    def test_repeated_runs_are_identical(self, sorted_dense_dataset):
+        dataset = sorted_dense_dataset
+        first = parallel_group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.HG,
+            shards=8, workers=4,
+        )
+        second = parallel_group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.HG,
+            shards=8, workers=4,
+        )
+        assert np.array_equal(first.keys, second.keys)
+        assert np.array_equal(first.counts, second.counts)
+        assert np.array_equal(first.sums, second.sums)
+
+
+JOIN_CASES = [
+    JoinAlgorithm.HJ,
+    JoinAlgorithm.SPHJ,
+    JoinAlgorithm.OJ,
+    JoinAlgorithm.SOJ,
+    JoinAlgorithm.BSJ,
+]
+
+
+class TestJoinWorkersDeterminism:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("algorithm", JOIN_CASES)
+    def test_every_algorithm_bit_identical(
+        self, join_scenario, algorithm, workers
+    ):
+        build = join_scenario.r["ID"]
+        probe = join_scenario.s["R_ID"]
+        serial = join(build, probe, algorithm)
+        parallel = parallel_join(
+            build, probe, algorithm, shards=8, workers=workers
+        )
+        # Bit-identical, not merely set-equal: probe-major shard outputs
+        # concatenate back into exactly the serial row order.
+        assert np.array_equal(parallel.left_indices, serial.left_indices)
+        assert np.array_equal(parallel.right_indices, serial.right_indices)
+
+    def test_lockstep_algorithms_fall_back_to_serial(self, join_scenario):
+        assert JoinAlgorithm.OJ not in PARALLEL_PROBE_ALGORITHMS
+        assert JoinAlgorithm.SOJ not in PARALLEL_PROBE_ALGORITHMS
+
+    def test_reports_scheduling_facts(self, join_scenario):
+        reports = []
+        parallel_join(
+            join_scenario.r["ID"],
+            join_scenario.s["R_ID"],
+            JoinAlgorithm.HJ,
+            shards=6,
+            workers=2,
+            on_report=reports.append,
+        )
+        assert len(reports) == 1
+        assert len(reports[0].results) == 6
+
+
+class TestMergePrecision:
+    """Satellite regression: merging partial aggregates must stay exact
+    past 2**53, where float64 loses integer resolution."""
+
+    def test_integer_sums_exact_beyond_float53(self):
+        big = 2**53
+        a = group_by(
+            np.array([1], dtype=np.int64),
+            np.array([big], dtype=np.int64),
+            GroupingAlgorithm.HG,
+        )
+        b = group_by(
+            np.array([1], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            GroupingAlgorithm.HG,
+        )
+        merged = merge_partials([a, b])
+        # float64 would round 2**53 + 1 back down to 2**53.
+        assert merged.sums.dtype == np.int64
+        assert int(merged.sums[0]) == big + 1
+
+    def test_large_counts_exact(self):
+        big = 2**53
+        partials = [
+            GroupingResult(
+                keys=np.array([7], dtype=np.int64),
+                counts=np.array([big], dtype=np.int64),
+                sums=np.array([big], dtype=np.int64),
+                key_order=KeyOrder.SORTED,
+            ),
+            GroupingResult(
+                keys=np.array([7], dtype=np.int64),
+                counts=np.array([3], dtype=np.int64),
+                sums=np.array([5], dtype=np.int64),
+                key_order=KeyOrder.SORTED,
+            ),
+        ]
+        merged = merge_partials(partials)
+        assert int(merged.counts[0]) == big + 3
+        assert int(merged.sums[0]) == big + 5
+
+    def test_float_payloads_still_merge(self):
+        a = group_by(
+            np.array([1, 2], dtype=np.int64),
+            np.array([0.5, 1.5]),
+            GroupingAlgorithm.HG,
+        )
+        merged = merge_partials([a, a])
+        assert merged.sums.tolist() == [1.0, 3.0]
+
+
+class TestOperatorParallelism:
+    """Operator-level equivalence: a plan pinned parallel=True under a
+    multi-worker config produces the same table as the serial plan."""
+
+    def _grouped(self, table, parallel, workers):
+        with parallel_execution(workers):
+            return execute(
+                GroupBy(
+                    TableScan(table),
+                    "key",
+                    [count_star(), sum_of("value")],
+                    algorithm=GroupingAlgorithm.HG,
+                    shards=8,
+                    parallel=parallel,
+                )
+            ).sort_by(["key"])
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_group_by_operator(self, sorted_dense_dataset, workers):
+        table = sorted_dense_dataset.to_table()
+        serial = self._grouped(table, False, 1)
+        parallel = self._grouped(table, True, workers)
+        for name in serial.schema.names:
+            assert np.array_equal(
+                parallel[name], serial[name]
+            ), name
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_join_operator(self, join_scenario, workers):
+        def run(parallel, workers):
+            with parallel_execution(workers):
+                return execute(
+                    Join(
+                        TableScan(join_scenario.r),
+                        TableScan(join_scenario.s),
+                        "ID",
+                        "R_ID",
+                        algorithm=JoinAlgorithm.HJ,
+                        parallel=parallel,
+                    )
+                )
+
+        serial = run(False, 1)
+        parallel = run(True, workers)
+        for name in serial.schema.names:
+            assert np.array_equal(
+                parallel[name], serial[name]
+            ), name
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_filter_preserves_chunk_order(self, workers):
+        rng = np.random.default_rng(17)
+        table = (
+            make_grouping_dataset(
+                120_000, 200, Sortedness.UNSORTED, Density.DENSE, seed=19
+            ).to_table()
+        )
+        plan = lambda: Filter(TableScan(table), col("key") < 100)
+        serial = execute(plan())
+        with parallel_execution(workers):
+            parallel = execute(plan())
+        for name in serial.schema.names:
+            assert np.array_equal(
+                parallel[name], serial[name]
+            ), name

@@ -113,3 +113,61 @@ class TestTracerUnderContention:
         # Exactly the roots have no parent.
         roots = [span for span in spans if span.parent_id is None]
         assert len(roots) == NUM_THREADS * rounds
+
+
+class TestMorselSchedulerObservability:
+    """The morsel scheduler reports into the same process-wide handles
+    from pool worker threads: counts must stay exact and span stacks
+    balanced when many batches run concurrently."""
+
+    def test_morsel_counter_is_exact_across_concurrent_batches(self):
+        from repro.engine.parallel import run_morsels
+        from repro.obs import capture_observability
+
+        batches = 16
+        tasks_per_batch = 10
+        with capture_observability() as (metrics, tracer):
+
+            def submit_batch(index: int) -> None:
+                run_morsels(
+                    [(lambda i=i: i) for i in range(tasks_per_batch)],
+                    workers=4,
+                )
+
+            threads = [
+                threading.Thread(target=submit_batch, args=(index,))
+                for index in range(batches)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert metrics.get("parallel.morsels").value == (
+                batches * tasks_per_batch
+            )
+            spans = [
+                span
+                for span in tracer.finished_spans
+                if span.name == "parallel.morsel"
+            ]
+            assert len(spans) == batches * tasks_per_batch
+            assert all(span.duration is not None for span in spans)
+
+    def test_worker_busy_time_attribution_is_consistent(self):
+        from repro.engine.parallel import run_morsels
+        from repro.obs import capture_observability
+
+        with capture_observability() as (metrics, __):
+            report = run_morsels(
+                [(lambda i=i: sum(range(1000))) for i in range(20)], workers=4
+            )
+            total = metrics.get("worker.busy_seconds").value
+            # The process-wide gauge equals the report's busy total, and
+            # both decompose into the per-worker gauges exactly.
+            assert total == report.busy_seconds
+            per_worker = sum(
+                value
+                for name, value in metrics.snapshot().items()
+                if name.startswith("worker.repro-worker")
+            )
+            assert per_worker == total
