@@ -40,6 +40,7 @@ from repro.datagen.grouping import (
     make_grouping_dataset,
 )
 from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
+from repro.engine.kernels.parallel import parallel_group_by
 from repro.errors import PreconditionError
 
 #: the paper's x-axis: group counts up to 40,000.
@@ -96,6 +97,8 @@ class Figure4Result:
 
     rows: int
     panels: list[PanelResult] = field(default_factory=list)
+    #: morsel workers the measured kernels ran with (1 = serial kernels).
+    workers: int = 1
 
     def panel(self, sortedness: Sortedness, density: Density) -> PanelResult:
         """Fetch one panel."""
@@ -105,14 +108,39 @@ class Figure4Result:
         raise ValueError(f"no panel {sortedness} x {density}")
 
 
+def _measured_group_by(dataset, algorithm, num_groups: int, workers: int):
+    """The kernel call one measurement times: serial with one worker,
+    the Figure 3(e) sharded parallel load otherwise."""
+    if workers > 1:
+        return parallel_group_by(
+            dataset.keys,
+            dataset.payload,
+            algorithm,
+            shards=workers,
+            num_distinct_hint=num_groups,
+            workers=workers,
+        )
+    return group_by(
+        dataset.keys,
+        dataset.payload,
+        algorithm,
+        num_distinct_hint=num_groups,
+    )
+
+
 def run_figure4(
     rows: int = DEFAULT_ROWS,
     group_counts: tuple[int, ...] = DEFAULT_GROUP_COUNTS,
     repeats: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> Figure4Result:
-    """Measure all four panels."""
-    result = Figure4Result(rows=rows)
+    """Measure all four panels.
+
+    :param workers: morsel workers; > 1 measures the parallel-load
+        variant (``workers`` shards on ``workers`` pool threads).
+    """
+    result = Figure4Result(rows=rows, workers=max(int(workers), 1))
     for sortedness, density in FIGURE4_GRID:
         panel = PanelResult(sortedness=sortedness, density=density)
         for algorithm in applicable_algorithms(sortedness, density):
@@ -129,11 +157,8 @@ def run_figure4(
             )
             for algorithm in applicable_algorithms(sortedness, density):
                 timing = time_callable(
-                    lambda a=algorithm, d=dataset: group_by(
-                        d.keys,
-                        d.payload,
-                        a,
-                        num_distinct_hint=num_groups,
+                    lambda a=algorithm, d=dataset, g=num_groups: (
+                        _measured_group_by(d, a, g, result.workers)
                     ),
                     repeats=repeats,
                     warmup=1,
@@ -192,9 +217,12 @@ def run_crossover(
 
 def render_figure4(result: Figure4Result) -> str:
     """Render all four panels as tables + ASCII charts."""
+    workers = (
+        f", {result.workers} workers" if result.workers > 1 else ""
+    )
     sections = [
         f"Figure 4 — grouping runtime [ms] vs #groups "
-        f"(n={result.rows:,} rows; paper used 100M)"
+        f"(n={result.rows:,} rows{workers}; paper used 100M)"
     ]
     for panel in result.panels:
         group_counts = sorted(
@@ -296,6 +324,21 @@ def main() -> None:
     parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "morsel workers for the measured kernels (> 1 measures the "
+            "parallel-load variants; recorded in the JSON artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="ARTIFACT",
+        default="",
+        help="also write the sweep as a benchmark JSON artifact",
+    )
+    parser.add_argument(
         "--crossover",
         action="store_true",
         help="also run the BSG-vs-HG zoom-in",
@@ -322,7 +365,31 @@ def main() -> None:
         print(f"wrote HTML report: {report}")
         print(f"wrote folded stacks: {folded}")
         return
-    print(render_figure4(run_figure4(rows=args.rows, repeats=args.repeats)))
+    result = run_figure4(
+        rows=args.rows, repeats=args.repeats, workers=args.workers
+    )
+    print(render_figure4(result))
+    if args.json:
+        from repro.bench.reporting import write_json_artifact
+
+        timings = {
+            f"{panel.sortedness.value}_{panel.density.value}/"
+            f"{algorithm.name}@{num_groups}": ms / 1e3
+            for panel in result.panels
+            for algorithm, points in panel.series.items()
+            for num_groups, ms in points
+        }
+        path = write_json_artifact(
+            args.json,
+            "figure4",
+            timings,
+            meta={
+                "rows": result.rows,
+                "repeats": args.repeats,
+                "workers": result.workers,
+            },
+        )
+        print(f"\nwrote JSON artifact: {path}")
     if args.crossover:
         print()
         print(render_crossover(run_crossover(rows=args.rows, repeats=args.repeats)))

@@ -48,6 +48,7 @@ from repro.core.properties import (
 from repro.engine.kernels.joins import JoinAlgorithm
 from repro.engine.parallel import get_executor_config
 from repro.errors import OptimizationError
+from repro.service.context import check_active_context
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.logical.algebra import LogicalPlan
@@ -189,6 +190,18 @@ class DynamicProgrammingOptimizer:
             )
             hit = cache.get(cache_key)
             if hit is not None:
+                query_log = get_query_log()
+                if query_log is not None:
+                    query_log.append(
+                        {
+                            "kind": "optimize",
+                            "cached": True,
+                            "cost": hit.cost,
+                            "estimated_rows": hit.estimated_rows,
+                            "scans": len(spec.scans),
+                            "deep": self._config.is_deep,
+                        }
+                    )
                 return hit
         stats = SearchStats()
         self._stats = stats
@@ -548,6 +561,11 @@ class DynamicProgrammingOptimizer:
         for size in range(2, count + 1):
             size_entries = 0
             for subset_tuple in combinations(range(count), size):
+                # Enumeration is the service's other unbounded loop: a
+                # deep search over a large join graph can outlast a
+                # deadline before execution even starts, so poll per
+                # plan class.
+                check_active_context()
                 subset = frozenset(subset_tuple)
                 entries: list[DPEntry] = []
                 for split_size in range(1, size):
@@ -787,6 +805,7 @@ class DynamicProgrammingOptimizer:
                     DPEntry(node, node.cost, properties, entry.estimate)
                 )
         for entry in candidates:
+            check_active_context()
             groups = entry.estimate.ndv(key)
             out_estimate = self._estimator.group_by(entry.estimate, key)
             for option in options:

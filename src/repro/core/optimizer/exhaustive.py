@@ -24,6 +24,7 @@ from repro.core.properties import (
 from repro.engine.parallel import get_executor_config
 from repro.errors import OptimizationError
 from repro.logical.algebra import LogicalPlan
+from repro.service.context import check_active_context
 from repro.storage.catalog import Catalog
 
 
@@ -171,6 +172,7 @@ def enumerate_exhaustive(
         }
         for b_desc, b_cost, b_props in build_variants:
             for p_desc, p_cost, p_props in probe_variants:
+                check_active_context()
                 for option in join_options(config, workers):
                     if not option.applicable(
                         b_props, p_props, build_key, probe_key, config.property_scope

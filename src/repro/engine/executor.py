@@ -21,6 +21,7 @@ from repro.obs.instrument import OperatorStats, format_bytes, instrumented
 from repro.obs.metrics import DEFAULT_BUCKETS
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
+from repro.service.context import QueryContext, activate_context
 from repro.storage.table import Table
 
 #: q-error histogram bucket upper bounds — 1.0 is a perfect estimate,
@@ -38,14 +39,30 @@ MEMORY_BUCKETS = (
 )
 
 
-def execute(root: PhysicalOperator, workers: int | None = None) -> Table:
+def execute(
+    root: PhysicalOperator,
+    workers: int | None = None,
+    context: QueryContext | None = None,
+) -> Table:
     """Run a physical operator tree to completion and return the result.
 
     :param workers: run the plan under a scoped worker-count override —
         the morsel-parallel pipeline driver. ``None`` keeps the ambient
         :func:`repro.engine.parallel.get_executor_config` setting
         (``REPRO_WORKERS``); ``1`` forces serial execution.
+    :param context: run the plan governed by a
+        :class:`~repro.service.context.QueryContext` — operators and the
+        morsel scheduler poll its deadline/cancellation token at
+        chunk/morsel granularity and charge working sets against its
+        memory budget. ``None`` (the default) keeps whatever context is
+        already active on the calling thread, if any.
+    :raises repro.errors.DeadlineExceeded: governed deadline passed.
+    :raises repro.errors.QueryCancelled: governed token triggered.
+    :raises repro.errors.MemoryBudgetExceeded: governed budget exceeded.
     """
+    if context is not None:
+        with activate_context(context):
+            return execute(root, workers=workers)
     if workers is not None:
         with parallel_execution(workers):
             return execute(root)
@@ -161,6 +178,7 @@ def explain_analyze(
     root: PhysicalOperator,
     feedback: FeedbackStore | None = None,
     workers: int | None = None,
+    context: QueryContext | None = None,
 ) -> AnalyzedPlan:
     """EXPLAIN ANALYZE: run ``root`` instrumented and report actuals.
 
@@ -181,7 +199,13 @@ def explain_analyze(
     With a multi-worker configuration (ambient ``REPRO_WORKERS`` or the
     ``workers`` override) the rendering annotates each morsel-parallel
     node with its parallelism degree and summed worker busy time.
+
+    Like :func:`execute`, an optional ``context`` governs the run with a
+    deadline / cancellation token / memory budget.
     """
+    if context is not None:
+        with activate_context(context):
+            return explain_analyze(root, feedback=feedback, workers=workers)
     if workers is not None:
         with parallel_execution(workers):
             return explain_analyze(root, feedback=feedback)

@@ -16,6 +16,7 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.service.context import charge_active_context, check_active_context
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 
@@ -134,10 +135,14 @@ class PhysicalOperator:
 
         Thread-safe: parallel morsels executing inside one operator may
         report concurrently, and an unlocked read-compare-write would
-        drop peaks."""
+        drop peaks. Also charges the active
+        :class:`~repro.service.context.QueryContext` (if any), so a
+        governed query's memory budget is enforced at the same points
+        the profiler observes."""
         with _ACCOUNTING_LOCK:
             if nbytes > self._peak_memory_bytes:
                 self._peak_memory_bytes = int(nbytes)
+        charge_active_context(nbytes)
 
     def parallel_degree(self) -> int:
         """Workers the latest execution scheduled morsels across (0 when
@@ -178,6 +183,7 @@ class PhysicalOperator:
         schema = self.output_schema
         pieces: dict[str, list[np.ndarray]] = {name: [] for name in schema.names}
         for chunk in self.chunks():
+            check_active_context()
             for name in schema.names:
                 pieces[name].append(chunk[name])
         data = {}
@@ -212,5 +218,6 @@ def table_to_chunks(table: Table, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Itera
         yield Chunk({name: table[name] for name in names})
         return
     for start in range(0, table.num_rows, chunk_size):
+        check_active_context()
         stop = min(start + chunk_size, table.num_rows)
         yield Chunk({name: table[name][start:stop] for name in names})

@@ -40,6 +40,7 @@ from repro.engine.parallel import (
     run_morsels,
 )
 from repro.errors import ExecutionError
+from repro.service.context import check_active_context
 from repro.storage.dtypes import DataType
 from repro.storage.schema import ColumnSpec, Schema
 from repro.storage.table import Table
@@ -143,6 +144,7 @@ class GroupBy(PhysicalOperator):
 
     def chunks(self) -> Iterator[Chunk]:
         table = self.children[0].to_table()
+        check_active_context()
         shards = self._effective_shards(table.num_rows)
         if shards > 1 and table.num_rows:
             yield from self._sharded_chunks(table, shards)

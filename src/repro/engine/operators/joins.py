@@ -26,6 +26,7 @@ from repro.engine.kernels.parallel import (
     parallel_join,
 )
 from repro.engine.parallel import get_executor_config
+from repro.service.context import check_active_context, get_active_context
 from repro.engine.operators.base import (
     DEFAULT_CHUNK_SIZE,
     Chunk,
@@ -101,10 +102,27 @@ class Join(PhysicalOperator):
         return JoinOutputOrder.PROBE_ORDER
 
     def _probe_shards(self, probe_rows: int) -> int:
-        """Probe-morsel count for this execution (1 = serial kernel)."""
+        """Probe-morsel count for this execution (1 = serial kernel).
+
+        Under a governed :class:`~repro.service.context.QueryContext`,
+        large probes shard into morsel-sized pieces even when only one
+        worker is configured: the morsels then run inline with a
+        deadline/cancellation poll between each, keeping the query's
+        abort latency at morsel (tens of ms) rather than whole-kernel
+        (hundreds of ms) granularity. HJ/SPHJ/BSJ shard outputs are
+        bit-identical to the serial kernel, so results are unchanged.
+        """
         if self._algorithm not in PARALLEL_PROBE_ALGORITHMS:
             return 1
         config = get_executor_config()
+        governed = (
+            get_active_context() is not None
+            and self._parallel is not False
+            and probe_rows > config.morsel_rows
+        )
+        if governed:
+            morsels = -(-probe_rows // config.morsel_rows)
+            return max(config.workers, morsels)
         if self._parallel is False or config.workers <= 1:
             return 1
         if self._parallel is None and probe_rows < config.min_parallel_rows:
@@ -114,6 +132,7 @@ class Join(PhysicalOperator):
     def chunks(self) -> Iterator[Chunk]:
         left_table = self.children[0].to_table()
         right_table = self.children[1].to_table()
+        check_active_context()
         build_keys = left_table[self._left_key]
         probe_keys = right_table[self._right_key]
         shards = self._probe_shards(right_table.num_rows)

@@ -22,20 +22,32 @@ This module owns the process-wide pieces:
 Degenerate cases run inline on the calling thread: a single morsel, a
 one-worker configuration, or a call made *from* a worker thread (nested
 parallelism would deadlock a bounded pool; morsels stay coarse instead).
+
+Service integration: :func:`run_morsels` captures the submitting
+thread's :class:`~repro.service.context.QueryContext` (if any) and
+re-installs it inside each worker, polling it before every morsel — so
+deadlines and cancellation propagate into parallel execution at morsel
+granularity. When a task fails (or a poll raises), every not-yet-started
+future in the batch is cancelled and the batch is drained before the
+error re-raises: no orphaned futures keep computing for a dead query.
+Pool threads are daemonic, so a ``KeyboardInterrupt`` can always exit
+the process even while morsels are in flight.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.errors import ExecutionError
 from repro.obs.runtime import get_metrics, get_tracer
+from repro.service.context import activate_context, get_active_context
 
 T = TypeVar("T")
 
@@ -99,13 +111,22 @@ class ExecutorConfig:
 
 _config: ExecutorConfig | None = None
 _config_lock = threading.Lock()
-_pool: ThreadPoolExecutor | None = None
+_config_local = threading.local()
+_pool: "_MorselPool | None" = None
 _pool_size = 0
 _pool_lock = threading.Lock()
 
 
 def get_executor_config() -> ExecutorConfig:
-    """The active configuration (initialised from the environment once)."""
+    """The active configuration (initialised from the environment once).
+
+    A thread-scoped :func:`parallel_execution` override, when present,
+    wins over the process-wide configuration — so concurrent sessions
+    can run with different worker counts without racing on a global.
+    """
+    override = getattr(_config_local, "config", None)
+    if override is not None:
+        return override
     global _config
     if _config is None:
         with _config_lock:
@@ -123,17 +144,76 @@ def set_executor_config(config: ExecutorConfig) -> None:
 
 @contextmanager
 def parallel_execution(workers: int) -> Iterator[ExecutorConfig]:
-    """Scoped worker-count override: restores the prior config on exit."""
-    previous = get_executor_config()
-    config = replace(previous, workers=max(int(workers), 1))
-    set_executor_config(config)
+    """Scoped worker-count override: restores the prior setting on exit.
+
+    The override is *thread-local*: it governs plans driven from the
+    calling thread only, so two sessions executing concurrently with
+    different ``workers`` never observe each other's setting.
+    """
+    previous = getattr(_config_local, "config", None)
+    config = replace(get_executor_config(), workers=max(int(workers), 1))
+    _config_local.config = config
     try:
         yield config
     finally:
-        set_executor_config(previous)
+        _config_local.config = previous
 
 
-def _get_pool(workers: int) -> ThreadPoolExecutor:
+class _MorselPool:
+    """A shared pool of daemonic worker threads with cancellable futures.
+
+    Deliberately not a :class:`~concurrent.futures.ThreadPoolExecutor`:
+    its threads are non-daemonic (since Python 3.9) and joined at
+    interpreter exit, so a ``KeyboardInterrupt`` mid-batch used to hang
+    the process until every submitted morsel finished. This pool keeps
+    the same ``submit() -> Future`` surface but starts daemon threads,
+    so pending work never blocks process exit, and a pending future's
+    ``cancel()`` genuinely prevents its task from starting.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._work,
+                name=f"{WORKER_THREAD_PREFIX}-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    def submit(self, fn: Callable, *args) -> Future:
+        future: Future = Future()
+        self._queue.put((future, fn, args))
+        return future
+
+    def _work(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            future, fn, args = item
+            if not future.set_running_or_notify_cancel():
+                continue  # cancelled while pending: never runs
+            try:
+                future.set_result(fn(*args))
+            except BaseException as error:  # noqa: BLE001 - delivered via future
+                future.set_exception(error)
+
+    def shutdown(self, wait: bool = True) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+
+def _get_pool(workers: int) -> _MorselPool:
     """The shared pool, grown (never shrunk) to at least ``workers``."""
     global _pool, _pool_size
     with _pool_lock:
@@ -141,10 +221,7 @@ def _get_pool(workers: int) -> ThreadPoolExecutor:
             if _pool is not None:
                 _pool.shutdown(wait=False)
             _pool_size = max(_pool_size, workers)
-            _pool = ThreadPoolExecutor(
-                max_workers=_pool_size,
-                thread_name_prefix=WORKER_THREAD_PREFIX,
-            )
+            _pool = _MorselPool(_pool_size)
         return _pool
 
 
@@ -187,20 +264,29 @@ def run_morsels(
         :func:`get_executor_config` value.
     :returns: a :class:`MorselReport`; ``results[i]`` is ``tasks[i]()``.
 
-    Exceptions propagate: the first failing task's exception is re-raised
-    after the whole batch has settled (no partially-consumed state).
+    Exceptions propagate: on the first failing task (or a deadline /
+    cancellation poll firing), every not-yet-started future in the batch
+    is cancelled, the already-running morsels are drained, and the first
+    error re-raises — the pool is left empty, with no orphaned futures.
 
     Runs inline — on the calling thread, sequentially — when fewer than
     two tasks or workers are involved, or when called from a worker
-    thread (nested parallelism).
+    thread (nested parallelism). The submitting thread's active
+    :class:`~repro.service.context.QueryContext` governs both paths: it
+    is polled before every morsel, inline or pooled.
     """
     tasks = list(tasks)
     if workers is None:
         workers = get_executor_config().workers
     workers = max(int(workers), 1)
+    context = get_active_context()
     if len(tasks) <= 1 or workers == 1 or on_worker_thread():
         started = time.perf_counter()
-        results = [task() for task in tasks]
+        results = []
+        for task in tasks:
+            if context is not None:
+                context.check()
+            results.append(task())
         return MorselReport(
             results=results,
             workers_used=1,
@@ -214,12 +300,15 @@ def run_morsels(
 
     def timed(task: Callable[[], T], index: int) -> T:
         worker = threading.current_thread().name
-        started = time.perf_counter()
-        if tracer.enabled:
-            with tracer.span("parallel.morsel", index=index, worker=worker):
+        with activate_context(context):
+            if context is not None:
+                context.check()
+            started = time.perf_counter()
+            if tracer.enabled:
+                with tracer.span("parallel.morsel", index=index, worker=worker):
+                    result = task()
+            else:
                 result = task()
-        else:
-            result = task()
         elapsed = time.perf_counter() - started
         with busy_lock:
             busy_by_worker[worker] = busy_by_worker.get(worker, 0.0) + elapsed
@@ -234,9 +323,13 @@ def run_morsels(
     for future in futures:
         try:
             results.append(future.result())
+        except CancelledError:
+            results.append(None)  # cancelled below, after the first error
         except BaseException as error:  # noqa: BLE001 - re-raised below
             if first_error is None:
                 first_error = error
+                for pending in futures:
+                    pending.cancel()
             results.append(None)
     if first_error is not None:
         raise first_error

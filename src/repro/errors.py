@@ -71,3 +71,34 @@ class CostModelError(ReproError):
 class ObservabilityError(ReproError):
     """The observability layer was misused (e.g. ending a span that was
     never started, or registering two metrics under one name)."""
+
+
+class ServiceError(ReproError):
+    """Base class of query-service errors (admission, deadlines,
+    cancellation): everything that can go wrong *around* a query rather
+    than inside its plan or data."""
+
+
+class QueryCancelled(ServiceError):
+    """The query's cancellation token was triggered while it ran (or
+    while it waited in the admission queue)."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The query's deadline passed before it finished. Raised
+    cooperatively at chunk/morsel granularity, so the plan unwinds
+    cleanly with its pool slots released."""
+
+
+class MemoryBudgetExceeded(ServiceError):
+    """An operator's working set grew past the query's memory budget."""
+
+
+class AdmissionRejected(ServiceError):
+    """The admission controller shed this query (queue full, or the
+    queue wait timed out). ``retry_after`` is the controller's estimate
+    of when capacity frees up, in seconds."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

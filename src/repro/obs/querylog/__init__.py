@@ -292,6 +292,8 @@ def summarise(entries: list[dict]) -> str:
             )
         )
 
+    lines.extend(_plancache_lines(entries))
+
     walls = [
         float(entry["wall_seconds"])
         for entry in entries
@@ -308,6 +310,51 @@ def summarise(entries: list[dict]) -> str:
             f"p99={_percentile(walls, 0.99) * 1e3:.3f}ms"
         )
     return "\n".join(lines)
+
+
+def _plancache_lines(entries: list[dict]) -> list[str]:
+    """Plan-cache effectiveness across history.
+
+    Two sources are reconciled: ``kind='optimize'`` entries (a cache hit
+    logs ``cached: true``, a miss logs a full search record), and the
+    ``optimizer.plancache.*`` counters inside any metrics snapshots the
+    log carries (``kind='profile'`` entries; counters are cumulative per
+    snapshot, so the per-metric maximum is the era's total).
+    """
+    hits = misses = 0
+    for entry in entries:
+        if entry.get("kind") != "optimize":
+            continue
+        if entry.get("cached"):
+            hits += 1
+        else:
+            misses += 1
+    counter_totals = {"hit": 0, "miss": 0, "evictions": 0}
+    saw_counters = False
+    for entry in entries:
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        for short in counter_totals:
+            value = metrics.get(f"optimizer.plancache.{short}")
+            if isinstance(value, (int, float)):
+                saw_counters = True
+                counter_totals[short] = max(
+                    counter_totals[short], int(value)
+                )
+    hits = max(hits, counter_totals["hit"])
+    misses = max(misses, counter_totals["miss"])
+    if not (hits or misses or saw_counters):
+        return []
+    lookups = hits + misses
+    rate = hits / lookups if lookups else 0.0
+    return [
+        "",
+        "plan cache: "
+        f"lookups={lookups} hits={hits} misses={misses} "
+        f"evictions={counter_totals['evictions']} "
+        f"hit rate={rate:.1%}",
+    ]
 
 
 # -- CLI --------------------------------------------------------------------

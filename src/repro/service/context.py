@@ -1,0 +1,215 @@
+"""Per-query resource governance: deadline, cancellation, memory budget.
+
+A :class:`QueryContext` is the unit of governance the service layer
+threads through a query's whole lifetime — admission wait, optimisation,
+and execution. It carries three dials:
+
+* a **deadline** (absolute monotonic time) after which the query must
+  stop;
+* a **cancellation token** a client (or the server's ``cancel`` op) can
+  trigger from any thread;
+* a **memory budget** bounding any single operator's working set.
+
+Enforcement is *cooperative*: the engine's operators, the morsel
+scheduler, and the optimiser's enumeration loops poll the active context
+at chunk/morsel/DP-subset granularity via :func:`check_active_context`
+and unwind with a typed error (:class:`~repro.errors.QueryCancelled`,
+:class:`~repro.errors.DeadlineExceeded`,
+:class:`~repro.errors.MemoryBudgetExceeded`). Nothing is killed
+mid-kernel, so pool slots release and partial state unwinds through
+ordinary exception propagation.
+
+Propagation is thread-local: :func:`activate_context` installs a context
+for the current thread, and :func:`repro.engine.parallel.run_morsels`
+re-installs the submitting thread's context inside each worker, so
+morsels observe the deadline of the query that scheduled them. The poll
+is a single ``getattr`` when no context is active — the engine pays
+nothing outside the service.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import (
+    DeadlineExceeded,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    ServiceError,
+)
+
+#: process-unique query-id sequence.
+_QUERY_IDS = itertools.count(1)
+
+_local = threading.local()
+
+
+class CancellationToken:
+    """A thread-safe latch a client flips to stop a running query.
+
+    Tokens are one-shot: once :meth:`cancel` is called the token stays
+    cancelled. Any number of threads may poll :attr:`cancelled`.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str = ""
+
+    def cancel(self, reason: str = "") -> None:
+        """Trigger the token (idempotent). ``reason`` surfaces in the
+        :class:`~repro.errors.QueryCancelled` message."""
+        if reason and not self._event.is_set():
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+
+@dataclass
+class QueryContext:
+    """Everything a governed query carries through its lifetime.
+
+    Construct via :meth:`start` (which turns a relative deadline into an
+    absolute one) rather than directly.
+    """
+
+    #: identifier used in logs, metrics labels, and the server protocol.
+    query_id: str
+    #: absolute :func:`time.monotonic` deadline, or None for no limit.
+    deadline: float | None = None
+    #: cooperative cancellation latch.
+    token: CancellationToken = field(default_factory=CancellationToken)
+    #: largest single-operator working set allowed, or None for no limit.
+    memory_budget_bytes: int | None = None
+    #: :func:`time.monotonic` when the context was created.
+    started: float = field(default_factory=time.monotonic)
+    #: high-water mark of operator working sets observed so far.
+    peak_memory_bytes: int = 0
+
+    @classmethod
+    def start(
+        cls,
+        deadline: float | None = None,
+        token: CancellationToken | None = None,
+        memory_budget_bytes: int | None = None,
+        query_id: str | None = None,
+    ) -> "QueryContext":
+        """A fresh context; ``deadline`` is *relative* seconds from now."""
+        if deadline is not None and deadline < 0:
+            raise ServiceError(f"deadline must be >= 0, got {deadline}")
+        now = time.monotonic()
+        return cls(
+            query_id=query_id or f"q{next(_QUERY_IDS)}",
+            deadline=None if deadline is None else now + deadline,
+            token=token or CancellationToken(),
+            memory_budget_bytes=memory_budget_bytes,
+            started=now,
+        )
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (may be negative), or None."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the token has been triggered."""
+        return self.token.cancelled
+
+    def elapsed(self) -> float:
+        """Seconds since the context was created."""
+        return time.monotonic() - self.started
+
+    def check(self) -> None:
+        """Raise if the query must stop — the cooperative poll point.
+
+        :raises QueryCancelled: when the token has been triggered.
+        :raises DeadlineExceeded: when the deadline has passed.
+        """
+        if self.token.cancelled:
+            reason = f": {self.token.reason}" if self.token.reason else ""
+            raise QueryCancelled(
+                f"query {self.query_id} cancelled{reason}"
+            )
+        if self.expired:
+            raise DeadlineExceeded(
+                f"query {self.query_id} exceeded its deadline "
+                f"({self.elapsed():.3f}s elapsed)"
+            )
+
+    def charge_memory(self, nbytes: int) -> None:
+        """Record an operator working-set peak against the budget.
+
+        The budget bounds the largest *single-operator* working set (the
+        same per-node quantity ``explain_analyze`` reports as "peak"),
+        not a process-wide allocator total.
+
+        :raises MemoryBudgetExceeded: when ``nbytes`` is over budget.
+        """
+        if nbytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = int(nbytes)
+        if (
+            self.memory_budget_bytes is not None
+            and nbytes > self.memory_budget_bytes
+        ):
+            raise MemoryBudgetExceeded(
+                f"query {self.query_id}: operator working set of "
+                f"{nbytes:,} bytes exceeds the "
+                f"{self.memory_budget_bytes:,}-byte budget"
+            )
+
+
+def get_active_context() -> QueryContext | None:
+    """The context governing the calling thread, or None."""
+    return getattr(_local, "context", None)
+
+
+def check_active_context() -> None:
+    """Poll the active context, if any — the engine's hot-path hook.
+
+    A no-op (one ``getattr``) when the calling thread is ungoverned.
+    """
+    context = getattr(_local, "context", None)
+    if context is not None:
+        context.check()
+
+
+def charge_active_context(nbytes: int) -> None:
+    """Charge an operator working-set peak to the active context."""
+    context = getattr(_local, "context", None)
+    if context is not None:
+        context.charge_memory(nbytes)
+
+
+@contextmanager
+def activate_context(context: QueryContext | None) -> Iterator[QueryContext | None]:
+    """Install ``context`` as the calling thread's active context.
+
+    Restores whatever was active before on exit (contexts nest; passing
+    None is a no-op scope, so callers need no conditional).
+    """
+    if context is None:
+        yield None
+        return
+    previous = getattr(_local, "context", None)
+    _local.context = context
+    try:
+        yield context
+    finally:
+        _local.context = previous

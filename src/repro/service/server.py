@@ -1,0 +1,403 @@
+"""A threaded JSON-lines TCP front-end for the query service.
+
+Protocol: one JSON object per line, request/response. Each connection is
+one :class:`~repro.service.session.Session` (scoped settings live and
+die with the connection). Requests carry an ``op``:
+
+``{"op": "query", "sql": ..., "id"?, "deadline"?, "priority"?,
+"workers"?, "memory_budget_bytes"?, "max_rows"?}``
+    Run SQL; responds ``{"ok": true, "id", "columns", "rows",
+    "row_count", "wall_seconds", "cached", "degraded"}``. ``rows`` is
+    capped at ``max_rows`` (default 1000); ``row_count`` is always the
+    full count.
+
+``{"op": "cancel", "id": ...}``
+    Cancel a query started on *any* connection (use a second connection:
+    the first is blocked inside its query). Responds ``{"ok": true,
+    "cancelled": bool}``.
+
+``{"op": "set", "name": ..., "value": ...}`` / ``{"op": "stats"}`` /
+``{"op": "ping"}`` / ``{"op": "close"}``
+    Session settings, session + service statistics, liveness, goodbye.
+
+Failures respond ``{"ok": false, "error": "<type name>", "message":
+...}`` — the typed :mod:`repro.errors` hierarchy crosses the wire by
+name (plus ``retry_after`` for admission rejections). The connection
+survives query failures; only ``close`` or EOF ends it.
+
+Shutdown is graceful: stop accepting, cancel in-flight queries through
+their tokens, then join connection threads (bounded wait).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import AdmissionRejected, ReproError, ServiceError
+from repro.obs.runtime import get_metrics
+from repro.service.context import CancellationToken
+from repro.service.session import QueryService, Session
+
+#: rows a query response carries unless the request raises/lowers it.
+DEFAULT_MAX_ROWS = 1000
+
+
+def _json_value(value: Any) -> Any:
+    """Make numpy scalars JSON-serialisable."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class QueryServer:
+    """Serves a :class:`QueryService` over JSON-lines TCP.
+
+    >>> server = QueryServer(service)          # doctest: +SKIP
+    >>> server.start()                         # doctest: +SKIP
+    >>> client = ServiceClient("127.0.0.1", server.port)  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._requested_port = port
+        self._socket: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: dict[int, socket.socket] = {}
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._tokens: dict[str, CancellationToken] = {}
+        self._stopping = threading.Event()
+        self._conn_ids = iter(range(1, 1_000_000_000))
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` — pick a free one)."""
+        if self._socket is None:
+            raise ServiceError("server is not started")
+        return self._socket.getsockname()[1]
+
+    @property
+    def service(self) -> QueryService:
+        return self._service
+
+    def start(self) -> "QueryServer":
+        """Bind, listen, and serve on background threads."""
+        if self._socket is not None:
+            raise ServiceError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(64)
+        self._socket = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._socket is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._socket.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            conn_id = next(self._conn_ids)
+            with self._lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._connections[conn_id] = conn
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn, conn_id),
+                    name=f"repro-server-conn-{conn_id}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("service.connections", exist_ok=True).inc()
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, conn_id: int) -> None:
+        session = self._service.session()
+        try:
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            writer = conn.makefile("w", encoding="utf-8", newline="\n")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response = self._error_response(
+                        ServiceError(f"malformed request JSON: {error}")
+                    )
+                else:
+                    if not isinstance(request, dict):
+                        request = {"op": None}
+                    if request.get("op") == "close":
+                        writer.write(json.dumps({"ok": True, "bye": True}))
+                        writer.write("\n")
+                        writer.flush()
+                        return
+                    response = self._handle(session, request)
+                writer.write(json.dumps(response))
+                writer.write("\n")
+                writer.flush()
+        except (OSError, ValueError):
+            pass  # connection torn down mid-request
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._connections.pop(conn_id, None)
+
+    def _handle(self, session: Session, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "query":
+                return self._handle_query(session, request)
+            if op == "cancel":
+                query_id = str(request.get("id", ""))
+                with self._lock:
+                    token = self._tokens.get(query_id)
+                if token is not None:
+                    token.cancel("cancelled over the wire")
+                    cancelled = True
+                else:
+                    cancelled = self._service.cancel(query_id)
+                return {"ok": True, "cancelled": cancelled}
+            if op == "set":
+                session.set(request.get("name", ""), request.get("value"))
+                return {"ok": True, "settings": _plain(session.settings())}
+            if op == "stats":
+                return {
+                    "ok": True,
+                    "session": session.stats(),
+                    "settings": _plain(session.settings()),
+                    "service": {
+                        "running": self._service.admission.running,
+                        "queue_depth": self._service.admission.queue_depth,
+                        "active_queries": self._service.active_queries(),
+                        "plan_cache": self._service.plan_cache.info(),
+                    },
+                }
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            raise ServiceError(f"unknown op {op!r}")
+        except ReproError as error:
+            return self._error_response(error)
+
+    def _handle_query(self, session: Session, request: dict) -> dict:
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ServiceError("query op requires a non-empty 'sql' string")
+        query_id = str(request["id"]) if request.get("id") else None
+        token = CancellationToken()
+        if query_id is not None:
+            with self._lock:
+                self._tokens[query_id] = token
+        try:
+            outcome = session.execute(
+                sql,
+                deadline=request.get("deadline"),
+                priority=request.get("priority"),
+                workers=request.get("workers"),
+                memory_budget_bytes=request.get("memory_budget_bytes"),
+                token=token,
+                query_id=query_id,
+            )
+        finally:
+            if query_id is not None:
+                with self._lock:
+                    self._tokens.pop(query_id, None)
+        max_rows = int(request.get("max_rows", DEFAULT_MAX_ROWS))
+        table = outcome.table
+        names = list(table.schema.names)
+        count = min(table.num_rows, max(max_rows, 0))
+        columns = [table[name][:count].tolist() for name in names]
+        rows = [list(values) for values in zip(*columns)] if count else []
+        return {
+            "ok": True,
+            "id": outcome.query_id,
+            "columns": names,
+            "rows": [[_json_value(v) for v in row] for row in rows],
+            "row_count": table.num_rows,
+            "truncated": count < table.num_rows,
+            "wall_seconds": outcome.wall_seconds,
+            "queued_seconds": outcome.queued_seconds,
+            "cached": outcome.cached,
+            "degraded": outcome.degraded,
+            "cost": outcome.cost,
+        }
+
+    @staticmethod
+    def _error_response(error: ReproError) -> dict:
+        response = {
+            "ok": False,
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+        if isinstance(error, AdmissionRejected):
+            response["retry_after"] = error.retry_after
+        return response
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Graceful stop: no new connections, cancel in-flight queries,
+        join connection threads (bounded by ``timeout``)."""
+        self._stopping.set()
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+        self._service.shutdown(cancel_active=True)
+        with self._lock:
+            connections = list(self._connections.values())
+            threads = list(self._threads)
+        deadline = time.monotonic() + max(timeout, 0.1)
+        # Short grace so in-flight responses (including the cancellation
+        # errors we just triggered) flush before sockets are forced shut.
+        grace_deadline = time.monotonic() + min(1.0, max(timeout, 0.1) / 2)
+        for thread in threads:
+            remaining = grace_deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        # Force-close: unblocks connection threads parked in a read.
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.05))
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    def __enter__(self) -> "QueryServer":
+        return self.start() if self._socket is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _plain(settings: dict) -> dict:
+    """Session settings with enum values flattened for JSON."""
+    return {
+        name: int(value) if hasattr(value, "value") else value
+        for name, value in settings.items()
+    }
+
+
+class ServiceClient:
+    """A small blocking client for :class:`QueryServer`'s protocol.
+
+    Thread-safe for sequential use (one in-flight request at a time); to
+    cancel a running query, open a *second* client and send ``cancel``
+    with the query's ``id``.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+        self._writer = self._socket.makefile("w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the response object."""
+        with self._lock:
+            self._writer.write(json.dumps(payload))
+            self._writer.write("\n")
+            self._writer.flush()
+            line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    def query(self, sql: str, **options) -> dict:
+        """Run SQL; raises the typed error named by a failure response."""
+        payload = {"op": "query", "sql": sql}
+        payload.update({k: v for k, v in options.items() if v is not None})
+        return self._raise_on_error(self.request(payload))
+
+    def set(self, name: str, value) -> dict:
+        return self._raise_on_error(
+            self.request({"op": "set", "name": name, "value": value})
+        )
+
+    def stats(self) -> dict:
+        return self._raise_on_error(self.request({"op": "stats"}))
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def cancel(self, query_id: str) -> bool:
+        response = self._raise_on_error(
+            self.request({"op": "cancel", "id": query_id})
+        )
+        return bool(response.get("cancelled"))
+
+    @staticmethod
+    def _raise_on_error(response: dict) -> dict:
+        if response.get("ok"):
+            return response
+        import repro.errors as errors_module
+
+        error_class = getattr(
+            errors_module, str(response.get("error")), ServiceError
+        )
+        if error_class is errors_module.AdmissionRejected:
+            raise error_class(
+                response.get("message", "rejected"),
+                retry_after=float(response.get("retry_after", 0.0)),
+            )
+        if not (
+            isinstance(error_class, type)
+            and issubclass(error_class, ReproError)
+        ):
+            error_class = ServiceError
+        raise error_class(response.get("message", "request failed"))
+
+    def close(self) -> None:
+        """Say goodbye and close the socket (idempotent)."""
+        try:
+            with self._lock:
+                self._writer.write(json.dumps({"op": "close"}))
+                self._writer.write("\n")
+                self._writer.flush()
+                self._reader.readline()
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

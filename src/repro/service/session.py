@@ -1,0 +1,424 @@
+"""The query service and its sessions: SQL end-to-end under governance.
+
+:class:`QueryService` is the in-process serving core: it takes SQL text
+through ``repro.sql`` (parse + plan), the unified optimiser with a
+shared :class:`~repro.core.optimizer.plancache.PlanCache`, and
+morsel-parallel execution — every stage governed by one
+:class:`~repro.service.context.QueryContext` (deadline, cancellation,
+memory budget) and gated by the :class:`~repro.service.admission.
+AdmissionController`.
+
+Under pressure the service degrades gracefully instead of falling over:
+a query admitted degraded (deep queue) runs **serial** (workers=1) with
+a **shallow** SQO-depth search — each query is slower, but the system
+keeps its throughput and its tail latency bounded.
+
+:class:`Session` is the client-facing handle: scoped settings (deadline,
+priority, workers, memory budget) that apply to that session's queries
+only, plus per-session statistics. Sessions are cheap; make one per
+logical client. The TCP front-end (:mod:`repro.service.server`) maps
+each connection to one session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.optimizer.base import (
+    OptimizationResult,
+    dqo_config,
+    sqo_config,
+)
+from repro.core.optimizer.dp import DynamicProgrammingOptimizer
+from repro.core.optimizer.plancache import DEFAULT_CAPACITY, PlanCache
+from repro.core.plan import to_operator
+from repro.engine.executor import execute
+from repro.engine.parallel import parallel_execution
+from repro.errors import QueryCancelled, ReproError, ServiceError
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.querylog import get_query_log
+from repro.obs.runtime import get_metrics, get_tracer
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Priority,
+)
+from repro.service.context import (
+    CancellationToken,
+    QueryContext,
+    activate_context,
+)
+from repro.sql import plan_query
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+_SESSION_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The service's policy dials (admission policy rides along)."""
+
+    #: admission policy (concurrency, queue bound, degradation point).
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: morsel workers per query; None resolves the ambient executor
+    #: configuration (``REPRO_WORKERS``) at query time.
+    workers: int | None = None
+    #: optimise deep (DQO) by default; False = shallow (SQO).
+    deep: bool = True
+    #: deadline applied when a query names none (seconds, None = none).
+    default_deadline: float | None = None
+    #: memory budget applied when a query names none (bytes, None = none).
+    default_memory_budget: int | None = None
+    #: plan-cache capacity (plans), shared across the service's queries.
+    plan_cache_capacity: int = DEFAULT_CAPACITY
+
+
+@dataclass
+class QueryOutcome:
+    """Everything the service knows about one completed query."""
+
+    #: the context's query id (appears in logs, metrics, the protocol).
+    query_id: str
+    #: the result rows.
+    table: Table
+    #: end-to-end wall seconds (admission wait included).
+    wall_seconds: float
+    #: seconds spent waiting in the admission queue.
+    queued_seconds: float
+    #: seconds spent in the optimiser (0.0 on a plan-cache hit path too).
+    optimize_seconds: float
+    #: seconds spent executing the physical plan.
+    execute_seconds: float
+    #: the optimiser's cost for the chosen plan.
+    cost: float
+    #: True when the plan came from the plan cache without enumeration.
+    cached: bool
+    #: True when the query ran degraded (serial + shallow search).
+    degraded: bool
+    #: the chosen physical plan, rendered.
+    plan: str
+
+
+class QueryService:
+    """The in-process serving core; thread-safe, one per catalog.
+
+    Each query gets a *fresh* optimiser instance — the DP rebinds
+    per-call state and is not safe to share across threads — but all of
+    them share one thread-safe :class:`PlanCache`, so concurrent
+    sessions still reuse each other's plans.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: ServiceConfig | None = None,
+        cost_model=None,
+    ) -> None:
+        self._catalog = catalog
+        self._config = config or ServiceConfig()
+        self._cost_model = cost_model
+        self._admission = AdmissionController(self._config.admission)
+        self._plan_cache = PlanCache(self._config.plan_cache_capacity)
+        self._active: dict[str, QueryContext] = {}
+        self._active_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The service's admission controller (inspect or tune)."""
+        return self._admission
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The shared plan cache."""
+        return self._plan_cache
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def session(self, **settings) -> "Session":
+        """A new client session; ``settings`` seed its scoped settings."""
+        return Session(self, **settings)
+
+    def cancel(self, query_id: str, reason: str = "client cancel") -> bool:
+        """Cancel a running (or queued) query by id.
+
+        :returns: True when the id named an active query.
+        """
+        with self._active_lock:
+            context = self._active.get(query_id)
+        if context is None:
+            return False
+        context.token.cancel(reason)
+        return True
+
+    def active_queries(self) -> list[str]:
+        """Ids of queries currently queued or executing."""
+        with self._active_lock:
+            return sorted(self._active)
+
+    def execute(
+        self,
+        sql: str,
+        deadline: float | None = None,
+        priority: Priority = Priority.NORMAL,
+        token: CancellationToken | None = None,
+        memory_budget_bytes: int | None = None,
+        workers: int | None = None,
+        queue_timeout: float | None = None,
+        query_id: str | None = None,
+    ) -> QueryOutcome:
+        """Run ``sql`` end-to-end under admission + context governance.
+
+        :param deadline: relative seconds; defaults to the service's
+            ``default_deadline``. Governs queue wait, optimisation, and
+            execution together.
+        :param priority: admission queue class.
+        :param token: external cancellation latch (e.g. held by a server
+            connection); a fresh one is created when None.
+        :param memory_budget_bytes: cap on any single operator's working
+            set; defaults to the service's ``default_memory_budget``.
+        :param workers: morsel workers for this query; defaults to the
+            service's setting, then the ambient executor configuration.
+            Forced to 1 when the query is admitted degraded.
+        :param queue_timeout: max seconds to wait for admission.
+        :raises repro.errors.AdmissionRejected: shed at admission.
+        :raises repro.errors.DeadlineExceeded: deadline passed (queued,
+            optimising, or executing).
+        :raises repro.errors.QueryCancelled: token triggered.
+        :raises repro.errors.MemoryBudgetExceeded: budget exceeded.
+        :raises repro.errors.ReproError: parse/plan/optimise/execution
+            errors, each with its usual typed class.
+        """
+        if self._closed:
+            raise ServiceError("query service is shut down")
+        context = QueryContext.start(
+            deadline=(
+                deadline if deadline is not None
+                else self._config.default_deadline
+            ),
+            token=token,
+            memory_budget_bytes=(
+                memory_budget_bytes
+                if memory_budget_bytes is not None
+                else self._config.default_memory_budget
+            ),
+            query_id=query_id,
+        )
+        metrics = get_metrics()
+        tracer = get_tracer()
+        with self._active_lock:
+            self._active[context.query_id] = context
+        started = time.monotonic()
+        status = "ok"
+        outcome: QueryOutcome | None = None
+        try:
+            with tracer.span(
+                "service.query", query_id=context.query_id, sql=sql
+            ):
+                slot = self._admission.admit(
+                    priority=priority, timeout=queue_timeout, context=context
+                )
+                with slot:
+                    outcome = self._run_admitted(
+                        sql, context, slot, workers, tracer
+                    )
+            outcome.wall_seconds = time.monotonic() - started
+            if metrics.enabled:
+                metrics.counter("service.completed", exist_ok=True).inc()
+                metrics.histogram(
+                    "service.query_seconds", DEFAULT_BUCKETS, exist_ok=True
+                ).observe(outcome.wall_seconds)
+            return outcome
+        except ReproError as error:
+            status = type(error).__name__
+            if metrics.enabled:
+                if isinstance(error, QueryCancelled):
+                    metrics.counter("service.cancelled", exist_ok=True).inc()
+                else:
+                    metrics.counter("service.failed", exist_ok=True).inc()
+            raise
+        finally:
+            with self._active_lock:
+                self._active.pop(context.query_id, None)
+            query_log = get_query_log()
+            if query_log is not None:
+                entry = {
+                    "kind": "service",
+                    "query_id": context.query_id,
+                    "sql": sql,
+                    "status": status,
+                    "priority": int(priority),
+                    "wall_seconds": time.monotonic() - started,
+                }
+                if outcome is not None:
+                    entry.update(
+                        queued_seconds=outcome.queued_seconds,
+                        optimize_seconds=outcome.optimize_seconds,
+                        execute_seconds=outcome.execute_seconds,
+                        rows_out=outcome.table.num_rows,
+                        cached=outcome.cached,
+                        degraded=outcome.degraded,
+                    )
+                query_log.append(entry)
+
+    def _run_admitted(
+        self, sql: str, context, slot, workers: int | None, tracer
+    ) -> QueryOutcome:
+        degraded = slot.degraded
+        if workers is None:
+            workers = self._config.workers
+        if degraded:
+            workers = 1
+        with activate_context(context):
+            optimize_started = time.monotonic()
+            with tracer.span("service.optimize", query_id=context.query_id):
+                result = self._optimize(sql, workers, degraded)
+            optimize_seconds = time.monotonic() - optimize_started
+            operator = to_operator(
+                result.plan, self._catalog, validate=False
+            )
+            execute_started = time.monotonic()
+            with tracer.span("service.execute", query_id=context.query_id):
+                table = execute(operator, workers=workers)
+            execute_seconds = time.monotonic() - execute_started
+        return QueryOutcome(
+            query_id=context.query_id,
+            table=table,
+            wall_seconds=0.0,  # stamped by the caller
+            queued_seconds=slot.queued_seconds,
+            optimize_seconds=optimize_seconds,
+            execute_seconds=execute_seconds,
+            cost=result.cost,
+            cached=result.cached,
+            degraded=degraded,
+            plan=result.plan.explain(),
+        )
+
+    def _optimize(
+        self, sql: str, workers: int | None, degraded: bool
+    ) -> OptimizationResult:
+        logical = plan_query(sql, self._catalog)
+        deep = self._config.deep and not degraded
+        config = (
+            dqo_config(workers=workers)
+            if deep
+            else sqo_config(workers=workers)
+        )
+        optimizer = DynamicProgrammingOptimizer(
+            self._catalog,
+            cost_model=self._cost_model,
+            config=config,
+            plan_cache=self._plan_cache,
+        )
+        return optimizer.optimize(logical)
+
+    def shutdown(self, cancel_active: bool = True) -> None:
+        """Stop taking queries; optionally cancel in-flight ones."""
+        self._closed = True
+        if cancel_active:
+            with self._active_lock:
+                contexts = list(self._active.values())
+            for context in contexts:
+                context.token.cancel("service shutting down")
+        self._admission.shutdown()
+
+
+class Session:
+    """One client's handle on a :class:`QueryService`.
+
+    Settings set here (``deadline``, ``priority``, ``workers``,
+    ``memory_budget_bytes``, ``queue_timeout``) scope to this session
+    only — two sessions on one service never observe each other's
+    settings, including when their queries run concurrently (worker
+    overrides are thread-scoped in the executor).
+    """
+
+    #: settings :meth:`set` accepts, with their coercions.
+    _SETTINGS = {
+        "deadline": float,
+        "priority": lambda v: Priority(int(v)),
+        "workers": int,
+        "memory_budget_bytes": int,
+        "queue_timeout": float,
+    }
+
+    def __init__(self, service: QueryService, **settings) -> None:
+        self._service = service
+        self.session_id = f"s{next(_SESSION_IDS)}"
+        self._settings: dict = {}
+        self._lock = threading.Lock()
+        self._stats = {
+            "queries": 0,
+            "rows_out": 0,
+            "errors": 0,
+            "cancelled": 0,
+            "rejected": 0,
+            "wall_seconds": 0.0,
+        }
+        for name, value in settings.items():
+            self.set(name, value)
+
+    def set(self, name: str, value) -> None:
+        """Set a session-scoped setting (None clears it)."""
+        if name not in self._SETTINGS:
+            raise ServiceError(
+                f"unknown session setting {name!r}; "
+                f"have {sorted(self._SETTINGS)}"
+            )
+        with self._lock:
+            if value is None:
+                self._settings.pop(name, None)
+            else:
+                self._settings[name] = self._SETTINGS[name](value)
+
+    def get(self, name: str):
+        """The session's value for a setting, or None."""
+        with self._lock:
+            return self._settings.get(name)
+
+    def settings(self) -> dict:
+        """A snapshot of the session's scoped settings."""
+        with self._lock:
+            return dict(self._settings)
+
+    def stats(self) -> dict:
+        """A snapshot of the session's counters."""
+        with self._lock:
+            return dict(self._stats)
+
+    def execute(self, sql: str, **overrides) -> QueryOutcome:
+        """Run ``sql`` with the session's settings (plus overrides)."""
+        from repro.errors import AdmissionRejected
+
+        options = self.settings()
+        options.update(
+            {k: v for k, v in overrides.items() if v is not None}
+        )
+        try:
+            outcome = self._service.execute(sql, **options)
+        except QueryCancelled:
+            with self._lock:
+                self._stats["queries"] += 1
+                self._stats["cancelled"] += 1
+            raise
+        except AdmissionRejected:
+            with self._lock:
+                self._stats["queries"] += 1
+                self._stats["rejected"] += 1
+            raise
+        except ReproError:
+            with self._lock:
+                self._stats["queries"] += 1
+                self._stats["errors"] += 1
+            raise
+        with self._lock:
+            self._stats["queries"] += 1
+            self._stats["rows_out"] += outcome.table.num_rows
+            self._stats["wall_seconds"] += outcome.wall_seconds
+        return outcome

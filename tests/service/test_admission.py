@@ -1,0 +1,272 @@
+"""AdmissionController: ordering, shedding, degradation, queue polling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    QueryCancelled,
+    ServiceError,
+)
+from repro.obs import capture_observability
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Priority,
+)
+from repro.service.context import QueryContext
+
+
+def _wait_until(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestConfig:
+    def test_rejects_nonpositive_concurrency(self):
+        with pytest.raises(ServiceError, match="max_concurrency"):
+            AdmissionConfig(max_concurrency=0)
+
+    def test_rejects_negative_queue_depth(self):
+        with pytest.raises(ServiceError, match="max_queue_depth"):
+            AdmissionConfig(max_queue_depth=-1)
+
+
+class TestFastPath:
+    def test_admit_when_free_does_not_queue(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=2))
+        slot = controller.admit()
+        assert controller.running == 1
+        assert controller.queue_depth == 0
+        assert slot.queued_seconds == 0.0
+        assert not slot.degraded
+        slot.release()
+        assert controller.running == 0
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        slot = controller.admit()
+        slot.release()
+        slot.release()
+        assert controller.running == 0
+        controller.admit().release()  # slot count did not go negative
+
+    def test_slot_is_a_context_manager(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        with controller.admit():
+            assert controller.running == 1
+        assert controller.running == 0
+
+
+class TestPriorityOrdering:
+    def test_high_admits_before_normal_before_low(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, degrade_queue_depth=None)
+        )
+        holder = controller.admit()
+        admitted_order: list[Priority] = []
+        order_lock = threading.Lock()
+
+        def waiter(priority: Priority):
+            slot = controller.admit(priority=priority)
+            with order_lock:
+                admitted_order.append(priority)
+            slot.release()
+
+        threads = []
+        # Enqueue worst-first so priority (not FIFO) must do the work.
+        for priority in (Priority.LOW, Priority.NORMAL, Priority.HIGH):
+            thread = threading.Thread(target=waiter, args=(priority,))
+            thread.start()
+            threads.append(thread)
+            depth = len(threads)
+            assert _wait_until(lambda d=depth: controller.queue_depth == d)
+        holder.release()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert admitted_order == [Priority.HIGH, Priority.NORMAL, Priority.LOW]
+
+    def test_fifo_within_a_priority_class(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, degrade_queue_depth=None)
+        )
+        holder = controller.admit()
+        admitted_order: list[int] = []
+        order_lock = threading.Lock()
+
+        def waiter(index: int):
+            slot = controller.admit(priority=Priority.NORMAL)
+            with order_lock:
+                admitted_order.append(index)
+            slot.release()
+
+        threads = []
+        for index in range(3):
+            thread = threading.Thread(target=waiter, args=(index,))
+            thread.start()
+            threads.append(thread)
+            depth = len(threads)
+            assert _wait_until(lambda d=depth: controller.queue_depth == d)
+        holder.release()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert admitted_order == [0, 1, 2]
+
+
+class TestShedding:
+    def test_queue_full_rejects_with_retry_after(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, max_queue_depth=1)
+        )
+        holder = controller.admit()
+        queued = threading.Thread(target=lambda: controller.admit().release())
+        queued.start()
+        assert _wait_until(lambda: controller.queue_depth == 1)
+        with capture_observability() as (metrics, __):
+            with pytest.raises(AdmissionRejected, match="queue full") as info:
+                controller.admit()
+            assert metrics.snapshot()["service.rejected"] == 1
+        assert info.value.retry_after > 0
+        holder.release()
+        queued.join(timeout=5.0)
+
+    def test_zero_queue_depth_sheds_all_overflow(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, max_queue_depth=0)
+        )
+        with controller.admit():
+            with pytest.raises(AdmissionRejected):
+                controller.admit()
+        controller.admit().release()  # capacity is back after release
+
+    def test_wait_timeout_sheds(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        with controller.admit():
+            started = time.monotonic()
+            with pytest.raises(AdmissionRejected, match="timed out"):
+                controller.admit(timeout=0.05)
+            assert time.monotonic() - started < 1.0
+        assert controller.queue_depth == 0
+
+
+class TestQueuePolling:
+    def test_cancellation_fires_while_queued(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        context = QueryContext.start()
+        with controller.admit():
+            cancelled_in = []
+
+            def waiter():
+                try:
+                    controller.admit(context=context)
+                except QueryCancelled:
+                    cancelled_in.append(True)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            assert _wait_until(lambda: controller.queue_depth == 1)
+            context.token.cancel("changed my mind")
+            thread.join(timeout=5.0)
+            assert cancelled_in == [True]
+        assert controller.queue_depth == 0
+
+    def test_deadline_fires_while_queued(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        context = QueryContext.start(deadline=0.05)
+        with controller.admit():
+            with pytest.raises(DeadlineExceeded):
+                controller.admit(context=context)
+        assert controller.queue_depth == 0
+
+
+class TestDegradation:
+    def test_deep_queue_grants_degraded_slots(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, degrade_queue_depth=1)
+        )
+        first = controller.admit()
+        assert not first.degraded  # empty queue: full-fidelity
+        grants: list[bool] = []
+        grant_lock = threading.Lock()
+
+        def waiter():
+            slot = controller.admit()
+            with grant_lock:
+                grants.append(slot.degraded)
+            # Hold briefly so the second waiter is still queued when the
+            # first is granted.
+            time.sleep(0.05)
+            slot.release()
+
+        threads = [threading.Thread(target=waiter) for __ in range(2)]
+        for thread in threads:
+            thread.start()
+        assert _wait_until(lambda: controller.queue_depth == 2)
+        first.release()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        # The first grant sees one query still waiting -> degraded; the
+        # second sees an empty queue -> full fidelity again.
+        assert grants == [True, False]
+
+    def test_degradation_disabled_with_none(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, degrade_queue_depth=None)
+        )
+        holder = controller.admit()
+        grants = []
+        thread = threading.Thread(
+            target=lambda: grants.append(controller.admit())
+        )
+        thread.start()
+        assert _wait_until(lambda: controller.queue_depth == 1)
+        holder.release()
+        thread.join(timeout=5.0)
+        assert not grants[0].degraded
+        grants[0].release()
+
+
+class TestShutdown:
+    def test_shutdown_rejects_new_and_queued(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        holder = controller.admit()
+        outcomes = []
+
+        def waiter():
+            try:
+                controller.admit()
+            except AdmissionRejected as error:
+                outcomes.append(str(error))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert _wait_until(lambda: controller.queue_depth == 1)
+        controller.shutdown()
+        thread.join(timeout=5.0)
+        assert outcomes and "shut down" in outcomes[0]
+        with pytest.raises(AdmissionRejected):
+            controller.admit()
+        holder.release()
+
+
+class TestMetrics:
+    def test_admission_metrics_flow(self):
+        with capture_observability() as (metrics, __):
+            controller = AdmissionController(
+                AdmissionConfig(max_concurrency=1, max_queue_depth=0)
+            )
+            with controller.admit():
+                with pytest.raises(AdmissionRejected):
+                    controller.admit()
+            controller.admit().release()
+            snapshot = metrics.snapshot()
+        assert snapshot["service.admitted"] == 2
+        assert snapshot["service.rejected"] == 1
+        assert snapshot["service.queue_seconds"]["count"] == 2

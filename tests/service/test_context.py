@@ -1,0 +1,156 @@
+"""QueryContext: deadlines, cancellation tokens, budgets, propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    ServiceError,
+)
+from repro.service.context import (
+    CancellationToken,
+    QueryContext,
+    activate_context,
+    charge_active_context,
+    check_active_context,
+    get_active_context,
+)
+
+
+class TestCancellationToken:
+    def test_starts_untriggered(self):
+        assert not CancellationToken().cancelled
+
+    def test_cancel_is_idempotent_and_keeps_first_reason(self):
+        token = CancellationToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+
+    def test_cancel_visible_across_threads(self):
+        token = CancellationToken()
+        seen = threading.Event()
+
+        def watch():
+            while not token.cancelled:
+                time.sleep(0.001)
+            seen.set()
+
+        thread = threading.Thread(target=watch)
+        thread.start()
+        token.cancel()
+        thread.join(timeout=2.0)
+        assert seen.is_set()
+
+
+class TestQueryContext:
+    def test_start_turns_relative_deadline_absolute(self):
+        context = QueryContext.start(deadline=10.0)
+        remaining = context.remaining()
+        assert remaining is not None and 9.0 < remaining <= 10.0
+        assert not context.expired
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ServiceError, match="deadline must be >= 0"):
+            QueryContext.start(deadline=-1.0)
+
+    def test_no_deadline_never_expires(self):
+        context = QueryContext.start()
+        assert context.remaining() is None
+        assert not context.expired
+        context.check()  # no-op
+
+    def test_check_raises_deadline_exceeded(self):
+        context = QueryContext.start(deadline=0.0)
+        with pytest.raises(DeadlineExceeded, match=context.query_id):
+            context.check()
+
+    def test_check_raises_query_cancelled_with_reason(self):
+        context = QueryContext.start()
+        context.token.cancel("user hit ctrl-c")
+        with pytest.raises(QueryCancelled, match="user hit ctrl-c"):
+            context.check()
+
+    def test_cancellation_wins_over_deadline(self):
+        context = QueryContext.start(deadline=0.0)
+        context.token.cancel()
+        with pytest.raises(QueryCancelled):
+            context.check()
+
+    def test_query_ids_are_unique(self):
+        a, b = QueryContext.start(), QueryContext.start()
+        assert a.query_id != b.query_id
+
+    def test_charge_memory_tracks_peak(self):
+        context = QueryContext.start()
+        context.charge_memory(100)
+        context.charge_memory(50)
+        assert context.peak_memory_bytes == 100
+
+    def test_charge_memory_enforces_budget(self):
+        context = QueryContext.start(memory_budget_bytes=1_000)
+        context.charge_memory(1_000)  # at the limit is fine
+        with pytest.raises(MemoryBudgetExceeded, match="1,001"):
+            context.charge_memory(1_001)
+
+
+class TestActivation:
+    def test_activate_installs_and_restores(self):
+        context = QueryContext.start()
+        assert get_active_context() is None
+        with activate_context(context):
+            assert get_active_context() is context
+        assert get_active_context() is None
+
+    def test_activation_nests(self):
+        outer, inner = QueryContext.start(), QueryContext.start()
+        with activate_context(outer):
+            with activate_context(inner):
+                assert get_active_context() is inner
+            assert get_active_context() is outer
+
+    def test_none_context_is_a_noop_scope(self):
+        with activate_context(None) as installed:
+            assert installed is None
+            assert get_active_context() is None
+
+    def test_restores_even_when_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with activate_context(QueryContext.start()):
+                raise RuntimeError("boom")
+        assert get_active_context() is None
+
+    def test_check_active_is_noop_when_ungoverned(self):
+        check_active_context()  # must not raise
+        charge_active_context(1 << 40)  # no context, no budget
+
+    def test_check_active_polls_the_installed_context(self):
+        context = QueryContext.start()
+        context.token.cancel()
+        with activate_context(context):
+            with pytest.raises(QueryCancelled):
+                check_active_context()
+
+    def test_charge_active_charges_the_installed_context(self):
+        context = QueryContext.start(memory_budget_bytes=10)
+        with activate_context(context):
+            with pytest.raises(MemoryBudgetExceeded):
+                charge_active_context(11)
+
+    def test_context_is_thread_local(self):
+        context = QueryContext.start()
+        other_thread_saw: list = []
+
+        def peek():
+            other_thread_saw.append(get_active_context())
+
+        with activate_context(context):
+            thread = threading.Thread(target=peek)
+            thread.start()
+            thread.join(timeout=2.0)
+        assert other_thread_saw == [None]

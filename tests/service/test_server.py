@@ -1,0 +1,197 @@
+"""The JSON-lines TCP server: round-trips, typed errors, cancellation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    ParseError,
+    PlanError,
+    QueryCancelled,
+    ServiceError,
+)
+from repro.service.admission import AdmissionConfig
+from repro.service.server import QueryServer, ServiceClient
+from repro.service.session import QueryService, ServiceConfig
+
+PAPER_SQL = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+
+
+@pytest.fixture
+def server(join_catalog):
+    srv = QueryServer(QueryService(join_catalog)).start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestRoundTrip:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_query_returns_rows(self, client):
+        response = client.query(PAPER_SQL)
+        assert response["ok"]
+        assert response["row_count"] == 100
+        assert len(response["rows"]) == 100
+        assert len(response["columns"]) == 2
+        assert not response["truncated"]
+        assert sum(row[-1] for row in response["rows"]) == 2_500
+        assert response["wall_seconds"] > 0
+
+    def test_max_rows_truncates_payload_not_count(self, client):
+        response = client.query(PAPER_SQL, max_rows=5)
+        assert response["row_count"] == 100
+        assert len(response["rows"]) == 5
+        assert response["truncated"]
+
+    def test_second_query_is_a_plan_cache_hit(self, client):
+        assert not client.query(PAPER_SQL)["cached"]
+        assert client.query(PAPER_SQL)["cached"]
+
+    def test_malformed_json_is_a_typed_error(self, client):
+        client._writer.write("this is not json\n")
+        client._writer.flush()
+        line = client._reader.readline()
+        import json
+
+        response = json.loads(line)
+        assert not response["ok"]
+        assert response["error"] == "ServiceError"
+        assert "malformed request JSON" in response["message"]
+        assert client.ping()  # connection survives
+
+
+class TestTypedErrors:
+    def test_parse_error_crosses_the_wire(self, client):
+        with pytest.raises(ParseError, match="expected SELECT"):
+            client.query("SELEC wat")
+
+    def test_plan_error_crosses_the_wire(self, client):
+        with pytest.raises(PlanError, match="unknown column"):
+            client.query("SELECT R.NOPE FROM R GROUP BY R.NOPE")
+
+    def test_unknown_op_is_a_service_error(self, client):
+        response = client.request({"op": "frobnicate"})
+        assert not response["ok"]
+        assert response["error"] == "ServiceError"
+
+    def test_empty_sql_rejected(self, client):
+        with pytest.raises(ServiceError, match="non-empty 'sql'"):
+            client.query("   ")
+
+    def test_connection_survives_errors(self, client):
+        for __ in range(3):
+            with pytest.raises(ParseError):
+                client.query("SELEC")
+        assert client.query(PAPER_SQL)["row_count"] == 100
+
+
+class TestAdmissionOverTheWire:
+    def test_queue_full_carries_retry_after(self, join_catalog):
+        service = QueryService(
+            join_catalog,
+            ServiceConfig(
+                admission=AdmissionConfig(max_concurrency=1, max_queue_depth=0)
+            ),
+        )
+        server = QueryServer(service).start()
+        try:
+            slot = service.admission.admit()  # soak the only slot
+            with ServiceClient("127.0.0.1", server.port) as client:
+                with pytest.raises(AdmissionRejected) as info:
+                    client.query(PAPER_SQL)
+                assert info.value.retry_after > 0
+                slot.release()
+                assert client.query(PAPER_SQL)["row_count"] == 100
+        finally:
+            server.shutdown()
+
+
+class TestSessionScoping:
+    def test_settings_are_per_connection(self, server):
+        with ServiceClient("127.0.0.1", server.port) as one:
+            with ServiceClient("127.0.0.1", server.port) as two:
+                one.set("workers", 2)
+                one.set("deadline", 5)
+                assert two.stats()["settings"] == {}
+                assert one.stats()["settings"] == {
+                    "workers": 2,
+                    "deadline": 5.0,
+                }
+
+    def test_stats_expose_session_and_service_views(self, client):
+        client.query(PAPER_SQL)
+        stats = client.stats()
+        assert stats["session"]["queries"] == 1
+        assert stats["session"]["rows_out"] == 100
+        service = stats["service"]
+        assert service["running"] == 0
+        assert service["queue_depth"] == 0
+        assert service["active_queries"] == []
+        assert service["plan_cache"]["misses"] >= 1
+
+    def test_unknown_setting_is_typed(self, client):
+        with pytest.raises(ServiceError, match="unknown session setting"):
+            client.set("nope", 1)
+
+
+class TestCancelOverTheWire:
+    def test_cancel_from_a_second_connection(self, big_catalog):
+        service = QueryService(big_catalog)
+        server = QueryServer(service).start()
+        try:
+            with ServiceClient("127.0.0.1", server.port) as runner:
+                runner.query(PAPER_SQL)  # warm statistics + plan cache
+                outcome: dict = {}
+
+                def run():
+                    try:
+                        runner.query(PAPER_SQL, id="wire-cancel")
+                    except QueryCancelled as error:
+                        outcome["error"] = error
+
+                thread = threading.Thread(target=run)
+                thread.start()
+                with ServiceClient("127.0.0.1", server.port) as killer:
+                    deadline = time.monotonic() + 5.0
+                    cancelled = False
+                    while time.monotonic() < deadline and not cancelled:
+                        cancelled = killer.cancel("wire-cancel")
+                        if not cancelled:
+                            time.sleep(0.002)
+                assert cancelled
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+                assert isinstance(outcome.get("error"), QueryCancelled)
+                assert service.admission.running == 0
+        finally:
+            server.shutdown()
+
+    def test_cancel_unknown_id_reports_false(self, client):
+        assert client.cancel("never-started") is False
+
+
+class TestShutdown:
+    def test_graceful_shutdown_is_bounded(self, join_catalog):
+        server = QueryServer(QueryService(join_catalog)).start()
+        client = ServiceClient("127.0.0.1", server.port)
+        client.query(PAPER_SQL)
+        started = time.monotonic()
+        server.shutdown(timeout=5.0)
+        assert time.monotonic() - started < 5.0
+        with pytest.raises(ServiceError):
+            client.query(PAPER_SQL)
+        client.close()
+
+    def test_port_requires_started_server(self, join_catalog):
+        server = QueryServer(QueryService(join_catalog))
+        with pytest.raises(ServiceError, match="not started"):
+            server.port

@@ -1,0 +1,136 @@
+"""Error paths through the SQL front-end (tokeniser, parser, planner).
+
+Every malformed input must surface as a *typed* error from
+:mod:`repro.errors` — never a bare ``KeyError`` / ``IndexError`` /
+``TypeError`` — and the message should locate the problem.
+"""
+
+import pytest
+
+from repro.errors import ParseError, PlanError, ReproError, SchemaError
+from repro.sql import parse, plan_query
+
+
+class TestTokenizerErrors:
+    def test_illegal_character(self):
+        with pytest.raises(ParseError, match="unexpected character '@'"):
+            parse("SELECT R.@ FROM R")
+
+    def test_statement_separator_rejected(self):
+        with pytest.raises(ParseError, match="';'"):
+            parse("SELECT R.A FROM R; DROP TABLE R")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        ("sql", "fragment"),
+        [
+            ("", "expected SELECT"),
+            ("SELEC R.A FROM R", "expected SELECT"),
+            ("SELECT", "expected identifier"),
+            ("SELECT * FROM", "expected identifier"),
+            ("SELECT R.A FROM R JOIN S", "expected ON"),
+            ("SELECT R.A FROM R GROUP", "expected BY"),
+            ("SELECT R.A FROM R WHERE", "expected a value"),
+        ],
+        ids=[
+            "empty",
+            "typo-keyword",
+            "truncated-select",
+            "truncated-from",
+            "join-missing-on",
+            "group-missing-by",
+            "truncated-where",
+        ],
+    )
+    def test_malformed_statement(self, sql, fragment):
+        with pytest.raises(ParseError, match=fragment):
+            parse(sql)
+
+    def test_unsupported_clause_is_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing input 'HAVING'"):
+            parse(
+                "SELECT R.A, COUNT(*) FROM R GROUP BY R.A "
+                "HAVING COUNT(*) > 1"
+            )
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match="position 9"):
+            parse("SELECT R.@ FROM R")
+
+
+class TestPlannerErrors:
+    def test_unknown_table(self, join_catalog):
+        with pytest.raises(SchemaError, match="no table named 'T'"):
+            plan_query(
+                "SELECT R.A, COUNT(*) FROM T JOIN S ON T.ID = S.R_ID "
+                "GROUP BY R.A",
+                join_catalog,
+            )
+
+    def test_unknown_table_lists_catalog(self, join_catalog):
+        with pytest.raises(SchemaError, match=r"\['R', 'S'\]"):
+            plan_query("SELECT T.A FROM T", join_catalog)
+
+    def test_unknown_column(self, join_catalog):
+        with pytest.raises(PlanError, match="unknown column 'R.ZZZ'"):
+            plan_query(
+                "SELECT R.ZZZ, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID "
+                "GROUP BY R.ZZZ",
+                join_catalog,
+            )
+
+    def test_unknown_qualifier(self, join_catalog):
+        with pytest.raises(PlanError, match="unknown column 'X.A'"):
+            plan_query(
+                "SELECT X.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID "
+                "GROUP BY X.A",
+                join_catalog,
+            )
+
+    def test_aggregate_over_unknown_column(self, join_catalog):
+        with pytest.raises(PlanError, match="unknown column 'S.V'"):
+            plan_query(
+                "SELECT R.A, SUM(S.V) FROM R JOIN S ON R.ID = S.R_ID "
+                "GROUP BY R.A",
+                join_catalog,
+            )
+
+    def test_multi_column_group_by_unsupported(self, join_catalog):
+        with pytest.raises(PlanError, match="exactly one GROUP BY column"):
+            plan_query(
+                "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID "
+                "GROUP BY R.A, R.ID",
+                join_catalog,
+            )
+
+
+class TestErrorsAreTyped:
+    """Nothing below the public entrypoints may leak untyped exceptions."""
+
+    BAD_INPUTS = [
+        "",
+        "SELECT",
+        "GARBAGE",
+        "SELECT FROM WHERE",
+        "SELECT R.A FROM R JOIN",
+        "SELECT COUNT(,) FROM R",
+        "SELECT R.A FROM R GROUP BY",
+        "SELECT R..A FROM R",
+        "SELECT 'unterminated FROM R",
+    ]
+
+    @pytest.mark.parametrize("sql", BAD_INPUTS)
+    def test_parse_raises_only_repro_errors(self, sql):
+        with pytest.raises(ReproError):
+            parse(sql)
+
+    @pytest.mark.parametrize("sql", BAD_INPUTS)
+    def test_plan_query_raises_only_repro_errors(self, sql, join_catalog):
+        with pytest.raises(ReproError):
+            plan_query(sql, join_catalog)
+
+    def test_plan_query_with_unplannable_shape(self, join_catalog):
+        # Parses fine, but references nothing in the catalog.
+        with pytest.raises((SchemaError, PlanError)):
+            plan_query("SELECT NOPE.X FROM NOPE", join_catalog)
