@@ -8,6 +8,11 @@ back-to-back on a serial service, with zero queries lost. A second
 scenario floods a tiny queue and checks the shedding path: every
 submission either completes or is rejected *typed* with a usable
 ``retry_after`` — nothing hangs, nothing vanishes.
+
+The throughput artifact also carries a per-stage latency breakdown
+(p50/p95/total per :data:`~repro.service.session.STAGES` entry, for
+both the serial and the concurrent run), so a regression shows *which*
+stage slowed, not just that the ratio moved.
 """
 
 import threading
@@ -17,6 +22,7 @@ import pytest
 
 from repro.datagen import Density, Sortedness, make_join_scenario
 from repro.errors import AdmissionRejected
+from repro.obs.slo import percentile
 from repro.service.admission import AdmissionConfig
 from repro.service.session import QueryService, ServiceConfig
 
@@ -51,7 +57,10 @@ def _run_batch(service: QueryService, count: int) -> list:
 
     def client(index: int) -> None:
         try:
-            results[index] = ("ok", service.execute(SQL).table.num_rows)
+            outcome = service.execute(SQL)
+            results[index] = (
+                "ok", outcome.table.num_rows, outcome.stage_seconds
+            )
         except AdmissionRejected as error:
             results[index] = ("rejected", error.retry_after)
 
@@ -95,11 +104,14 @@ def test_concurrent_throughput_within_20pct_of_serial(
         serial_seconds = float("inf")
         concurrent_seconds = float("inf")
         results: list = []
+        serial_stages: list = []
         for __ in range(2):  # best-of-2: a loaded CI host is jittery
             started = time.monotonic()
+            serial_stages = []
             for ___ in range(QUERY_COUNT):
                 outcome = serial.execute(SQL)
                 assert outcome.table.num_rows == 100
+                serial_stages.append(outcome.stage_seconds)
             serial_seconds = min(
                 serial_seconds, time.monotonic() - started
             )
@@ -111,7 +123,10 @@ def test_concurrent_throughput_within_20pct_of_serial(
             )
             # Zero queries lost: every client has a result and all
             # succeeded (the queue was sized to hold the whole burst).
-            assert all(result == ("ok", 100) for result in results)
+            assert all(
+                result[0] == "ok" and result[1] == 100
+                for result in results
+            )
     finally:
         serial.shutdown()
         concurrent.shutdown()
@@ -129,6 +144,10 @@ def test_concurrent_throughput_within_20pct_of_serial(
             "queries": QUERY_COUNT,
             "max_concurrency": 4,
             "ratio_vs_serial": ratio,
+            "stages_serial": _stage_breakdown(serial_stages),
+            "stages_concurrent": _stage_breakdown(
+                [result[2] for result in results]
+            ),
         },
     )
     assert concurrent_seconds <= serial_seconds * THROUGHPUT_SLACK, (
@@ -184,3 +203,20 @@ def _submit(service: QueryService, results: list, index: int) -> None:
         results[index] = ("ok", service.execute(SQL).table.num_rows)
     except AdmissionRejected as error:
         results[index] = ("rejected", error.retry_after)
+
+
+def _stage_breakdown(stage_maps: list) -> dict:
+    """Per-stage p50/p95/total across one batch's outcomes."""
+    by_stage: dict = {}
+    for stages in stage_maps:
+        for stage, seconds in stages.items():
+            by_stage.setdefault(stage, []).append(float(seconds))
+    return {
+        stage: {
+            "count": len(values),
+            "p50_seconds": percentile(values, 0.50),
+            "p95_seconds": percentile(values, 0.95),
+            "total_seconds": sum(values),
+        }
+        for stage, values in sorted(by_stage.items())
+    }

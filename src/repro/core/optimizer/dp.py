@@ -48,7 +48,7 @@ from repro.core.properties import (
 from repro.engine.kernels.joins import JoinAlgorithm
 from repro.engine.parallel import get_executor_config
 from repro.errors import OptimizationError
-from repro.service.context import check_active_context
+from repro.service.context import check_active_context, get_active_context
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.logical.algebra import LogicalPlan
@@ -211,11 +211,12 @@ class DynamicProgrammingOptimizer:
             for aggregate in spec.aggregates
             if aggregate.column is not None
         }
-        with tracer.span(
-            "optimizer.optimize",
-            scans=len(spec.scans),
-            deep=self._config.is_deep,
-        ):
+        active = get_active_context()
+        span_tags = {"scans": len(spec.scans), "deep": self._config.is_deep}
+        if active is not None:
+            span_tags["trace_id"] = active.trace_id
+            span_tags["query_id"] = active.query_id
+        with tracer.span("optimizer.optimize", **span_tags):
             contexts, correlations = self._prepare_contexts(spec)
             with tracer.span("optimizer.join_dp"):
                 frontier = self._join_dp(spec, contexts, correlations, stats)

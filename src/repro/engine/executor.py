@@ -21,7 +21,11 @@ from repro.obs.instrument import OperatorStats, format_bytes, instrumented
 from repro.obs.metrics import DEFAULT_BUCKETS
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
-from repro.service.context import QueryContext, activate_context
+from repro.service.context import (
+    QueryContext,
+    activate_context,
+    get_active_context,
+)
 from repro.storage.table import Table
 
 #: q-error histogram bucket upper bounds — 1.0 is a perfect estimate,
@@ -71,7 +75,12 @@ def execute(
     query_log = get_query_log()
     if not (metrics.enabled or tracer.enabled or query_log is not None):
         return root.to_table()
-    with tracer.span("engine.execute", root=root.name):
+    active = get_active_context()
+    span_tags = {"root": root.name}
+    if active is not None:
+        span_tags["trace_id"] = active.trace_id
+        span_tags["query_id"] = active.query_id
+    with tracer.span("engine.execute", **span_tags):
         with Timer() as timer:
             result = root.to_table()
     if metrics.enabled:
@@ -243,7 +252,11 @@ def explain_analyze(
     if query_log is not None:
         from repro.obs.profile import QueryProfile
 
+        active = get_active_context()
         query_log.append(
-            QueryProfile.from_analyzed(analyzed).to_dict()
+            QueryProfile.from_analyzed(
+                analyzed,
+                trace_id=active.trace_id if active is not None else "",
+            ).to_dict()
         )
     return analyzed

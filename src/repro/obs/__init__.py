@@ -11,8 +11,20 @@ Three independent layers, each zero-cost unless switched on:
 The engine and optimiser report into the process-wide handles from
 :mod:`repro.obs.runtime`; call :func:`enable_observability` to start
 collecting.
+
+Service telemetry rides on top: :class:`SLOTracker` tracks sliding-
+window latency objectives, :func:`render_prometheus` /
+:func:`parse_prometheus` expose and validate metrics snapshots in the
+Prometheus text format (``python -m repro.obs.exposition``), and
+``python -m repro.obs.top`` is a live dashboard over a running
+:class:`~repro.service.server.QueryServer`.
 """
 
+from repro.obs.exposition import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from repro.obs.feedback import FeedbackSample, FeedbackStore
 from repro.obs.instrument import OperatorStats, format_bytes, instrumented
 from repro.obs.profile import (
@@ -34,6 +46,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
 from repro.obs.runtime import (
     capture_observability,
     disable_observability,
@@ -48,6 +61,7 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_OBJECTIVES",
     "ENV_QUERY_LOG",
     "FeedbackSample",
     "FeedbackStore",
@@ -58,6 +72,8 @@ __all__ = [
     "PROFILE_SCHEMA_VERSION",
     "QueryLog",
     "QueryProfile",
+    "SLObjective",
+    "SLOTracker",
     "Span",
     "Tracer",
     "capture_observability",
@@ -70,6 +86,9 @@ __all__ = [
     "get_tracer",
     "instrumented",
     "merge_snapshots",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
     "set_metrics",
     "set_query_log",
     "set_tracer",

@@ -1,0 +1,295 @@
+"""Prometheus text-format exposition for metrics snapshots, plus a CLI.
+
+:func:`render_prometheus` turns a :meth:`~repro.obs.metrics.
+MetricsRegistry.snapshot` into the Prometheus text exposition format
+(version 0.0.4): ``# HELP`` / ``# TYPE`` comment pairs, counters
+suffixed ``_total``, histograms expanded into cumulative ``_bucket``
+series with ``le`` labels plus ``_sum`` / ``_count``, and — when a
+histogram snapshot carries an exemplar — an OpenMetrics-style exemplar
+(``# {trace_id="..."} value``) on the first bucket that covers it, so a
+scrape links straight back to one traceable request.
+
+Snapshots are ``{name: scalar | dict}`` and do not carry instrument
+kinds; pass the registry's :meth:`~repro.obs.metrics.MetricsRegistry.
+kinds` mapping (the server's ``metrics`` op ships both) to type scalars
+correctly. Without it, scalars render as gauges — valid, just less
+precise.
+
+:func:`parse_prometheus` is the matching validating parser (used by
+tests and the CI smoke to assert the output is well-formed), and
+
+``python -m repro.obs.exposition`` renders either a live server's
+metrics (``--host/--port``, speaking the JSON-lines protocol's
+``metrics`` op) or a snapshot JSON file (``--snapshot``)::
+
+    python -m repro.obs.exposition --host 127.0.0.1 --port 7432
+    python -m repro.obs.exposition --snapshot artifacts/metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Mapping
+
+from repro.errors import ObservabilityError
+
+#: metric and label name grammar (Prometheus data model).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: one sample line: name, optional {labels}, value, optional exemplar.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ #]+)"
+    r"(?:\s+#\s+\{(?P<ex_labels>[^}]*)\}\s+(?P<ex_value>\S+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted registry name onto the Prometheus grammar.
+
+    Dots and dashes become underscores (``service.queue_depth`` →
+    ``repro_service_queue_depth``); any remaining illegal character is
+    dropped.
+    """
+    flat = re.sub(r"[.\-]", "_", name)
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "", flat)
+    candidate = f"{prefix}_{flat}" if prefix else flat
+    if not _NAME_RE.match(candidate):
+        candidate = f"_{candidate}"
+    return candidate
+
+
+def _format_value(value: float) -> str:
+    """A float the text format accepts (``+Inf`` spelling included)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, record: Mapping) -> list[str]:
+    """Expand one histogram snapshot into cumulative bucket series."""
+    lines = [f"# TYPE {name} histogram"]
+    exemplar = record.get("exemplar")
+    buckets = record.get("buckets", {})
+
+    def bound_of(key: str) -> float:
+        return float("inf") if key == "+Inf" else float(key)
+
+    cumulative = 0
+    exemplar_used = False
+    for key in sorted(buckets, key=bound_of):
+        bound = bound_of(key)
+        cumulative += int(buckets[key])
+        line = f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+        if (
+            exemplar is not None
+            and not exemplar_used
+            and float(exemplar.get("value", 0.0)) <= bound
+        ):
+            line += (
+                f' # {{trace_id="{exemplar.get("trace_id", "")}"}} '
+                f'{_format_value(float(exemplar.get("value", 0.0)))}'
+            )
+            exemplar_used = True
+        lines.append(line)
+    lines.append(f"{name}_sum {_format_value(float(record.get('sum', 0.0)))}")
+    lines.append(f"{name}_count {int(record.get('count', 0))}")
+    return lines
+
+
+def render_prometheus(
+    snapshot: Mapping,
+    kinds: Mapping[str, str] | None = None,
+    prefix: str = "repro",
+    help_text: Mapping[str, str] | None = None,
+) -> str:
+    """The snapshot in Prometheus text exposition format.
+
+    :param snapshot: a :meth:`MetricsRegistry.snapshot` mapping.
+    :param kinds: ``{name: kind}`` from :meth:`MetricsRegistry.kinds`;
+        scalars without a kind render as gauges.
+    :param prefix: namespace prepended to every metric name.
+    :param help_text: optional ``{name: help}`` for ``# HELP`` lines.
+    """
+    kinds = kinds or {}
+    help_text = help_text or {}
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        value = snapshot[raw_name]
+        name = sanitize_metric_name(raw_name, prefix)
+        help_line = help_text.get(raw_name, "")
+        if help_line:
+            lines.append(f"# HELP {name} {help_line}")
+        if isinstance(value, Mapping):
+            lines.extend(_histogram_lines(name, value))
+        elif isinstance(value, (int, float)):
+            kind = kinds.get(raw_name, "gauge")
+            if kind == "counter":
+                lines.append(f"# TYPE {name}_total counter")
+                lines.append(f"{name}_total {_format_value(float(value))}")
+            else:
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(float(value))}")
+        # None (a disabled registry's snapshot) renders nothing.
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse (and validate) Prometheus text exposition back into
+    ``{name: {labels_tuple: value}}``.
+
+    This is the round-trip check the tests and the CI smoke rely on: a
+    malformed line — bad metric name, unquoted label, non-numeric value,
+    non-monotonic histogram buckets — raises
+    :class:`~repro.errors.ObservabilityError` with the offending line.
+    """
+    series: dict[str, dict[tuple, float]] = {}
+    typed: dict[str, str] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                if not _NAME_RE.match(parts[2]):
+                    raise ObservabilityError(
+                        f"bad metric name in comment: {line!r}"
+                    )
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                        "summary",
+                        "untyped",
+                    ):
+                        raise ObservabilityError(
+                            f"bad TYPE comment: {line!r}"
+                        )
+                    typed[parts[2]] = parts[3]
+                continue
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ObservabilityError(f"malformed exposition line: {line!r}")
+        labels: list[tuple[str, str]] = []
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_text):
+                labels.append((pair.group(1), pair.group(2)))
+                consumed = pair.end()
+            remainder = label_text[consumed:].strip().strip(",")
+            if remainder:
+                raise ObservabilityError(
+                    f"malformed labels in line: {line!r}"
+                )
+        try:
+            value = float(match.group("value"))
+        except ValueError as error:
+            raise ObservabilityError(
+                f"non-numeric sample value in line: {line!r}"
+            ) from error
+        if match.group("ex_value") is not None:
+            try:
+                float(match.group("ex_value"))
+            except ValueError as error:
+                raise ObservabilityError(
+                    f"non-numeric exemplar value in line: {line!r}"
+                ) from error
+        series.setdefault(match.group("name"), {})[tuple(labels)] = value
+
+    # Histogram coherence: buckets cumulative and capped by _count.
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = series.get(f"{name}_bucket", {})
+        ordered = sorted(
+            (
+                (
+                    float("inf")
+                    if dict(labels).get("le") == "+Inf"
+                    else float(dict(labels).get("le", "inf"))
+                ),
+                value,
+            )
+            for labels, value in buckets.items()
+        )
+        previous = 0.0
+        for bound, value in ordered:
+            if value < previous:
+                raise ObservabilityError(
+                    f"histogram {name!r} buckets are not cumulative"
+                )
+            previous = value
+        count = series.get(f"{name}_count", {}).get((), None)
+        if ordered and count is not None and ordered[-1][1] != count:
+            raise ObservabilityError(
+                f"histogram {name!r} +Inf bucket != _count"
+            )
+    return series
+
+
+def scrape_server(host: str, port: int, timeout: float = 10.0) -> dict:
+    """One ``metrics`` request against a live :class:`~repro.service.
+    server.QueryServer`; returns the response object."""
+    from repro.service.server import ServiceClient
+
+    with ServiceClient(host, port, timeout=timeout) as client:
+        return client.metrics()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.exposition`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.exposition",
+        description="Render repro metrics as Prometheus text format.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--snapshot",
+        default="",
+        help="metrics snapshot JSON file (MetricsRegistry.render_json "
+        "output or a bare snapshot mapping)",
+    )
+    source.add_argument(
+        "--port", type=int, default=0, help="scrape a live QueryServer"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--prefix", default="repro", help="metric name namespace"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.snapshot:
+            record = json.loads(
+                open(args.snapshot, encoding="utf-8").read()
+            )
+            snapshot = record.get("metrics", record)
+            kinds = record.get("kinds", {})
+        else:
+            response = scrape_server(args.host, args.port)
+            snapshot = response.get("metrics", {})
+            kinds = response.get("kinds", {})
+        text = render_prometheus(snapshot, kinds=kinds, prefix=args.prefix)
+        parse_prometheus(text)  # never emit something we cannot read back
+        sys.stdout.write(text)
+    except (OSError, ValueError, ObservabilityError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

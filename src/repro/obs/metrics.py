@@ -107,10 +107,25 @@ class Histogram:
 
     ``buckets`` are inclusive upper bounds in ascending order; an
     implicit +Inf bucket catches everything above the last bound.
+
+    Observations may carry a ``trace_id``; the histogram keeps the most
+    recent one as its *exemplar* (the Prometheus pattern): a pointer
+    from the aggregate back to one concrete request, so a latency spike
+    in a dashboard resolves to a traceable query. Last-write-wins — an
+    exemplar is a sample, not a log.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+    __slots__ = (
+        "name",
+        "help",
+        "buckets",
+        "_lock",
+        "_counts",
+        "_sum",
+        "_count",
+        "_exemplar",
+    )
 
     def __init__(
         self,
@@ -133,15 +148,23 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
         self._sum = 0.0
         self._count = 0
+        self._exemplar: tuple[str, float] | None = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one observation; ``trace_id`` updates the exemplar."""
         value = float(value)
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id:
+                self._exemplar = (str(trace_id), value)
+
+    @property
+    def exemplar(self) -> tuple[str, float] | None:
+        """The most recent ``(trace_id, value)`` observation, or None."""
+        return self._exemplar
 
     @property
     def count(self) -> int:
@@ -208,6 +231,11 @@ class Histogram:
         return self.quantile(0.90)
 
     @property
+    def p95(self) -> float:
+        """Approximate 95th percentile (see :meth:`quantile`)."""
+        return self.quantile(0.95)
+
+    @property
     def p99(self) -> float:
         """Approximate 99th percentile (see :meth:`quantile`)."""
         return self.quantile(0.99)
@@ -217,17 +245,20 @@ class Histogram:
             self._counts = [0] * (len(self.buckets) + 1)
             self._sum = 0.0
             self._count = 0
+            self._exemplar = None
 
     def snapshot(self) -> dict:
         with self._lock:
             counts = list(self._counts)
             total = self._count
             total_sum = self._sum
-        return {
+            exemplar = self._exemplar
+        record = {
             "count": total,
             "sum": total_sum,
             "p50": self._quantile_from(counts, total, 0.50),
             "p90": self._quantile_from(counts, total, 0.90),
+            "p95": self._quantile_from(counts, total, 0.95),
             "p99": self._quantile_from(counts, total, 0.99),
             "buckets": {
                 **{
@@ -237,6 +268,12 @@ class Histogram:
                 "+Inf": counts[-1],
             },
         }
+        if exemplar is not None:
+            record["exemplar"] = {
+                "trace_id": exemplar[0],
+                "value": exemplar[1],
+            }
+        return record
 
 
 class _NullInstrument:
@@ -250,7 +287,8 @@ class _NullInstrument:
     sum = 0.0
     buckets = ()
     bucket_counts: list[int] = []
-    p50 = p90 = p99 = 0.0
+    p50 = p90 = p95 = p99 = 0.0
+    exemplar = None
 
     def quantile(self, q: float) -> float:
         return 0.0
@@ -264,7 +302,7 @@ class _NullInstrument:
     def add(self, delta: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         pass
 
     def reset(self) -> None:
@@ -349,6 +387,16 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         """All registered metric names, sorted."""
         return sorted(self._instruments)
+
+    def kinds(self) -> dict[str, str]:
+        """``{name: kind}`` for every registered instrument — the shape
+        the Prometheus exposition renderer needs to type a snapshot that
+        crossed a process boundary (:mod:`repro.obs.exposition`)."""
+        with self._lock:
+            return {
+                name: instrument.kind
+                for name, instrument in self._instruments.items()
+            }
 
     def snapshot(self) -> dict:
         """An atomic ``{name: value}`` view of every instrument.

@@ -43,6 +43,9 @@ class QueryProfile:
 
     #: the query text (or plan description) this profile belongs to.
     query: str = ""
+    #: correlation id of the request this profile measures ("" when the
+    #: run was not traced — e.g. a bare ``explain_analyze`` call).
+    trace_id: str = ""
     #: the operator stats tree, as :meth:`OperatorStats.to_dict` emits it.
     operators: dict = field(default_factory=dict)
     #: end-to-end wall seconds of the instrumented run.
@@ -69,10 +72,12 @@ class QueryProfile:
         query: str = "",
         spans: list | None = None,
         metrics: dict | None = None,
+        trace_id: str = "",
     ) -> "QueryProfile":
         """Build a profile from an :func:`explain_analyze` result."""
         return cls(
             query=query or analyzed.root.description,
+            trace_id=trace_id,
             operators=analyzed.root.to_dict(),
             wall_seconds=analyzed.wall_seconds,
             rows_out=analyzed.table.num_rows,
@@ -90,6 +95,7 @@ class QueryProfile:
             "kind": "profile",
             "schema_version": self.schema_version,
             "query": self.query,
+            "trace_id": self.trace_id,
             "wall_seconds": self.wall_seconds,
             "rows_out": self.rows_out,
             "max_qerror": self.max_qerror,
@@ -117,6 +123,7 @@ class QueryProfile:
             )
         return cls(
             query=record.get("query", ""),
+            trace_id=record.get("trace_id", "") or "",
             operators=record.get("operators", {}) or {},
             wall_seconds=float(record.get("wall_seconds", 0.0)),
             rows_out=int(record.get("rows_out", 0)),

@@ -9,12 +9,22 @@ variable. Lines are self-describing (``kind`` is ``'execute'``,
 ``'profile'``, or ``'optimize'``), so history survives schema growth and
 a half-written trailing line never poisons the reader.
 
+Entries written while a :class:`~repro.service.context.QueryContext`
+is active are stamped with its ``trace_id``, so one served request's
+``service`` row, its ``optimize`` row, and its ``execute``/``profile``
+rows all share a correlation id.
+
 ``python -m repro.obs.querylog`` turns the log back into insight::
 
     python -m repro.obs.querylog --log run.jsonl list
     python -m repro.obs.querylog --log run.jsonl show <id> --html out.html
     python -m repro.obs.querylog --log run.jsonl diff <id-a> <id-b>
     python -m repro.obs.querylog --log run.jsonl summary
+    python -m repro.obs.querylog --log run.jsonl trace <trace-id>
+
+``trace`` reconstructs one request's timeline from every entry carrying
+that correlation id (unique prefixes work), including its per-stage
+latency breakdown.
 
 ``summary`` replays every logged profile through a
 :class:`~repro.obs.feedback.FeedbackStore`, reporting per-operator
@@ -75,6 +85,13 @@ class QueryLog:
         record.setdefault("id", self._new_id())
         record.setdefault("ts", time.time())
         record.setdefault("log_schema_version", LOG_SCHEMA_VERSION)
+        if not record.get("trace_id"):
+            # Imported lazily: the service layer imports this module.
+            from repro.service.context import get_active_context
+
+            active = get_active_context()
+            if active is not None and active.trace_id:
+                record["trace_id"] = active.trace_id
         self._path.parent.mkdir(parents=True, exist_ok=True)
         with self._path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, default=str) + "\n")
@@ -491,6 +508,102 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+#: the service stage taxonomy in lifecycle order (kept literal here so
+#: the CLI renders timelines without importing the service layer).
+_STAGE_ORDER = (
+    "queue", "parse", "plan_cache", "optimize", "execute", "serialize"
+)
+
+
+def _entry_detail(entry: dict) -> str:
+    """One-line description of a trace-timeline entry."""
+    kind = entry.get("kind", "?")
+    if kind == "service":
+        return (
+            f"status={entry.get('status', '?')} "
+            f"rows={entry.get('rows_out', '-')} "
+            f"cached={entry.get('cached', '-')} "
+            f"degraded={entry.get('degraded', '-')}"
+        )
+    if kind == "optimize":
+        return (
+            f"cost={entry.get('cost', 0.0):.1f} "
+            f"cached={bool(entry.get('cached'))}"
+        )
+    if kind == "profile":
+        return f"rows={entry.get('rows_out', '-')}"
+    if kind == "execute":
+        return f"rows={entry.get('rows_out', '-')} root={entry.get('root', '?')}"
+    return ""
+
+
+def render_trace(trace_id: str, entries: list[dict]) -> str:
+    """One request's timeline: every log entry carrying ``trace_id``,
+    time-ordered and offset from the first, with the ``service`` row's
+    per-stage latency breakdown expanded."""
+    ordered = sorted(entries, key=lambda e: float(e.get("ts", 0.0)))
+    base = float(ordered[0].get("ts", 0.0))
+    lines = [
+        f"trace {trace_id}: "
+        f"{len(ordered)} entr{'y' if len(ordered) == 1 else 'ies'}"
+    ]
+    service = next(
+        (e for e in ordered if e.get("kind") == "service"), None
+    )
+    if service is not None:
+        sql = " ".join(str(service.get("sql", "")).split())
+        wall = float(service.get("wall_seconds", 0.0) or 0.0)
+        lines.append(f"  sql:    {sql}")
+        lines.append(
+            f"  status: {service.get('status', '?')}   "
+            f"query_id: {service.get('query_id', '?')}   "
+            f"wall: {wall * 1e3:.3f}ms"
+        )
+    lines.append("")
+    for entry in ordered:
+        offset = (float(entry.get("ts", base)) - base) * 1e3
+        lines.append(
+            f"  +{offset:9.3f}ms  {entry.get('kind', '?'):<8} "
+            f"{entry.get('id', '?')}  {_entry_detail(entry)}"
+        )
+        stages = entry.get("stages")
+        if entry.get("kind") == "service" and isinstance(stages, dict):
+            for stage in _STAGE_ORDER:
+                if stage in stages:
+                    lines.append(
+                        f"        stage {stage:<12} "
+                        f"{float(stages[stage]) * 1e3:10.3f}ms"
+                    )
+            for stage in sorted(set(stages) - set(_STAGE_ORDER)):
+                lines.append(
+                    f"        stage {stage:<12} "
+                    f"{float(stages[stage]) * 1e3:10.3f}ms"
+                )
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    log = _cli_log(args)
+    matches = [
+        entry
+        for entry in log.entries()
+        if entry.get("trace_id")
+        and str(entry["trace_id"]).startswith(args.trace_id)
+    ]
+    if not matches:
+        raise ObservabilityError(
+            f"no entries carry a trace id matching {args.trace_id!r} "
+            f"in {log.path}"
+        )
+    trace_ids = sorted({str(entry["trace_id"]) for entry in matches})
+    if len(trace_ids) > 1:
+        raise ObservabilityError(
+            f"{args.trace_id!r} is ambiguous: matches {trace_ids}"
+        )
+    print(render_trace(trace_ids[0], matches))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """``python -m repro.obs.querylog`` entry point."""
     parser = argparse.ArgumentParser(
@@ -516,12 +629,19 @@ def main(argv: list[str] | None = None) -> int:
     commands.add_parser(
         "summary", help="q-error and latency percentiles across history"
     )
+    trace = commands.add_parser(
+        "trace", help="reconstruct one request's timeline by trace id"
+    )
+    trace.add_argument(
+        "trace_id", help="correlation id (unique prefixes work)"
+    )
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "show": _cmd_show,
         "diff": _cmd_diff,
         "summary": _cmd_summary,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

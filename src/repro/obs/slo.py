@@ -1,0 +1,246 @@
+"""Service-level objectives: sliding-window latency tracking per class.
+
+An :class:`SLOTracker` watches completed (and failed) requests over a
+sliding time window and answers the three questions an operator of a
+live query service asks:
+
+* **Are we fast enough?** Windowed p50/p95/p99 latency per priority
+  class, computed *exactly* over the retained samples (nearest-rank, the
+  same convention as the querylog CLI) rather than from fixed histogram
+  buckets — the window is bounded, so exactness is affordable.
+* **Are we meeting the objective?** Each :class:`SLObjective` states a
+  latency bound and the fraction of requests that must meet it (e.g.
+  "95% of NORMAL queries under 1s"). A request *violates* when it is
+  slower than the bound — or when it failed: errors burn budget too.
+* **How fast are we burning error budget?** ``burn_rate`` is the
+  window's violation fraction divided by the allowed fraction
+  ``(1 - target)`` — the standard SRE formulation: 1.0 means burning
+  exactly at the sustainable rate, above 1.0 the budget runs out before
+  the period does, 0.0 means a clean window.
+
+The tracker is thread-safe and clock-injectable (tests drive a fake
+clock). It deliberately stores raw samples — ``(time, latency, ok)``
+per class — in bounded deques: with the default 5-minute window and
+``max_samples`` cap, memory stays bounded under any load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import ObservabilityError
+from repro.service.admission import Priority
+
+#: retained samples per priority class — the window is also bounded by
+#: count so a traffic flood cannot grow the tracker without limit.
+DEFAULT_MAX_SAMPLES = 4096
+
+#: sliding-window length in seconds.
+DEFAULT_WINDOW_SECONDS = 300.0
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One class's objective: ``target`` of requests within ``latency``.
+
+    ``SLObjective(1.0, 0.95)`` reads "95% of requests complete within
+    one second"; its error budget is the other 5%.
+    """
+
+    #: the latency bound, in seconds.
+    latency_seconds: float
+    #: fraction of requests that must meet the bound (0 < target < 1).
+    target: float
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds <= 0:
+            raise ObservabilityError(
+                f"SLO latency must be > 0, got {self.latency_seconds}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ObservabilityError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """Allowed violation fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+
+#: per-priority defaults: interactive traffic gets a tight bound at a
+#: high target, batch work a loose bound at a lower one.
+DEFAULT_OBJECTIVES: dict[Priority, SLObjective] = {
+    Priority.HIGH: SLObjective(latency_seconds=0.25, target=0.99),
+    Priority.NORMAL: SLObjective(latency_seconds=1.0, target=0.95),
+    Priority.LOW: SLObjective(latency_seconds=5.0, target=0.90),
+}
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``0 <= q <= 1``) of a non-empty list.
+
+    The module's single percentile definition — the tracker, its tests'
+    brute-force recomputation, and the querylog CLI all share it.
+    """
+    if not values:
+        raise ObservabilityError("percentile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q!r}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class SLOTracker:
+    """Sliding-window SLO accounting over one service's request stream."""
+
+    def __init__(
+        self,
+        objectives: Mapping[Priority, SLObjective] | None = None,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ObservabilityError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self._objectives = dict(
+            DEFAULT_OBJECTIVES if objectives is None else objectives
+        )
+        self._window = float(window_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (timestamp, latency_seconds, ok) per class, oldest first.
+        self._samples: dict[Priority, deque] = {
+            priority: deque(maxlen=max_samples) for priority in Priority
+        }
+
+    @property
+    def window_seconds(self) -> float:
+        return self._window
+
+    def objective(self, priority: Priority) -> SLObjective | None:
+        """The objective configured for ``priority``, or None."""
+        return self._objectives.get(priority)
+
+    def record(
+        self,
+        priority: Priority,
+        latency_seconds: float,
+        ok: bool = True,
+    ) -> None:
+        """Record one finished request (failures count as violations)."""
+        priority = Priority(priority)
+        with self._lock:
+            self._samples[priority].append(
+                (self._clock(), float(latency_seconds), bool(ok))
+            )
+
+    def _windowed(self, priority: Priority) -> list[tuple[float, float, bool]]:
+        """In-window samples for one class (prunes expired ones)."""
+        horizon = self._clock() - self._window
+        samples = self._samples[priority]
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        return list(samples)
+
+    def _class_snapshot(self, priority: Priority) -> dict:
+        samples = self._windowed(priority)
+        objective = self._objectives.get(priority)
+        record: dict = {
+            "count": len(samples),
+            "errors": sum(1 for __, __, ok in samples if not ok),
+        }
+        if samples:
+            latencies = [latency for __, latency, __ in samples]
+            record.update(
+                p50=percentile(latencies, 0.50),
+                p95=percentile(latencies, 0.95),
+                p99=percentile(latencies, 0.99),
+            )
+        if objective is not None:
+            violations = sum(
+                1
+                for __, latency, ok in samples
+                if not ok or latency > objective.latency_seconds
+            )
+            compliance = (
+                1.0 - violations / len(samples) if samples else 1.0
+            )
+            record.update(
+                objective_seconds=objective.latency_seconds,
+                target=objective.target,
+                violations=violations,
+                compliance=compliance,
+                burn_rate=(
+                    (violations / len(samples)) / objective.budget
+                    if samples
+                    else 0.0
+                ),
+            )
+        return record
+
+    def burn_rate(self, priority: Priority) -> float:
+        """The class's windowed error-budget burn rate (0.0 = clean,
+        1.0 = burning exactly the sustainable rate, >1.0 = over).
+
+        :raises ObservabilityError: when the class has no objective.
+        """
+        priority = Priority(priority)
+        if priority not in self._objectives:
+            raise ObservabilityError(
+                f"no SLO objective configured for {priority.name}"
+            )
+        with self._lock:
+            return self._class_snapshot(priority)["burn_rate"]
+
+    def percentiles(self, priority: Priority | None = None) -> dict:
+        """Windowed ``{p50, p95, p99}`` for one class (or all classes
+        pooled when ``priority`` is None); empty window reports zeros."""
+        with self._lock:
+            if priority is not None:
+                samples = self._windowed(Priority(priority))
+            else:
+                samples = [
+                    sample
+                    for p in Priority
+                    for sample in self._windowed(p)
+                ]
+        latencies = [latency for __, latency, __ in samples]
+        if not latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+        }
+
+    def snapshot(self) -> dict:
+        """Per-class SLO state plus a pooled total — the shape the
+        ``health`` protocol op and ``obs.top`` dashboard consume."""
+        with self._lock:
+            classes = {
+                priority.name: self._class_snapshot(priority)
+                for priority in Priority
+            }
+        total_count = sum(c["count"] for c in classes.values())
+        worst_burn = max(
+            (
+                c["burn_rate"]
+                for c in classes.values()
+                if "burn_rate" in c
+            ),
+            default=0.0,
+        )
+        return {
+            "window_seconds": self._window,
+            "classes": classes,
+            "total_count": total_count,
+            "worst_burn_rate": worst_burn,
+        }

@@ -1,0 +1,262 @@
+"""A live terminal dashboard for a running query server — ``repro top``.
+
+``python -m repro.obs.top --port N`` polls a
+:class:`~repro.service.server.QueryServer` over its JSON-lines protocol
+(the ``health``, ``stats``, and ``metrics`` ops) and renders, once per
+interval:
+
+* **throughput** — QPS derived from outcome-counter deltas between
+  polls, split into completed / failed / cancelled / rejected rates;
+* **pressure** — admission state (accepting / degraded / shedding),
+  inflight count, queue depth, plan-cache hit rate, uptime;
+* **stage latency** — per-stage p95s over the
+  :data:`~repro.service.session.STAGES` taxonomy, read from the
+  ``service.stage_seconds.*`` histograms;
+* **SLO posture** — per-priority windowed p95, compliance, and
+  error-budget burn rate from the server's
+  :class:`~repro.obs.slo.SLOTracker`;
+* **workers** — morsel-pool busy time per second of wall time, total
+  and per worker, from the ``worker.*.busy_seconds`` gauges;
+* **top queries** — the heaviest query texts by cumulative execute
+  seconds.
+
+Rendering is pure (:func:`render_dashboard` takes a polled sample and
+returns a string), so tests drive it without a terminal; the loop is
+bounded with ``--iterations`` for the same reason. ``--no-clear``
+appends frames instead of redrawing in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+
+from repro.errors import ServiceError
+
+#: stage display order (mirrors repro.service.session.STAGES without
+#: importing the service layer at module import time).
+STAGE_ORDER = ("queue", "parse", "plan_cache", "optimize", "execute", "serialize")
+
+_WORKER_GAUGE_RE = re.compile(r"^worker\.(.+)\.busy_seconds$")
+
+#: ANSI: clear screen + home cursor (the in-place redraw).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def poll(client) -> dict:
+    """One sample: the server's health, stats, and metrics, timestamped
+    with a local monotonic clock for rate computation."""
+    return {
+        "at": time.monotonic(),
+        "health": client.health(),
+        "stats": client.stats(),
+        "metrics": client.metrics(),
+    }
+
+
+def rates(previous: dict | None, current: dict) -> dict:
+    """Per-second deltas between two samples (zeros on the first poll).
+
+    Returns ``qps`` (all outcomes), per-outcome rates, and
+    ``worker_busy`` — busy seconds accrued per wall second, i.e. the
+    average number of busy workers over the interval.
+    """
+    zeros = {
+        "qps": 0.0,
+        "completed": 0.0,
+        "failed": 0.0,
+        "cancelled": 0.0,
+        "rejected": 0.0,
+        "worker_busy": 0.0,
+    }
+    if previous is None:
+        return zeros
+    elapsed = current["at"] - previous["at"]
+    if elapsed <= 0:
+        return zeros
+    before = previous["health"].get("counts", {})
+    after = current["health"].get("counts", {})
+    out = {}
+    for key in ("completed", "failed", "cancelled", "rejected"):
+        out[key] = max(after.get(key, 0) - before.get(key, 0), 0) / elapsed
+    out["qps"] = sum(out.values())
+    busy_before = previous["metrics"].get("metrics", {}).get(
+        "worker.busy_seconds", 0.0
+    )
+    busy_after = current["metrics"].get("metrics", {}).get(
+        "worker.busy_seconds", 0.0
+    )
+    out["worker_busy"] = max(busy_after - busy_before, 0.0) / elapsed
+    return out
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:7.3f}s"
+    return f"{seconds * 1e3:6.2f}ms"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    return f"{hours:d}:{minutes:02d}:{secs:02d}"
+
+
+def _stage_rows(snapshot: dict) -> list[tuple[str, int, float]]:
+    """(stage, count, p95) rows from the stage histograms present."""
+    rows = []
+    for stage in STAGE_ORDER:
+        record = snapshot.get(f"service.stage_seconds.{stage}")
+        if isinstance(record, dict):
+            rows.append(
+                (stage, int(record.get("count", 0)), float(record.get("p95", 0.0)))
+            )
+    return rows
+
+
+def _worker_rows(snapshot: dict) -> list[tuple[str, float]]:
+    """(worker name, cumulative busy seconds) from per-worker gauges."""
+    rows = []
+    for name, value in snapshot.items():
+        match = _WORKER_GAUGE_RE.match(name)
+        if match and isinstance(value, (int, float)):
+            rows.append((match.group(1), float(value)))
+    return sorted(rows)
+
+
+def render_dashboard(sample: dict, deltas: dict, top: int = 5) -> str:
+    """One dashboard frame as plain text (no terminal control codes)."""
+    health = sample.get("health", {})
+    stats = sample.get("stats", {})
+    snapshot = sample.get("metrics", {}).get("metrics", {}) or {}
+    cache = health.get("plan_cache", {})
+    lines = [
+        "repro top — query service",
+        (
+            f"state {health.get('state', '?'):>9}   "
+            f"uptime {_fmt_uptime(health.get('uptime_seconds', 0.0))}   "
+            f"qps {deltas.get('qps', 0.0):6.1f}   "
+            f"inflight {health.get('inflight', 0):d}   "
+            f"queued {health.get('queue_depth', 0):d}"
+        ),
+        (
+            f"completed/s {deltas.get('completed', 0.0):6.1f}   "
+            f"failed/s {deltas.get('failed', 0.0):5.1f}   "
+            f"cancelled/s {deltas.get('cancelled', 0.0):5.1f}   "
+            f"rejected/s {deltas.get('rejected', 0.0):5.1f}"
+        ),
+        (
+            f"plan cache  hit rate {cache.get('hit_rate', 0.0) * 100:5.1f}%   "
+            f"entries {cache.get('entries', cache.get('size', 0))}   "
+            f"workers busy {deltas.get('worker_busy', 0.0):4.2f}"
+        ),
+        "",
+        "stage            count       p95",
+    ]
+    stage_rows = _stage_rows(snapshot)
+    if stage_rows:
+        for stage, count, p95 in stage_rows:
+            lines.append(f"  {stage:<12} {count:>8}  {_fmt_seconds(p95)}")
+    else:
+        lines.append("  (no stage samples yet)")
+    lines.append("")
+    lines.append("SLO class     count     p95    compliance   burn")
+    classes = health.get("slo", {}).get("classes", {})
+    for name in ("HIGH", "NORMAL", "LOW"):
+        record = classes.get(name)
+        if not record:
+            continue
+        p95 = record.get("p95", 0.0)
+        lines.append(
+            f"  {name:<9} {record.get('count', 0):>7}  "
+            f"{_fmt_seconds(p95)}  "
+            f"{record.get('compliance', 1.0) * 100:9.2f}%  "
+            f"{record.get('burn_rate', 0.0):5.2f}"
+        )
+    worst = health.get("slo", {}).get("worst_burn_rate", 0.0)
+    lines.append(f"  worst burn rate: {worst:.2f}")
+    worker_rows = _worker_rows(snapshot)
+    if worker_rows:
+        lines.append("")
+        lines.append("worker busy seconds (cumulative)")
+        for worker, busy in worker_rows:
+            lines.append(f"  {worker:<18} {busy:10.3f}s")
+    top_queries = stats.get("service", {}).get("top_queries", [])[:top]
+    if top_queries:
+        lines.append("")
+        lines.append("top queries by execute time")
+        for entry in top_queries:
+            sql = " ".join(str(entry.get("sql", "")).split())
+            if len(sql) > 60:
+                sql = sql[:57] + "..."
+            lines.append(
+                f"  {entry.get('total_execute_seconds', 0.0):8.3f}s "
+                f"x{entry.get('executions', 0):<4} {sql}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.top`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="Live dashboard for a running repro QueryServer.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="top-query rows to show"
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing the screen",
+    )
+    args = parser.parse_args(argv)
+    from repro.service.server import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as error:
+        print(f"error: cannot connect to {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    previous = None
+    frame = 0
+    try:
+        while True:
+            try:
+                sample = poll(client)
+            except (ServiceError, OSError, ValueError) as error:
+                print(f"error: poll failed: {error}", file=sys.stderr)
+                return 1
+            text = render_dashboard(sample, rates(previous, sample), args.top)
+            if not args.no_clear:
+                sys.stdout.write(_CLEAR)
+            sys.stdout.write(text)
+            sys.stdout.flush()
+            previous = sample
+            frame += 1
+            if args.iterations and frame >= args.iterations:
+                return 0
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -160,6 +160,31 @@ class AdmissionController:
         with self._lock:
             return len(self._live)
 
+    def state(self) -> str:
+        """The controller's load state, for health reporting.
+
+        ``"shedding"`` — the wait queue is full, so a new query would be
+        rejected outright; ``"degraded"`` — deep enough that new
+        admissions run degraded (serial, shallow search); ``"accepting"``
+        otherwise. A shut-down controller reports ``"stopped"``.
+        """
+        with self._lock:
+            if self._closed:
+                return "stopped"
+            depth = len(self._live)
+            # Mirrors admit(): a query walks straight in when a slot is
+            # free and nobody waits, regardless of queue capacity.
+            immediate = (
+                self._running < self._config.max_concurrency
+                and not self._live
+            )
+            if not immediate and depth >= self._config.max_queue_depth:
+                return "shedding"
+            degrade_at = self._config.degrade_queue_depth
+            if degrade_at is not None and depth >= degrade_at and depth:
+                return "degraded"
+            return "accepting"
+
     def retry_after(self) -> float:
         """Estimated seconds until capacity frees for one more query:
         the queue's total expected work divided across the slots."""

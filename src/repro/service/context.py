@@ -32,6 +32,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -47,6 +48,12 @@ from repro.errors import (
 _QUERY_IDS = itertools.count(1)
 
 _local = threading.local()
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, collision-safe enough to
+    correlate one request across spans, metrics, logs, and profiles)."""
+    return uuid.uuid4().hex[:16]
 
 
 class CancellationToken:
@@ -85,6 +92,10 @@ class QueryContext:
 
     #: identifier used in logs, metrics labels, and the server protocol.
     query_id: str
+    #: end-to-end correlation id: minted at the client (or the server
+    #: edge) and threaded through every span, metric exemplar, query-log
+    #: row, and profile this request touches.
+    trace_id: str = ""
     #: absolute :func:`time.monotonic` deadline, or None for no limit.
     deadline: float | None = None
     #: cooperative cancellation latch.
@@ -103,13 +114,20 @@ class QueryContext:
         token: CancellationToken | None = None,
         memory_budget_bytes: int | None = None,
         query_id: str | None = None,
+        trace_id: str | None = None,
     ) -> "QueryContext":
-        """A fresh context; ``deadline`` is *relative* seconds from now."""
+        """A fresh context; ``deadline`` is *relative* seconds from now.
+
+        ``trace_id`` propagates a client-minted correlation id; when
+        None, one is minted here (the server edge), so every governed
+        query is traceable whether or not its client participates.
+        """
         if deadline is not None and deadline < 0:
             raise ServiceError(f"deadline must be >= 0, got {deadline}")
         now = time.monotonic()
         return cls(
             query_id=query_id or f"q{next(_QUERY_IDS)}",
+            trace_id=trace_id or new_trace_id(),
             deadline=None if deadline is None else now + deadline,
             token=token or CancellationToken(),
             memory_budget_bytes=memory_budget_bytes,

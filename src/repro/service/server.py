@@ -4,26 +4,39 @@ Protocol: one JSON object per line, request/response. Each connection is
 one :class:`~repro.service.session.Session` (scoped settings live and
 die with the connection). Requests carry an ``op``:
 
-``{"op": "query", "sql": ..., "id"?, "deadline"?, "priority"?,
-"workers"?, "memory_budget_bytes"?, "max_rows"?}``
-    Run SQL; responds ``{"ok": true, "id", "columns", "rows",
-    "row_count", "wall_seconds", "cached", "degraded"}``. ``rows`` is
-    capped at ``max_rows`` (default 1000); ``row_count`` is always the
-    full count.
+``{"op": "query", "sql": ..., "id"?, "trace_id"?, "deadline"?,
+"priority"?, "workers"?, "memory_budget_bytes"?, "max_rows"?,
+"profile"?}``
+    Run SQL; responds ``{"ok": true, "id", "trace_id", "columns",
+    "rows", "row_count", "wall_seconds", "stages", "cached",
+    "degraded"}``. ``rows`` is capped at ``max_rows`` (default 1000);
+    ``row_count`` is always the full count. ``trace_id`` is minted at
+    the server edge when the client supplies none; ``stages`` maps the
+    :data:`~repro.service.session.STAGES` taxonomy (including
+    ``serialize``, stamped here) to wall seconds; ``profile: true``
+    attaches a full per-operator ``profile`` record.
 
 ``{"op": "cancel", "id": ...}``
     Cancel a query started on *any* connection (use a second connection:
     the first is blocked inside its query). Responds ``{"ok": true,
     "cancelled": bool}``.
 
+``{"op": "metrics"}`` / ``{"op": "health"}``
+    Telemetry: the process metrics snapshot + instrument kinds (feed
+    :func:`repro.obs.exposition.render_prometheus`), and the service's
+    :meth:`~repro.service.session.QueryService.health` report
+    (admission state, inflight, plan-cache hit rate, SLO posture,
+    uptime).
+
 ``{"op": "set", "name": ..., "value": ...}`` / ``{"op": "stats"}`` /
 ``{"op": "ping"}`` / ``{"op": "close"}``
     Session settings, session + service statistics, liveness, goodbye.
 
 Failures respond ``{"ok": false, "error": "<type name>", "message":
-...}`` — the typed :mod:`repro.errors` hierarchy crosses the wire by
-name (plus ``retry_after`` for admission rejections). The connection
-survives query failures; only ``close`` or EOF ends it.
+..., "trace_id"?}`` — the typed :mod:`repro.errors` hierarchy crosses
+the wire by name (plus ``retry_after`` for admission rejections, plus
+the failed request's ``trace_id`` when one was assigned). The
+connection survives query failures; only ``close`` or EOF ends it.
 
 Shutdown is graceful: stop accepting, cancel in-flight queries through
 their tokens, then join connection threads (bounded wait).
@@ -41,8 +54,8 @@ import numpy as np
 
 from repro.errors import AdmissionRejected, ReproError, ServiceError
 from repro.obs.runtime import get_metrics
-from repro.service.context import CancellationToken
-from repro.service.session import QueryService, Session
+from repro.service.context import CancellationToken, new_trace_id
+from repro.service.session import QueryService, Session, observe_stage
 
 #: rows a query response carries unless the request raises/lowers it.
 DEFAULT_MAX_ROWS = 1000
@@ -197,8 +210,19 @@ class QueryServer:
                         "queue_depth": self._service.admission.queue_depth,
                         "active_queries": self._service.active_queries(),
                         "plan_cache": self._service.plan_cache.info(),
+                        "top_queries": self._service.top_queries(),
                     },
                 }
+            if op == "metrics":
+                registry = get_metrics()
+                return {
+                    "ok": True,
+                    "enabled": registry.enabled,
+                    "metrics": registry.snapshot(),
+                    "kinds": registry.kinds(),
+                }
+            if op == "health":
+                return {"ok": True, "health": self._service.health()}
             if op == "ping":
                 return {"ok": True, "pong": True}
             raise ServiceError(f"unknown op {op!r}")
@@ -210,6 +234,9 @@ class QueryServer:
         if not isinstance(sql, str) or not sql.strip():
             raise ServiceError("query op requires a non-empty 'sql' string")
         query_id = str(request["id"]) if request.get("id") else None
+        # Mint the correlation id at the server edge when the client did
+        # not — every span/metric/log row of this request carries it.
+        trace_id = str(request.get("trace_id") or "") or new_trace_id()
         token = CancellationToken()
         if query_id is not None:
             with self._lock:
@@ -223,6 +250,8 @@ class QueryServer:
                 memory_budget_bytes=request.get("memory_budget_bytes"),
                 token=token,
                 query_id=query_id,
+                trace_id=trace_id,
+                profile=request.get("profile"),
             )
         finally:
             if query_id is not None:
@@ -230,23 +259,36 @@ class QueryServer:
                     self._tokens.pop(query_id, None)
         max_rows = int(request.get("max_rows", DEFAULT_MAX_ROWS))
         table = outcome.table
+        serialize_started = time.monotonic()
         names = list(table.schema.names)
         count = min(table.num_rows, max(max_rows, 0))
         columns = [table[name][:count].tolist() for name in names]
         rows = [list(values) for values in zip(*columns)] if count else []
-        return {
+        rows = [[_json_value(v) for v in row] for row in rows]
+        serialize_seconds = time.monotonic() - serialize_started
+        stages = dict(outcome.stage_seconds)
+        stages["serialize"] = serialize_seconds
+        observe_stage(
+            get_metrics(), "serialize", serialize_seconds, outcome.trace_id
+        )
+        response = {
             "ok": True,
             "id": outcome.query_id,
+            "trace_id": outcome.trace_id,
             "columns": names,
-            "rows": [[_json_value(v) for v in row] for row in rows],
+            "rows": rows,
             "row_count": table.num_rows,
             "truncated": count < table.num_rows,
             "wall_seconds": outcome.wall_seconds,
             "queued_seconds": outcome.queued_seconds,
+            "stages": stages,
             "cached": outcome.cached,
             "degraded": outcome.degraded,
             "cost": outcome.cost,
         }
+        if outcome.profile is not None:
+            response["profile"] = outcome.profile.to_dict()
+        return response
 
     @staticmethod
     def _error_response(error: ReproError) -> dict:
@@ -257,6 +299,9 @@ class QueryServer:
         }
         if isinstance(error, AdmissionRejected):
             response["retry_after"] = error.retry_after
+        trace_id = getattr(error, "trace_id", "")
+        if trace_id:
+            response["trace_id"] = trace_id
         return response
 
     def shutdown(self, timeout: float = 5.0) -> None:
@@ -311,6 +356,25 @@ def _plain(settings: dict) -> dict:
     }
 
 
+#: per-process cache of synthesised error classes for wire error names
+#: the local :mod:`repro.errors` doesn't define (one class per name, so
+#: repeated failures raise the *same* type and ``except`` works).
+_WIRE_ERROR_CLASSES: dict[str, type] = {}
+_WIRE_ERROR_LOCK = threading.Lock()
+
+
+def _wire_error_class(name: str) -> type:
+    """A :class:`ServiceError` subclass named after an unknown wire
+    error class, preserving the server's typing across the protocol."""
+    safe = name if name.isidentifier() else "WireError"
+    with _WIRE_ERROR_LOCK:
+        error_class = _WIRE_ERROR_CLASSES.get(safe)
+        if error_class is None:
+            error_class = type(safe, (ServiceError,), {"wire_error": name})
+            _WIRE_ERROR_CLASSES[safe] = error_class
+    return error_class
+
+
 class ServiceClient:
     """A small blocking client for :class:`QueryServer`'s protocol.
 
@@ -337,9 +401,16 @@ class ServiceClient:
         return json.loads(line)
 
     def query(self, sql: str, **options) -> dict:
-        """Run SQL; raises the typed error named by a failure response."""
+        """Run SQL; raises the typed error named by a failure response.
+
+        A ``trace_id`` is minted client-side unless one is passed, so
+        the caller can correlate this request across the server's
+        spans, metric exemplars, query-log rows, and profiles — on
+        failure the raised error carries it as ``error.trace_id``.
+        """
         payload = {"op": "query", "sql": sql}
         payload.update({k: v for k, v in options.items() if v is not None})
+        payload.setdefault("trace_id", new_trace_id())
         return self._raise_on_error(self.request(payload))
 
     def set(self, name: str, value) -> dict:
@@ -349,6 +420,18 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._raise_on_error(self.request({"op": "stats"}))
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot + instrument kinds — the scrape
+        behind ``python -m repro.obs.exposition --port ...``."""
+        return self._raise_on_error(self.request({"op": "metrics"}))
+
+    def health(self) -> dict:
+        """The service's health report (admission state, inflight count,
+        plan-cache hit rate, SLO posture, uptime)."""
+        return self._raise_on_error(
+            self.request({"op": "health"})
+        ).get("health", {})
 
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
@@ -365,20 +448,25 @@ class ServiceClient:
             return response
         import repro.errors as errors_module
 
-        error_class = getattr(
-            errors_module, str(response.get("error")), ServiceError
-        )
-        if error_class is errors_module.AdmissionRejected:
-            raise error_class(
-                response.get("message", "rejected"),
-                retry_after=float(response.get("retry_after", 0.0)),
-            )
+        name = str(response.get("error") or "ServiceError")
+        error_class = getattr(errors_module, name, None)
         if not (
             isinstance(error_class, type)
             and issubclass(error_class, ReproError)
         ):
-            error_class = ServiceError
-        raise error_class(response.get("message", "request failed"))
+            # Keep the server's class name even when this client's
+            # errors module doesn't know it, instead of flattening
+            # everything to ServiceError.
+            error_class = _wire_error_class(name)
+        if issubclass(error_class, errors_module.AdmissionRejected):
+            error = error_class(
+                response.get("message", "rejected"),
+                retry_after=float(response.get("retry_after", 0.0)),
+            )
+        else:
+            error = error_class(response.get("message", "request failed"))
+        error.trace_id = str(response.get("trace_id") or "")
+        raise error
 
     def close(self) -> None:
         """Say goodbye and close the socket (idempotent)."""

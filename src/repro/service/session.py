@@ -35,12 +35,19 @@ from repro.core.optimizer.base import (
 from repro.core.optimizer.dp import DynamicProgrammingOptimizer
 from repro.core.optimizer.plancache import DEFAULT_CAPACITY, PlanCache
 from repro.core.plan import to_operator
-from repro.engine.executor import execute
+from repro.engine.executor import execute, explain_analyze
 from repro.engine.parallel import parallel_execution
-from repro.errors import QueryCancelled, ReproError, ServiceError
+from repro.errors import (
+    AdmissionRejected,
+    QueryCancelled,
+    ReproError,
+    ServiceError,
+)
 from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.profile import QueryProfile
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
+from repro.obs.slo import SLObjective, SLOTracker
 from repro.service.admission import (
     AdmissionConfig,
     AdmissionController,
@@ -56,6 +63,28 @@ from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
 _SESSION_IDS = itertools.count(1)
+
+#: the per-request stage taxonomy, in lifecycle order. ``queue`` is the
+#: admission wait, ``parse`` covers SQL → logical plan, ``plan_cache``
+#: is the optimiser call when it resolved from the cache, ``optimize``
+#: when it enumerated, ``execute`` the physical run, and ``serialize``
+#: (stamped by the TCP server) the wire encoding of the result.
+STAGES = ("queue", "parse", "plan_cache", "optimize", "execute", "serialize")
+
+#: distinct query texts whose cumulative execute time the service tracks
+#: for the ``obs.top`` dashboard's "top queries" panel.
+TOP_QUERIES_CAPACITY = 64
+
+
+def observe_stage(
+    metrics, stage: str, seconds: float, trace_id: str = ""
+) -> None:
+    """Record one stage duration into its tagged histogram
+    (``service.stage_seconds.<stage>``), exemplared with ``trace_id``."""
+    if metrics.enabled:
+        metrics.histogram(
+            f"service.stage_seconds.{stage}", DEFAULT_BUCKETS, exist_ok=True
+        ).observe(seconds, trace_id=trace_id)
 
 
 @dataclass(frozen=True)
@@ -75,6 +104,11 @@ class ServiceConfig:
     default_memory_budget: int | None = None
     #: plan-cache capacity (plans), shared across the service's queries.
     plan_cache_capacity: int = DEFAULT_CAPACITY
+    #: latency objectives per priority class; None takes the defaults in
+    #: :data:`repro.obs.slo.DEFAULT_OBJECTIVES`.
+    slo_objectives: "dict[Priority, SLObjective] | None" = None
+    #: sliding window the SLO tracker evaluates over, in seconds.
+    slo_window_seconds: float = 300.0
 
 
 @dataclass
@@ -83,6 +117,8 @@ class QueryOutcome:
 
     #: the context's query id (appears in logs, metrics, the protocol).
     query_id: str
+    #: the request's correlation id (spans, exemplars, log rows, profile).
+    trace_id: str
     #: the result rows.
     table: Table
     #: end-to-end wall seconds (admission wait included).
@@ -101,6 +137,11 @@ class QueryOutcome:
     degraded: bool
     #: the chosen physical plan, rendered.
     plan: str
+    #: per-stage wall seconds (see :data:`STAGES`; ``serialize`` is
+    #: stamped later by the TCP server, absent for in-process callers).
+    stage_seconds: dict = field(default_factory=dict)
+    #: full per-operator profile when the query ran with ``profile=True``.
+    profile: QueryProfile | None = None
 
 
 class QueryService:
@@ -123,9 +164,23 @@ class QueryService:
         self._cost_model = cost_model
         self._admission = AdmissionController(self._config.admission)
         self._plan_cache = PlanCache(self._config.plan_cache_capacity)
+        self._slo = SLOTracker(
+            objectives=self._config.slo_objectives,
+            window_seconds=self._config.slo_window_seconds,
+        )
         self._active: dict[str, QueryContext] = {}
         self._active_lock = threading.Lock()
         self._closed = False
+        self._started_at = time.monotonic()
+        self._counts_lock = threading.Lock()
+        self._counts = {
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected": 0,
+        }
+        # sql -> [executions, cumulative execute seconds]; bounded.
+        self._top_queries: dict[str, list] = {}
 
     @property
     def admission(self) -> AdmissionController:
@@ -138,8 +193,84 @@ class QueryService:
         return self._plan_cache
 
     @property
+    def slo(self) -> SLOTracker:
+        """The service's sliding-window SLO tracker."""
+        return self._slo
+
+    @property
     def catalog(self) -> Catalog:
         return self._catalog
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the service was constructed."""
+        return time.monotonic() - self._started_at
+
+    def counts(self) -> dict:
+        """Lifetime outcome counters (completed/failed/cancelled/rejected)."""
+        with self._counts_lock:
+            return dict(self._counts)
+
+    def top_queries(self, limit: int = 10) -> list[dict]:
+        """The heaviest query texts by cumulative execute seconds."""
+        with self._counts_lock:
+            ranked = sorted(
+                self._top_queries.items(),
+                key=lambda item: item[1][1],
+                reverse=True,
+            )[: max(int(limit), 0)]
+        return [
+            {
+                "sql": sql,
+                "executions": int(count),
+                "total_execute_seconds": float(seconds),
+            }
+            for sql, (count, seconds) in ranked
+        ]
+
+    def _count(self, outcome: str) -> None:
+        with self._counts_lock:
+            self._counts[outcome] += 1
+
+    def _note_query(self, sql: str, execute_seconds: float) -> None:
+        with self._counts_lock:
+            entry = self._top_queries.get(sql)
+            if entry is None:
+                if len(self._top_queries) >= TOP_QUERIES_CAPACITY:
+                    coldest = min(
+                        self._top_queries, key=lambda s: self._top_queries[s][1]
+                    )
+                    del self._top_queries[coldest]
+                entry = self._top_queries[sql] = [0, 0.0]
+            entry[0] += 1
+            entry[1] += float(execute_seconds)
+
+    def health(self) -> dict:
+        """A liveness/pressure report: admission state, inflight work,
+        plan-cache effectiveness, SLO posture, uptime.
+
+        ``state`` is ``accepting`` (normal), ``degraded`` (queue deep
+        enough that new admissions run serial + shallow), ``shedding``
+        (queue full, new queries are rejected), or ``stopped``.
+        """
+        cache_info = self._plan_cache.info()
+        lookups = cache_info.get("hits", 0) + cache_info.get("misses", 0)
+        return {
+            "state": (
+                "stopped" if self._closed else self._admission.state()
+            ),
+            "uptime_seconds": self.uptime_seconds(),
+            "inflight": self._admission.running,
+            "queue_depth": self._admission.queue_depth,
+            "active_queries": self.active_queries(),
+            "counts": self.counts(),
+            "plan_cache": {
+                **cache_info,
+                "hit_rate": (
+                    cache_info.get("hits", 0) / lookups if lookups else 0.0
+                ),
+            },
+            "slo": self._slo.snapshot(),
+        }
 
     def session(self, **settings) -> "Session":
         """A new client session; ``settings`` seed its scoped settings."""
@@ -172,6 +303,8 @@ class QueryService:
         workers: int | None = None,
         queue_timeout: float | None = None,
         query_id: str | None = None,
+        trace_id: str | None = None,
+        profile: bool = False,
     ) -> QueryOutcome:
         """Run ``sql`` end-to-end under admission + context governance.
 
@@ -187,6 +320,14 @@ class QueryService:
             service's setting, then the ambient executor configuration.
             Forced to 1 when the query is admitted degraded.
         :param queue_timeout: max seconds to wait for admission.
+        :param trace_id: client-minted correlation id; minted at this
+            edge when None. Threads through every span, stage histogram
+            exemplar, query-log row, and profile of this request — and
+            rides on any raised error as ``error.trace_id``.
+        :param profile: run instrumented (``explain_analyze``) and
+            attach the resulting :class:`~repro.obs.profile.
+            QueryProfile` to the outcome (slower; see the obs-overhead
+            bench for the budget).
         :raises repro.errors.AdmissionRejected: shed at admission.
         :raises repro.errors.DeadlineExceeded: deadline passed (queued,
             optimising, or executing).
@@ -209,6 +350,7 @@ class QueryService:
                 else self._config.default_memory_budget
             ),
             query_id=query_id,
+            trace_id=trace_id,
         )
         metrics = get_metrics()
         tracer = get_tracer()
@@ -219,24 +361,38 @@ class QueryService:
         outcome: QueryOutcome | None = None
         try:
             with tracer.span(
-                "service.query", query_id=context.query_id, sql=sql
+                "service.query",
+                query_id=context.query_id,
+                trace_id=context.trace_id,
+                sql=sql,
             ):
                 slot = self._admission.admit(
                     priority=priority, timeout=queue_timeout, context=context
                 )
                 with slot:
                     outcome = self._run_admitted(
-                        sql, context, slot, workers, tracer
+                        sql, context, slot, workers, tracer, profile
                     )
             outcome.wall_seconds = time.monotonic() - started
+            self._count("completed")
+            self._note_query(sql, outcome.execute_seconds)
             if metrics.enabled:
                 metrics.counter("service.completed", exist_ok=True).inc()
                 metrics.histogram(
                     "service.query_seconds", DEFAULT_BUCKETS, exist_ok=True
-                ).observe(outcome.wall_seconds)
+                ).observe(outcome.wall_seconds, trace_id=context.trace_id)
+                for stage, seconds in outcome.stage_seconds.items():
+                    observe_stage(metrics, stage, seconds, context.trace_id)
             return outcome
         except ReproError as error:
             status = type(error).__name__
+            error.trace_id = context.trace_id  # correlate failures too
+            if isinstance(error, QueryCancelled):
+                self._count("cancelled")
+            elif isinstance(error, AdmissionRejected):
+                self._count("rejected")
+            else:
+                self._count("failed")
             if metrics.enabled:
                 if isinstance(error, QueryCancelled):
                     metrics.counter("service.cancelled", exist_ok=True).inc()
@@ -244,6 +400,10 @@ class QueryService:
                     metrics.counter("service.failed", exist_ok=True).inc()
             raise
         finally:
+            wall_seconds = time.monotonic() - started
+            self._slo.record(
+                priority, wall_seconds, ok=(status == "ok")
+            )
             with self._active_lock:
                 self._active.pop(context.query_id, None)
             query_log = get_query_log()
@@ -251,16 +411,18 @@ class QueryService:
                 entry = {
                     "kind": "service",
                     "query_id": context.query_id,
+                    "trace_id": context.trace_id,
                     "sql": sql,
                     "status": status,
                     "priority": int(priority),
-                    "wall_seconds": time.monotonic() - started,
+                    "wall_seconds": wall_seconds,
                 }
                 if outcome is not None:
                     entry.update(
                         queued_seconds=outcome.queued_seconds,
                         optimize_seconds=outcome.optimize_seconds,
                         execute_seconds=outcome.execute_seconds,
+                        stages=dict(outcome.stage_seconds),
                         rows_out=outcome.table.num_rows,
                         cached=outcome.cached,
                         degraded=outcome.degraded,
@@ -268,27 +430,65 @@ class QueryService:
                 query_log.append(entry)
 
     def _run_admitted(
-        self, sql: str, context, slot, workers: int | None, tracer
+        self,
+        sql: str,
+        context,
+        slot,
+        workers: int | None,
+        tracer,
+        profile: bool = False,
     ) -> QueryOutcome:
         degraded = slot.degraded
         if workers is None:
             workers = self._config.workers
         if degraded:
             workers = 1
+        stage_seconds: dict = {"queue": slot.queued_seconds}
+        query_profile: QueryProfile | None = None
         with activate_context(context):
+            parse_started = time.monotonic()
+            with tracer.span(
+                "service.parse",
+                query_id=context.query_id,
+                trace_id=context.trace_id,
+            ):
+                logical = plan_query(sql, self._catalog)
+            stage_seconds["parse"] = time.monotonic() - parse_started
             optimize_started = time.monotonic()
-            with tracer.span("service.optimize", query_id=context.query_id):
-                result = self._optimize(sql, workers, degraded)
+            with tracer.span(
+                "service.optimize",
+                query_id=context.query_id,
+                trace_id=context.trace_id,
+            ):
+                result = self._optimize(logical, workers, degraded)
             optimize_seconds = time.monotonic() - optimize_started
+            # A cache hit never enumerated: its cost is the lookup, a
+            # distinct stage from a real optimisation.
+            stage_seconds[
+                "plan_cache" if result.cached else "optimize"
+            ] = optimize_seconds
             operator = to_operator(
                 result.plan, self._catalog, validate=False
             )
             execute_started = time.monotonic()
-            with tracer.span("service.execute", query_id=context.query_id):
-                table = execute(operator, workers=workers)
+            with tracer.span(
+                "service.execute",
+                query_id=context.query_id,
+                trace_id=context.trace_id,
+            ):
+                if profile:
+                    analyzed = explain_analyze(operator, workers=workers)
+                    table = analyzed.table
+                    query_profile = QueryProfile.from_analyzed(
+                        analyzed, query=sql, trace_id=context.trace_id
+                    )
+                else:
+                    table = execute(operator, workers=workers)
             execute_seconds = time.monotonic() - execute_started
+            stage_seconds["execute"] = execute_seconds
         return QueryOutcome(
             query_id=context.query_id,
+            trace_id=context.trace_id,
             table=table,
             wall_seconds=0.0,  # stamped by the caller
             queued_seconds=slot.queued_seconds,
@@ -298,12 +498,13 @@ class QueryService:
             cached=result.cached,
             degraded=degraded,
             plan=result.plan.explain(),
+            stage_seconds=stage_seconds,
+            profile=query_profile,
         )
 
     def _optimize(
-        self, sql: str, workers: int | None, degraded: bool
+        self, logical, workers: int | None, degraded: bool
     ) -> OptimizationResult:
-        logical = plan_query(sql, self._catalog)
         deep = self._config.deep and not degraded
         config = (
             dqo_config(workers=workers)
@@ -346,6 +547,7 @@ class Session:
         "workers": int,
         "memory_budget_bytes": int,
         "queue_timeout": float,
+        "profile": bool,
     }
 
     def __init__(self, service: QueryService, **settings) -> None:
@@ -394,8 +596,6 @@ class Session:
 
     def execute(self, sql: str, **overrides) -> QueryOutcome:
         """Run ``sql`` with the session's settings (plus overrides)."""
-        from repro.errors import AdmissionRejected
-
         options = self.settings()
         options.update(
             {k: v for k, v in overrides.items() if v is not None}

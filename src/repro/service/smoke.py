@@ -7,6 +7,13 @@ asserts the service degrades *typed*: every query either returns rows or
 raises one of the :mod:`repro.errors` classes, nothing hangs, and the
 server shuts down gracefully within its bound.
 
+The telemetry surface is smoked too: one traced query's id must come
+back on the response, a ``metrics`` scrape must render as Prometheus
+text that the validating parser accepts, and ``health`` must report an
+``accepting`` service with a consistent outcome count. Run with
+``REPRO_QUERY_LOG`` set to also capture a traced query log (CI uploads
+it as an artifact).
+
 Exit code 0 on success, 1 with a diagnosis on any violation.
 """
 
@@ -21,9 +28,12 @@ from repro.datagen import Density, Sortedness, make_join_scenario
 from repro.errors import (
     AdmissionRejected,
     DeadlineExceeded,
+    ObservabilityError,
     QueryCancelled,
     ReproError,
 )
+from repro.obs import enable_observability
+from repro.obs.exposition import parse_prometheus, render_prometheus
 from repro.service.admission import AdmissionConfig
 from repro.service.server import QueryServer, ServiceClient
 from repro.service.session import QueryService, ServiceConfig
@@ -36,7 +46,9 @@ def _client_worker(port: int, spec: dict, results: list, index: int) -> None:
     try:
         with ServiceClient("127.0.0.1", port) as client:
             response = client.query(SQL, **spec)
-            results[index] = ("ok", response["row_count"])
+            results[index] = (
+                "ok", response["row_count"], response.get("trace_id")
+            )
     except ReproError as error:
         results[index] = (type(error).__name__, str(error))
     except BaseException as error:  # noqa: BLE001 - smoke must diagnose
@@ -48,6 +60,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=16)
     parser.add_argument("--rows", type=int, default=200_000)
     args = parser.parse_args(argv)
+
+    # Live metrics + spans: the telemetry scrape below needs real data.
+    enable_observability()
 
     scenario = make_join_scenario(
         n_r=args.rows // 8,
@@ -82,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
             specs.append({"priority": index % 3})
         specs[3] = {"deadline": 0.0}
         specs[5] = {"id": "smoke-cancel-me"}
+        specs[1] = {"trace_id": "smoke-trace-0001"}
 
         results: list = [None] * len(specs)
         threads = [
@@ -148,6 +164,50 @@ def main(argv: list[str] | None = None) -> int:
                 f"slots leaked: running={service.admission.running} "
                 f"queued={service.admission.queue_depth}"
             )
+
+        # Telemetry surface: trace echo, health, and a validating
+        # Prometheus scrape.
+        if (
+            results[1]
+            and results[1][0] == "ok"
+            and results[1][2] != "smoke-trace-0001"
+        ):
+            failures.append(
+                f"traced query echoed trace_id {results[1][2]!r}"
+            )
+        with ServiceClient("127.0.0.1", server.port) as probe:
+            health = probe.health()
+            print(
+                f"health: state={health['state']} "
+                f"completed={health['counts']['completed']} "
+                f"slo_samples={health['slo']['total_count']} "
+                f"cache_hit_rate={health['plan_cache']['hit_rate']:.2f}"
+            )
+            if health["state"] != "accepting":
+                failures.append(
+                    f"drained service reports state {health['state']!r}"
+                )
+            if health["counts"]["completed"] < ok:
+                failures.append(
+                    "health completed count below observed successes"
+                )
+            scraped = probe.metrics()
+            text = render_prometheus(
+                scraped.get("metrics", {}), kinds=scraped.get("kinds", {})
+            )
+            try:
+                parsed = parse_prometheus(text)
+            except ObservabilityError as error:
+                failures.append(f"exposition does not parse: {error}")
+            else:
+                print(
+                    f"exposition: {len(text.splitlines())} lines, "
+                    f"{len(parsed)} series, parse OK"
+                )
+                if "repro_service_completed_total" not in parsed:
+                    failures.append(
+                        "exposition lacks repro_service_completed_total"
+                    )
     finally:
         shutdown_started = time.monotonic()
         server.shutdown(timeout=SHUTDOWN_BUDGET_SECONDS)

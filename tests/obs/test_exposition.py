@@ -1,0 +1,163 @@
+"""Prometheus exposition: render → parse round trips and validation."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exposition import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("service.completed").inc(7)
+    registry.gauge("service.queue_depth").set(3)
+    histogram = registry.histogram("service.query_seconds", DEFAULT_BUCKETS)
+    histogram.observe(0.004, trace_id="abc123")
+    histogram.observe(0.250)
+    histogram.observe(30.0)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert (
+            sanitize_metric_name("service.queue_depth")
+            == "repro_service_queue_depth"
+        )
+
+    def test_illegal_characters_dropped(self):
+        name = sanitize_metric_name("weird metric!@#name")
+        assert parse_prometheus(f"{name} 1\n") == {name: {(): 1.0}}
+
+    def test_custom_prefix(self):
+        assert sanitize_metric_name("x", prefix="dqo") == "dqo_x"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type(self, registry):
+        text = render_prometheus(registry.snapshot(), kinds=registry.kinds())
+        assert "# TYPE repro_service_completed_total counter" in text
+        assert "repro_service_completed_total 7" in text
+
+    def test_gauge_without_kinds_stays_gauge(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 3" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self, registry):
+        parsed = parse_prometheus(
+            render_prometheus(registry.snapshot(), kinds=registry.kinds())
+        )
+        buckets = parsed["repro_service_query_seconds_bucket"]
+        inf = buckets[(("le", "+Inf"),)]
+        assert inf == 3.0
+        assert parsed["repro_service_query_seconds_count"][()] == 3.0
+        values = [buckets[key] for key in sorted(buckets)]
+        assert all(b >= 0 for b in values)
+
+    def test_exemplar_rides_on_a_covering_bucket(self, registry):
+        text = render_prometheus(registry.snapshot(), kinds=registry.kinds())
+        exemplar_lines = [
+            line for line in text.splitlines() if 'trace_id="abc123"' in line
+        ]
+        assert len(exemplar_lines) == 1
+        assert "repro_service_query_seconds_bucket" in exemplar_lines[0]
+
+    def test_disabled_snapshot_renders_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("ignored", exist_ok=True)
+        assert render_prometheus(registry.snapshot()) == ""
+
+    def test_round_trip_parses_clean(self, registry):
+        text = render_prometheus(registry.snapshot(), kinds=registry.kinds())
+        parsed = parse_prometheus(text)
+        assert "repro_service_completed_total" in parsed
+        assert "repro_service_queue_depth" in parsed
+
+
+class TestParseRejectsMalformed:
+    def test_bad_metric_name(self):
+        with pytest.raises(ObservabilityError, match="malformed"):
+            parse_prometheus("9starts_with_digit 1\n")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ObservabilityError, match="non-numeric"):
+            parse_prometheus("metric_name not_a_number\n")
+
+    def test_unquoted_label(self):
+        with pytest.raises(ObservabilityError, match="malformed labels"):
+            parse_prometheus('m{le=bad} 1\n')
+
+    def test_bad_type_comment(self):
+        with pytest.raises(ObservabilityError, match="bad TYPE"):
+            parse_prometheus("# TYPE m flavour\n")
+
+    def test_non_cumulative_histogram_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ObservabilityError, match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(ObservabilityError, match="_count"):
+            parse_prometheus(text)
+
+    def test_comments_and_blank_lines_skipped(self):
+        assert parse_prometheus("\n# just a comment\n\nm 1\n") == {
+            "m": {(): 1.0}
+        }
+
+
+class TestCli:
+    def test_snapshot_file_renders_and_validates(self, tmp_path, registry):
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                {"metrics": registry.snapshot(), "kinds": registry.kinds()}
+            ),
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.exposition",
+             "--snapshot", str(path)],
+            capture_output=True,
+            text=True,
+            cwd=str(Path(__file__).resolve().parents[2]),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        parsed = parse_prometheus(result.stdout)
+        assert "repro_service_completed_total" in parsed
+
+    def test_missing_snapshot_file_fails_cleanly(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.exposition",
+             "--snapshot", str(tmp_path / "absent.json")],
+            capture_output=True,
+            text=True,
+            cwd=str(Path(__file__).resolve().parents[2]),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 1
+        assert "error:" in result.stderr

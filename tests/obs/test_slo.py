@@ -1,0 +1,194 @@
+"""SLO tracking: exact windowed percentiles, burn rates, objectives."""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    SLObjective,
+    SLOTracker,
+    percentile,
+)
+from repro.service.admission import Priority
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def brute_force_percentile(values, q):
+    """The nearest-rank definition, written independently."""
+    ordered = sorted(values)
+    rank = int(round(q * (len(ordered) - 1)))
+    rank = max(0, min(rank, len(ordered) - 1))
+    return ordered[rank]
+
+
+class TestObjective:
+    def test_budget_is_one_minus_target(self):
+        assert SLObjective(1.0, 0.95).budget == pytest.approx(0.05)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ObservabilityError, match="latency"):
+            SLObjective(0.0, 0.95)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_degenerate_targets(self, target):
+        with pytest.raises(ObservabilityError, match="target"):
+            SLObjective(1.0, target)
+
+    def test_defaults_cover_every_priority(self):
+        assert set(DEFAULT_OBJECTIVES) == set(Priority)
+
+
+class TestPercentile:
+    def test_matches_brute_force_on_random_samples(self):
+        rng = random.Random(7)
+        for size in (1, 2, 3, 10, 101, 999):
+            values = [rng.expovariate(5.0) for __ in range(size)]
+            for q in (0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0):
+                assert percentile(values, q) == brute_force_percentile(
+                    values, q
+                )
+
+    def test_empty_sample_set_is_typed(self):
+        with pytest.raises(ObservabilityError, match="empty"):
+            percentile([], 0.5)
+
+    def test_quantile_out_of_range_is_typed(self):
+        with pytest.raises(ObservabilityError, match="quantile"):
+            percentile([1.0], 1.5)
+
+
+class TestWindowing:
+    def test_samples_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = SLOTracker(window_seconds=60.0, clock=clock)
+        tracker.record(Priority.NORMAL, 0.1)
+        clock.advance(30.0)
+        tracker.record(Priority.NORMAL, 0.2)
+        assert tracker.snapshot()["classes"]["NORMAL"]["count"] == 2
+        clock.advance(45.0)  # first sample now 75s old, second 45s
+        assert tracker.snapshot()["classes"]["NORMAL"]["count"] == 1
+        clock.advance(60.0)
+        assert tracker.snapshot()["classes"]["NORMAL"]["count"] == 0
+
+    def test_max_samples_bounds_memory(self):
+        tracker = SLOTracker(max_samples=10, clock=FakeClock())
+        for index in range(100):
+            tracker.record(Priority.LOW, float(index))
+        assert tracker.snapshot()["classes"]["LOW"]["count"] == 10
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="window_seconds"):
+            SLOTracker(window_seconds=0.0)
+
+
+class TestTrackerPercentiles:
+    def test_windowed_percentiles_match_brute_force(self):
+        clock = FakeClock()
+        tracker = SLOTracker(window_seconds=300.0, clock=clock)
+        rng = random.Random(13)
+        latencies = []
+        for __ in range(500):
+            latency = rng.expovariate(3.0)
+            latencies.append(latency)
+            tracker.record(Priority.NORMAL, latency)
+            clock.advance(0.01)
+        reported = tracker.percentiles(Priority.NORMAL)
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            assert reported[name] == brute_force_percentile(latencies, q)
+
+    def test_pooled_percentiles_cover_all_classes(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record(Priority.HIGH, 0.1)
+        tracker.record(Priority.LOW, 0.9)
+        pooled = tracker.percentiles()
+        assert pooled["p50"] in (0.1, 0.9)
+        assert pooled["p99"] == 0.9
+
+    def test_empty_window_reports_zeros(self):
+        tracker = SLOTracker(clock=FakeClock())
+        assert tracker.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_accepts_wire_integers_for_priority(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record(2, 0.01)  # Priority.HIGH over the wire
+        assert tracker.snapshot()["classes"]["HIGH"]["count"] == 1
+
+
+class TestBurnRate:
+    def test_clean_window_burns_nothing(self):
+        tracker = SLOTracker(clock=FakeClock())
+        for __ in range(20):
+            tracker.record(Priority.NORMAL, 0.01)
+        assert tracker.burn_rate(Priority.NORMAL) == 0.0
+
+    def test_burning_exactly_the_budget_is_rate_one(self):
+        # NORMAL default: 95% under 1s — 1 violation in 20 is exactly
+        # the 5% budget.
+        tracker = SLOTracker(clock=FakeClock())
+        for __ in range(19):
+            tracker.record(Priority.NORMAL, 0.01)
+        tracker.record(Priority.NORMAL, 5.0)
+        assert tracker.burn_rate(Priority.NORMAL) == pytest.approx(1.0)
+
+    def test_errors_burn_budget_even_when_fast(self):
+        tracker = SLOTracker(clock=FakeClock())
+        for __ in range(19):
+            tracker.record(Priority.NORMAL, 0.01)
+        tracker.record(Priority.NORMAL, 0.01, ok=False)
+        assert tracker.burn_rate(Priority.NORMAL) == pytest.approx(1.0)
+
+    def test_all_violations_burns_at_inverse_budget(self):
+        tracker = SLOTracker(clock=FakeClock())
+        for __ in range(10):
+            tracker.record(Priority.NORMAL, 10.0)
+        assert tracker.burn_rate(Priority.NORMAL) == pytest.approx(20.0)
+
+    def test_unconfigured_class_is_typed(self):
+        tracker = SLOTracker(objectives={}, clock=FakeClock())
+        with pytest.raises(ObservabilityError, match="no SLO objective"):
+            tracker.burn_rate(Priority.NORMAL)
+
+
+class TestSnapshot:
+    def test_shape_matches_health_consumers(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record(Priority.HIGH, 0.01)
+        tracker.record(Priority.NORMAL, 2.0)  # violates the 1s bound
+        snapshot = tracker.snapshot()
+        assert snapshot["window_seconds"] == tracker.window_seconds
+        assert snapshot["total_count"] == 2
+        assert set(snapshot["classes"]) == {"HIGH", "NORMAL", "LOW"}
+        normal = snapshot["classes"]["NORMAL"]
+        assert normal["violations"] == 1
+        assert normal["compliance"] == 0.0
+        assert snapshot["worst_burn_rate"] == normal["burn_rate"]
+
+    def test_concurrent_recording_is_safe(self):
+        tracker = SLOTracker()
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    tracker.record(Priority.NORMAL, 0.01)
+                    for __ in range(200)
+                ]
+            )
+            for __ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracker.snapshot()["classes"]["NORMAL"]["count"] == 1600

@@ -171,3 +171,97 @@ class TestMorselSchedulerObservability:
                 if name.startswith("worker.repro-worker")
             )
             assert per_worker == total
+
+
+class TestTracePropagationUnderContention:
+    """N requests executing concurrently must each stamp *their own*
+    trace id on every span and query-log row they produce — a single
+    cross-request bleed (a span or row tagged with a neighbour's id)
+    fails deterministically."""
+
+    def test_no_trace_bleed_across_parallel_sessions(self, tmp_path):
+        from repro.datagen import make_join_scenario
+        from repro.obs import capture_observability
+        from repro.obs.querylog import QueryLog, set_query_log
+        from repro.service.session import QueryService, ServiceConfig
+        from repro.service.admission import AdmissionConfig
+
+        catalog = make_join_scenario(
+            n_r=500, n_s=1_000, num_groups=50, seed=3
+        ).build_catalog()
+        service = QueryService(
+            catalog,
+            ServiceConfig(
+                admission=AdmissionConfig(
+                    max_concurrency=4, max_queue_depth=32
+                )
+            ),
+        )
+        log = QueryLog(tmp_path / "bleed.jsonl")
+        set_query_log(log)
+        requests = 12
+        outcomes: dict[int, object] = {}
+        try:
+            with capture_observability() as (__, tracer):
+
+                def run(index: int) -> None:
+                    session = service.session()
+                    outcomes[index] = session.execute(
+                        # Distinct texts: no accidental dedup anywhere.
+                        "SELECT R.A, COUNT(*) FROM R JOIN S "
+                        "ON R.ID = S.R_ID "
+                        f"WHERE R.A < {100 - index} GROUP BY R.A",
+                        trace_id=f"trace-{index:04d}",
+                        workers=2,
+                    )
+
+                threads = [
+                    threading.Thread(target=run, args=(index,))
+                    for index in range(requests)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                spans = tracer.finished_spans
+        finally:
+            set_query_log(None)
+            service.shutdown()
+
+        assert len(outcomes) == requests
+        # Outcomes carry the ids they were given, one-to-one.
+        for index, outcome in outcomes.items():
+            assert outcome.trace_id == f"trace-{index:04d}"
+
+        # Every request's lifecycle spans carry exactly its id; no span
+        # carries an id that doesn't match its query_id pairing.
+        id_pairs = {
+            outcome.trace_id: outcome.query_id
+            for outcome in outcomes.values()
+        }
+        lifecycle = ("service.parse", "service.optimize", "service.execute")
+        seen: dict[str, set] = {}
+        for span in spans:
+            trace_id = span.tags.get("trace_id")
+            if trace_id is None or not str(trace_id).startswith("trace-"):
+                continue
+            query_id = span.tags.get("query_id")
+            if query_id is not None:
+                assert id_pairs[trace_id] == query_id, (
+                    f"span {span.name} pairs {trace_id} with {query_id}"
+                )
+            if span.name in lifecycle:
+                seen.setdefault(trace_id, set()).add(span.name)
+        for trace_id in id_pairs:
+            assert seen[trace_id] == set(lifecycle)
+
+        # Every service log row carries its own id and the row's
+        # query_id agrees with the outcome that produced it.
+        rows = [
+            entry
+            for entry in log.entries()
+            if entry.get("kind") == "service"
+        ]
+        assert len(rows) == requests
+        for row in rows:
+            assert id_pairs[row["trace_id"]] == row["query_id"]

@@ -1,0 +1,126 @@
+"""The obs.top dashboard: rate computation and pure rendering."""
+
+from repro.obs.top import STAGE_ORDER, poll, rates, render_dashboard
+
+
+def sample(at, counts, busy=0.0, stage_counts=None, extra_metrics=None):
+    metrics = {"worker.busy_seconds": busy}
+    for stage, (count, p95) in (stage_counts or {}).items():
+        metrics[f"service.stage_seconds.{stage}"] = {
+            "count": count,
+            "p95": p95,
+            "sum": p95 * count,
+            "buckets": {"+Inf": count},
+        }
+    metrics.update(extra_metrics or {})
+    return {
+        "at": at,
+        "health": {
+            "state": "accepting",
+            "uptime_seconds": 12.0,
+            "inflight": 1,
+            "queue_depth": 0,
+            "counts": counts,
+            "plan_cache": {"hit_rate": 0.5, "entries": 2},
+            "slo": {
+                "window_seconds": 300.0,
+                "classes": {
+                    "NORMAL": {
+                        "count": sum(counts.values()),
+                        "p95": 0.02,
+                        "compliance": 1.0,
+                        "burn_rate": 0.0,
+                    }
+                },
+                "total_count": sum(counts.values()),
+                "worst_burn_rate": 0.0,
+            },
+        },
+        "stats": {
+            "service": {
+                "top_queries": [
+                    {
+                        "sql": "SELECT 1",
+                        "executions": 3,
+                        "total_execute_seconds": 0.5,
+                    }
+                ]
+            }
+        },
+        "metrics": {"metrics": metrics, "kinds": {}},
+    }
+
+
+class TestRates:
+    def test_first_poll_reports_zeros(self):
+        current = sample(10.0, {"completed": 5})
+        assert rates(None, current)["qps"] == 0.0
+
+    def test_qps_is_outcome_delta_over_elapsed(self):
+        before = sample(10.0, {"completed": 10, "failed": 2})
+        after = sample(12.0, {"completed": 16, "failed": 4})
+        deltas = rates(before, after)
+        assert deltas["completed"] == 3.0
+        assert deltas["failed"] == 1.0
+        assert deltas["qps"] == 4.0
+
+    def test_worker_busy_is_busy_seconds_per_wall_second(self):
+        before = sample(0.0, {}, busy=1.0)
+        after = sample(2.0, {}, busy=4.0)
+        assert rates(before, after)["worker_busy"] == 1.5
+
+    def test_counter_reset_clamps_to_zero(self):
+        before = sample(0.0, {"completed": 100})
+        after = sample(1.0, {"completed": 5})
+        assert rates(before, after)["completed"] == 0.0
+
+
+class TestRender:
+    def test_frame_contains_every_panel(self):
+        current = sample(
+            5.0,
+            {"completed": 9, "failed": 1},
+            busy=2.0,
+            stage_counts={stage: (10, 0.001) for stage in STAGE_ORDER},
+            extra_metrics={"worker.repro-worker-0.busy_seconds": 1.25},
+        )
+        frame = render_dashboard(current, rates(None, current))
+        assert "state accepting" in frame
+        assert "uptime 0:00:12" in frame
+        for stage in STAGE_ORDER:
+            assert stage in frame
+        assert "NORMAL" in frame
+        assert "worst burn rate" in frame
+        assert "repro-worker-0" in frame
+        assert "SELECT 1" in frame
+
+    def test_empty_sample_renders_without_crashing(self):
+        empty = {"health": {}, "stats": {}, "metrics": {}, "at": 0.0}
+        frame = render_dashboard(empty, rates(None, empty))
+        assert "repro top" in frame
+        assert "(no stage samples yet)" in frame
+
+    def test_long_sql_is_truncated(self):
+        current = sample(0.0, {})
+        current["stats"]["service"]["top_queries"][0]["sql"] = "X" * 200
+        frame = render_dashboard(current, rates(None, current))
+        line = next(l for l in frame.splitlines() if "XXX" in l)
+        assert len(line) < 100
+        assert "..." in line
+
+
+class TestPollShape:
+    def test_poll_uses_the_three_telemetry_ops(self):
+        class FakeClient:
+            def health(self):
+                return {"state": "accepting"}
+
+            def stats(self):
+                return {"service": {}}
+
+            def metrics(self):
+                return {"metrics": {}, "kinds": {}}
+
+        got = poll(FakeClient())
+        assert set(got) == {"at", "health", "stats", "metrics"}
+        assert got["health"]["state"] == "accepting"
