@@ -31,6 +31,10 @@ QUERY = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
 MAX_DISABLED_OVERHEAD = 0.05
 #: overhead budget for a full profile capture over bare execution.
 MAX_ENABLED_OVERHEAD = 0.15
+#: budget for a *disabled* sentinel riding on a logged execute loop.
+MAX_SENTINEL_DISABLED_OVERHEAD = 0.05
+#: budget for a live sentinel (incremental tail + detection per query).
+MAX_SENTINEL_ENABLED_OVERHEAD = 0.15
 
 
 def _build_plan():
@@ -102,3 +106,68 @@ def test_disabled_observability_overhead(bench_artifact):
     # Sanity: the instrumented run still computes the same result shape.
     assert analyzed.last_result.num_rows == via_execute.last_result.num_rows
     assert profiled.last_result.rows_out == via_execute.last_result.num_rows
+
+
+def test_sentinel_overhead(bench_artifact, tmp_path):
+    """The regression sentinel's tail must be cheap: a disabled sentinel
+    adds (near) nothing to a logged execute loop, and a live one —
+    incremental read + detection per query — stays within 15%."""
+    from repro.obs.querylog import QueryLog, set_query_log
+    from repro.obs.sentinel import Sentinel, SentinelConfig, SentinelThread
+
+    disable_observability()
+    plan = _build_plan()
+    log = QueryLog(tmp_path / "bench_log.jsonl")
+    set_query_log(log)
+    try:
+        baseline = time_callable(lambda: execute(plan), repeats=9, warmup=2)
+
+        off_thread = SentinelThread(
+            log, Sentinel(config=SentinelConfig(enabled=False))
+        )
+
+        def run_with_disabled_sentinel():
+            result = execute(plan)
+            off_thread.tick()
+            return result
+
+        disabled = time_callable(
+            run_with_disabled_sentinel, repeats=9, warmup=2
+        )
+        disabled_overhead = disabled.best / baseline.best - 1.0
+
+        live_thread = SentinelThread(log, Sentinel())
+
+        def run_with_live_sentinel():
+            result = execute(plan)
+            live_thread.tick()
+            return result
+
+        enabled = time_callable(run_with_live_sentinel, repeats=9, warmup=2)
+        enabled_overhead = enabled.best / baseline.best - 1.0
+    finally:
+        set_query_log(None)
+
+    bench_artifact(
+        "sentinel_overhead",
+        {
+            "execute_logged": baseline,
+            "execute_sentinel_disabled": disabled,
+            "execute_sentinel_enabled": enabled,
+        },
+        meta={
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+            "ticks": live_thread.ticks,
+        },
+    )
+
+    assert disabled_overhead < MAX_SENTINEL_DISABLED_OVERHEAD, (
+        f"disabled sentinel adds {disabled_overhead:.1%} to a logged "
+        f"execute loop (budget {MAX_SENTINEL_DISABLED_OVERHEAD:.0%})"
+    )
+    assert enabled_overhead < MAX_SENTINEL_ENABLED_OVERHEAD, (
+        f"live sentinel adds {enabled_overhead:.1%} to a logged "
+        f"execute loop (budget {MAX_SENTINEL_ENABLED_OVERHEAD:.0%})"
+    )
+    assert enabled.last_result.num_rows == baseline.last_result.num_rows

@@ -166,6 +166,15 @@ class OptimizationResult:
     #: True when this result came from the optimiser plan cache without a
     #: fresh search (then :attr:`stats` is all-zero: no enumeration ran).
     cached: bool = False
+    #: shape hash of :attr:`plan` (:func:`repro.core.plan.
+    #: plan_fingerprint`) — stable across re-optimisations that choose
+    #: the same plan, different whenever any decision changed. "" only
+    #: for results built by hand.
+    plan_fingerprint: str = ""
+    #: normalised query fingerprint (:func:`repro.core.optimizer.
+    #: plancache.spec_fingerprint`) — the "same query" key baselines and
+    #: the plan-regression sentinel group by.
+    spec_fingerprint: str = ""
 
     def explain(self, deep: bool = False) -> str:
         """Render the chosen plan."""

@@ -29,7 +29,11 @@ from repro.core.optimizer.base import (
     SearchStats,
     dqo_config,
 )
-from repro.core.optimizer.plancache import PlanCache, get_plan_cache
+from repro.core.optimizer.plancache import (
+    PlanCache,
+    get_plan_cache,
+    spec_fingerprint,
+)
 from repro.core.optimizer.pruning import DPEntry, pareto_insert
 from repro.core.optimizer.query import QuerySpec, ScanSpec, extract_query
 from repro.core.optimizer.rules import (
@@ -38,7 +42,7 @@ from repro.core.optimizer.rules import (
     grouping_options,
     join_options,
 )
-from repro.core.plan import PhysicalNode
+from repro.core.plan import PhysicalNode, plan_fingerprint
 from repro.core.properties import (
     Correlations,
     PropertyVector,
@@ -182,6 +186,7 @@ class DynamicProgrammingOptimizer:
             else get_executor_config().workers,
             1,
         )
+        spec_fp = spec_fingerprint(spec)
         cache = self._plan_cache if self._plan_cache is not None else get_plan_cache()
         cache_key: tuple | None = None
         if cache is not None:
@@ -192,6 +197,9 @@ class DynamicProgrammingOptimizer:
             if hit is not None:
                 query_log = get_query_log()
                 if query_log is not None:
+                    # Cached rows carry the cached plan's hash too, so a
+                    # plan flip stays attributable even when every
+                    # repetition resolves from the cache.
                     query_log.append(
                         {
                             "kind": "optimize",
@@ -200,6 +208,11 @@ class DynamicProgrammingOptimizer:
                             "estimated_rows": hit.estimated_rows,
                             "scans": len(spec.scans),
                             "deep": self._config.is_deep,
+                            "workers": self._workers,
+                            "plan_hash": hit.plan_fingerprint,
+                            "spec_fingerprint": hit.spec_fingerprint
+                            or spec_fp,
+                            "catalog_version": self._catalog.version,
                         }
                     )
                 return hit
@@ -234,6 +247,7 @@ class DynamicProgrammingOptimizer:
         stats.retained += len(finals)
         self._report_metrics(stats)
         best = finals[0]
+        plan_hash = plan_fingerprint(best.plan)
         query_log = get_query_log()
         if query_log is not None:
             query_log.append(
@@ -244,6 +258,10 @@ class DynamicProgrammingOptimizer:
                     "estimated_rows": best.plan.rows,
                     "scans": len(spec.scans),
                     "deep": self._config.is_deep,
+                    "workers": self._workers,
+                    "plan_hash": plan_hash,
+                    "spec_fingerprint": spec_fp,
+                    "catalog_version": self._catalog.version,
                     "search": stats.as_dict(),
                 }
             )
@@ -254,6 +272,8 @@ class DynamicProgrammingOptimizer:
             estimated_rows=best.plan.rows,
             stats=stats,
             alternatives=[entry.plan for entry in finals[1:6]],
+            plan_fingerprint=plan_hash,
+            spec_fingerprint=spec_fp,
         )
         if cache is not None and cache_key is not None:
             cache.put(cache_key, result)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING
@@ -110,6 +111,17 @@ def _cost_model_fingerprint(cost_model: "CostModel") -> tuple:
     return cost_model.cache_fingerprint()
 
 
+class _CacheEntry:
+    """One cached result plus its bookkeeping (hits, insertion time)."""
+
+    __slots__ = ("result", "hits", "created_at")
+
+    def __init__(self, result: OptimizationResult) -> None:
+        self.result = result
+        self.hits = 0
+        self.created_at = time.monotonic()
+
+
 class PlanCache:
     """A thread-safe LRU cache of optimisation results."""
 
@@ -117,7 +129,7 @@ class PlanCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._entries: OrderedDict[tuple, OptimizationResult] = OrderedDict()
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -182,12 +194,13 @@ class PlanCache:
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            entry.hits += 1
         if metrics.enabled:
             metrics.counter("optimizer.plancache.hit", exist_ok=True).inc()
         return replace(
-            entry,
+            entry.result,
             stats=SearchStats(),
-            alternatives=list(entry.alternatives),
+            alternatives=list(entry.result.alternatives),
             cached=True,
         )
 
@@ -196,7 +209,7 @@ class PlanCache:
         capacity."""
         evicted = 0
         with self._lock:
-            self._entries[key] = result
+            self._entries[key] = _CacheEntry(result)
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
@@ -224,6 +237,31 @@ class PlanCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
             }
+
+    def entry_stats(self, limit: int | None = None) -> list[dict]:
+        """Per-entry statistics, hottest first: the spec fingerprint and
+        plan hash each entry serves, its hit count, and its age.
+
+        ``limit`` caps the rows (None = all). A cache key's first
+        component is the spec fingerprint (see :meth:`key_for`), so
+        entries are attributable back to query-log rows carrying the
+        same ``spec_fingerprint``.
+        """
+        now = time.monotonic()
+        with self._lock:
+            rows = [
+                {
+                    "spec_fingerprint": key[0],
+                    "plan_hash": entry.result.plan_fingerprint,
+                    "hits": entry.hits,
+                    "age_seconds": now - entry.created_at,
+                    "cost": entry.result.cost,
+                    "workers": key[4],
+                }
+                for key, entry in self._entries.items()
+            ]
+        rows.sort(key=lambda row: (-row["hits"], row["age_seconds"]))
+        return rows if limit is None else rows[: max(int(limit), 0)]
 
 
 # -- process-wide default cache (opt-in) -----------------------------------

@@ -10,6 +10,7 @@ engine so optimised plans actually run.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.granularity import Granularity
@@ -155,6 +156,67 @@ class PhysicalNode:
         return deepest
 
 
+def plan_fingerprint(node: PhysicalNode) -> str:
+    """A stable digest of a plan's *shape*: the operator tree, every
+    algorithm choice, and the parallelism decisions — but none of the
+    cost/cardinality annotations.
+
+    Two optimisations of the same query share this hash exactly when the
+    optimiser made the same decisions; a catalog-statistics change that
+    flips SPHJ to BSJ (or serial to parallel) produces a different hash.
+    That makes "same query, different plan" a first-class observable:
+    the hash is stamped into :class:`~repro.core.optimizer.base.
+    OptimizationResult`, plan-cache entries, query-log rows, and
+    :class:`~repro.obs.profile.QueryProfile` records, and the
+    plan-regression sentinel (:mod:`repro.obs.sentinel`) keys its
+    plan-flip detector on it.
+    """
+    parts: list[str] = []
+    for depth, item in _walk_with_depth(node, 0):
+        token = [str(depth), item.op]
+        if item.op == "scan":
+            token += [
+                item.table_name,
+                item.alias,
+                item.scan_view[0],
+                item.scan_view[1],
+            ]
+            if item.scan_view[0] == "btree":
+                token.append(f"{item.index_range[0]}:{item.index_range[1]}")
+        elif item.op == "filter":
+            token.append(repr(item.predicate))
+        elif item.op == "sort":
+            token.append(",".join(item.sort_keys))
+        elif item.op == "join":
+            assert item.join_algorithm is not None
+            token += [
+                item.join_algorithm.name,
+                item.left_key,
+                item.right_key,
+                "parallel" if item.parallel else "serial",
+            ]
+        elif item.op == "group_by":
+            assert item.grouping_algorithm is not None
+            token += [
+                item.grouping_algorithm.name,
+                item.group_key,
+                "parallel" if item.parallel else "serial",
+            ]
+        elif item.op == "project":
+            token.append(",".join(alias for alias, __ in item.outputs))
+        elif item.op == "limit":
+            token.append(str(item.count))
+        parts.append("|".join(token))
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _walk_with_depth(node: PhysicalNode, depth: int):
+    yield depth, node
+    for child in node.children:
+        yield from _walk_with_depth(child, depth + 1)
+
+
 def to_operator(
     node: PhysicalNode,
     catalog: Catalog,
@@ -187,6 +249,7 @@ def _annotate_estimates(operator: PhysicalOperator, node: PhysicalNode) -> None:
     if node.op in ("join", "group_by"):
         operator.estimated_groups = node.estimated_groups
     operator.plan_op = node.op
+    operator.plan_fingerprint = plan_fingerprint(node)
     if node.join_algorithm is not None:
         operator.plan_algorithm = node.join_algorithm.name
     elif node.grouping_algorithm is not None:

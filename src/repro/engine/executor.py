@@ -100,6 +100,8 @@ def execute(
         if root.estimated_rows is not None:
             entry["estimated_rows"] = root.estimated_rows
             entry["estimated_cost"] = root.estimated_cost
+        if root.plan_fingerprint:
+            entry["plan_hash"] = root.plan_fingerprint
         query_log.append(entry)
     return result
 
@@ -257,6 +259,7 @@ def explain_analyze(
             QueryProfile.from_analyzed(
                 analyzed,
                 trace_id=active.trace_id if active is not None else "",
+                plan_hash=root.plan_fingerprint,
             ).to_dict()
         )
     return analyzed

@@ -101,6 +101,11 @@ class PhysicalOperator:
     plan_op: str = ""
     #: the algorithm family the optimiser chose (e.g. 'HG', 'SPHJ').
     plan_algorithm: str = ""
+    #: shape hash of the plan subtree this operator lowers (see
+    #: :func:`repro.core.plan.plan_fingerprint`; "" = not optimised).
+    #: The root operator's value is the whole query's plan hash — the
+    #: key the plan-regression sentinel watches for flips.
+    plan_fingerprint: str = ""
     #: peak working-set bytes observed during the latest execution; a
     #: class attribute so operators that never note memory stay at 0
     #: without any per-instance cost.

@@ -46,6 +46,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.sentinel import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineStore,
+    Sentinel,
+    SentinelAlert,
+    SentinelConfig,
+    SentinelThread,
+)
 from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
 from repro.obs.runtime import (
     capture_observability,
@@ -69,11 +77,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "OperatorStats",
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineStore",
     "PROFILE_SCHEMA_VERSION",
     "QueryLog",
     "QueryProfile",
     "SLObjective",
     "SLOTracker",
+    "Sentinel",
+    "SentinelAlert",
+    "SentinelConfig",
+    "SentinelThread",
     "Span",
     "Tracer",
     "capture_observability",

@@ -46,6 +46,11 @@ class QueryProfile:
     #: correlation id of the request this profile measures ("" when the
     #: run was not traced — e.g. a bare ``explain_analyze`` call).
     trace_id: str = ""
+    #: shape hash of the optimised plan this run executed
+    #: (:func:`repro.core.plan.plan_fingerprint`; "" for hand-built
+    #: operator trees) — lets the plan-regression sentinel attribute a
+    #: profile's latency/q-errors to one specific plan choice.
+    plan_hash: str = ""
     #: the operator stats tree, as :meth:`OperatorStats.to_dict` emits it.
     operators: dict = field(default_factory=dict)
     #: end-to-end wall seconds of the instrumented run.
@@ -73,11 +78,13 @@ class QueryProfile:
         spans: list | None = None,
         metrics: dict | None = None,
         trace_id: str = "",
+        plan_hash: str = "",
     ) -> "QueryProfile":
         """Build a profile from an :func:`explain_analyze` result."""
         return cls(
             query=query or analyzed.root.description,
             trace_id=trace_id,
+            plan_hash=plan_hash,
             operators=analyzed.root.to_dict(),
             wall_seconds=analyzed.wall_seconds,
             rows_out=analyzed.table.num_rows,
@@ -96,6 +103,7 @@ class QueryProfile:
             "schema_version": self.schema_version,
             "query": self.query,
             "trace_id": self.trace_id,
+            "plan_hash": self.plan_hash,
             "wall_seconds": self.wall_seconds,
             "rows_out": self.rows_out,
             "max_qerror": self.max_qerror,
@@ -124,6 +132,7 @@ class QueryProfile:
         return cls(
             query=record.get("query", ""),
             trace_id=record.get("trace_id", "") or "",
+            plan_hash=record.get("plan_hash", "") or "",
             operators=record.get("operators", {}) or {},
             wall_seconds=float(record.get("wall_seconds", 0.0)),
             rows_out=int(record.get("rows_out", 0)),

@@ -21,10 +21,14 @@ rows all share a correlation id.
     python -m repro.obs.querylog --log run.jsonl diff <id-a> <id-b>
     python -m repro.obs.querylog --log run.jsonl summary
     python -m repro.obs.querylog --log run.jsonl trace <trace-id>
+    python -m repro.obs.querylog --log run.jsonl regress --json
 
 ``trace`` reconstructs one request's timeline from every entry carrying
 that correlation id (unique prefixes work), including its per-stage
-latency breakdown.
+latency breakdown. ``regress`` replays history through the
+plan-regression sentinel (:mod:`repro.obs.sentinel`) and reports plan
+flips and latency/q-error drift; ``list``/``summary``/``regress``
+accept ``--since <iso|duration>`` and ``--last N`` window filters.
 
 ``summary`` replays every logged profile through a
 :class:`~repro.obs.feedback.FeedbackStore`, reporting per-operator
@@ -118,6 +122,43 @@ class QueryLog:
                     entries.append(record)
         return entries
 
+    def read_from(self, offset: int) -> tuple[list[dict], int]:
+        """Incremental read: every parseable entry whose line *completed*
+        at or after byte ``offset``, plus the next offset to resume from.
+
+        Only ``\\n``-terminated lines are consumed — a torn trailing
+        line (a concurrent writer mid-append, or a crash) is left for
+        the next call rather than half-parsed, so an incremental tailer
+        (the sentinel thread) never observes a partial record. A log
+        that shrank (rotation/truncation) resets the cursor to zero.
+        """
+        if not self._path.exists():
+            return [], 0
+        size = self._path.stat().st_size
+        if size < offset:
+            offset = 0
+        if size == offset:
+            return [], offset
+        with self._path.open("rb") as handle:
+            handle.seek(offset)
+            blob = handle.read()
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        consumed = blob[: end + 1]
+        entries = []
+        for raw_line in consumed.split(b"\n"):
+            line = raw_line.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                entries.append(record)
+        return entries, offset + len(consumed)
+
     def entry(self, entry_id: str) -> dict:
         """The entry with the given id; unique prefixes also match.
 
@@ -184,6 +225,85 @@ def get_query_log() -> QueryLog | None:
     if _env_log is None or _env_log[0] != path:
         _env_log = (path, QueryLog(path))
     return _env_log[1]
+
+
+# -- window filters ---------------------------------------------------------
+
+#: duration suffixes accepted by :func:`parse_since`.
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_since(text: str, now: float | None = None) -> float:
+    """Turn ``--since`` input into a unix-seconds cutoff.
+
+    Accepts a relative duration (``30s``, ``15m``, ``2h``, ``1d`` —
+    "everything in the last N") or an absolute ISO-8601 timestamp
+    (``2026-08-07T12:00:00``; naive stamps are local time).
+
+    :raises ObservabilityError: unparseable input.
+    """
+    text = text.strip()
+    if not text:
+        raise ObservabilityError("--since needs a duration or timestamp")
+    unit = _DURATION_UNITS.get(text[-1].lower())
+    if unit is not None:
+        try:
+            amount = float(text[:-1])
+        except ValueError:
+            amount = None
+        if amount is not None and amount >= 0:
+            return (time.time() if now is None else now) - amount * unit
+    from datetime import datetime
+
+    try:
+        stamp = datetime.fromisoformat(text)
+    except ValueError:
+        raise ObservabilityError(
+            f"cannot parse --since {text!r}: use a duration like "
+            "'30s'/'15m'/'2h'/'1d' or an ISO timestamp"
+        ) from None
+    return stamp.timestamp()
+
+
+def filter_window(
+    entries: list[dict],
+    since_ts: float | None = None,
+    last: int | None = None,
+) -> list[dict]:
+    """Restrict entries to a window: at-or-after ``since_ts`` (unix
+    seconds), then the final ``last`` entries. Append order is kept."""
+    window = entries
+    if since_ts is not None:
+        window = [
+            entry
+            for entry in window
+            if float(entry.get("ts", 0.0) or 0.0) >= since_ts
+        ]
+    if last is not None and last >= 0:
+        window = window[-last:] if last else []
+    return window
+
+
+def _windowed_entries(log: QueryLog, args: argparse.Namespace) -> list[dict]:
+    """The log's entries through the CLI's ``--since``/``--last``."""
+    since_ts = parse_since(args.since) if getattr(args, "since", "") else None
+    last = args.last if getattr(args, "last", None) is not None else None
+    return filter_window(log.entries(), since_ts=since_ts, last=last)
+
+
+def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--since",
+        default="",
+        help="window start: duration (30s/15m/2h/1d) or ISO timestamp",
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the last N entries (after --since)",
+    )
 
 
 # -- summary helpers --------------------------------------------------------
@@ -310,6 +430,7 @@ def summarise(entries: list[dict]) -> str:
         )
 
     lines.extend(_plancache_lines(entries))
+    lines.extend(_plan_hash_lines(entries))
 
     walls = [
         float(entry["wall_seconds"])
@@ -374,6 +495,50 @@ def _plancache_lines(entries: list[dict]) -> list[str]:
     ]
 
 
+def _plan_hash_lines(entries: list[dict]) -> list[str]:
+    """Plan-shape population across history: per plan hash, how many
+    ``optimize`` rows chose it (split cached vs fresh) and the spec
+    fingerprint it realises — the raw material of flip forensics."""
+    from repro.bench.reporting import render_table
+
+    per_hash: dict[str, dict] = {}
+    for entry in entries:
+        if entry.get("kind") != "optimize":
+            continue
+        plan_hash = str(entry.get("plan_hash", "") or "")
+        if not plan_hash:
+            continue
+        slot = per_hash.setdefault(
+            plan_hash,
+            {"spec": str(entry.get("spec_fingerprint", "") or ""),
+             "chosen": 0, "cached": 0},
+        )
+        slot["chosen"] += 1
+        if entry.get("cached"):
+            slot["cached"] += 1
+    if not per_hash:
+        return []
+    rows = [
+        [
+            plan_hash,
+            slot["spec"][:16],
+            str(slot["chosen"]),
+            str(slot["cached"]),
+        ]
+        for plan_hash, slot in sorted(
+            per_hash.items(), key=lambda item: -item[1]["chosen"]
+        )
+    ]
+    return [
+        "",
+        render_table(
+            ["plan hash", "spec fp", "chosen", "from cache"],
+            rows,
+            title="plan shapes chosen",
+        ),
+    ]
+
+
 # -- CLI --------------------------------------------------------------------
 
 
@@ -394,7 +559,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
     log = _cli_log(args)
     rows = []
-    for entry in log.entries():
+    for entry in _windowed_entries(log, args):
         kind = entry.get("kind", "?")
         if kind == "profile":
             detail = (
@@ -504,7 +669,61 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_summary(args: argparse.Namespace) -> int:
     log = _cli_log(args)
-    print(summarise(log.entries()))
+    print(summarise(_windowed_entries(log, args)))
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Offline sentinel replay: rebuild (or extend) baselines from the
+    windowed log and report every regression alert raised."""
+    from repro.obs.sentinel import (
+        BaselineStore,
+        Sentinel,
+        SentinelConfig,
+    )
+
+    log = _cli_log(args)
+    entries = _windowed_entries(log, args)
+    config = SentinelConfig()
+    if args.window:
+        config.window = args.window
+    store = BaselineStore(
+        args.baseline or None, reservoir=config.reservoir
+    )
+    sentinel = Sentinel(store=store, config=config)
+    alerts = sentinel.evaluate_log(entries, chunk=args.chunk)
+    if args.baseline:
+        store.save()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "entries": len(entries),
+                    "counts": sentinel.counts(),
+                    "store": store.info(),
+                    "alerts": [alert.to_dict() for alert in alerts],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        counts = sentinel.counts()
+        print(
+            f"sentinel replay: {len(entries)} entr"
+            f"{'y' if len(entries) == 1 else 'ies'}, "
+            f"{counts['total']} alert(s) "
+            f"(plan_flip={counts['plan_flip']} "
+            f"latency_drift={counts['latency_drift']} "
+            f"qerror_drift={counts['qerror_drift']}), "
+            f"{store.info()['fingerprints']} fingerprint(s) tracked"
+        )
+        for alert in alerts:
+            print(f"  {alert.render()}")
+        if args.baseline:
+            print(f"baseline store: {args.baseline}")
+    if args.fail_on_alert and alerts:
+        return 2
     return 0
 
 
@@ -616,7 +835,8 @@ def main(argv: list[str] | None = None) -> int:
         help=f"log path (default: ${ENV_QUERY_LOG})",
     )
     commands = parser.add_subparsers(dest="command", required=True)
-    commands.add_parser("list", help="one line per logged entry")
+    listing = commands.add_parser("list", help="one line per logged entry")
+    _add_window_arguments(listing)
     show = commands.add_parser("show", help="render one entry")
     show.add_argument("id", help="entry id (unique prefixes work)")
     show.add_argument("--html", default="", help="also write an HTML report")
@@ -626,8 +846,39 @@ def main(argv: list[str] | None = None) -> int:
     diff = commands.add_parser("diff", help="compare two profiles")
     diff.add_argument("a")
     diff.add_argument("b")
-    commands.add_parser(
+    summary = commands.add_parser(
         "summary", help="q-error and latency percentiles across history"
+    )
+    _add_window_arguments(summary)
+    regress = commands.add_parser(
+        "regress",
+        help="replay history through the plan-regression sentinel",
+    )
+    _add_window_arguments(regress)
+    regress.add_argument(
+        "--baseline",
+        default="",
+        help="baseline store JSON to load/extend/save (default: in-memory)",
+    )
+    regress.add_argument(
+        "--chunk",
+        type=int,
+        default=32,
+        help="replay batch size (mimics the live tail's cadence)",
+    )
+    regress.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="override the sentinel's sliding latency window",
+    )
+    regress.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    regress.add_argument(
+        "--fail-on-alert",
+        action="store_true",
+        help="exit 2 when any alert is raised (CI gating)",
     )
     trace = commands.add_parser(
         "trace", help="reconstruct one request's timeline by trace id"
@@ -641,6 +892,7 @@ def main(argv: list[str] | None = None) -> int:
         "show": _cmd_show,
         "diff": _cmd_diff,
         "summary": _cmd_summary,
+        "regress": _cmd_regress,
         "trace": _cmd_trace,
     }
     try:

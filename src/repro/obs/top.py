@@ -18,7 +18,9 @@ interval:
 * **workers** — morsel-pool busy time per second of wall time, total
   and per worker, from the ``worker.*.busy_seconds`` gauges;
 * **top queries** — the heaviest query texts by cumulative execute
-  seconds.
+  seconds;
+* **sentinel alerts** — the plan-regression sentinel's recent plan-flip
+  and drift alerts from the ``health`` report's ``sentinel`` section.
 
 Rendering is pure (:func:`render_dashboard` takes a polled sample and
 returns a string), so tests drive it without a terminal; the loop is
@@ -195,6 +197,27 @@ def render_dashboard(sample: dict, deltas: dict, top: int = 5) -> str:
             lines.append(
                 f"  {entry.get('total_execute_seconds', 0.0):8.3f}s "
                 f"x{entry.get('executions', 0):<4} {sql}"
+            )
+    sentinel = health.get("sentinel", {})
+    if sentinel:
+        lines.append("")
+        lines.append(
+            "sentinel  "
+            f"alerts {sentinel.get('total', 0):d} "
+            f"(flip {sentinel.get('plan_flip', 0):d} "
+            f"latency {sentinel.get('latency_drift', 0):d} "
+            f"qerror {sentinel.get('qerror_drift', 0):d})   "
+            f"fingerprints {sentinel.get('fingerprints', 0):d}   "
+            f"critical {'LIVE' if sentinel.get('fresh_critical') else 'none'}"
+        )
+        for alert in sentinel.get("recent", [])[-top:]:
+            message = " ".join(str(alert.get("message", "")).split())
+            if len(message) > 56:
+                message = message[:53] + "..."
+            lines.append(
+                f"  [{alert.get('severity', '?'):<8}] "
+                f"{alert.get('kind', '?'):<13} "
+                f"{str(alert.get('spec_fingerprint', ''))[:10]} {message}"
             )
     return "\n".join(lines) + "\n"
 

@@ -143,6 +143,9 @@ class AdmissionController:
         self._closed = False
         #: EMA of slot-hold seconds, seeding the retry-after estimate.
         self._avg_hold_seconds = 0.05
+        #: monotonic deadline of an external degrade advisory (the
+        #: regression sentinel); 0.0 = no advisory.
+        self._advice_until = 0.0
 
     @property
     def config(self) -> AdmissionConfig:
@@ -160,12 +163,30 @@ class AdmissionController:
         with self._lock:
             return len(self._live)
 
+    def advise_degraded(self, ttl_seconds: float) -> None:
+        """Externally advise degraded admissions for ``ttl_seconds``.
+
+        The regression sentinel calls this on a fresh *critical* alert
+        (when the service opted in): until the advisory expires, new
+        admissions come back degraded (serial, shallow search) even
+        with an empty queue — containment while a regression is live.
+        A non-positive TTL clears the advisory.
+        """
+        with self._lock:
+            self._advice_until = (
+                time.monotonic() + ttl_seconds if ttl_seconds > 0 else 0.0
+            )
+
+    def _advised_degraded_locked(self) -> bool:
+        return self._advice_until > 0.0 and time.monotonic() < self._advice_until
+
     def state(self) -> str:
         """The controller's load state, for health reporting.
 
         ``"shedding"`` — the wait queue is full, so a new query would be
         rejected outright; ``"degraded"`` — deep enough that new
-        admissions run degraded (serial, shallow search); ``"accepting"``
+        admissions run degraded (serial, shallow search), or an external
+        advisory (:meth:`advise_degraded`) is live; ``"accepting"``
         otherwise. A shut-down controller reports ``"stopped"``.
         """
         with self._lock:
@@ -180,6 +201,8 @@ class AdmissionController:
             )
             if not immediate and depth >= self._config.max_queue_depth:
                 return "shedding"
+            if self._advised_degraded_locked():
+                return "degraded"
             degrade_at = self._config.degrade_queue_depth
             if degrade_at is not None and depth >= degrade_at and depth:
                 return "degraded"
@@ -294,7 +317,9 @@ class AdmissionController:
         self, priority: Priority, queued_seconds: float, metrics
     ) -> AdmissionSlot:
         degrade_at = self._config.degrade_queue_depth
-        degraded = degrade_at is not None and len(self._live) >= degrade_at
+        degraded = (
+            degrade_at is not None and len(self._live) >= degrade_at
+        ) or self._advised_degraded_locked()
         if metrics.enabled:
             metrics.counter("service.admitted", exist_ok=True).inc()
             if degraded:

@@ -9,7 +9,8 @@ die with the connection). Requests carry an ``op``:
 "profile"?}``
     Run SQL; responds ``{"ok": true, "id", "trace_id", "columns",
     "rows", "row_count", "wall_seconds", "stages", "cached",
-    "degraded"}``. ``rows`` is capped at ``max_rows`` (default 1000);
+    "degraded", "plan_hash"}``. ``rows`` is capped at ``max_rows``
+    (default 1000);
     ``row_count`` is always the full count. ``trace_id`` is minted at
     the server edge when the client supplies none; ``stages`` maps the
     :data:`~repro.service.session.STAGES` taxonomy (including
@@ -210,6 +211,9 @@ class QueryServer:
                         "queue_depth": self._service.admission.queue_depth,
                         "active_queries": self._service.active_queries(),
                         "plan_cache": self._service.plan_cache.info(),
+                        "plan_cache_entries": (
+                            self._service.plan_cache.entry_stats(limit=10)
+                        ),
                         "top_queries": self._service.top_queries(),
                     },
                 }
@@ -285,6 +289,7 @@ class QueryServer:
             "cached": outcome.cached,
             "degraded": outcome.degraded,
             "cost": outcome.cost,
+            "plan_hash": outcome.plan_hash,
         }
         if outcome.profile is not None:
             response["profile"] = outcome.profile.to_dict()

@@ -45,7 +45,14 @@ from repro.errors import (
 )
 from repro.obs.metrics import DEFAULT_BUCKETS
 from repro.obs.profile import QueryProfile
-from repro.obs.querylog import get_query_log
+from repro.obs.querylog import QueryLog, get_query_log
+from repro.obs.sentinel import (
+    BaselineStore,
+    Sentinel,
+    SentinelAlert,
+    SentinelConfig,
+    SentinelThread,
+)
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.obs.slo import SLObjective, SLOTracker
 from repro.service.admission import (
@@ -109,6 +116,18 @@ class ServiceConfig:
     slo_objectives: "dict[Priority, SLObjective] | None" = None
     #: sliding window the SLO tracker evaluates over, in seconds.
     slo_window_seconds: float = 300.0
+    #: plan-regression sentinel dials; None takes the defaults. The
+    #: sentinel thread only starts when a query log is active (it has
+    #: nothing to tail otherwise) — see :meth:`QueryService.
+    #: attach_sentinel`.
+    sentinel: SentinelConfig | None = None
+    #: persist sentinel baselines here (None = in-memory only).
+    sentinel_baseline_path: str | None = None
+    #: sentinel log-tail poll interval, seconds.
+    sentinel_interval_seconds: float = 2.0
+    #: advise the admission controller into degraded posture while a
+    #: critical sentinel alert is fresh (containment; default off).
+    sentinel_degrade_on_critical: bool = False
 
 
 @dataclass
@@ -137,6 +156,14 @@ class QueryOutcome:
     degraded: bool
     #: the chosen physical plan, rendered.
     plan: str
+    #: shape hash of the chosen plan (:func:`repro.core.plan.
+    #: plan_fingerprint`) — "same query, different plan" observable.
+    plan_hash: str = ""
+    #: normalised query fingerprint the plan cache and the sentinel key
+    #: baselines on.
+    spec_fingerprint: str = ""
+    #: catalog statistics version the plan was optimised against.
+    catalog_version: int = 0
     #: per-stage wall seconds (see :data:`STAGES`; ``serialize`` is
     #: stamped later by the TCP server, absent for in-process callers).
     stage_seconds: dict = field(default_factory=dict)
@@ -181,6 +208,18 @@ class QueryService:
         }
         # sql -> [executions, cumulative execute seconds]; bounded.
         self._top_queries: dict[str, list] = {}
+        self._sentinel = Sentinel(
+            store=BaselineStore(
+                self._config.sentinel_baseline_path,
+                reservoir=(self._config.sentinel or SentinelConfig()).reservoir,
+            ),
+            config=self._config.sentinel or SentinelConfig(),
+        )
+        self._sentinel_thread: SentinelThread | None = None
+        if self._sentinel.config.enabled:
+            log = get_query_log()
+            if log is not None:
+                self.attach_sentinel(log)
 
     @property
     def admission(self) -> AdmissionController:
@@ -196,6 +235,41 @@ class QueryService:
     def slo(self) -> SLOTracker:
         """The service's sliding-window SLO tracker."""
         return self._slo
+
+    @property
+    def sentinel(self) -> Sentinel:
+        """The service's plan-regression sentinel."""
+        return self._sentinel
+
+    @property
+    def sentinel_thread(self) -> "SentinelThread | None":
+        """The live log tail feeding the sentinel, when attached."""
+        return self._sentinel_thread
+
+    def attach_sentinel(self, log: QueryLog) -> SentinelThread:
+        """Start (or return) the sentinel thread tailing ``log``.
+
+        Called automatically at construction when a query log is active;
+        call it explicitly after installing a log later. Idempotent.
+        """
+        if self._sentinel_thread is not None:
+            return self._sentinel_thread
+        self._sentinel_thread = SentinelThread(
+            log,
+            self._sentinel,
+            interval_seconds=self._config.sentinel_interval_seconds,
+            on_alerts=self._on_sentinel_alerts,
+        )
+        self._sentinel_thread.start()
+        return self._sentinel_thread
+
+    def _on_sentinel_alerts(self, alerts: "list[SentinelAlert]") -> None:
+        if not self._config.sentinel_degrade_on_critical:
+            return
+        if any(alert.severity == "critical" for alert in alerts):
+            self._admission.advise_degraded(
+                self._sentinel.config.critical_ttl_seconds
+            )
 
     @property
     def catalog(self) -> Catalog:
@@ -270,6 +344,13 @@ class QueryService:
                 ),
             },
             "slo": self._slo.snapshot(),
+            "sentinel": {
+                **self._sentinel.snapshot(),
+                "tailing": (
+                    self._sentinel_thread is not None
+                    and self._sentinel_thread.running
+                ),
+            },
         }
 
     def session(self, **settings) -> "Session":
@@ -426,6 +507,9 @@ class QueryService:
                         rows_out=outcome.table.num_rows,
                         cached=outcome.cached,
                         degraded=outcome.degraded,
+                        plan_hash=outcome.plan_hash,
+                        spec_fingerprint=outcome.spec_fingerprint,
+                        catalog_version=outcome.catalog_version,
                     )
                 query_log.append(entry)
 
@@ -480,7 +564,10 @@ class QueryService:
                     analyzed = explain_analyze(operator, workers=workers)
                     table = analyzed.table
                     query_profile = QueryProfile.from_analyzed(
-                        analyzed, query=sql, trace_id=context.trace_id
+                        analyzed,
+                        query=sql,
+                        trace_id=context.trace_id,
+                        plan_hash=result.plan_fingerprint,
                     )
                 else:
                     table = execute(operator, workers=workers)
@@ -498,6 +585,9 @@ class QueryService:
             cached=result.cached,
             degraded=degraded,
             plan=result.plan.explain(),
+            plan_hash=result.plan_fingerprint,
+            spec_fingerprint=result.spec_fingerprint,
+            catalog_version=self._catalog.version,
             stage_seconds=stage_seconds,
             profile=query_profile,
         )
@@ -520,7 +610,8 @@ class QueryService:
         return optimizer.optimize(logical)
 
     def shutdown(self, cancel_active: bool = True) -> None:
-        """Stop taking queries; optionally cancel in-flight ones."""
+        """Stop taking queries; optionally cancel in-flight ones. The
+        sentinel thread drains once more and its baselines persist."""
         self._closed = True
         if cancel_active:
             with self._active_lock:
@@ -528,6 +619,13 @@ class QueryService:
             for context in contexts:
                 context.token.cancel("service shutting down")
         self._admission.shutdown()
+        if self._sentinel_thread is not None:
+            self._sentinel_thread.stop()
+            self._sentinel_thread = None
+        try:
+            self._sentinel.store.save()
+        except OSError:  # persistence is best-effort at shutdown
+            pass
 
 
 class Session:

@@ -337,3 +337,49 @@ class TestParallelOptionSpace:
         with parallel_execution(4):
             ambient_aware = optimize_dqo(logical, catalog, workers=None)
         assert ambient_aware.cost < baseline.cost
+
+
+class TestEntryStats:
+    def test_entries_report_hits_age_and_identity(self, catalog, spec):
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        result = optimizer.optimize_spec(spec)
+        for __ in range(3):
+            optimizer.optimize_spec(spec)
+        rows = cache.entry_stats()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["spec_fingerprint"] == spec_fingerprint(spec)
+        assert row["plan_hash"] == result.plan_fingerprint
+        assert row["hits"] == 3
+        assert row["age_seconds"] >= 0.0
+        assert row["cost"] == pytest.approx(result.cost)
+        assert row["workers"] == 1
+
+    def test_hottest_first_and_limit(self, catalog, spec):
+        cache = PlanCache()
+        hot = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        hot.optimize_spec(spec)
+        for __ in range(4):
+            hot.optimize_spec(spec)
+        cold = DynamicProgrammingOptimizer(
+            catalog, plan_cache=cache, config=dqo_config(workers=2)
+        )
+        cold.optimize_spec(spec)
+        rows = cache.entry_stats()
+        assert len(rows) == 2
+        assert rows[0]["hits"] == 4 and rows[1]["hits"] == 0
+        limited = cache.entry_stats(limit=1)
+        assert len(limited) == 1
+        assert limited[0]["plan_hash"] == rows[0]["plan_hash"]
+
+    def test_cached_hits_keep_fingerprints(self, catalog, spec):
+        """dataclasses.replace on a hit must preserve the identity pair
+        the sentinel correlates on."""
+        cache = PlanCache()
+        optimizer = DynamicProgrammingOptimizer(catalog, plan_cache=cache)
+        fresh = optimizer.optimize_spec(spec)
+        hit = optimizer.optimize_spec(spec)
+        assert hit.cached
+        assert hit.plan_fingerprint == fresh.plan_fingerprint != ""
+        assert hit.spec_fingerprint == fresh.spec_fingerprint != ""

@@ -1,0 +1,180 @@
+"""Acceptance: the sentinel catches a seeded regression end-to-end.
+
+A catalog-statistics mutation (re-registering the §4.3 tables with
+unsorted data) forces the optimiser to flip the order-based OJ/OG plan
+to the partitioned-hash family, and a synthetic latency shift is
+replayed through the same query log — the sentinel must raise a
+``plan_flip`` and a ``latency_drift`` alert carrying the right
+fingerprints and both plan hashes, while a stable-workload replay of
+several hundred rows stays completely quiet.
+"""
+
+import random
+
+import pytest
+
+from repro.datagen.grouping import Sortedness
+from repro.datagen.join import make_join_scenario
+from repro.obs import disable_observability
+from repro.obs.querylog import QueryLog, set_query_log
+from repro.obs.sentinel import Sentinel, SentinelConfig
+from repro.service.session import QueryService, ServiceConfig
+from repro.storage.catalog import ForeignKey
+
+SQL = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    disable_observability()
+    set_query_log(None)
+    yield
+    set_query_log(None)
+    disable_observability()
+
+
+def synthetic_service_rows(outcome, n, base_seconds, jitter, rng):
+    """Replayed ``service`` rows for one plan at a synthetic latency."""
+    return [
+        {
+            "kind": "service",
+            "status": "ok",
+            "spec_fingerprint": outcome.spec_fingerprint,
+            "plan_hash": outcome.plan_hash,
+            "catalog_version": outcome.catalog_version,
+            "execute_seconds": base_seconds + rng.uniform(-jitter, jitter),
+            "trace_id": f"trace-{outcome.plan_hash}-{i}",
+            "ts": 1000.0 + i,
+        }
+        for i in range(n)
+    ]
+
+
+class TestSeededRegression:
+    def test_plan_flip_and_latency_drift_are_caught(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        set_query_log(log)
+        scenario = make_join_scenario(
+            n_r=2_000, n_s=4_000, num_groups=500, seed=1
+        )
+        catalog = scenario.build_catalog()
+        service = QueryService(catalog, ServiceConfig())
+        rng = random.Random(7)
+
+        old = service.execute(SQL)
+        assert old.plan_hash and old.spec_fingerprint
+        for row in synthetic_service_rows(old, 40, 0.010, 0.001, rng):
+            log.append(row)
+
+        # The regression: fresh statistics say the data lost its order,
+        # so the optimiser abandons the order-based plan.
+        mutated = make_join_scenario(
+            n_r=2_000,
+            n_s=4_000,
+            num_groups=500,
+            seed=2,
+            r_sortedness=Sortedness.UNSORTED,
+            s_sortedness=Sortedness.UNSORTED,
+        )
+        catalog.register("R", mutated.r, replace=True)
+        catalog.register("S", mutated.s, replace=True)
+        catalog.add_foreign_key(ForeignKey("S", "R_ID", "R", "ID"))
+        new = service.execute(SQL)
+        assert new.plan_hash != old.plan_hash
+        assert new.spec_fingerprint == old.spec_fingerprint
+        assert new.catalog_version > old.catalog_version
+        for row in synthetic_service_rows(new, 24, 0.032, 0.001, rng):
+            log.append(row)
+        service.shutdown()
+
+        sentinel = Sentinel(
+            config=SentinelConfig(min_samples=8, window=16)
+        )
+        alerts = sentinel.evaluate_log(log.entries(), chunk=16)
+        by_kind = {alert.kind: alert for alert in alerts}
+
+        flip = by_kind["plan_flip"]
+        assert flip.spec_fingerprint == old.spec_fingerprint
+        assert flip.old_plan_hash == old.plan_hash
+        assert flip.new_plan_hash == new.plan_hash
+        assert flip.new_catalog_version > flip.old_catalog_version
+
+        drift = by_kind["latency_drift"]
+        assert drift.spec_fingerprint == old.spec_fingerprint
+        assert drift.ratio == pytest.approx(3.2, rel=0.15)
+        assert drift.severity == "critical"
+        assert drift.trace_ids  # exemplars point at offending requests
+
+    def test_stable_workload_replay_raises_nothing(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        set_query_log(log)
+        scenario = make_join_scenario(
+            n_r=2_000, n_s=4_000, num_groups=500, seed=1
+        )
+        service = QueryService(scenario.build_catalog(), ServiceConfig())
+        rng = random.Random(11)
+        outcome = service.execute(SQL)
+        for row in synthetic_service_rows(outcome, 220, 0.010, 0.001, rng):
+            log.append(row)
+        service.shutdown()
+
+        entries = log.entries()
+        assert len(entries) >= 200
+        sentinel = Sentinel(
+            config=SentinelConfig(min_samples=8, window=16)
+        )
+        assert sentinel.evaluate_log(entries, chunk=16) == []
+
+    def test_critical_alert_advises_degraded_admissions(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        set_query_log(log)
+        scenario = make_join_scenario(
+            n_r=2_000, n_s=4_000, num_groups=500, seed=1
+        )
+        config = ServiceConfig(
+            sentinel=SentinelConfig(min_samples=8, window=16),
+            sentinel_degrade_on_critical=True,
+        )
+        service = QueryService(scenario.build_catalog(), config)
+        assert service.sentinel_thread is not None
+        rng = random.Random(3)
+
+        outcome = service.execute(SQL)
+        for row in synthetic_service_rows(outcome, 40, 0.010, 0.001, rng):
+            log.append(row)
+        service.sentinel_thread.tick()
+        assert service.admission.state() == "accepting"
+
+        for row in synthetic_service_rows(outcome, 24, 0.040, 0.001, rng):
+            log.append(row)
+        alerts = service.sentinel_thread.tick()
+        assert any(a.severity == "critical" for a in alerts)
+        # The advisory flips posture: new admissions run degraded.
+        assert service.admission.state() == "degraded"
+        degraded_outcome = service.execute(SQL)
+        assert degraded_outcome.degraded
+        assert service.health()["sentinel"]["fresh_critical"]
+        service.shutdown()
+
+    def test_service_health_and_baseline_persistence(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        set_query_log(log)
+        scenario = make_join_scenario(
+            n_r=2_000, n_s=4_000, num_groups=500, seed=1
+        )
+        baseline_path = tmp_path / "baselines.json"
+        service = QueryService(
+            scenario.build_catalog(),
+            ServiceConfig(sentinel_baseline_path=str(baseline_path)),
+        )
+        service.execute(SQL)
+        service.sentinel_thread.tick()
+        health = service.health()["sentinel"]
+        assert health["enabled"]
+        assert health["fingerprints"] == 1
+        service.shutdown()
+        assert baseline_path.exists()
+        # A fresh service resumes from the persisted baselines.
+        from repro.obs.sentinel import BaselineStore
+
+        assert len(BaselineStore(baseline_path)) == 1

@@ -255,3 +255,242 @@ def test_log_entries_are_plain_json(tmp_path, plan):
     set_query_log(None)
     for line in (tmp_path / "log.jsonl").read_text().splitlines():
         json.loads(line)  # every line parses standalone
+
+
+class TestWindowFilters:
+    def test_parse_since_durations(self):
+        from repro.obs.querylog import parse_since
+
+        now = 10_000.0
+        assert parse_since("30s", now=now) == pytest.approx(now - 30)
+        assert parse_since("15m", now=now) == pytest.approx(now - 900)
+        assert parse_since("2h", now=now) == pytest.approx(now - 7200)
+        assert parse_since("1d", now=now) == pytest.approx(now - 86400)
+
+    def test_parse_since_iso_timestamp(self):
+        from datetime import datetime
+
+        from repro.obs.querylog import parse_since
+
+        stamp = "2026-08-07T12:00:00"
+        assert parse_since(stamp) == pytest.approx(
+            datetime.fromisoformat(stamp).timestamp()
+        )
+
+    def test_parse_since_rejects_garbage(self):
+        from repro.obs.querylog import parse_since
+
+        with pytest.raises(ObservabilityError):
+            parse_since("soon-ish")
+
+    def test_filter_window_since_and_last_compose(self):
+        from repro.obs.querylog import filter_window
+
+        entries = [{"ts": float(i), "n": i} for i in range(10)]
+        assert [
+            e["n"] for e in filter_window(entries, since_ts=6.0)
+        ] == [6, 7, 8, 9]
+        assert [e["n"] for e in filter_window(entries, last=3)] == [7, 8, 9]
+        assert [
+            e["n"] for e in filter_window(entries, since_ts=4.0, last=2)
+        ] == [8, 9]
+
+    def test_cli_list_honours_last(self, tmp_path, capsys):
+        log = QueryLog(tmp_path / "log.jsonl")
+        for i in range(5):
+            log.append({"kind": "execute", "rows_out": i})
+        assert main(["--log", str(log.path), "list", "--last", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("execute") == 2
+
+    def test_cli_summary_honours_since(self, tmp_path, capsys):
+        log = QueryLog(tmp_path / "log.jsonl")
+        log.append({"kind": "execute", "wall_seconds": 1.0, "ts": 100.0})
+        log.append({"kind": "execute", "wall_seconds": 2.0})  # now
+        assert main(["--log", str(log.path), "summary", "--since", "1h"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry" in out
+
+
+class TestReadFrom:
+    def test_incremental_cursor(self, tmp_path):
+        log = QueryLog(tmp_path / "log.jsonl")
+        log.append({"kind": "execute", "n": 1})
+        entries, offset = log.read_from(0)
+        assert [e["n"] for e in entries] == [1]
+        assert log.read_from(offset) == ([], offset)
+        log.append({"kind": "execute", "n": 2})
+        entries, offset2 = log.read_from(offset)
+        assert [e["n"] for e in entries] == [2]
+        assert offset2 > offset
+
+    def test_torn_trailing_line_is_not_consumed(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = QueryLog(path)
+        log.append({"kind": "execute", "n": 1})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "execu')  # no newline: torn write
+        entries, offset = log.read_from(0)
+        assert len(entries) == 1
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('te", "n": 2}\n')
+        entries, __ = log.read_from(offset)
+        assert [e["n"] for e in entries] == [2]
+
+    def test_shrunk_log_resets_cursor(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = QueryLog(path)
+        log.append({"kind": "execute", "n": 1})
+        log.append({"kind": "execute", "n": 2})
+        __, offset = log.read_from(0)
+        path.write_text("")  # rotation/truncation
+        log.append({"kind": "execute", "n": 3})
+        entries, __ = log.read_from(offset)
+        assert [e["n"] for e in entries] == [3]
+
+    def test_missing_log_reads_empty(self, tmp_path):
+        log = QueryLog(tmp_path / "nope.jsonl")
+        assert log.read_from(123) == ([], 0)
+
+
+class TestConcurrentAppenders:
+    def test_multiprocess_appends_never_poison_the_reader(self, tmp_path):
+        """Several processes hammer one log; every line stays parseable
+        and the incremental reader sees every row exactly once."""
+        import subprocess
+        import sys
+
+        path = tmp_path / "log.jsonl"
+        writers, rows = 4, 120
+        script = (
+            "import sys\n"
+            "from repro.obs.querylog import QueryLog\n"
+            "log = QueryLog(sys.argv[1])\n"
+            "for i in range(int(sys.argv[3])):\n"
+            "    log.append({'kind': 'execute', 'writer': sys.argv[2],"
+            " 'n': i})\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), str(w), str(rows)],
+                env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                cwd="/root/repo",
+            )
+            for w in range(writers)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        entries = QueryLog(path).entries()
+        assert len(entries) == writers * rows
+        seen = {(e["writer"], e["n"]) for e in entries}
+        assert len(seen) == writers * rows
+        # The incremental reader drains the same total, chunk by chunk.
+        log, offset, drained = QueryLog(path), 0, 0
+        while True:
+            chunk, offset = log.read_from(offset)
+            if not chunk:
+                break
+            drained += len(chunk)
+        assert drained == writers * rows
+
+
+class TestRegressCli:
+    def seed_log(self, path):
+        log = QueryLog(path)
+        log.append(
+            {
+                "kind": "optimize",
+                "spec_fingerprint": "fp-cli",
+                "plan_hash": "h1",
+                "cost": 10.0,
+                "catalog_version": 1,
+                "deep": True,
+                "workers": 1,
+            }
+        )
+        for __ in range(24):
+            log.append(
+                {
+                    "kind": "service",
+                    "status": "ok",
+                    "spec_fingerprint": "fp-cli",
+                    "plan_hash": "h1",
+                    "execute_seconds": 0.01,
+                }
+            )
+        return log
+
+    def test_quiet_history_exits_zero(self, tmp_path, capsys):
+        log = self.seed_log(tmp_path / "log.jsonl")
+        assert main(["--log", str(log.path), "regress"]) == 0
+        out = capsys.readouterr().out
+        assert "0 alert(s)" in out
+        assert "1 fingerprint(s)" in out
+
+    def test_regression_reports_and_gates(self, tmp_path, capsys):
+        log = self.seed_log(tmp_path / "log.jsonl")
+        log.append(
+            {
+                "kind": "optimize",
+                "spec_fingerprint": "fp-cli",
+                "plan_hash": "h2",
+                "cost": 50.0,
+                "catalog_version": 2,
+                "deep": True,
+                "workers": 1,
+            }
+        )
+        assert (
+            main(
+                [
+                    "--log",
+                    str(log.path),
+                    "regress",
+                    "--fail-on-alert",
+                ]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "plan_flip" in out
+        assert "h1" in out and "h2" in out
+
+    def test_json_report_and_baseline_store(self, tmp_path, capsys):
+        log = self.seed_log(tmp_path / "log.jsonl")
+        store_path = tmp_path / "baselines.json"
+        assert (
+            main(
+                [
+                    "--log",
+                    str(log.path),
+                    "regress",
+                    "--json",
+                    "--baseline",
+                    str(store_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["total"] == 0
+        assert report["store"]["fingerprints"] == 1
+        assert store_path.exists()
+
+
+class TestPlanHashSummary:
+    def test_summary_breaks_down_plan_shapes(self, tmp_path, capsys):
+        log = QueryLog(tmp_path / "log.jsonl")
+        for cached in (False, True, True):
+            log.append(
+                {
+                    "kind": "optimize",
+                    "cached": cached,
+                    "spec_fingerprint": "fp-x",
+                    "plan_hash": "hash-x",
+                    "cost": 1.0,
+                }
+            )
+        assert main(["--log", str(log.path), "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "plan shapes chosen" in out
+        assert "hash-x" in out

@@ -124,3 +124,36 @@ class TestPollShape:
         got = poll(FakeClient())
         assert set(got) == {"at", "health", "stats", "metrics"}
         assert got["health"]["state"] == "accepting"
+
+
+class TestSentinelPane:
+    def test_alerts_pane_renders_counts_and_recent(self):
+        current = sample(0.0, {})
+        current["health"]["sentinel"] = {
+            "enabled": True,
+            "total": 3,
+            "plan_flip": 1,
+            "latency_drift": 2,
+            "qerror_drift": 0,
+            "fingerprints": 4,
+            "fresh_critical": True,
+            "recent": [
+                {
+                    "kind": "plan_flip",
+                    "severity": "critical",
+                    "spec_fingerprint": "abcdef0123456789",
+                    "message": "plan h1 -> h2 (catalog v1 -> v2, "
+                    "cost 10.0 -> 50.0, x5.00)",
+                }
+            ],
+        }
+        frame = render_dashboard(current, rates(None, current))
+        assert "sentinel" in frame
+        assert "critical LIVE" in frame
+        assert "plan_flip" in frame
+        assert "abcdef0123" in frame
+
+    def test_no_sentinel_section_renders_without_pane(self):
+        current = sample(0.0, {})
+        frame = render_dashboard(current, rates(None, current))
+        assert "sentinel" not in frame
