@@ -51,6 +51,33 @@ class CostModel:
         """Cost of an explicit sort enforcer."""
         raise NotImplementedError
 
+    # -- cost attribution (EXPLAIN WHY) ------------------------------------
+
+    def grouping_cost_terms(
+        self, algorithm: GroupingAlgorithm, input_rows: float, num_groups: float
+    ) -> list[tuple[str, float]]:
+        """:meth:`grouping_cost` decomposed into named terms, largest of
+        which is the *decisive* term ``EXPLAIN WHY`` reports. The default
+        is the undecomposed total; models with structured formulas (Table
+        2) override."""
+        return [("total", self.grouping_cost(algorithm, input_rows, num_groups))]
+
+    def join_cost_terms(
+        self,
+        algorithm: JoinAlgorithm,
+        left_rows: float,
+        right_rows: float,
+        num_groups: float,
+    ) -> list[tuple[str, float]]:
+        """:meth:`join_cost` decomposed into named terms (see
+        :meth:`grouping_cost_terms`)."""
+        return [
+            (
+                "total",
+                self.join_cost(algorithm, left_rows, right_rows, num_groups),
+            )
+        ]
+
     def scan_cost(self, rows: float) -> float:
         """Cost of scanning a base table."""
         raise NotImplementedError

@@ -100,6 +100,10 @@ class SearchStats:
     pruned_dominated: int = 0
     #: retained entries displaced by a later, dominating candidate.
     displaced: int = 0
+    #: candidates rejected by heuristic frontier truncation (the greedy
+    #: baseline keeps only the cheapest entry) — *not* true dominance:
+    #: the loser may have carried properties the winner lacks.
+    truncated: int = 0
     #: entries alive at the end across all DP classes.
     retained: int = 0
     #: property-vector closure computations (correlation-implied orders).
@@ -110,8 +114,9 @@ class SearchStats:
 
     @property
     def pruned_total(self) -> int:
-        """Candidates that did not survive: dominated plus displaced."""
-        return self.pruned_dominated + self.displaced
+        """Candidates that did not survive: dominated, displaced, or
+        truncated."""
+        return self.pruned_dominated + self.displaced + self.truncated
 
     def as_dict(self) -> dict:
         """A JSON-friendly representation."""
@@ -119,6 +124,7 @@ class SearchStats:
             "generated": self.generated,
             "pruned_dominated": self.pruned_dominated,
             "displaced": self.displaced,
+            "truncated": self.truncated,
             "retained": self.retained,
             "closures": self.closures,
             "table_entries_by_size": {
@@ -139,6 +145,7 @@ class SearchStats:
                 f"  candidates generated   {self.generated}",
                 f"  pruned (dominated)     {self.pruned_dominated}",
                 f"  displaced              {self.displaced}",
+                f"  truncated              {self.truncated}",
                 f"  retained               {self.retained}",
                 f"  property closures      {self.closures}",
                 f"  DP entries per size    {sizes or '(none)'}",
@@ -175,6 +182,11 @@ class OptimizationResult:
     #: plancache.spec_fingerprint`) — the "same query" key baselines and
     #: the plan-regression sentinel group by.
     spec_fingerprint: str = ""
+    #: decision-trace stamp ``{"path", "summary"}`` when a
+    #: :class:`repro.obs.search.SearchTrace` journalled this search;
+    #: None by default and always None on plan-cache hits (a cached
+    #: verdict ran no search).
+    search_trace: dict | None = None
 
     def explain(self, deep: bool = False) -> str:
         """Render the chosen plan."""

@@ -42,7 +42,7 @@ from repro.core.optimizer.rules import (
     grouping_options,
     join_options,
 )
-from repro.core.plan import PhysicalNode, plan_fingerprint
+from repro.core.plan import PhysicalNode, plan_decisions, plan_fingerprint
 from repro.core.properties import (
     Correlations,
     PropertyVector,
@@ -55,6 +55,7 @@ from repro.errors import OptimizationError
 from repro.service.context import check_active_context, get_active_context
 from repro.obs.querylog import get_query_log
 from repro.obs.runtime import get_metrics, get_tracer
+from repro.obs.search.trace import get_search_trace
 from repro.logical.algebra import LogicalPlan
 from repro.storage.catalog import Catalog
 
@@ -138,6 +139,7 @@ class DynamicProgrammingOptimizer:
         cost_model: CostModel | None = None,
         config: OptimizerConfig | None = None,
         plan_cache: PlanCache | None = None,
+        trace=None,
     ) -> None:
         self._catalog = catalog
         self._cost_model = cost_model or PaperCostModel()
@@ -146,6 +148,11 @@ class DynamicProgrammingOptimizer:
         self._stats = SearchStats()  # rebound per optimize_spec() call
         self._plan_cache = plan_cache
         self._workers = 1  # rebound per optimize_spec() call
+        #: pinned :class:`repro.obs.search.SearchTrace`; None falls back
+        #: to the process-wide handle at each optimise call.
+        self._trace_arg = trace
+        self._trace = None  # the resolved trace, rebound per call
+        self._trace_cls = ""  # current DP class label for trace events
 
     @property
     def config(self) -> OptimizerConfig:
@@ -158,7 +165,12 @@ class DynamicProgrammingOptimizer:
         """Frontier insertion policy; subclasses may override (the greedy
         baseline keeps only the cheapest entry)."""
         return pareto_insert(
-            entries, candidate, stats, self._config.prune_dominated
+            entries,
+            candidate,
+            stats,
+            self._config.prune_dominated,
+            trace=self._trace,
+            cls=self._trace_cls,
         )
 
     def optimize(self, plan: LogicalPlan) -> OptimizationResult:
@@ -186,6 +198,15 @@ class DynamicProgrammingOptimizer:
             else get_executor_config().workers,
             1,
         )
+        trace = (
+            self._trace_arg
+            if self._trace_arg is not None
+            else get_search_trace()
+        )
+        if trace is not None and not trace.enabled:
+            trace = None
+        self._trace = trace
+        self._trace_cls = ""
         spec_fp = spec_fingerprint(spec)
         cache = self._plan_cache if self._plan_cache is not None else get_plan_cache()
         cache_key: tuple | None = None
@@ -218,6 +239,14 @@ class DynamicProgrammingOptimizer:
                 return hit
         stats = SearchStats()
         self._stats = stats
+        if trace is not None:
+            trace.begin(
+                spec_fp,
+                scans=len(spec.scans),
+                deep=self._config.is_deep,
+                workers=self._workers,
+                catalog_version=self._catalog.version,
+            )
         tracer = get_tracer()
         self._aggregate_columns = {
             aggregate.column
@@ -245,26 +274,39 @@ class DynamicProgrammingOptimizer:
             raise OptimizationError("no applicable plan found")
         finals.sort(key=lambda entry: entry.cost)
         stats.retained += len(finals)
-        self._report_metrics(stats)
+        self._report_metrics(stats, traced=trace is not None)
         best = finals[0]
         plan_hash = plan_fingerprint(best.plan)
+        trace_stamp = None
+        if trace is not None:
+            # Journal the complete decorated plans, best-first: rank 0 is
+            # the verdict, so a replay can reconstruct it exactly.
+            for rank, entry in enumerate(finals[:8]):
+                trace.finalist(
+                    rank,
+                    entry,
+                    plan_hash if rank == 0 else plan_fingerprint(entry.plan),
+                )
+            trace_stamp = trace.finish(plan_hash, best.cost, stats.as_dict())
         query_log = get_query_log()
         if query_log is not None:
-            query_log.append(
-                {
-                    "kind": "optimize",
-                    "plan": best.plan.explain(),
-                    "cost": best.cost,
-                    "estimated_rows": best.plan.rows,
-                    "scans": len(spec.scans),
-                    "deep": self._config.is_deep,
-                    "workers": self._workers,
-                    "plan_hash": plan_hash,
-                    "spec_fingerprint": spec_fp,
-                    "catalog_version": self._catalog.version,
-                    "search": stats.as_dict(),
-                }
-            )
+            row = {
+                "kind": "optimize",
+                "plan": best.plan.explain(),
+                "cost": best.cost,
+                "estimated_rows": best.plan.rows,
+                "scans": len(spec.scans),
+                "deep": self._config.is_deep,
+                "workers": self._workers,
+                "plan_hash": plan_hash,
+                "spec_fingerprint": spec_fp,
+                "catalog_version": self._catalog.version,
+                "search": stats.as_dict(),
+                "decisions": plan_decisions(best.plan),
+            }
+            if trace_stamp is not None:
+                row["search_trace"] = trace_stamp
+            query_log.append(row)
         result = OptimizationResult(
             plan=best.plan,
             cost=best.cost,
@@ -274,13 +316,14 @@ class DynamicProgrammingOptimizer:
             alternatives=[entry.plan for entry in finals[1:6]],
             plan_fingerprint=plan_hash,
             spec_fingerprint=spec_fp,
+            search_trace=trace_stamp,
         )
         if cache is not None and cache_key is not None:
             cache.put(cache_key, result)
         return result
 
     @staticmethod
-    def _report_metrics(stats: SearchStats) -> None:
+    def _report_metrics(stats: SearchStats, traced: bool = False) -> None:
         metrics = get_metrics()
         if not metrics.enabled:
             return
@@ -294,6 +337,19 @@ class DynamicProgrammingOptimizer:
         metrics.counter("optimizer.closures", exist_ok=True).inc(
             stats.closures
         )
+        # Search-observatory telemetry (PR 8): frontier-churn detail and
+        # how many searches ran with a decision trace attached.
+        metrics.counter("optimizer.search.displaced", exist_ok=True).inc(
+            stats.displaced
+        )
+        metrics.counter("optimizer.search.truncated", exist_ok=True).inc(
+            stats.truncated
+        )
+        metrics.counter("optimizer.search.retained", exist_ok=True).inc(
+            stats.retained
+        )
+        if traced:
+            metrics.counter("optimizer.search.traced", exist_ok=True).inc()
 
     # -- preparation ---------------------------------------------------------
 
@@ -381,6 +437,8 @@ class DynamicProgrammingOptimizer:
         self, context: _ScanContext, stats: SearchStats
     ) -> list[DPEntry]:
         scan = context.spec
+        if self._trace is not None:
+            self._trace_cls = f"scan:{scan.alias}"
         node = PhysicalNode(
             op="scan",
             table_name=scan.table_name,
@@ -588,6 +646,10 @@ class DynamicProgrammingOptimizer:
                 # plan class.
                 check_active_context()
                 subset = frozenset(subset_tuple)
+                if self._trace is not None:
+                    self._trace_cls = "join:" + "+".join(
+                        sorted(contexts[i].spec.alias for i in subset)
+                    )
                 entries: list[DPEntry] = []
                 for split_size in range(1, size):
                     for part in combinations(sorted(subset), split_size):
@@ -797,6 +859,8 @@ class DynamicProgrammingOptimizer:
     ) -> list[DPEntry]:
         if spec.group_key is None:
             return list(frontier)
+        if self._trace is not None:
+            self._trace_cls = "group_by"
         scope = self._config.property_scope
         options = grouping_options(self._config, self._workers)
         key = spec.group_key

@@ -23,6 +23,7 @@ from repro.core.properties import (
 )
 from repro.engine.parallel import get_executor_config
 from repro.errors import OptimizationError
+from repro.obs.search.trace import get_search_trace
 from repro.logical.algebra import LogicalPlan
 from repro.service.context import check_active_context
 from repro.storage.catalog import Catalog
@@ -225,6 +226,13 @@ def _record(
     if stats is not None:
         stats.generated += len(plans)
         stats.retained += len(plans)
+    trace = get_search_trace()
+    if trace is not None and trace.enabled:
+        # The oracle never prunes: every plan of the space is one
+        # journal event, so a trace diff against the DP's journal shows
+        # exactly what the frontiers refused to carry.
+        for plan in plans:
+            trace.oracle(plan.description, plan.cost, plan.rows)
     return plans
 
 

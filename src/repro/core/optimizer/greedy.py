@@ -29,11 +29,22 @@ class GreedyOptimizer(DynamicProgrammingOptimizer):
         self, entries: list[DPEntry], candidate: DPEntry, stats: SearchStats
     ) -> list[DPEntry]:
         stats.generated += 1
+        trace = self._trace
+        if trace is not None:
+            trace.generated(self._trace_cls, candidate)
         if not entries or candidate.cost < entries[0].cost:
             if entries:
-                stats.displaced += 1
+                # Cheapest-only truncation, not dominance: the evicted
+                # entry may hold properties the winner lacks.
+                stats.truncated += 1
+                if trace is not None:
+                    trace.truncated(self._trace_cls, entries[0], candidate)
+            if trace is not None:
+                trace.kept(self._trace_cls, candidate)
             return [candidate]
-        stats.pruned_dominated += 1
+        stats.truncated += 1
+        if trace is not None:
+            trace.truncated(self._trace_cls, candidate, entries[0])
         return entries
 
 

@@ -202,6 +202,10 @@ class PlanCache:
             stats=SearchStats(),
             alternatives=list(entry.result.alternatives),
             cached=True,
+            # A cached verdict ran no search, so it carries no decision
+            # trace — without this, replace() would leak the stored
+            # result's stamp into every hit.
+            search_trace=None,
         )
 
     def put(self, key: tuple, result: OptimizationResult) -> None:

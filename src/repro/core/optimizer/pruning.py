@@ -39,25 +39,42 @@ def pareto_insert(
     candidate: DPEntry,
     stats: SearchStats,
     prune: bool = True,
+    trace=None,
+    cls: str = "",
 ) -> list[DPEntry]:
     """Insert ``candidate`` into a frontier, maintaining Pareto shape.
 
     With ``prune=False`` (the ablation's no-pruning mode) every candidate
     is retained, modelling a naive DP whose state grows unchecked.
+
+    ``trace`` (a :class:`repro.obs.search.SearchTrace`, or None) journals
+    each outcome — generated / kept / dominated-by-whom / displaced —
+    under DP class ``cls``; the default None adds only these two branch
+    checks to the hot path.
     """
     stats.generated += 1
+    if trace is not None:
+        trace.generated(cls, candidate)
     if not prune:
         entries.append(candidate)
+        if trace is not None:
+            trace.kept(cls, candidate)
         return entries
     for existing in entries:
         if dominates(existing, candidate):
             stats.pruned_dominated += 1
+            if trace is not None:
+                trace.dominated(cls, candidate, existing)
             return entries
     survivors = []
     for existing in entries:
         if dominates(candidate, existing):
             stats.displaced += 1
+            if trace is not None:
+                trace.displaced(cls, existing, candidate)
         else:
             survivors.append(existing)
     survivors.append(candidate)
+    if trace is not None:
+        trace.kept(cls, candidate)
     return survivors

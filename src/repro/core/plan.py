@@ -217,6 +217,144 @@ def _walk_with_depth(node: PhysicalNode, depth: int):
         yield from _walk_with_depth(child, depth + 1)
 
 
+def plan_decisions(node: PhysicalNode) -> list[dict]:
+    """The plan's decisions as a flat, JSON-friendly list (pre-order).
+
+    Each dict names one operator-level decision — access path, algorithm
+    choice, enforcer placement, parallelism — without cost/cardinality
+    annotations, so two decision lists are comparable across catalog
+    versions. Query-log optimize rows carry this list; the sentinel's
+    flip alerts diff the committed list against the observed one with
+    :func:`plan_diff` to say *why* a plan flipped, not just that it did.
+    """
+    decisions: list[dict] = []
+    for depth, item in _walk_with_depth(node, 0):
+        decision: dict = {"depth": depth, "op": item.op}
+        if item.op == "scan":
+            decision["table"] = item.table_name
+            decision["alias"] = item.alias
+            if item.scan_view[0]:
+                decision["view"] = f"{item.scan_view[0]}({item.scan_view[1]})"
+        elif item.op == "sort":
+            decision["keys"] = list(item.sort_keys)
+        elif item.op == "join":
+            decision["algorithm"] = (
+                item.join_algorithm.name if item.join_algorithm else ""
+            )
+            decision["keys"] = [item.left_key, item.right_key]
+            decision["parallel"] = bool(item.parallel)
+        elif item.op == "group_by":
+            decision["algorithm"] = (
+                item.grouping_algorithm.name if item.grouping_algorithm else ""
+            )
+            decision["keys"] = [item.group_key]
+            decision["parallel"] = bool(item.parallel)
+        elif item.op == "limit":
+            decision["count"] = item.count
+        decisions.append(decision)
+    return decisions
+
+
+def decision_label(decision: dict) -> str:
+    """One decision as a compact human-readable label, e.g.
+    ``join[SPHJ](R.ID = S.R_ID)`` or ``scan(R via btree(ID))``."""
+    op = decision.get("op", "?")
+    if op == "scan":
+        label = f"scan({decision.get('alias') or decision.get('table', '?')}"
+        if decision.get("view"):
+            label += f" via {decision['view']}"
+        return label + ")"
+    keys = decision.get("keys", [])
+    if op == "join":
+        algorithm = decision.get("algorithm", "?")
+        if decision.get("parallel"):
+            algorithm += "/parallel"
+        joined = " = ".join(keys) if keys else "?"
+        return f"join[{algorithm}]({joined})"
+    if op == "group_by":
+        algorithm = decision.get("algorithm", "?")
+        if decision.get("parallel"):
+            algorithm += "/parallel"
+        return f"group_by[{algorithm}]({', '.join(keys) or '?'})"
+    if op == "sort":
+        return f"sort({', '.join(keys) or '?'})"
+    if op == "limit":
+        return f"limit({decision.get('count')})"
+    return op
+
+
+def _decision_site(decision: dict) -> tuple:
+    """What a decision is *about*, ignoring how it was implemented —
+    the pairing key that turns a removed+added pair into "changed"."""
+    op = decision.get("op", "")
+    if op == "scan":
+        return (op, decision.get("table", ""), decision.get("alias", ""))
+    return (op, tuple(decision.get("keys", [])))
+
+
+def plan_diff(old: list[dict], new: list[dict]) -> dict:
+    """Structured diff between two :func:`plan_decisions` lists.
+
+    Returns ``{"identical": bool, "changed": [...], "added": [...],
+    "removed": [...]}`` where ``changed`` pairs decisions about the same
+    site (same operator over the same keys/table) whose implementation
+    differs — the "HJ became SPHJ on R.ID = S.R_ID" a flip alert wants —
+    and ``added``/``removed`` hold the labels with no counterpart.
+    """
+    old_only = list(old)
+    new_only = list(new)
+    # Cancel exactly-equal decisions first (multiset semantics; depth is
+    # ignored so pure tree re-shaping doesn't read as a change).
+    for decision in list(old_only):
+        stripped = {k: v for k, v in decision.items() if k != "depth"}
+        for candidate in new_only:
+            if {k: v for k, v in candidate.items() if k != "depth"} == stripped:
+                old_only.remove(decision)
+                new_only.remove(candidate)
+                break
+    changed: list[dict] = []
+    for decision in list(old_only):
+        site = _decision_site(decision)
+        for candidate in list(new_only):
+            if _decision_site(candidate) == site:
+                keys = decision.get("keys") or [
+                    decision.get("alias") or decision.get("table", "")
+                ]
+                changed.append(
+                    {
+                        "op": decision.get("op", ""),
+                        "site": f"{decision.get('op', '')}({' = '.join(keys)})",
+                        "from": decision_label(decision),
+                        "to": decision_label(candidate),
+                    }
+                )
+                old_only.remove(decision)
+                new_only.remove(candidate)
+                break
+    removed = [decision_label(decision) for decision in old_only]
+    added = [decision_label(decision) for decision in new_only]
+    return {
+        "identical": not (changed or removed or added),
+        "changed": changed,
+        "added": added,
+        "removed": removed,
+    }
+
+
+def render_plan_diff(diff: dict) -> str:
+    """One line summarising a :func:`plan_diff`, e.g.
+    ``join[OJ](R.ID = S.R_ID) -> join[SPHJ](R.ID = S.R_ID); -sort(R.A)``."""
+    if diff.get("identical"):
+        return "plans identical"
+    parts = [
+        f"{change['from']} -> {change['to']}"
+        for change in diff.get("changed", [])
+    ]
+    parts += [f"-{label}" for label in diff.get("removed", [])]
+    parts += [f"+{label}" for label in diff.get("added", [])]
+    return "; ".join(parts)
+
+
 def to_operator(
     node: PhysicalNode,
     catalog: Catalog,

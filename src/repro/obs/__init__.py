@@ -54,6 +54,14 @@ from repro.obs.sentinel import (
     SentinelConfig,
     SentinelThread,
 )
+from repro.obs.search import (
+    SearchTrace,
+    get_search_trace,
+    load_trace,
+    replay,
+    set_search_trace,
+    trace_search,
+)
 from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
 from repro.obs.runtime import (
     capture_observability,
@@ -84,6 +92,7 @@ __all__ = [
     "QueryProfile",
     "SLObjective",
     "SLOTracker",
+    "SearchTrace",
     "Sentinel",
     "SentinelAlert",
     "SentinelConfig",
@@ -94,16 +103,37 @@ __all__ = [
     "capture_profile",
     "disable_observability",
     "enable_observability",
+    "explain_why",
     "format_bytes",
     "get_metrics",
     "get_query_log",
+    "get_search_trace",
     "get_tracer",
     "instrumented",
+    "load_trace",
     "merge_snapshots",
     "parse_prometheus",
     "render_prometheus",
+    "replay",
     "sanitize_metric_name",
+    "sensitivity_frontier",
     "set_metrics",
     "set_query_log",
+    "set_search_trace",
     "set_tracer",
+    "trace_search",
+    "whatif",
 ]
+
+
+def __getattr__(name: str):
+    # The explain / what-if layers import the optimiser; resolve them
+    # lazily so `import repro.obs` stays light (and cycle-free from
+    # inside the optimiser itself).
+    if name in ("explain_why", "whatif", "sensitivity_frontier"):
+        import repro.obs.search as search
+
+        value = getattr(search, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

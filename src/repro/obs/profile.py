@@ -65,6 +65,10 @@ class QueryProfile:
     spans: list = field(default_factory=list)
     #: a :meth:`MetricsRegistry.snapshot` taken after the run.
     metrics: dict = field(default_factory=dict)
+    #: the optimiser's search-trace stamp for this query — ``{"path",
+    #: "summary"}`` as :meth:`SearchTrace.finish` returns it; empty when
+    #: the optimisation ran untraced (or the plan came from the cache).
+    search: dict = field(default_factory=dict)
     #: record shape version (see :data:`PROFILE_SCHEMA_VERSION`).
     schema_version: int = PROFILE_SCHEMA_VERSION
 
@@ -111,6 +115,7 @@ class QueryProfile:
             "operators": self.operators,
             "spans": self.spans,
             "metrics": self.metrics,
+            "search": self.search,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -140,6 +145,7 @@ class QueryProfile:
             peak_memory_bytes=int(record.get("peak_memory_bytes", 0)),
             spans=list(record.get("spans", []) or []),
             metrics=dict(record.get("metrics", {}) or {}),
+            search=dict(record.get("search", {}) or {}),
             schema_version=version,
         )
 
@@ -187,6 +193,17 @@ class QueryProfile:
         )
         if self.spans:
             lines.append(f"{len(self.spans)} span(s) recorded")
+        summary = self.search.get("summary") if self.search else None
+        if summary:
+            line = (
+                f"search: {summary.get('generated', 0)} candidates, "
+                f"{summary.get('dominated', 0)} dominated, "
+                f"{summary.get('displaced', 0)} displaced, "
+                f"{summary.get('truncated', 0)} truncated"
+            )
+            if self.search.get("path"):
+                line += f" (trace: {self.search['path']})"
+            lines.append(line)
         return "\n".join(lines)
 
     def to_folded_stacks(self) -> str:

@@ -430,6 +430,7 @@ def summarise(entries: list[dict]) -> str:
         )
 
     lines.extend(_plancache_lines(entries))
+    lines.extend(_optimizer_effort_lines(entries))
     lines.extend(_plan_hash_lines(entries))
 
     walls = [
@@ -492,6 +493,66 @@ def _plancache_lines(entries: list[dict]) -> list[str]:
         f"lookups={lookups} hits={hits} misses={misses} "
         f"evictions={counter_totals['evictions']} "
         f"hit rate={rate:.1%}",
+    ]
+
+
+def _optimizer_effort_lines(entries: list[dict]) -> list[str]:
+    """Enumeration effort across history: per optimiser mode (deep vs
+    shallow), how hard the fresh searches worked — candidates generated,
+    the fraction pruned by dominance, frontier churn, truncation — plus
+    how many carried a decision trace. Fresh ``optimize`` rows stamp
+    their :class:`~repro.core.optimizer.base.SearchStats` as ``search``;
+    cache hits carry none (the search never ran)."""
+    from repro.bench.reporting import render_table
+
+    per_mode: dict[str, dict] = {}
+    for entry in entries:
+        if entry.get("kind") != "optimize" or entry.get("cached"):
+            continue
+        search = entry.get("search")
+        if not isinstance(search, dict):
+            continue
+        mode = "deep" if entry.get("deep") else "shallow"
+        slot = per_mode.setdefault(
+            mode,
+            {"searches": 0, "generated": [], "pruned": 0, "displaced": 0,
+             "truncated": 0, "closures": 0, "traced": 0},
+        )
+        slot["searches"] += 1
+        slot["generated"].append(float(search.get("generated", 0)))
+        slot["pruned"] += int(search.get("pruned_dominated", 0))
+        slot["displaced"] += int(search.get("displaced", 0))
+        slot["truncated"] += int(search.get("truncated", 0))
+        slot["closures"] += int(search.get("closures", 0))
+        if entry.get("search_trace"):
+            slot["traced"] += 1
+    if not per_mode:
+        return []
+    rows = []
+    for mode, slot in sorted(per_mode.items()):
+        generated_total = sum(slot["generated"])
+        pruned_total = slot["pruned"] + slot["displaced"] + slot["truncated"]
+        rows.append(
+            [
+                mode,
+                str(slot["searches"]),
+                f"{_percentile(slot['generated'], 0.50):.0f}",
+                f"{pruned_total / generated_total:.1%}"
+                if generated_total
+                else "-",
+                str(slot["truncated"]),
+                str(slot["closures"]),
+                str(slot["traced"]),
+            ]
+        )
+    return [
+        "",
+        render_table(
+            ["mode", "searches", "gen p50", "pruned", "truncated",
+             "closures", "traced"],
+            rows,
+            title="optimiser effort (fresh searches)",
+        ),
     ]
 
 

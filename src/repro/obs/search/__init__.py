@@ -1,0 +1,92 @@
+"""The optimiser search observatory.
+
+Everything after the optimiser returns has been observable since PR 1
+(execution actuals, profiles, the query log, the regression sentinel);
+this package opens the box the search itself runs in:
+
+- :class:`SearchTrace` (:mod:`repro.obs.search.trace`) — an opt-in
+  journal of every frontier event (generated / kept / dominated-by-whom /
+  displaced / truncated), schema-versioned JSON, replayable.
+- :func:`explain_why` (:mod:`repro.obs.search.explain`) — ``EXPLAIN
+  WHY``: the chosen plan against its runner-ups, with per-decision cost
+  attribution and each runner-up's cause of death.
+- :class:`StatisticsOverlay` / :func:`whatif` /
+  :func:`sensitivity_frontier` (:mod:`repro.obs.search.whatif`) —
+  hypothetical statistics, re-optimisation under them, and the stat
+  changes that flip the plan.
+
+``python -m repro.obs.search`` surfaces all three on the command line.
+
+The trace layer is imported eagerly (the optimiser's hook,
+:func:`get_search_trace`, must be cheap and cycle-free); the explain /
+what-if layers import the optimiser itself, so they load lazily on
+first attribute access.
+"""
+
+from repro.obs.search.trace import (
+    DEFAULT_CAPACITY,
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    SearchTrace,
+    TraceEvent,
+    get_search_trace,
+    load_trace,
+    replay,
+    set_search_trace,
+    trace_search,
+)
+
+_LAZY = {
+    "DecisionExplanation": "repro.obs.search.explain",
+    "WhyReport": "repro.obs.search.explain",
+    "explain_why": "repro.obs.search.explain",
+    "SensitivityProbe": "repro.obs.search.whatif",
+    "StatisticsOverlay": "repro.storage.overlay",
+    "WhatIfReport": "repro.obs.search.whatif",
+    "render_frontier": "repro.obs.search.whatif",
+    "sensitivity_frontier": "repro.obs.search.whatif",
+    "whatif": "repro.obs.search.whatif",
+}
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DecisionExplanation",
+    "EVENT_KINDS",
+    "SearchTrace",
+    "SensitivityProbe",
+    "StatisticsOverlay",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "WhatIfReport",
+    "WhyReport",
+    "explain_why",
+    "get_search_trace",
+    "load_trace",
+    "render_frontier",
+    "replay",
+    "sensitivity_frontier",
+    "set_search_trace",
+    "trace_search",
+    "whatif",
+]
+
+
+def __getattr__(name: str):
+    # Lazy bridge to the optimiser-importing layers: `repro.obs.search`
+    # must stay importable from inside `repro.core.optimizer.dp` itself.
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(module_name)
+    # Bind every lazy symbol the module provides, not just the requested
+    # one: importing the `whatif` SUBMODULE also sets a package
+    # attribute named `whatif`, which would otherwise shadow the
+    # same-named function on the next lookup.
+    for symbol, owner in _LAZY.items():
+        if owner == module_name:
+            globals()[symbol] = getattr(module, symbol)
+    return globals()[name]

@@ -1,0 +1,355 @@
+"""``python -m repro.obs.search`` — the observatory on the command line.
+
+::
+
+    # EXPLAIN WHY for the paper's §4.3 query over generated data
+    python -m repro.obs.search why
+    python -m repro.obs.search why --shallow --save-trace trace.json
+
+    # what-if: re-optimise under hypothetical statistics
+    python -m repro.obs.search whatif --set R.ID.sorted=false
+    python -m repro.obs.search whatif --set S.cardinality=180000 --sweep
+
+    # inspect / compare saved decision traces
+    python -m repro.obs.search trace show trace.json
+    python -m repro.obs.search trace diff before.json after.json
+
+Every command accepts ``--sql`` to override the default query (the
+paper's running example) and ``--scenario star`` for the 3-dimension
+star schema; all queries run against freshly generated data, so the
+module demos end-to-end without any setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+
+#: the paper's §4.3 running query (over make_join_scenario data).
+DEFAULT_SQL = (
+    "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+)
+
+_TRUE = {"true", "1", "yes", "on"}
+_FALSE = {"false", "0", "no", "off"}
+
+
+def _build_workload(args):
+    """(catalog, sql) for the selected scenario."""
+    if args.scenario == "star":
+        from repro.datagen.star import make_star_scenario
+
+        scenario = make_star_scenario()
+        return scenario.build_catalog(), args.sql or scenario.join_query()
+    from repro.datagen.join import make_join_scenario
+
+    scenario = make_join_scenario()
+    return scenario.build_catalog(), args.sql or DEFAULT_SQL
+
+
+def _build_config(args):
+    from repro.core.optimizer.base import dqo_config, sqo_config
+
+    factory = sqo_config if getattr(args, "shallow", False) else dqo_config
+    overrides = {}
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
+    return factory(**overrides)
+
+
+def _parse_bool(raw: str, setting: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise SystemExit(f"--set {setting}: expected a boolean, got {raw!r}")
+
+
+def parse_overlay(settings: list[str]):
+    """``--set`` specs into a StatisticsOverlay.
+
+    Grammar (one spec per ``--set``)::
+
+        TABLE.cardinality=N          TABLE.shuffled=true
+        TABLE.COLUMN.sorted=BOOL     TABLE.COLUMN.clustered=BOOL
+        TABLE.COLUMN.dense=BOOL      TABLE.COLUMN.distinct=N
+        TABLE.COLUMN.index=KIND      TABLE.COLUMN.index=-KIND  (drop)
+    """
+    from repro.storage.overlay import StatisticsOverlay
+
+    overlay = StatisticsOverlay()
+    for setting in settings:
+        target, equals, raw = setting.partition("=")
+        if not equals:
+            raise SystemExit(f"--set {setting}: expected TARGET=VALUE")
+        parts = target.split(".")
+        if len(parts) == 2:
+            table, fieldname = parts
+            if fieldname == "cardinality":
+                overlay.set_cardinality(table, int(raw))
+            elif fieldname == "shuffled":
+                if _parse_bool(raw, setting):
+                    overlay.set_shuffled(table)
+            else:
+                raise SystemExit(
+                    f"--set {setting}: table-level field must be "
+                    "cardinality or shuffled"
+                )
+            continue
+        if len(parts) != 3:
+            raise SystemExit(
+                f"--set {setting}: expected TABLE.FIELD=VALUE or "
+                "TABLE.COLUMN.FIELD=VALUE"
+            )
+        table, column, fieldname = parts
+        if fieldname == "sorted":
+            overlay.set_sorted(table, column, _parse_bool(raw, setting))
+        elif fieldname == "clustered":
+            overlay.set_clustered(table, column, _parse_bool(raw, setting))
+        elif fieldname == "dense":
+            overlay.set_dense(table, column, _parse_bool(raw, setting))
+        elif fieldname == "distinct":
+            overlay.set_distinct(table, column, int(raw))
+        elif fieldname == "index":
+            kind = raw.strip()
+            present = not kind.startswith("-")
+            overlay.set_index(table, column, kind.lstrip("-"), present)
+        else:
+            raise SystemExit(
+                f"--set {setting}: unknown field {fieldname!r} (expected "
+                "sorted, clustered, dense, distinct, or index)"
+            )
+    return overlay
+
+
+def _cmd_why(args) -> int:
+    from repro.obs.search.explain import explain_why
+
+    catalog, sql = _build_workload(args)
+    report = explain_why(
+        sql,
+        catalog,
+        config=_build_config(args),
+        save_trace=args.save_trace,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if args.save_trace:
+            print(f"\ntrace written to {args.save_trace}")
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.obs.search.whatif import (
+        render_frontier,
+        sensitivity_frontier,
+        whatif,
+    )
+
+    catalog, sql = _build_workload(args)
+    config = _build_config(args)
+    sections: list[str] = []
+    payload: dict = {}
+    if args.set:
+        report = whatif(sql, catalog, parse_overlay(args.set), config=config)
+        sections.append(report.render())
+        payload["whatif"] = report.to_dict()
+    if args.sweep or not args.set:
+        probes = sensitivity_frontier(sql, catalog, config=config)
+        sections.append(render_frontier(probes))
+        payload["frontier"] = [probe.to_dict() for probe in probes]
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(sections))
+    return 0
+
+
+def _render_trace(trace, limit: int) -> str:
+    raw = trace.to_dict()
+    summary = trace.summary()
+    lines = [
+        f"SEARCH TRACE  {raw['spec_fingerprint'] or '(unknown query)'}",
+        f"  chosen     {raw['chosen']['fingerprint'] or '(unfinished)'}"
+        f"  cost={raw['chosen']['cost']:,.0f}",
+        "  events     "
+        + "  ".join(
+            f"{kind}={summary[kind]}"
+            for kind in ("generated", "kept", "dominated", "displaced",
+                         "truncated", "finalist", "oracle")
+            if summary[kind]
+        ),
+        f"  classes    {summary['classes']}  dropped={summary['dropped']}",
+    ]
+    stats = raw["meta"].get("search_stats")
+    if stats:
+        lines.append(
+            "  search     "
+            + "  ".join(f"{key}={value}" for key, value in sorted(stats.items()))
+        )
+    events = trace.events()
+    shown = events[-limit:] if limit else events
+    if shown:
+        lines.append(f"  last {len(shown)} event(s):")
+    for event in shown:
+        line = f"    #{event.seq:<5} {event.kind:<9} [{event.cls}]"
+        if event.kind in ("generated", "finalist", "oracle"):
+            line += f" cost={event.cost:,.0f} {event.plan}"
+            if event.rank is not None:
+                line += f"  rank={event.rank}"
+        else:
+            line += f" entry={event.entry_id}"
+            if event.other_id is not None:
+                line += f" by={event.other_id}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _cmd_trace_show(args) -> int:
+    from repro.obs.search.trace import load_trace, replay
+
+    trace = load_trace(args.path)
+    print(_render_trace(trace, args.events))
+    replayed = replay(trace)
+    verdict = "complete" if replayed["complete"] else "INCOMPLETE (drops)"
+    print(
+        f"  replay     {verdict}: {len(replayed['candidates'])} candidates, "
+        f"{len(replayed['deaths'])} deaths, "
+        f"{len(replayed['finalists'])} finalist(s)"
+    )
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.obs.search.trace import load_trace
+
+    left = load_trace(args.left)
+    right = load_trace(args.right)
+    left_summary, right_summary = left.summary(), right.summary()
+    left_chosen = left.chosen_fingerprint or "(unfinished)"
+    right_chosen = right.chosen_fingerprint or "(unfinished)"
+    print(f"TRACE DIFF  {args.left}  vs  {args.right}")
+    if left.spec_fingerprint != right.spec_fingerprint:
+        print(
+            f"  query DIFFERS: {left.spec_fingerprint[:16]} vs "
+            f"{right.spec_fingerprint[:16]}"
+        )
+    if left_chosen == right_chosen:
+        print(f"  chosen plan identical: {left_chosen}")
+    else:
+        print(f"  chosen plan FLIPS: {left_chosen} -> {right_chosen}")
+    for kind in ("generated", "kept", "dominated", "displaced", "truncated",
+                 "finalist", "oracle", "events", "classes", "dropped"):
+        a, b = left_summary[kind], right_summary[kind]
+        if a != b:
+            print(f"  {kind:<10} {a} -> {b}  ({b - a:+d})")
+    left_classes = set(left.classes())
+    right_classes = set(right.classes())
+    for name in sorted(left_classes - right_classes):
+        print(f"  class only in left:  {name}")
+    for name in sorted(right_classes - left_classes):
+        print(f"  class only in right: {name}")
+    return 0
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sql", help=f"query to optimise (default: {DEFAULT_SQL!r})"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("join", "star"),
+        default="join",
+        help="generated dataset: the §4.3 join scenario (default) or the "
+        "3-dimension star schema",
+    )
+    parser.add_argument(
+        "--shallow",
+        action="store_true",
+        help="use the SQO configuration instead of DQO",
+    )
+    parser.add_argument(
+        "--workers", type=int, help="plan for this many morsel workers"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a report"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.search",
+        description="optimiser search observatory: EXPLAIN WHY, what-if "
+        "statistics overlays, decision-trace inspection",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    why = commands.add_parser(
+        "why", help="EXPLAIN WHY: the chosen plan vs the road not taken"
+    )
+    _add_workload_arguments(why)
+    why.add_argument(
+        "--save-trace", help="also write the decision-trace JSON here"
+    )
+    why.set_defaults(handler=_cmd_why)
+
+    whatif = commands.add_parser(
+        "whatif",
+        help="re-optimise under hypothetical statistics "
+        "(no --set: sensitivity sweep only)",
+    )
+    _add_workload_arguments(whatif)
+    whatif.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="TABLE[.COLUMN].FIELD=VALUE",
+        help="hypothetical statistic, repeatable (e.g. R.ID.sorted=false, "
+        "S.cardinality=180000, R.shuffled=true, R.ID.index=btree)",
+    )
+    whatif.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also probe the statistics sensitivity frontier",
+    )
+    whatif.set_defaults(handler=_cmd_whatif)
+
+    trace = commands.add_parser(
+        "trace", help="inspect or compare saved decision traces"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    show = trace_commands.add_parser("show", help="summarise one trace JSON")
+    show.add_argument("path")
+    show.add_argument(
+        "--events",
+        type=int,
+        default=12,
+        help="trailing events to print (0: all)",
+    )
+    show.set_defaults(handler=_cmd_trace_show)
+    diff = trace_commands.add_parser(
+        "diff", help="compare two trace JSONs (plan flip, effort deltas)"
+    )
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.set_defaults(handler=_cmd_trace_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

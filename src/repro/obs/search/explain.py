@@ -1,0 +1,539 @@
+"""``EXPLAIN WHY`` — the chosen plan against the road not taken.
+
+``EXPLAIN`` shows *what* the optimiser chose; :func:`explain_why` shows
+*why*: for every algorithm decision in the winning plan it recomputes
+each rival implementation's cost on the same inputs (and, when a rival
+was not even applicable, names the missing property — "probe input not
+sorted on S.R_ID"), names the decisive Table-2 cost term via
+:meth:`~repro.core.cost.model.CostModel.join_cost_terms`, and renders
+the recorded runner-up plans plus — from the decision trace — each
+killed candidate's cause of death and killer.
+
+The report runs a *fresh* trace-enabled optimisation against a private
+plan cache, so it never mutates process-wide state and always journals
+a real search. Rival costs are recomputed without Algorithmic-View
+build credits (the chosen decision's cost is the plan's own annotation,
+credits included, so a credit-won choice shows up as a ratio > the raw
+formula ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost.model import CostModel
+from repro.core.cost.paper import PaperCostModel
+from repro.core.optimizer.base import (
+    OptimizationResult,
+    OptimizerConfig,
+    PropertyScope,
+    dqo_config,
+)
+from repro.core.optimizer.dp import DynamicProgrammingOptimizer
+from repro.core.optimizer.plancache import PlanCache
+from repro.core.optimizer.query import QuerySpec, extract_query
+from repro.core.optimizer.rules import (
+    GroupingOption,
+    JoinOption,
+    grouping_options,
+    join_options,
+)
+from repro.core.plan import PhysicalNode, plan_fingerprint
+from repro.core.properties import PropertyVector
+from repro.engine.kernels.grouping import GroupingAlgorithm
+from repro.engine.kernels.joins import JoinAlgorithm
+from repro.engine.parallel import get_executor_config
+from repro.logical.algebra import LogicalPlan
+from repro.obs.search.trace import DEFAULT_CAPACITY, SearchTrace, replay
+from repro.storage.catalog import Catalog
+
+
+def _as_spec(query, catalog: Catalog) -> QuerySpec:
+    """Accept SQL text, a LogicalPlan, or a pre-extracted QuerySpec."""
+    if isinstance(query, QuerySpec):
+        return query
+    if isinstance(query, LogicalPlan):
+        return extract_query(query)
+    from repro.sql.planner import plan_query
+
+    return extract_query(plan_query(str(query), catalog))
+
+
+def _option_label(option) -> str:
+    return option.algorithm.name + ("/parallel" if option.parallel else "")
+
+
+def _props_facts(label: str, props: PropertyVector, key: str, rows: float) -> str:
+    qualities = []
+    qualities.append("sorted" if props.is_sorted_on(key) else "unsorted")
+    if props.is_clustered_on(key) and not props.is_sorted_on(key):
+        qualities.append("clustered")
+    qualities.append("dense" if props.is_dense(key) else "sparse")
+    return f"{label} {key}: {', '.join(qualities)}, est {rows:,.0f} rows"
+
+
+def _join_reason(
+    option: JoinOption,
+    build_props: PropertyVector,
+    probe_props: PropertyVector,
+    build_key: str,
+    probe_key: str,
+    scope: PropertyScope,
+) -> str:
+    """Why a join implementation was not applicable (§2.1 preconditions)."""
+    if option.algorithm is JoinAlgorithm.OJ:
+        missing = []
+        if not build_props.is_sorted_on(build_key):
+            missing.append(f"build input not sorted on {build_key}")
+        if not probe_props.is_sorted_on(probe_key):
+            missing.append(f"probe input not sorted on {probe_key}")
+        return "; ".join(missing) or "inapplicable"
+    if option.algorithm is JoinAlgorithm.SPHJ:
+        if scope is not PropertyScope.FULL:
+            return "density invisible to a shallow (SQO) configuration"
+        return f"build domain not dense on {build_key}"
+    return "inapplicable"
+
+
+def _grouping_reason(
+    option: GroupingOption, props: PropertyVector, key: str, scope: PropertyScope
+) -> str:
+    if option.algorithm is GroupingAlgorithm.OG:
+        return f"input not clustered on {key}"
+    if option.algorithm is GroupingAlgorithm.SPHG:
+        if scope is not PropertyScope.FULL:
+            return "density invisible to a shallow (SQO) configuration"
+        return f"input domain not dense on {key}"
+    return "inapplicable"
+
+
+@dataclass
+class DecisionExplanation:
+    """One algorithm choice of the chosen plan, fully attributed."""
+
+    #: "join" or "group_by".
+    op: str
+    #: the node's one-line description.
+    node: str
+    #: chosen implementation label, e.g. "SPHJ" or "HG/parallel".
+    algorithm: str
+    #: the decision's local cost as annotated on the plan (AV credits
+    #: included).
+    cost: float
+    #: estimated output rows of the node.
+    rows: float
+    #: the decisive (largest) term of the chosen formula and its value.
+    decisive_term: str = ""
+    decisive_value: float = 0.0
+    #: the full named-term decomposition of the chosen cost.
+    terms: list = field(default_factory=list)
+    #: input property facts, e.g. "probe S.R_ID: unsorted, dense, est
+    #: 90,000 rows".
+    facts: list = field(default_factory=list)
+    #: every rival implementation: {"algorithm", "applicable", "cost",
+    #: "ratio", "reason"} — ratio is rival/chosen (>1: chosen was
+    #: cheaper), reason set when inapplicable.
+    rivals: list = field(default_factory=list)
+
+    def headline(self) -> str:
+        """The one-sentence summary, ISSUE-style: 'SPHJ beat HJ here by
+        4.0x because probe S.R_ID: unsorted, dense, est 90,000 rows'."""
+        beaten = [
+            rival
+            for rival in self.rivals
+            if rival["applicable"] and rival["ratio"] is not None
+        ]
+        if not beaten:
+            return f"{self.algorithm} was the only applicable implementation"
+        best = min(beaten, key=lambda rival: rival["cost"])
+        because = f" because {self.facts[-1]}" if self.facts else ""
+        if best["ratio"] is not None and best["ratio"] < 1.0:
+            # A rival's raw formula was cheaper: the chosen node won on
+            # credits or frontier properties, worth calling out as such.
+            return (
+                f"{self.algorithm} chosen over cheaper-by-formula "
+                f"{best['algorithm']} (ratio {best['ratio']:.2f}x —"
+                f" view credit or property value)"
+            )
+        return (
+            f"{self.algorithm} beat {best['algorithm']} here by "
+            f"{best['ratio']:.1f}x{because}"
+        )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "op": self.op,
+            "node": self.node,
+            "algorithm": self.algorithm,
+            "cost": self.cost,
+            "rows": self.rows,
+            "decisive_term": self.decisive_term,
+            "decisive_value": self.decisive_value,
+            "terms": [[name, value] for name, value in self.terms],
+            "facts": list(self.facts),
+            "rivals": [dict(rival) for rival in self.rivals],
+            "headline": self.headline(),
+        }
+        return payload
+
+
+@dataclass
+class WhyReport:
+    """The full ``EXPLAIN WHY`` verdict for one query."""
+
+    spec_fingerprint: str
+    plan_fingerprint: str
+    cost: float
+    deep: bool
+    workers: int
+    plan_text: str
+    decisions: list[DecisionExplanation] = field(default_factory=list)
+    #: recorded runner-up complete plans: {"rank", "fingerprint",
+    #: "cost", "ratio", "plan"}.
+    alternatives: list = field(default_factory=list)
+    #: killed candidates from the trace: {"cause", "plan", "cost",
+    #: "killer"} — the dominance edges of the search.
+    deaths: list = field(default_factory=list)
+    death_counts: dict = field(default_factory=dict)
+    search: dict = field(default_factory=dict)
+    trace_summary: dict = field(default_factory=dict)
+    #: the underlying optimisation (not serialised).
+    result: OptimizationResult | None = None
+    #: the journal itself (not serialised; save via trace.save()).
+    trace: SearchTrace | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_fingerprint": self.spec_fingerprint,
+            "plan_fingerprint": self.plan_fingerprint,
+            "cost": self.cost,
+            "deep": self.deep,
+            "workers": self.workers,
+            "plan": self.plan_text,
+            "decisions": [decision.to_dict() for decision in self.decisions],
+            "alternatives": [dict(item) for item in self.alternatives],
+            "deaths": [dict(item) for item in self.deaths],
+            "death_counts": dict(self.death_counts),
+            "search": dict(self.search),
+            "trace_summary": dict(self.trace_summary),
+        }
+
+    def render(self) -> str:
+        """The human-readable report."""
+        lines = [
+            f"EXPLAIN WHY — spec {self.spec_fingerprint[:12]} "
+            f"({'deep' if self.deep else 'shallow'}, workers={self.workers})",
+            f"chosen plan {self.plan_fingerprint} (cost {self.cost:,.0f}):",
+        ]
+        lines += [f"  {line}" for line in self.plan_text.splitlines()]
+        lines.append("decisions:")
+        if not self.decisions:
+            lines.append("  (no algorithm decisions: single-scan plan)")
+        for index, decision in enumerate(self.decisions, start=1):
+            lines.append(f"  {index}. {decision.node}")
+            lines.append(f"       {decision.headline()}")
+            lines.append(
+                f"       decisive term: {decision.decisive_term} = "
+                f"{decision.decisive_value:,.0f}"
+            )
+            for fact in decision.facts:
+                lines.append(f"       input: {fact}")
+            for rival in decision.rivals:
+                if rival["applicable"]:
+                    lines.append(
+                        f"       vs {rival['algorithm']:<14} cost "
+                        f"{rival['cost']:>14,.0f}  ({rival['ratio']:.2f}x)"
+                    )
+                else:
+                    lines.append(
+                        f"       vs {rival['algorithm']:<14} inapplicable: "
+                        f"{rival['reason']}"
+                    )
+        lines.append("runner-up plans:")
+        if not self.alternatives:
+            lines.append("  (none recorded)")
+        for item in self.alternatives:
+            lines.append(
+                f"  #{item['rank']} cost {item['cost']:,.0f} "
+                f"(+{item['ratio']:.2f}x) {item['fingerprint']}  {item['plan']}"
+            )
+        if self.deaths:
+            lines.append("notable killed candidates:")
+            for death in self.deaths:
+                killer = f"  <- {death['killer']}" if death.get("killer") else ""
+                lines.append(
+                    f"  [{death['cause']:<9}] {death['plan']}"
+                    f" (cost {death['cost']:,.0f}){killer}"
+                )
+        summary = self.trace_summary
+        lines.append(
+            "search journal: "
+            f"{summary.get('generated', 0)} candidates, "
+            f"{summary.get('dominated', 0)} dominated, "
+            f"{summary.get('displaced', 0)} displaced, "
+            f"{summary.get('truncated', 0)} truncated "
+            f"({summary.get('classes', 0)} classes, "
+            f"{summary.get('dropped', 0)} dropped)"
+        )
+        return "\n".join(lines)
+
+
+def _explain_join(
+    node: PhysicalNode,
+    cost_model: CostModel,
+    config: OptimizerConfig,
+    workers: int,
+) -> DecisionExplanation:
+    build, probe = node.children
+    build_rows, probe_rows = float(build.rows), float(probe.rows)
+    groups = max(float(node.estimated_groups), 1.0)
+    scope = config.property_scope
+    chosen_parallel = bool(node.parallel)
+    chosen_cost = float(node.local_cost)
+    terms = cost_model.join_cost_terms(
+        node.join_algorithm, build_rows, probe_rows, groups
+    )
+    decisive_term, decisive_value = max(terms, key=lambda term: term[1])
+    rivals = []
+    for option in join_options(config, workers):
+        if (
+            option.algorithm is node.join_algorithm
+            and option.parallel == chosen_parallel
+        ):
+            continue
+        applicable = option.applicable(
+            build.properties,
+            probe.properties,
+            node.left_key,
+            node.right_key,
+            scope,
+        )
+        if not applicable:
+            rivals.append(
+                {
+                    "algorithm": _option_label(option),
+                    "applicable": False,
+                    "cost": None,
+                    "ratio": None,
+                    "reason": _join_reason(
+                        option,
+                        build.properties,
+                        probe.properties,
+                        node.left_key,
+                        node.right_key,
+                        scope,
+                    ),
+                }
+            )
+            continue
+        if option.parallel:
+            cost = cost_model.parallel_join_cost(
+                option.algorithm, build_rows, probe_rows, groups, float(workers)
+            )
+        else:
+            cost = cost_model.join_cost(
+                option.algorithm, build_rows, probe_rows, groups
+            )
+        rivals.append(
+            {
+                "algorithm": _option_label(option),
+                "applicable": True,
+                "cost": cost,
+                "ratio": cost / chosen_cost if chosen_cost > 0 else None,
+                "reason": "",
+            }
+        )
+    return DecisionExplanation(
+        op="join",
+        node=node.describe(),
+        algorithm=node.join_algorithm.name
+        + ("/parallel" if chosen_parallel else ""),
+        cost=chosen_cost,
+        rows=float(node.rows),
+        decisive_term=decisive_term,
+        decisive_value=decisive_value,
+        terms=terms,
+        facts=[
+            _props_facts("build", build.properties, node.left_key, build_rows),
+            _props_facts("probe", probe.properties, node.right_key, probe_rows),
+        ],
+        rivals=rivals,
+    )
+
+
+def _explain_grouping(
+    node: PhysicalNode,
+    cost_model: CostModel,
+    config: OptimizerConfig,
+    workers: int,
+) -> DecisionExplanation:
+    child = node.children[0]
+    rows = float(child.rows)
+    groups = max(float(node.estimated_groups), 1.0)
+    scope = config.property_scope
+    chosen_parallel = bool(node.parallel)
+    chosen_cost = float(node.local_cost)
+    terms = cost_model.grouping_cost_terms(
+        node.grouping_algorithm, rows, groups
+    )
+    decisive_term, decisive_value = max(terms, key=lambda term: term[1])
+    rivals = []
+    for option in grouping_options(config, workers):
+        if (
+            option.algorithm is node.grouping_algorithm
+            and option.parallel == chosen_parallel
+        ):
+            continue
+        applicable = option.applicable(
+            child.properties, node.group_key, scope
+        )
+        if not applicable:
+            rivals.append(
+                {
+                    "algorithm": _option_label(option),
+                    "applicable": False,
+                    "cost": None,
+                    "ratio": None,
+                    "reason": _grouping_reason(
+                        option, child.properties, node.group_key, scope
+                    ),
+                }
+            )
+            continue
+        if option.parallel:
+            cost = cost_model.parallel_grouping_cost(
+                option.algorithm, rows, groups, float(workers)
+            )
+        else:
+            cost = cost_model.grouping_cost(option.algorithm, rows, groups)
+        rivals.append(
+            {
+                "algorithm": _option_label(option),
+                "applicable": True,
+                "cost": cost,
+                "ratio": cost / chosen_cost if chosen_cost > 0 else None,
+                "reason": "",
+            }
+        )
+    return DecisionExplanation(
+        op="group_by",
+        node=node.describe(),
+        algorithm=node.grouping_algorithm.name
+        + ("/parallel" if chosen_parallel else ""),
+        cost=chosen_cost,
+        rows=float(node.rows),
+        decisive_term=decisive_term,
+        decisive_value=decisive_value,
+        terms=terms,
+        facts=[
+            _props_facts("input", child.properties, node.group_key, rows)
+        ],
+        rivals=rivals,
+    )
+
+
+def _notable_deaths(replayed: dict, limit: int = 8) -> list[dict]:
+    """The most interesting kills: cheapest casualties first (the closer
+    a dead candidate's cost was to winning, the more the dominance edge
+    explains)."""
+    candidates = replayed["candidates"]
+    deaths = []
+    for entry_id, death in replayed["deaths"].items():
+        payload = candidates.get(entry_id)
+        if payload is None:
+            continue  # its generated event fell off a ring buffer
+        killer_payload = candidates.get(death.get("by"))
+        deaths.append(
+            {
+                "cause": death["cause"],
+                "plan": payload.get("plan", ""),
+                "cost": float(payload.get("cost", 0.0)),
+                "killer": (killer_payload or {}).get("plan", ""),
+            }
+        )
+    deaths.sort(key=lambda item: item["cost"])
+    return deaths[:limit]
+
+
+def explain_why(
+    query,
+    catalog: Catalog,
+    *,
+    config: OptimizerConfig | None = None,
+    cost_model: CostModel | None = None,
+    capacity_per_class: int = DEFAULT_CAPACITY,
+    save_trace: str | None = None,
+) -> WhyReport:
+    """Optimise ``query`` with a decision trace attached and explain the
+    verdict (see the module docstring).
+
+    :param query: SQL text, a LogicalPlan, or a QuerySpec.
+    :param save_trace: when given, the journal is also written to this
+        path.
+    """
+    spec = _as_spec(query, catalog)
+    config = config or dqo_config()
+    cost_model = cost_model or PaperCostModel()
+    workers = max(
+        config.workers
+        if config.workers is not None
+        else get_executor_config().workers,
+        1,
+    )
+    trace = SearchTrace(capacity_per_class=capacity_per_class)
+    optimizer = DynamicProgrammingOptimizer(
+        catalog,
+        cost_model,
+        config,
+        plan_cache=PlanCache(2),  # private: never resolves a stale hit
+        trace=trace,
+    )
+    result = optimizer.optimize_spec(spec)
+    decisions = []
+    for node in result.plan.walk():
+        if node.op == "join":
+            decisions.append(_explain_join(node, cost_model, config, workers))
+        elif node.op == "group_by":
+            decisions.append(
+                _explain_grouping(node, cost_model, config, workers)
+            )
+    alternatives = []
+    for rank, plan in enumerate(result.alternatives, start=1):
+        alternatives.append(
+            {
+                "rank": rank,
+                "fingerprint": plan_fingerprint(plan),
+                "cost": float(plan.cost),
+                "ratio": float(plan.cost) / result.cost
+                if result.cost > 0
+                else 1.0,
+                "plan": plan.describe(),
+            }
+        )
+    replayed = replay(trace)
+    summary = trace.summary()
+    if save_trace is not None:
+        trace.save(save_trace)
+    return WhyReport(
+        spec_fingerprint=result.spec_fingerprint,
+        plan_fingerprint=result.plan_fingerprint,
+        cost=result.cost,
+        deep=config.is_deep,
+        workers=workers,
+        plan_text=result.plan.explain(),
+        decisions=decisions,
+        alternatives=alternatives,
+        deaths=_notable_deaths(replayed),
+        death_counts={
+            cause: sum(
+                1
+                for death in replayed["deaths"].values()
+                if death["cause"] == cause
+            )
+            for cause in ("dominated", "displaced", "truncated")
+        },
+        search=result.stats.as_dict(),
+        trace_summary=summary,
+        result=result,
+        trace=trace,
+    )

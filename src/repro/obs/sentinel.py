@@ -121,6 +121,12 @@ class SentinelAlert:
     new_cost: float = 0.0
     #: up to three trace ids exemplifying the regression.
     trace_ids: list[str] = field(default_factory=list)
+    #: structured "why it flipped" plan diff (plan flips, when both the
+    #: committed and observed rows carried decision lists): the output of
+    #: :func:`repro.core.plan.plan_diff` — ``{"identical": bool,
+    #: "changed": [...], "added": [...], "removed": [...]}``. Empty
+    #: otherwise.
+    why: dict = field(default_factory=dict)
     #: unix seconds when the alert was raised.
     ts: float = field(default_factory=time.time)
 
@@ -142,6 +148,7 @@ class SentinelAlert:
             "old_cost": self.old_cost,
             "new_cost": self.new_cost,
             "trace_ids": list(self.trace_ids),
+            "why": dict(self.why),
             "ts": self.ts,
         }
 
@@ -743,6 +750,7 @@ class Sentinel:
                 "catalog_version": int(row.get("catalog_version", 0) or 0),
                 "cost": float(row.get("cost", 0.0) or 0.0),
                 "ts": float(row.get("ts", 0.0) or 0.0),
+                "decisions": list(row.get("decisions", []) or []),
             },
         )
 
@@ -765,6 +773,18 @@ class Sentinel:
         old_version = int(committed.get("catalog_version", 0) or 0)
         new_version = int(row.get("catalog_version", 0) or 0)
         trace_id = str(row.get("trace_id", "") or "")
+        # Why it flipped: diff the committed decision list against the
+        # observed one (both stamped onto optimize rows by the DP
+        # optimiser). Rows predating decision journaling yield no diff.
+        why: dict = {}
+        why_suffix = ""
+        old_decisions = list(committed.get("decisions", []) or [])
+        new_decisions = list(row.get("decisions", []) or [])
+        if old_decisions and new_decisions:
+            from repro.core.plan import plan_diff, render_plan_diff
+
+            why = plan_diff(old_decisions, new_decisions)
+            why_suffix = f"; why: {render_plan_diff(why)}"
         return SentinelAlert(
             kind="plan_flip",
             severity=severity,
@@ -779,11 +799,13 @@ class Sentinel:
             old_cost=old_cost,
             new_cost=new_cost,
             trace_ids=[trace_id] if trace_id else [],
+            why=why,
             message=(
                 f"plan {committed.get('plan_hash', '?')} -> "
                 f"{row.get('plan_hash', '?')} "
                 f"(catalog v{old_version} -> v{new_version}, "
                 f"cost {old_cost:.1f} -> {new_cost:.1f}, x{cost_ratio:.2f})"
+                f"{why_suffix}"
             ),
         )
 

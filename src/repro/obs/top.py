@@ -17,6 +17,9 @@ interval:
   :class:`~repro.obs.slo.SLOTracker`;
 * **workers** — morsel-pool busy time per second of wall time, total
   and per worker, from the ``worker.*.busy_seconds`` gauges;
+* **optimiser search effort** — fresh searches, frontier candidates,
+  and traced searches per second, plus the cumulative prune rate and
+  truncation count, from the ``optimizer.*`` counters;
 * **top queries** — the heaviest query texts by cumulative execute
   seconds;
 * **sentinel alerts** — the plan-regression sentinel's recent plan-flip
@@ -72,6 +75,9 @@ def rates(previous: dict | None, current: dict) -> dict:
         "cancelled": 0.0,
         "rejected": 0.0,
         "worker_busy": 0.0,
+        "searches": 0.0,
+        "candidates": 0.0,
+        "traced": 0.0,
     }
     if previous is None:
         return zeros
@@ -84,13 +90,19 @@ def rates(previous: dict | None, current: dict) -> dict:
     for key in ("completed", "failed", "cancelled", "rejected"):
         out[key] = max(after.get(key, 0) - before.get(key, 0), 0) / elapsed
     out["qps"] = sum(out.values())
-    busy_before = previous["metrics"].get("metrics", {}).get(
-        "worker.busy_seconds", 0.0
-    )
-    busy_after = current["metrics"].get("metrics", {}).get(
-        "worker.busy_seconds", 0.0
-    )
-    out["worker_busy"] = max(busy_after - busy_before, 0.0) / elapsed
+    snap_before = previous["metrics"].get("metrics", {}) or {}
+    snap_after = current["metrics"].get("metrics", {}) or {}
+
+    def metric_rate(name: str) -> float:
+        delta = snap_after.get(name, 0.0) - snap_before.get(name, 0.0)
+        return max(float(delta), 0.0) / elapsed
+
+    out["worker_busy"] = metric_rate("worker.busy_seconds")
+    # Optimiser search effort: fresh enumerations (cache hits search
+    # nothing), frontier candidates considered, and traced searches.
+    out["searches"] = metric_rate("optimizer.optimizations")
+    out["candidates"] = metric_rate("optimizer.candidates_generated")
+    out["traced"] = metric_rate("optimizer.search.traced")
     return out
 
 
@@ -198,6 +210,27 @@ def render_dashboard(sample: dict, deltas: dict, top: int = 5) -> str:
                 f"  {entry.get('total_execute_seconds', 0.0):8.3f}s "
                 f"x{entry.get('executions', 0):<4} {sql}"
             )
+    if snapshot.get("optimizer.optimizations"):
+        generated = float(snapshot.get("optimizer.candidates_generated", 0.0))
+        dropped = (
+            float(snapshot.get("optimizer.pruned_dominated", 0.0))
+            + float(snapshot.get("optimizer.search.displaced", 0.0))
+            + float(snapshot.get("optimizer.search.truncated", 0.0))
+        )
+        prune_pct = (dropped / generated * 100.0) if generated else 0.0
+        lines.append("")
+        lines.append(
+            "optimiser  "
+            f"searches/s {deltas.get('searches', 0.0):6.1f}   "
+            f"candidates/s {deltas.get('candidates', 0.0):7.1f}   "
+            f"traced/s {deltas.get('traced', 0.0):5.1f}"
+        )
+        lines.append(
+            f"           pruned {prune_pct:5.1f}%   "
+            f"truncated {int(snapshot.get('optimizer.search.truncated', 0)):d}   "
+            f"closures {int(snapshot.get('optimizer.closures', 0)):d}   "
+            f"searches {int(snapshot.get('optimizer.optimizations', 0)):d}"
+        )
     sentinel = health.get("sentinel", {})
     if sentinel:
         lines.append("")

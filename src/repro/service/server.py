@@ -29,6 +29,12 @@ die with the connection). Requests carry an ``op``:
     (admission state, inflight, plan-cache hit rate, SLO posture,
     uptime).
 
+``{"op": "why", "sql"?, "fingerprint"?, "deep"?, "workers"?}``
+    ``EXPLAIN WHY``: the server re-optimises the query (named by SQL or
+    by a spec fingerprint it has served) with a decision trace attached
+    and responds ``{"ok": true, "why": <structured report>, "rendered":
+    <text>}`` — see :func:`repro.obs.search.explain.explain_why`.
+
 ``{"op": "set", "name": ..., "value": ...}`` / ``{"op": "stats"}`` /
 ``{"op": "ping"}`` / ``{"op": "close"}``
     Session settings, session + service statistics, liveness, goodbye.
@@ -227,6 +233,18 @@ class QueryServer:
                 }
             if op == "health":
                 return {"ok": True, "health": self._service.health()}
+            if op == "why":
+                report = self._service.why(
+                    sql=request.get("sql"),
+                    fingerprint=request.get("fingerprint"),
+                    deep=request.get("deep"),
+                    workers=request.get("workers"),
+                )
+                return {
+                    "ok": True,
+                    "why": report.to_dict(),
+                    "rendered": report.render(),
+                }
             if op == "ping":
                 return {"ok": True, "pong": True}
             raise ServiceError(f"unknown op {op!r}")
@@ -437,6 +455,25 @@ class ServiceClient:
         return self._raise_on_error(
             self.request({"op": "health"})
         ).get("health", {})
+
+    def why(
+        self,
+        sql: str | None = None,
+        fingerprint: str | None = None,
+        **options,
+    ) -> dict:
+        """``EXPLAIN WHY`` over the wire: the server re-optimises the
+        query with a decision trace attached and returns the structured
+        report (``why``) plus its text form (``rendered``). Name the
+        query by SQL or by a spec ``fingerprint`` the service has seen
+        (e.g. from a sentinel alert)."""
+        payload: dict = {"op": "why"}
+        if sql is not None:
+            payload["sql"] = sql
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        payload.update({k: v for k, v in options.items() if v is not None})
+        return self._raise_on_error(self.request(payload))
 
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))

@@ -82,6 +82,10 @@ STAGES = ("queue", "parse", "plan_cache", "optimize", "execute", "serialize")
 #: for the ``obs.top`` dashboard's "top queries" panel.
 TOP_QUERIES_CAPACITY = 64
 
+#: spec-fingerprint -> SQL entries the service remembers so ``why`` can
+#: resolve a fingerprint seen in an alert or log row back to query text.
+FINGERPRINT_INDEX_CAPACITY = 256
+
 
 def observe_stage(
     metrics, stage: str, seconds: float, trace_id: str = ""
@@ -208,6 +212,8 @@ class QueryService:
         }
         # sql -> [executions, cumulative execute seconds]; bounded.
         self._top_queries: dict[str, list] = {}
+        # spec fingerprint -> sql text; bounded FIFO, feeds `why`.
+        self._sql_by_fingerprint: dict[str, str] = {}
         self._sentinel = Sentinel(
             store=BaselineStore(
                 self._config.sentinel_baseline_path,
@@ -304,6 +310,23 @@ class QueryService:
     def _count(self, outcome: str) -> None:
         with self._counts_lock:
             self._counts[outcome] += 1
+
+    def _note_fingerprint(self, fingerprint: str, sql: str) -> None:
+        if not fingerprint:
+            return
+        with self._counts_lock:
+            if (
+                fingerprint not in self._sql_by_fingerprint
+                and len(self._sql_by_fingerprint) >= FINGERPRINT_INDEX_CAPACITY
+            ):
+                oldest = next(iter(self._sql_by_fingerprint))
+                del self._sql_by_fingerprint[oldest]
+            self._sql_by_fingerprint[fingerprint] = sql
+
+    def resolve_fingerprint(self, fingerprint: str) -> str | None:
+        """The SQL text last seen for a spec fingerprint, if remembered."""
+        with self._counts_lock:
+            return self._sql_by_fingerprint.get(fingerprint)
 
     def _note_query(self, sql: str, execute_seconds: float) -> None:
         with self._counts_lock:
@@ -457,6 +480,7 @@ class QueryService:
             outcome.wall_seconds = time.monotonic() - started
             self._count("completed")
             self._note_query(sql, outcome.execute_seconds)
+            self._note_fingerprint(outcome.spec_fingerprint, sql)
             if metrics.enabled:
                 metrics.counter("service.completed", exist_ok=True).inc()
                 metrics.histogram(
@@ -569,6 +593,8 @@ class QueryService:
                         trace_id=context.trace_id,
                         plan_hash=result.plan_fingerprint,
                     )
+                    if result.search_trace:
+                        query_profile.search = dict(result.search_trace)
                 else:
                     table = execute(operator, workers=workers)
             execute_seconds = time.monotonic() - execute_started
@@ -608,6 +634,56 @@ class QueryService:
             plan_cache=self._plan_cache,
         )
         return optimizer.optimize(logical)
+
+    def why(
+        self,
+        sql: str | None = None,
+        fingerprint: str | None = None,
+        deep: bool | None = None,
+        workers: int | None = None,
+    ):
+        """``EXPLAIN WHY`` for a query this service can optimise.
+
+        Either ``sql`` or a ``fingerprint`` previously seen by this
+        service (e.g. from a sentinel alert or query-log row) names the
+        query. The search runs against a private trace and a private
+        plan cache — the service's shared cache is not consulted, so the
+        report always reflects a fresh enumeration.
+
+        :param deep: explain under the deep (DQO) or shallow (SQO)
+            search; defaults to the service's configured depth.
+        :returns: a :class:`repro.obs.search.explain.WhyReport`.
+        :raises ServiceError: neither argument given, or the fingerprint
+            is not in the service's (bounded) index.
+        """
+        if sql is None:
+            if not fingerprint:
+                raise ServiceError("why needs sql or a spec fingerprint")
+            sql = self.resolve_fingerprint(fingerprint)
+            if sql is None:
+                raise ServiceError(
+                    f"fingerprint {fingerprint!r} not seen by this "
+                    "service (index keeps the last "
+                    f"{FINGERPRINT_INDEX_CAPACITY} fingerprints)"
+                )
+        # Imported here: the explain layer pulls in the optimiser's
+        # explain/trace machinery, which plain query serving never needs.
+        from repro.obs.search.explain import explain_why
+
+        if workers is None:
+            workers = self._config.workers
+        use_deep = self._config.deep if deep is None else bool(deep)
+        config = (
+            dqo_config(workers=workers)
+            if use_deep
+            else sqo_config(workers=workers)
+        )
+        return explain_why(
+            sql,
+            self._catalog,
+            config=config,
+            cost_model=self._cost_model,
+        )
 
     def shutdown(self, cancel_active: bool = True) -> None:
         """Stop taking queries; optionally cancel in-flight ones. The

@@ -10,6 +10,7 @@ from repro.storage.dictionary import (
 )
 from repro.storage.dtypes import DataType
 from repro.storage.layout import Layout, PaxStore, RowStore, convert
+from repro.storage.overlay import OverlayCatalog, StatPatch, StatisticsOverlay
 from repro.storage.rle import RunLengthEncoded, rle_encode
 from repro.storage.schema import ColumnSpec, Schema
 from repro.storage.statistics import ColumnStatistics, collect_statistics
@@ -24,10 +25,13 @@ __all__ = [
     "DictionaryEncoded",
     "ForeignKey",
     "Layout",
+    "OverlayCatalog",
     "PaxStore",
     "RowStore",
     "RunLengthEncoded",
     "Schema",
+    "StatPatch",
+    "StatisticsOverlay",
     "Table",
     "collect_statistics",
     "convert",

@@ -115,3 +115,146 @@ class TestParetoInsert:
             frontier = pareto_insert(frontier, item, stats, prune=False)
         assert len(frontier) == 5
         assert stats.pruned_dominated == 0
+
+
+SORTED_A = PropertyVector(sorted_on=frozenset({"a"}))
+SORTED_B = PropertyVector(sorted_on=frozenset({"b"}))
+SORTED_AB = PropertyVector(sorted_on=frozenset({"a", "b"}))
+
+
+class TestDominanceEdgeCases:
+    """Deterministic corner cases of the frontier policy: equal-cost
+    ties, identical property vectors, dominated-vs-displaced asymmetry,
+    and the prune=False ablation's parity with the pruned frontier."""
+
+    def test_equal_cost_identical_vector_is_dominated_not_displaced(self):
+        """A perfect tie (same cost, same properties) resolves first-wins:
+        the incumbent dominates, the newcomer is pruned, nothing is
+        displaced — the frontier never churns on ties."""
+        stats = SearchStats()
+        frontier = pareto_insert([], entry(5.0, SORTED_A), stats)
+        incumbent = frontier[0]
+        frontier = pareto_insert(frontier, entry(5.0, SORTED_A), stats)
+        assert frontier == [incumbent]
+        assert stats.pruned_dominated == 1
+        assert stats.displaced == 0
+
+    def test_equal_cost_incomparable_vectors_coexist(self):
+        """An equal-cost tie between incomparable property vectors keeps
+        both: neither covers the other, so neither is redundant."""
+        stats = SearchStats()
+        frontier = pareto_insert([], entry(5.0, SORTED_A), stats)
+        frontier = pareto_insert(frontier, entry(5.0, SORTED_B), stats)
+        assert len(frontier) == 2
+        assert stats.pruned_dominated == 0
+        assert stats.displaced == 0
+
+    def test_equal_cost_stronger_vector_displaces(self):
+        """At equal cost a strictly stronger vector evicts the weaker
+        incumbent (dominates counts cost <=, not <)."""
+        stats = SearchStats()
+        frontier = pareto_insert([], entry(5.0, SORTED_A), stats)
+        frontier = pareto_insert(frontier, entry(5.0, SORTED_AB), stats)
+        assert len(frontier) == 1
+        assert frontier[0].properties == SORTED_AB
+        assert stats.displaced == 1
+        assert stats.pruned_dominated == 0
+
+    def test_identical_vector_cheaper_candidate_displaces(self):
+        """Identical property vectors reduce dominance to a pure cost
+        comparison: the cheaper entry wins whichever order they arrive."""
+        stats = SearchStats()
+        frontier = pareto_insert([], entry(9.0, SORTED_A), stats)
+        frontier = pareto_insert(frontier, entry(3.0, SORTED_A), stats)
+        assert [e.cost for e in frontier] == [3.0]
+        assert stats.displaced == 1
+        # ...and arriving costlier, the newcomer dies instead.
+        frontier = pareto_insert(frontier, entry(9.0, SORTED_A), stats)
+        assert [e.cost for e in frontier] == [3.0]
+        assert stats.pruned_dominated == 1
+
+    def test_one_candidate_displaces_many(self):
+        """A single strong cheap candidate sweeps the whole frontier."""
+        stats = SearchStats()
+        frontier: list[DPEntry] = []
+        for cost, vector in [(4.0, SORTED_A), (4.0, SORTED_B)]:
+            frontier = pareto_insert(frontier, entry(cost, vector), stats)
+        frontier = pareto_insert(frontier, entry(1.0, SORTED_AB), stats)
+        assert len(frontier) == 1
+        assert frontier[0].cost == 1.0
+        assert stats.displaced == 2
+
+    @settings(max_examples=100)
+    @given(entries_strategy)
+    def test_accounting_invariant(self, raw):
+        """Every generated candidate is exactly one of: dominated at
+        entry, displaced later, or alive in the final frontier — the
+        ledger the trace replay's ``complete`` verdict relies on."""
+        stats = SearchStats()
+        frontier: list[DPEntry] = []
+        for cost, vector in raw:
+            frontier = pareto_insert(frontier, entry(float(cost), vector), stats)
+        assert stats.generated == (
+            stats.pruned_dominated + stats.displaced + len(frontier)
+        )
+
+    @settings(max_examples=100)
+    @given(entries_strategy)
+    def test_prune_false_ablation_parity(self, raw):
+        """The no-pruning ablation changes state size, never the verdict:
+        the pruned frontier covers every entry of the unpruned one (same
+        reachable optima), and both contain the same minimal cost."""
+        pruned_stats, naive_stats = SearchStats(), SearchStats()
+        pruned: list[DPEntry] = []
+        naive: list[DPEntry] = []
+        for cost, vector in raw:
+            pruned = pareto_insert(pruned, entry(float(cost), vector), pruned_stats)
+            naive = pareto_insert(
+                naive, entry(float(cost), vector), naive_stats, prune=False
+            )
+        assert len(naive) == len(raw)
+        assert naive_stats.pruned_dominated == 0
+        assert naive_stats.displaced == 0
+        if raw:
+            assert min(e.cost for e in pruned) == min(e.cost for e in naive)
+        for item in naive:
+            assert any(
+                keeper.cost <= item.cost
+                and keeper.properties.covers(item.properties)
+                for keeper in pruned
+            )
+
+    def test_trace_journals_each_death_with_its_killer(self):
+        """With a SearchTrace attached, every dominated/displaced event
+        names the entry that killed it, and the journal's ledger matches
+        the SearchStats counters."""
+        from repro.obs.search import SearchTrace
+
+        trace = SearchTrace()
+        trace.begin("test-spec")
+        stats = SearchStats()
+        frontier: list[DPEntry] = []
+        sequence = [
+            (4.0, SORTED_A),   # kept
+            (4.0, SORTED_B),   # kept (incomparable)
+            (6.0, SORTED_A),   # dominated by the first
+            (1.0, SORTED_AB),  # displaces both survivors
+        ]
+        for cost, vector in sequence:
+            frontier = pareto_insert(
+                frontier, entry(cost, vector), stats, trace=trace, cls="t"
+            )
+        summary = trace.summary()
+        assert summary["generated"] == stats.generated == 4
+        assert summary["dominated"] == stats.pruned_dominated == 1
+        assert summary["displaced"] == stats.displaced == 2
+        deaths = [
+            event
+            for event in trace.events("t")
+            if event.kind in ("dominated", "displaced")
+        ]
+        assert len(deaths) == 3
+        assert all(
+            event.other_id is not None and event.other_id >= 0
+            for event in deaths
+        )

@@ -17,6 +17,7 @@ from repro.obs.querylog import (
     get_query_log,
     main,
     set_query_log,
+    summarise,
 )
 from repro.storage.table import Table
 
@@ -494,3 +495,45 @@ class TestPlanHashSummary:
         out = capsys.readouterr().out
         assert "plan shapes chosen" in out
         assert "hash-x" in out
+
+
+class TestOptimiserEffortSummary:
+    def optimize_row(self, *, deep, cached=False, search=None, traced=False):
+        row = {
+            "kind": "optimize",
+            "deep": deep,
+            "cached": cached,
+            "spec_fingerprint": "abcd",
+        }
+        if search is not None:
+            row["search"] = search
+        if traced:
+            row["search_trace"] = {"path": None, "summary": {"generated": 12}}
+        return row
+
+    def test_effort_section_breaks_down_by_mode(self):
+        entries = [
+            self.optimize_row(
+                deep=True,
+                search={"generated": 24, "pruned_dominated": 10,
+                        "displaced": 2, "truncated": 0, "closures": 3},
+                traced=True,
+            ),
+            self.optimize_row(
+                deep=False,
+                search={"generated": 8, "pruned_dominated": 4,
+                        "displaced": 0, "truncated": 1, "closures": 0},
+            ),
+            # Cache hits never searched: excluded from effort.
+            self.optimize_row(deep=True, cached=True,
+                              search={"generated": 99}),
+        ]
+        report = summarise(entries)
+        assert "optimiser effort (fresh searches)" in report
+        assert "deep" in report and "shallow" in report
+        # Deep: (10 + 2 + 0) / 24 pruned; one traced search.
+        assert "50.0%" in report
+
+    def test_no_fresh_searches_no_section(self):
+        entries = [self.optimize_row(deep=True, cached=True)]
+        assert "optimiser effort" not in summarise(entries)

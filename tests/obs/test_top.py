@@ -157,3 +157,40 @@ class TestSentinelPane:
         current = sample(0.0, {})
         frame = render_dashboard(current, rates(None, current))
         assert "sentinel" not in frame
+
+
+class TestOptimiserPane:
+    OPTIMIZER_METRICS = {
+        "optimizer.optimizations": 4.0,
+        "optimizer.candidates_generated": 48.0,
+        "optimizer.pruned_dominated": 20.0,
+        "optimizer.closures": 6.0,
+        "optimizer.search.displaced": 4.0,
+        "optimizer.search.truncated": 2.0,
+        "optimizer.search.traced": 1.0,
+    }
+
+    def test_rates_cover_search_metrics(self):
+        before = sample(0.0, {"completed": 0}, extra_metrics={
+            name: 0.0 for name in self.OPTIMIZER_METRICS
+        })
+        after = sample(2.0, {"completed": 4},
+                       extra_metrics=self.OPTIMIZER_METRICS)
+        deltas = rates(before, after)
+        assert deltas["searches"] == 2.0
+        assert deltas["candidates"] == 24.0
+        assert deltas["traced"] == 0.5
+
+    def test_pane_renders_rates_and_prune_share(self):
+        current = sample(2.0, {"completed": 4},
+                         extra_metrics=self.OPTIMIZER_METRICS)
+        frame = render_dashboard(current, rates(None, current))
+        assert "optimiser" in frame
+        assert "searches/s" in frame
+        # pruned share = (20 + 4 + 2) / 48 of generated candidates.
+        assert "54.2%" in frame
+
+    def test_no_pane_before_the_first_search(self):
+        current = sample(2.0, {"completed": 4})
+        frame = render_dashboard(current, rates(None, current))
+        assert "optimiser" not in frame

@@ -1,0 +1,77 @@
+"""``why`` through the service: by SQL, by fingerprint, over the wire.
+
+The sentinel's flip alerts and the query log carry spec fingerprints,
+not SQL — so the service keeps a bounded fingerprint -> SQL index and
+answers ``why`` for either form, in-process and as a wire op.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.search import SearchTrace, set_search_trace
+from repro.service.server import QueryServer, ServiceClient
+from repro.service.session import (
+    FINGERPRINT_INDEX_CAPACITY,
+    QueryService,
+)
+
+PAPER_SQL = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+
+
+class TestServiceWhy:
+    def test_why_by_sql(self, service):
+        report = service.why(sql=PAPER_SQL)
+        assert report.plan_fingerprint
+        assert report.decisions
+        assert "EXPLAIN WHY" in report.render()
+
+    def test_why_by_fingerprint_resolves_executed_queries(self, service):
+        outcome = service.execute(PAPER_SQL)
+        assert service.resolve_fingerprint(outcome.spec_fingerprint) == PAPER_SQL
+        report = service.why(fingerprint=outcome.spec_fingerprint)
+        assert report.spec_fingerprint == outcome.spec_fingerprint
+
+    def test_unknown_fingerprint_is_a_service_error(self, service):
+        with pytest.raises(ServiceError, match="not seen"):
+            service.why(fingerprint="feedfacedeadbeef")
+        with pytest.raises(ServiceError, match="needs sql"):
+            service.why()
+
+    def test_fingerprint_index_is_bounded(self, service):
+        for i in range(FINGERPRINT_INDEX_CAPACITY + 10):
+            service._note_fingerprint(f"fp{i:04d}", f"sql {i}")
+        assert len(service._sql_by_fingerprint) == FINGERPRINT_INDEX_CAPACITY
+        # Oldest evicted first, latest retained.
+        assert service.resolve_fingerprint("fp0000") is None
+        last = FINGERPRINT_INDEX_CAPACITY + 9
+        assert service.resolve_fingerprint(f"fp{last:04d}") == f"sql {last}"
+
+    def test_profile_carries_the_search_stamp(self, service):
+        trace = SearchTrace()
+        set_search_trace(trace)
+        try:
+            outcome = service.execute(PAPER_SQL, profile=True)
+        finally:
+            set_search_trace(None)
+        assert outcome.profile is not None
+        assert outcome.profile.search
+        assert outcome.profile.search["summary"]["generated"] > 0
+
+
+class TestWireWhy:
+    def test_why_round_trip(self, join_catalog):
+        server = QueryServer(QueryService(join_catalog)).start()
+        try:
+            with ServiceClient("127.0.0.1", server.port) as client:
+                client.query(PAPER_SQL)
+                response = client.why(sql=PAPER_SQL)
+                assert response["ok"] is True
+                assert "EXPLAIN WHY" in response["rendered"]
+                why = response["why"]
+                assert why["plan_fingerprint"]
+                assert why["decisions"]
+                # ...and by the fingerprint the response just named.
+                again = client.why(fingerprint=why["spec_fingerprint"])
+                assert again["why"]["plan_fingerprint"] == why["plan_fingerprint"]
+        finally:
+            server.shutdown()

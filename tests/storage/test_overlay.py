@@ -1,0 +1,139 @@
+"""Statistics overlays: hypothetical stats without mutating the catalog.
+
+The what-if layer's soundness rests on three properties checked here:
+patched tables carry the fabricated statistics (invariants maintained)
+while *sharing* the base catalog's backing arrays; unpatched tables are
+shared by identity (the correlation memo stays valid); and the overlay
+catalog mints a fresh fingerprint so its plans never cross-pollinate the
+base catalog's plan cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.storage import Catalog, StatisticsOverlay, Table
+from repro.storage.overlay import OverlayCatalog
+
+
+@pytest.fixture
+def catalog():
+    ids = np.arange(100, dtype=np.int64)
+    cat = Catalog()
+    cat.register(
+        "T",
+        Table.from_arrays({"ID": ids, "A": ids // 10}),
+    )
+    cat.register(
+        "U",
+        Table.from_arrays({"K": np.array([5, 3, 1, 4, 2], dtype=np.int64)}),
+    )
+    return cat
+
+
+class TestBuilders:
+    def test_chainable_and_introspectable(self):
+        overlay = (
+            StatisticsOverlay()
+            .set_cardinality("T", 10)
+            .set_sorted("T", "ID", False)
+            .set_index("T", "ID", kind="btree")
+        )
+        assert not overlay.is_empty()
+        assert overlay.tables() == ["T"]
+        assert len(overlay.patches()) == 3  # index patches ride along
+        assert len(overlay.index_patches()) == 1
+        text = overlay.describe()
+        assert "cardinality" in text and "sorted" in text
+        assert overlay.to_dict()["patches"]
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(StatisticsError):
+            StatisticsOverlay().set_cardinality("T", -1)
+
+    def test_empty_overlay(self):
+        assert StatisticsOverlay().is_empty()
+
+
+class TestApply:
+    def test_unknown_table_and_column_rejected(self, catalog):
+        with pytest.raises(StatisticsError):
+            StatisticsOverlay().set_cardinality("NOPE", 1).apply(catalog)
+        with pytest.raises(StatisticsError):
+            StatisticsOverlay().set_sorted("T", "NOPE", False).apply(catalog)
+
+    def test_patched_table_shares_arrays_with_fresh_stats(self, catalog):
+        over = StatisticsOverlay().set_sorted("T", "ID", False).apply(catalog)
+        base_column = catalog.table("T").column("ID")
+        over_column = over.table("T").column("ID")
+        # Same backing memory, different column/statistics objects.
+        assert over_column is not base_column
+        assert over_column.statistics is not base_column.statistics
+        assert np.shares_memory(
+            np.asarray(over.table("T").column("ID").values),
+            np.asarray(catalog.table("T").column("ID").values),
+        )
+        assert catalog.column_statistics("T", "ID").is_sorted
+        assert not over.column_statistics("T", "ID").is_sorted
+
+    def test_unpatched_tables_shared_by_identity(self, catalog):
+        over = StatisticsOverlay().set_sorted("T", "ID", False).apply(catalog)
+        assert over.table("U") is catalog.table("U")
+
+    def test_sorted_implies_clustered_and_clear_cascades(self, catalog):
+        over = StatisticsOverlay().set_sorted("U", "K", True).apply(catalog)
+        stats = over.column_statistics("U", "K")
+        assert stats.is_sorted and stats.is_clustered
+        # Clearing clusteredness must clear sortedness too.
+        over2 = StatisticsOverlay().set_clustered("T", "ID", False).apply(catalog)
+        stats2 = over2.column_statistics("T", "ID")
+        assert not stats2.is_clustered and not stats2.is_sorted
+
+    def test_distinct_clamped_to_count(self, catalog):
+        over = StatisticsOverlay().set_distinct("U", "K", 10_000).apply(catalog)
+        stats = over.column_statistics("U", "K")
+        assert stats.distinct <= stats.count
+
+    def test_cardinality_override(self, catalog):
+        over = StatisticsOverlay().set_cardinality("T", 1_000_000).apply(catalog)
+        assert over.cardinality("T") == 1_000_000
+        assert catalog.cardinality("T") == 100
+        # The physical table is untouched; only the planner's view lies.
+        assert over.table("T").num_rows == 100
+
+    def test_shuffle_clears_sortedness_on_every_column(self, catalog):
+        """`set_shuffled` exists because monotone correlations are facts
+        about the data: patching one column unsorted while a correlated
+        sibling stays sorted would be re-derived by the closure."""
+        over = StatisticsOverlay().set_shuffled("T").apply(catalog)
+        for name in ("ID", "A"):
+            stats = over.column_statistics("T", name)
+            assert not stats.is_sorted and not stats.is_clustered
+
+    def test_later_explicit_patch_overrides_shuffle(self, catalog):
+        over = (
+            StatisticsOverlay()
+            .set_shuffled("T")
+            .set_sorted("T", "A", True)
+            .apply(catalog)
+        )
+        assert not over.column_statistics("T", "ID").is_sorted
+        assert over.column_statistics("T", "A").is_sorted
+
+    def test_fresh_fingerprint_and_handles(self, catalog):
+        over = StatisticsOverlay().set_cardinality("T", 10).apply(catalog)
+        assert isinstance(over, OverlayCatalog)
+        # Distinct identity token: plans cached for the base catalog can
+        # never be served for the hypothetical one (or vice versa).
+        assert over.fingerprint != catalog.fingerprint
+        assert over.base is catalog
+        assert over.overlay.tables() == ["T"]
+
+    def test_foreign_keys_carried_over(self):
+        from repro.datagen import make_join_scenario
+
+        catalog = make_join_scenario(
+            n_r=500, n_s=1_000, num_groups=50, seed=3
+        ).build_catalog()
+        over = StatisticsOverlay().set_shuffled("S").apply(catalog)
+        assert len(over.foreign_keys()) == len(catalog.foreign_keys())
