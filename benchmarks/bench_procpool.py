@@ -1,0 +1,183 @@
+"""Extension bench: the process execution backend's scaling curve.
+
+Times the same >= 1M-row grouping and join workloads on all three
+execution strategies — serial kernel, thread morsel pool, process pool
+with shared-memory columns — at 1/2/4 workers, and records the full
+curve as a JSON artifact. The process backend's claim (>= 2x over serial
+at 4 workers on a GIL-bound workload) is asserted only on hosts that
+actually have >= 4 cores; every artifact carries an explicit
+``speedup_assertion`` marker so a skipped assertion can never read as a
+passing one. Bit-identity against the serial kernel and a zero-leak
+``/dev/shm`` sweep are asserted unconditionally.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro._util.timer import time_callable
+from repro.datagen import Density, Sortedness, make_grouping_dataset, make_join_scenario
+from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
+from repro.engine.kernels.joins import JoinAlgorithm, join
+from repro.engine.kernels.parallel import parallel_group_by, parallel_join
+from repro.engine.procpool import (
+    leaked_segments,
+    process_group_by,
+    process_join,
+    shutdown_process_pool,
+)
+
+GROUPS = 10_000
+WORKER_COUNTS = [1, 2, 4]
+#: speedup floor asserted for 4-process-worker grouping on >= 4 cores.
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def dataset(bench_rows):
+    return make_grouping_dataset(
+        max(min(bench_rows, 4_000_000), 1_000_000),
+        GROUPS,
+        Sortedness.UNSORTED,
+        Density.DENSE,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def join_scenario(bench_rows):
+    rows = max(min(bench_rows, 4_000_000), 1_000_000)
+    return make_join_scenario(
+        n_r=rows // 4,
+        n_s=rows,
+        num_groups=GROUPS,
+        r_sortedness=Sortedness.UNSORTED,
+        s_sortedness=Sortedness.UNSORTED,
+        density=Density.DENSE,
+        seed=0,
+    )
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _pool_teardown():
+    """Fork workers for cheap spin-up; leak-free shutdown is asserted."""
+    previous = os.environ.get("REPRO_PROC_START")
+    os.environ["REPRO_PROC_START"] = "fork"
+    shutdown_process_pool()
+    yield
+    shutdown_process_pool()
+    if previous is None:
+        os.environ.pop("REPRO_PROC_START", None)
+    else:
+        os.environ["REPRO_PROC_START"] = previous
+    assert leaked_segments() == []
+
+
+def test_process_backend_identity(dataset, join_scenario):
+    """Before any timing claim: the process kernels are bit-identical
+    to serial (grouping up to the merge's key sort, join exactly)."""
+    serial = group_by(
+        dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+        num_distinct_hint=GROUPS,
+    )
+    proc = process_group_by(
+        dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+        shards=8, num_distinct_hint=GROUPS, workers=2,
+    )
+    order_s = np.argsort(serial.keys, kind="stable")
+    order_p = np.argsort(proc.keys, kind="stable")
+    assert np.array_equal(proc.keys[order_p], serial.keys[order_s])
+    assert np.array_equal(proc.counts[order_p], serial.counts[order_s])
+    assert np.array_equal(proc.sums[order_p], serial.sums[order_s])
+
+    build = join_scenario.r["ID"]
+    probe = join_scenario.s["R_ID"]
+    serial_join = join(build, probe, JoinAlgorithm.HJ)
+    proc_join = process_join(build, probe, JoinAlgorithm.HJ, shards=8, workers=2)
+    assert np.array_equal(proc_join.left_indices, serial_join.left_indices)
+    assert np.array_equal(proc_join.right_indices, serial_join.right_indices)
+
+
+def test_scaling_curve_serial_thread_process(
+    dataset, join_scenario, bench_artifact
+):
+    """The tentpole's scaling claim: serial vs thread pool vs process
+    pool at 1/2/4 workers on the same >= 1M-row workloads."""
+    cores = os.cpu_count() or 1
+    timings: dict = {}
+
+    timings["grouping/serial"] = time_callable(
+        lambda: group_by(
+            dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+            num_distinct_hint=GROUPS,
+        ),
+        repeats=3, warmup=1,
+    )
+    build = join_scenario.r["ID"]
+    probe = join_scenario.s["R_ID"]
+    timings["join/serial"] = time_callable(
+        lambda: join(build, probe, JoinAlgorithm.HJ), repeats=3, warmup=1
+    )
+    for workers in WORKER_COUNTS:
+        timings[f"grouping/thread{workers}"] = time_callable(
+            lambda w=workers: parallel_group_by(
+                dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+                shards=8, num_distinct_hint=GROUPS, workers=w,
+            ),
+            repeats=3, warmup=1,
+        )
+        timings[f"grouping/process{workers}"] = time_callable(
+            lambda w=workers: process_group_by(
+                dataset.keys, dataset.payload, GroupingAlgorithm.SPHG,
+                shards=8, num_distinct_hint=GROUPS, workers=w,
+            ),
+            repeats=3, warmup=1,
+        )
+        timings[f"join/thread{workers}"] = time_callable(
+            lambda w=workers: parallel_join(
+                build, probe, JoinAlgorithm.HJ, shards=8, workers=w
+            ),
+            repeats=3, warmup=1,
+        )
+        timings[f"join/process{workers}"] = time_callable(
+            lambda w=workers: process_join(
+                build, probe, JoinAlgorithm.HJ, shards=8, workers=w
+            ),
+            repeats=3, warmup=1,
+        )
+
+    speedups = {
+        f"{kind}/{backend}{workers}": (
+            timings[f"{kind}/serial"].best
+            / timings[f"{kind}/{backend}{workers}"].best
+        )
+        for kind in ("grouping", "join")
+        for backend in ("thread", "process")
+        for workers in WORKER_COUNTS
+    }
+    for label, speedup in sorted(speedups.items()):
+        print(f"  speedup {label}: {speedup:.2f}x")
+    bench_artifact(
+        "procpool/scaling",
+        timings,
+        meta={
+            "rows": dataset.num_rows,
+            "cpu_count": cores,
+            "workers": WORKER_COUNTS,
+            "speedups": speedups,
+            "speedup_assertion": (
+                "enforced" if cores >= 4 else f"skipped: {cores} cores"
+            ),
+        },
+    )
+    if cores >= 4:
+        assert speedups["grouping/process4"] >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x process-backend grouping "
+            f"speedup at 4 workers on a {cores}-core host, got "
+            f"{speedups['grouping/process4']:.2f}x"
+        )
+    # Shared-memory publication amortises: even serial-equivalent runs
+    # must not collapse under IPC overhead (one worker does the same
+    # kernel work plus segment publication and a merge).
+    assert speedups["grouping/process1"] > 1 / 5.0

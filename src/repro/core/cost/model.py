@@ -115,6 +115,39 @@ class CostModel:
 
     # -- morsel-parallel loop variants (Figure 3e's "parallel load") -------
 
+    def gil_fraction(self) -> float:
+        """Fraction of kernel work the *thread* backend cannot overlap —
+        the interpreter-held stretches around the GIL-releasing numpy
+        calls (dispatch, dictionary decode, small-array glue). Amdahl's
+        serial fraction of the thread backend; the process backend pays
+        IPC instead (see :meth:`ipc_row_cost`)."""
+        return 0.15
+
+    def ipc_row_cost(self) -> float:
+        """Abstract cost of moving one result row across the process
+        boundary (pickle + queue copy). Inputs are free — they travel
+        through shared memory — so only *outputs* (partial aggregates,
+        match indices) are charged."""
+        return 0.5
+
+    def dispatch_cost(self, backend: str) -> float:
+        """Per-worker scheduling cost of one parallel batch. Process
+        dispatch crosses a command queue and wakes another process, so it
+        is orders of magnitude heavier than a thread wake-up — which is
+        what keeps small inputs off the process backend."""
+        return 50.0 if backend == "process" else 1.0
+
+    def effective_workers(self, workers: float, backend: str) -> float:
+        """The speedup ``workers`` can actually deliver on ``backend``.
+
+        Threads are Amdahl-limited by :meth:`gil_fraction`; processes
+        scale linearly (each has its own interpreter)."""
+        w = max(float(workers), 1.0)
+        if backend == "process":
+            return w
+        g = self.gil_fraction()
+        return 1.0 / (g + (1.0 - g) / w)
+
     def parallel_merge_cost(self, num_groups: float, workers: float) -> float:
         """Cost of merging the per-shard partial aggregates: the shards
         contribute up to ``workers * num_groups`` partial rows which are
@@ -129,15 +162,26 @@ class CostModel:
         input_rows: float,
         num_groups: float,
         workers: float,
+        backend: str = "thread",
     ) -> float:
         """Cost of the parallel-loop grouping variant: the serial work
-        divides across ``workers`` shards, then the partials merge, plus
-        one dispatch unit per worker. At ``workers = 1`` this is strictly
-        worse than :meth:`grouping_cost` — the optimiser then rightly
-        keeps the serial loop."""
+        divides across the backend's :meth:`effective_workers`, then the
+        partials merge, plus per-worker dispatch. The process backend
+        additionally ships ``workers x num_groups`` partial rows back over
+        the queue. At ``workers = 1`` this is strictly worse than
+        :meth:`grouping_cost` — the optimiser then rightly keeps the
+        serial loop."""
         w = max(float(workers), 1.0)
+        ew = self.effective_workers(w, backend)
         serial = self.grouping_cost(algorithm, input_rows, num_groups)
-        return serial / w + self.parallel_merge_cost(num_groups, w) + w
+        cost = (
+            serial / ew
+            + self.parallel_merge_cost(num_groups, w)
+            + w * self.dispatch_cost(backend)
+        )
+        if backend == "process":
+            cost += self.ipc_row_cost() * w * max(float(num_groups), 1.0)
+        return cost
 
     def parallel_join_cost(
         self,
@@ -146,15 +190,74 @@ class CostModel:
         right_rows: float,
         num_groups: float,
         workers: float,
+        backend: str = "thread",
     ) -> float:
         """Cost of the shared-build, sharded-probe join variant: the
-        build phase stays serial (erected once), the probe phase divides
-        across ``workers``, plus one dispatch unit per worker. Strictly
-        worse than :meth:`join_cost` at ``workers = 1``."""
+        build phase stays serial (erected once — in shared memory for the
+        process backend), the probe phase divides across the backend's
+        :meth:`effective_workers`, plus per-worker dispatch. The process
+        backend ships one output index pair per probe row back over the
+        queue. Strictly worse than :meth:`join_cost` at ``workers = 1``."""
         w = max(float(workers), 1.0)
+        ew = self.effective_workers(w, backend)
         serial = self.join_cost(algorithm, left_rows, right_rows, num_groups)
         build = min(
             self.join_build_cost(algorithm, left_rows, right_rows, num_groups),
             serial,
         )
-        return build + (serial - build) / w + w
+        cost = build + (serial - build) / ew + w * self.dispatch_cost(backend)
+        if backend == "process":
+            cost += self.ipc_row_cost() * max(float(right_rows), 1.0)
+        return cost
+
+    # -- exchange (hash repartition) variants ------------------------------
+
+    def exchange_grouping_cost(
+        self,
+        algorithm: GroupingAlgorithm,
+        input_rows: float,
+        num_groups: float,
+        workers: float,
+        backend: str = "thread",
+    ) -> float:
+        """Cost of grouping through an exchange: one partition pass over
+        the input (hash + stable reorder, ~2 touches per row), local
+        grouping on disjoint partitions, and a merge that only
+        concatenates sorted runs (linear in ``num_groups``, *not* the
+        ``workers x num_groups`` sort of :meth:`parallel_merge_cost`) —
+        the exchange's niche at huge group counts."""
+        w = max(float(workers), 1.0)
+        ew = self.effective_workers(w, backend)
+        partition = 2.0 * max(float(input_rows), 1.0)
+        local = self.grouping_cost(algorithm, input_rows, num_groups) / ew
+        merge = max(float(num_groups), 1.0)
+        cost = partition + local + merge + w * self.dispatch_cost(backend)
+        if backend == "process":
+            cost += self.ipc_row_cost() * max(float(num_groups), 1.0)
+        return cost
+
+    def exchange_join_cost(
+        self,
+        algorithm: JoinAlgorithm,
+        left_rows: float,
+        right_rows: float,
+        num_groups: float,
+        workers: float,
+        backend: str = "thread",
+    ) -> float:
+        """Cost of joining through an exchange: both sides partition
+        (~2 touches per row each), the partition-local joins — *including
+        their build phases*, which the shared-build variant cannot
+        parallelise — divide across workers, and the probe-major order is
+        restored by one sort of the output. The exchange's niche is a
+        huge build side."""
+        w = max(float(workers), 1.0)
+        ew = self.effective_workers(w, backend)
+        rows_out = max(float(right_rows), 1.0)
+        partition = 2.0 * (max(float(left_rows), 1.0) + rows_out)
+        local = self.join_cost(algorithm, left_rows, right_rows, num_groups) / ew
+        restore = rows_out * (math.log2(rows_out) if rows_out > 1 else 0.0)
+        cost = partition + local + restore + w * self.dispatch_cost(backend)
+        if backend == "process":
+            cost += self.ipc_row_cost() * rows_out
+        return cost

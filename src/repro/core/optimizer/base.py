@@ -57,6 +57,13 @@ class OptimizerConfig:
     #: paper's Figure 5 cost ratios are invariant to the runtime
     #: executor setting.
     workers: int | None = 1
+    #: execution backend the optimiser plans parallel recipes for:
+    #: ``"thread"`` (the default morsel pool) or ``"process"``. With
+    #: ``"process"`` the deep enumeration also costs process-backend
+    #: parallel/exchange recipes against their thread siblings and picks
+    #: per node by cost; the choice enters the plan fingerprint and the
+    #: plan cache key.
+    backend: str = "thread"
 
     @property
     def is_deep(self) -> bool:

@@ -230,6 +230,7 @@ class DynamicProgrammingOptimizer:
                             "scans": len(spec.scans),
                             "deep": self._config.is_deep,
                             "workers": self._workers,
+                            "backend": self._config.backend,
                             "plan_hash": hit.plan_fingerprint,
                             "spec_fingerprint": hit.spec_fingerprint
                             or spec_fp,
@@ -298,6 +299,7 @@ class DynamicProgrammingOptimizer:
                 "scans": len(spec.scans),
                 "deep": self._config.is_deep,
                 "workers": self._workers,
+                "backend": self._config.backend,
                 "plan_hash": plan_hash,
                 "spec_fingerprint": spec_fp,
                 "catalog_version": self._catalog.version,
@@ -781,13 +783,23 @@ class DynamicProgrammingOptimizer:
                 build.properties, probe.properties, build_key, probe_key, scope
             ):
                 continue
-            if option.parallel:
+            if option.exchange:
+                cost = self._cost_model.exchange_join_cost(
+                    option.algorithm,
+                    build.estimate.rows,
+                    probe.estimate.rows,
+                    group_hint,
+                    float(self._workers),
+                    option.backend,
+                )
+            elif option.parallel:
                 cost = self._cost_model.parallel_join_cost(
                     option.algorithm,
                     build.estimate.rows,
                     probe.estimate.rows,
                     group_hint,
                     float(self._workers),
+                    option.backend,
                 )
             else:
                 cost = self._cost_model.join_cost(
@@ -813,6 +825,8 @@ class DynamicProgrammingOptimizer:
                 right_key=probe_key,
                 recipe=option.recipe,
                 parallel=option.parallel,
+                exchange=option.exchange,
+                backend=option.backend,
                 rows=estimate.rows,
                 local_cost=cost,
                 cost=build.cost + probe.cost + cost,
@@ -896,12 +910,21 @@ class DynamicProgrammingOptimizer:
             for option in options:
                 if not option.applicable(entry.properties, key, scope):
                     continue
-                if option.parallel:
+                if option.exchange:
+                    cost = self._cost_model.exchange_grouping_cost(
+                        option.algorithm,
+                        entry.estimate.rows,
+                        groups,
+                        float(self._workers),
+                        option.backend,
+                    )
+                elif option.parallel:
                     cost = self._cost_model.parallel_grouping_cost(
                         option.algorithm,
                         entry.estimate.rows,
                         groups,
                         float(self._workers),
+                        option.backend,
                     )
                 else:
                     cost = self._cost_model.grouping_cost(
@@ -919,6 +942,8 @@ class DynamicProgrammingOptimizer:
                     aggregates=spec.aggregates,
                     recipe=option.recipe,
                     parallel=option.parallel,
+                    exchange=option.exchange,
+                    backend=option.backend,
                     rows=out_estimate.rows,
                     local_cost=cost,
                     cost=entry.cost + cost,

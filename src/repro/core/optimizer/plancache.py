@@ -98,6 +98,7 @@ def config_fingerprint(config: OptimizerConfig) -> tuple:
         config.consider_commutation,
         config.consider_enforcers,
         config.prune_dominated,
+        getattr(config, "backend", "thread"),
         id(config.views) if config.views is not None else None,
     )
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.granularity import Granularity
 from repro.core.optimizer.base import OptimizerConfig, PropertyScope
 from repro.core.physiological import (
     Granule,
@@ -27,14 +26,19 @@ from repro.core.physiological import (
     logical_grouping,
     logical_join,
     recipe_algorithm,
+    recipe_backend,
+    recipe_is_exchange,
     recipe_join_algorithm,
     recipe_loop,
-    recipe_requirements,
 )
 from repro.core.properties import Correlations, PropertyVector
 from repro.engine.kernels.grouping import GroupingAlgorithm
 from repro.engine.kernels.joins import JoinAlgorithm, JoinOutputOrder
-from repro.engine.kernels.parallel import PARALLEL_PROBE_ALGORITHMS
+from repro.engine.kernels.parallel import (
+    EXCHANGE_GROUPING_ALGORITHMS,
+    EXCHANGE_JOIN_ALGORITHMS,
+    PARALLEL_PROBE_ALGORITHMS,
+)
 
 #: the blackbox textbook operator catalogue available to SQO. SPH variants
 #: are absent: without density tracking they can never be proven safe.
@@ -61,11 +65,15 @@ class GroupingOption:
     the shard-local runs merge through
     :func:`repro.engine.kernels.parallel.merge_partials`, whose output is
     always key-sorted — a property only a deep optimiser can exploit.
+    ``exchange`` marks the repartitioning recipes (hash-shuffle, then
+    group locally), and ``backend`` which pool the parallel work runs on.
     """
 
     algorithm: GroupingAlgorithm
     recipe: Granule | None = None
     parallel: bool = False
+    exchange: bool = False
+    backend: str = "thread"
 
     def applicable(
         self, props: PropertyVector, key: str, scope: PropertyScope
@@ -91,14 +99,20 @@ class GroupingOption:
         """
         sorted_on: frozenset[str] = frozenset()
         clustered_on: frozenset[str] = frozenset()
-        if self.parallel or self.algorithm in (
-            GroupingAlgorithm.SPHG,
-            GroupingAlgorithm.SOG,
-            GroupingAlgorithm.BSG,
+        if (
+            self.parallel
+            or self.exchange
+            or self.algorithm
+            in (
+                GroupingAlgorithm.SPHG,
+                GroupingAlgorithm.SOG,
+                GroupingAlgorithm.BSG,
+            )
         ):
-            # Sort variants emit key order by construction; the parallel
-            # loop's partial-merge sorts the merged keys regardless of the
-            # per-shard algorithm.
+            # Sort variants emit key order by construction; both the
+            # parallel loop's partial-merge and the exchange's partition
+            # concatenation sort the merged keys regardless of the
+            # shard/partition-local algorithm.
             sorted_on = frozenset([key])
         elif self.algorithm is GroupingAlgorithm.OG:
             # Clustered input gives first-occurrence order; only a fully
@@ -130,11 +144,15 @@ class JoinOption:
     morsels. Only the probe-streaming families (HJ/SPHJ/BSJ) shard this
     way, and shard outputs concatenate back in probe order, so the
     parallel variant derives exactly the serial variant's properties.
+    ``exchange`` marks the repartitioning recipes, whose restored output
+    is likewise probe-major; ``backend`` picks the pool.
     """
 
     algorithm: JoinAlgorithm
     recipe: Granule | None = None
     parallel: bool = False
+    exchange: bool = False
+    backend: str = "thread"
 
     @property
     def output_order(self) -> JoinOutputOrder:
@@ -202,6 +220,27 @@ class JoinOption:
         return result if scope is PropertyScope.FULL else result.restrict_to_orders()
 
 
+def _recipe_mode(recipe: Granule) -> tuple[bool, bool, str] | None:
+    """(parallel, exchange, backend) of a recipe, normalised; None when
+    the combination is not executable and should be skipped.
+
+    Normalisation collapses the spurious molecule products: a serial,
+    non-exchange recipe has no parallel work, so its ``backend`` binding
+    is meaningless and pins to ``"thread"`` (keeping one DP entry per
+    executable configuration); an exchange recipe's inner loop must stay
+    serial (the partitions *are* the parallelism — nesting a parallel
+    loop inside one would oversubscribe the pool).
+    """
+    parallel = recipe_loop(recipe) == "parallel"
+    exchange = recipe_is_exchange(recipe)
+    backend = recipe_backend(recipe)
+    if exchange and parallel:
+        return None
+    if not parallel and not exchange:
+        backend = "thread"
+    return parallel, exchange, backend
+
+
 def grouping_options(
     config: OptimizerConfig, workers: int = 1
 ) -> list[GroupingOption]:
@@ -209,30 +248,42 @@ def grouping_options(
 
     Shallow configurations get the blackbox catalogue; deep ones get the
     recipes of the physiological lattice, deduplicated by (executable
-    algorithm, loop mode) — molecule variants with equal paper-model cost
-    collapse to their default representative, kept distinct only in the
-    recipe.
+    algorithm, loop mode, exchange, backend) — molecule variants with
+    equal paper-model cost collapse to their default representative, kept
+    distinct only in the recipe.
 
-    :param workers: the executor's worker count. Parallel-loop recipes
-        are enumerated only when ``workers > 1`` — with one worker the
-        parallel variant is strictly worse (merge + dispatch overhead on
-        top of the serial cost), so it is not worth a DP entry. Shallow
-        configurations never see the ``loop`` granule at all: morsel
-        parallelism is a MOLECULE-level decision, below SQO's reach.
+    :param workers: the executor's worker count. Parallel-loop and
+        exchange recipes are enumerated only when ``workers > 1`` — with
+        one worker they are strictly worse (merge/shuffle + dispatch
+        overhead on top of the serial cost), so they are not worth DP
+        entries — and process-backend recipes only when
+        ``config.backend == "process"`` (no process pool, no process
+        plans). Shallow configurations never see the ``loop`` or
+        ``exchange`` granules at all: both are below SQO's reach.
     """
     if not config.is_deep:
         return [GroupingOption(algorithm) for algorithm in SQO_GROUPING_CATALOG]
     options: list[GroupingOption] = []
-    seen: set[tuple[GroupingAlgorithm, bool]] = set()
+    seen: set[tuple[GroupingAlgorithm, bool, bool, str]] = set()
     for recipe in enumerate_recipes(logical_grouping(), config.max_granularity):
         algorithm = recipe_algorithm(recipe)
-        parallel = recipe_loop(recipe) == "parallel"
-        if parallel and workers <= 1:
+        mode = _recipe_mode(recipe)
+        if mode is None:
             continue
-        if (algorithm, parallel) in seen:
+        parallel, exchange, backend = mode
+        if (parallel or exchange) and workers <= 1:
             continue
-        seen.add((algorithm, parallel))
-        options.append(GroupingOption(algorithm, recipe, parallel))
+        if backend == "process" and config.backend != "process":
+            continue
+        if exchange and algorithm not in EXCHANGE_GROUPING_ALGORITHMS:
+            continue
+        key = (algorithm, parallel, exchange, backend)
+        if key in seen:
+            continue
+        seen.add(key)
+        options.append(
+            GroupingOption(algorithm, recipe, parallel, exchange, backend)
+        )
     return options
 
 
@@ -240,20 +291,30 @@ def join_options(config: OptimizerConfig, workers: int = 1) -> list[JoinOption]:
     """The join implementation space of a configuration (see
     :func:`grouping_options`). Parallel-loop recipes are kept only for
     the probe-streaming families whose sharded probe is bit-identical to
-    the serial kernel (:data:`PARALLEL_PROBE_ALGORITHMS`)."""
+    the serial kernel (:data:`PARALLEL_PROBE_ALGORITHMS`); exchange
+    recipes only for the families whose partition-local runs restore the
+    serial output exactly (:data:`EXCHANGE_JOIN_ALGORITHMS`)."""
     if not config.is_deep:
         return [JoinOption(algorithm) for algorithm in SQO_JOIN_CATALOG]
     options: list[JoinOption] = []
-    seen: set[tuple[JoinAlgorithm, bool]] = set()
+    seen: set[tuple[JoinAlgorithm, bool, bool, str]] = set()
     for recipe in enumerate_recipes(logical_join(), config.max_granularity):
         algorithm = recipe_join_algorithm(recipe)
-        parallel = recipe_loop(recipe) == "parallel"
-        if parallel and (
-            workers <= 1 or algorithm not in PARALLEL_PROBE_ALGORITHMS
-        ):
+        mode = _recipe_mode(recipe)
+        if mode is None:
             continue
-        if (algorithm, parallel) in seen:
+        parallel, exchange, backend = mode
+        if (parallel or exchange) and workers <= 1:
             continue
-        seen.add((algorithm, parallel))
-        options.append(JoinOption(algorithm, recipe, parallel))
+        if backend == "process" and config.backend != "process":
+            continue
+        if parallel and algorithm not in PARALLEL_PROBE_ALGORITHMS:
+            continue
+        if exchange and algorithm not in EXCHANGE_JOIN_ALGORITHMS:
+            continue
+        key = (algorithm, parallel, exchange, backend)
+        if key in seen:
+            continue
+        seen.add(key)
+        options.append(JoinOption(algorithm, recipe, parallel, exchange, backend))
     return options

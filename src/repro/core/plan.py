@@ -79,6 +79,12 @@ class PhysicalNode:
     #: the recipe's MOLECULE-level ``loop`` decision: True pins the
     #: morsel-parallel implementation at lowering, False pins serial.
     parallel: bool = False
+    #: the recipe's MACROMOLECULE-level ``exchange`` decision: True pins
+    #: the hash-repartition (shuffle, then local) implementation.
+    exchange: bool = False
+    #: which worker pool the parallel/exchange work runs on:
+    #: ``"thread"`` or ``"process"`` (shared-memory workers).
+    backend: str = "thread"
     # annotations:
     rows: float = 0.0
     local_cost: float = 0.0
@@ -106,16 +112,14 @@ class PhysicalNode:
             head = f"Sort(by={list(self.sort_keys)})"
         elif self.op == "join":
             assert self.join_algorithm is not None
-            loop = "/parallel" if self.parallel else ""
             head = (
-                f"Join[{self.join_algorithm.name}{loop}]"
+                f"Join[{self.join_algorithm.name}{self._mode_suffix()}]"
                 f"({self.left_key} = {self.right_key})"
             )
         elif self.op == "group_by":
             assert self.grouping_algorithm is not None
-            loop = "/parallel" if self.parallel else ""
             head = (
-                f"GroupBy[{self.grouping_algorithm.name}{loop}]"
+                f"GroupBy[{self.grouping_algorithm.name}{self._mode_suffix()}]"
                 f"(key={self.group_key})"
             )
         elif self.op == "project":
@@ -128,6 +132,22 @@ class PhysicalNode:
             f"{head}  cost={self.cost:,.0f} rows={self.rows:,.0f} "
             f"props={self.properties.describe()}"
         )
+
+    def _mode_suffix(self) -> str:
+        """The loop/exchange/backend decision as a describe() suffix.
+
+        Plain thread parallelism keeps the historical "/parallel" form so
+        existing baselines and log greps stay valid; only the new modes
+        grow a "@backend" qualifier."""
+        if self.exchange:
+            return f"/exchange@{self.backend}"
+        if self.parallel:
+            return (
+                "/parallel"
+                if self.backend == "thread"
+                else f"/parallel@{self.backend}"
+            )
+        return ""
 
     def explain(self, indent: int = 0, deep: bool = False) -> str:
         """Indented plan rendering; ``deep=True`` also prints each node's
@@ -193,14 +213,14 @@ def plan_fingerprint(node: PhysicalNode) -> str:
                 item.join_algorithm.name,
                 item.left_key,
                 item.right_key,
-                "parallel" if item.parallel else "serial",
+                _mode_token(item),
             ]
         elif item.op == "group_by":
             assert item.grouping_algorithm is not None
             token += [
                 item.grouping_algorithm.name,
                 item.group_key,
-                "parallel" if item.parallel else "serial",
+                _mode_token(item),
             ]
         elif item.op == "project":
             token.append(",".join(alias for alias, __ in item.outputs))
@@ -209,6 +229,19 @@ def plan_fingerprint(node: PhysicalNode) -> str:
         parts.append("|".join(token))
     digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
     return digest.hexdigest()[:16]
+
+
+def _mode_token(node: PhysicalNode) -> str:
+    """The loop/exchange/backend decision as one fingerprint token. The
+    historical "parallel"/"serial" spellings are preserved for thread
+    plans so pre-existing plan hashes (sentinel baselines, logged
+    ``plan_hash`` values) survive unchanged; backend and exchange flips
+    produce distinct tokens and so distinct hashes."""
+    if node.exchange:
+        return f"exchange@{node.backend}"
+    if not node.parallel:
+        return "serial"
+    return "parallel" if node.backend == "thread" else f"parallel@{node.backend}"
 
 
 def _walk_with_depth(node: PhysicalNode, depth: int):
@@ -243,12 +276,22 @@ def plan_decisions(node: PhysicalNode) -> list[dict]:
             )
             decision["keys"] = [item.left_key, item.right_key]
             decision["parallel"] = bool(item.parallel)
+            # Only non-default modes appear, so decision lists committed
+            # before these dials existed still compare equal.
+            if item.exchange:
+                decision["exchange"] = True
+            if item.backend != "thread":
+                decision["backend"] = item.backend
         elif item.op == "group_by":
             decision["algorithm"] = (
                 item.grouping_algorithm.name if item.grouping_algorithm else ""
             )
             decision["keys"] = [item.group_key]
             decision["parallel"] = bool(item.parallel)
+            if item.exchange:
+                decision["exchange"] = True
+            if item.backend != "thread":
+                decision["backend"] = item.backend
         elif item.op == "limit":
             decision["count"] = item.count
         decisions.append(decision)
@@ -266,21 +309,30 @@ def decision_label(decision: dict) -> str:
         return label + ")"
     keys = decision.get("keys", [])
     if op == "join":
-        algorithm = decision.get("algorithm", "?")
-        if decision.get("parallel"):
-            algorithm += "/parallel"
+        algorithm = decision.get("algorithm", "?") + _decision_mode(decision)
         joined = " = ".join(keys) if keys else "?"
         return f"join[{algorithm}]({joined})"
     if op == "group_by":
-        algorithm = decision.get("algorithm", "?")
-        if decision.get("parallel"):
-            algorithm += "/parallel"
+        algorithm = decision.get("algorithm", "?") + _decision_mode(decision)
         return f"group_by[{algorithm}]({', '.join(keys) or '?'})"
     if op == "sort":
         return f"sort({', '.join(keys) or '?'})"
     if op == "limit":
         return f"limit({decision.get('count')})"
     return op
+
+
+def _decision_mode(decision: dict) -> str:
+    """The loop/exchange/backend suffix of a decision label."""
+    suffix = ""
+    if decision.get("exchange"):
+        suffix = "/exchange"
+    elif decision.get("parallel"):
+        suffix = "/parallel"
+    backend = decision.get("backend")
+    if backend and backend != "thread":
+        suffix += f"@{backend}"
+    return suffix
 
 
 def _decision_site(decision: dict) -> tuple:
@@ -425,6 +477,8 @@ def _lower_node(
             # Pin the optimiser's loop decision (True/False, never the
             # auto-detect None): a costed plan must execute as costed.
             parallel=node.parallel,
+            exchange=node.exchange,
+            backend=node.backend,
         )
     if node.op == "group_by":
         assert node.grouping_algorithm is not None
@@ -435,6 +489,8 @@ def _lower_node(
             algorithm=node.grouping_algorithm,
             validate=validate,
             parallel=node.parallel,
+            exchange=node.exchange,
+            backend=node.backend,
         )
         # If the grouping key column came out of a dictionary view, the
         # group keys are codes: plant the decode right after grouping.

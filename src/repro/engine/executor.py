@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro._util.timer import Timer
 from repro.engine.operators.base import PhysicalOperator
-from repro.engine.parallel import parallel_execution
+from repro.engine.parallel import get_executor_config, parallel_execution
 from repro.obs.feedback import FeedbackStore
 from repro.obs.instrument import OperatorStats, format_bytes, instrumented
 from repro.obs.metrics import DEFAULT_BUCKETS
@@ -90,12 +90,15 @@ def execute(
             "engine.execute_seconds", DEFAULT_BUCKETS, exist_ok=True
         ).observe(timer.elapsed)
     if query_log is not None:
+        executor = get_executor_config()
         entry = {
             "kind": "execute",
             "root": root.name,
             "plan": root.explain(),
             "rows_out": result.num_rows,
             "wall_seconds": timer.elapsed,
+            "backend": executor.backend,
+            "workers": executor.workers,
         }
         if root.estimated_rows is not None:
             entry["estimated_rows"] = root.estimated_rows

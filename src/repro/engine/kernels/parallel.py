@@ -39,7 +39,7 @@ from repro.engine.kernels.joins import (
 )
 from repro.engine.parallel import morsel_boundaries, run_morsels
 from repro.errors import PreconditionError
-from repro.indexes.hash_table import OpenAddressingHashTable
+from repro.indexes.hash_table import OpenAddressingHashTable, murmur3_finalizer
 from repro.indexes.perfect_hash import StaticPerfectHash
 
 #: join algorithms whose probe phase shards safely: the build structure is
@@ -49,6 +49,19 @@ from repro.indexes.perfect_hash import StaticPerfectHash
 PARALLEL_PROBE_ALGORITHMS = frozenset(
     {JoinAlgorithm.HJ, JoinAlgorithm.SPHJ, JoinAlgorithm.BSJ}
 )
+
+#: grouping algorithms an exchange partition can run locally. Hash
+#: partitioning destroys both clusteredness (OG) and key-domain density
+#: (SPHG), so only the order-insensitive families survive repartitioning.
+EXCHANGE_GROUPING_ALGORITHMS = frozenset(
+    {GroupingAlgorithm.HG, GroupingAlgorithm.SOG, GroupingAlgorithm.BSG}
+)
+
+#: join algorithms an exchange partition can run locally. Partition-local
+#: HJ and BSJ both emit build-row-ascending ties, which is what makes the
+#: restored probe order bit-identical to the serial kernels; SPHJ fails
+#: on the sparse per-partition domains, OJ/SOJ need pre-sorted inputs.
+EXCHANGE_JOIN_ALGORITHMS = frozenset({JoinAlgorithm.HJ, JoinAlgorithm.BSJ})
 
 
 def merge_partials(partials: list[GroupingResult]) -> GroupingResult:
@@ -261,6 +274,251 @@ def parallel_join(
         right_indices=np.concatenate(right_parts)
         if right_parts
         else np.empty(0, dtype=np.int64),
+        output_order=JoinOutputOrder.PROBE_ORDER,
+        structure_bytes=structure,
+    )
+
+
+# ---------------------------------------------------------------------------
+# exchange (hash repartition) kernels
+
+
+def hash_partition(
+    keys: np.ndarray, partitions: int
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Stable hash partitioning: the Exchange operator's shuffle.
+
+    Rows are assigned ``murmur3(key) % partitions`` and stably reordered
+    so each partition is one contiguous run; equal keys always land in
+    the same partition, and within a partition the original row order is
+    preserved (the bit-identity invariant of the exchange kernels).
+
+    :returns: ``(order, bounds)`` — the permutation to apply to every
+        row-aligned array, and per-partition ``[start, stop)`` ranges
+        into the permuted arrays (empty partitions yield empty ranges).
+    """
+    if partitions < 1:
+        raise PreconditionError(f"partitions must be >= 1, got {partitions}")
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    assignment = (murmur3_finalizer(keys) % np.uint64(partitions)).astype(
+        np.int64
+    )
+    order = np.argsort(assignment, kind="stable")
+    counts = np.bincount(assignment, minlength=partitions)
+    edges = np.concatenate([[0], np.cumsum(counts)])
+    bounds = [
+        (int(edges[i]), int(edges[i + 1])) for i in range(partitions)
+    ]
+    return order, bounds
+
+
+def exchange_group_by(
+    keys: np.ndarray,
+    values: np.ndarray | None,
+    algorithm: GroupingAlgorithm,
+    workers: int | None = None,
+    num_distinct_hint: int | None = None,
+    backend: str = "thread",
+    on_report=None,
+) -> GroupingResult:
+    """Grouping through an exchange: hash-partition, group each partition
+    locally, concatenate the disjoint partials through the sorting merge.
+
+    Unlike the sharding loop of :func:`parallel_group_by`, partitions are
+    disjoint in key space, so the merge never combines partial groups —
+    it only interleaves sorted key runs. The payoff the cost model sees:
+    no ``workers x num_groups`` merge blow-up at huge NDV.
+
+    :raises PreconditionError: for algorithms repartitioning breaks
+        (see :data:`EXCHANGE_GROUPING_ALGORITHMS`).
+    """
+    if algorithm not in EXCHANGE_GROUPING_ALGORITHMS:
+        raise PreconditionError(
+            f"exchange grouping cannot run {algorithm.value!r} locally: "
+            "hash partitioning destroys clusteredness and density"
+        )
+    from repro.engine.parallel import get_executor_config
+
+    if workers is None:
+        workers = get_executor_config().workers
+    workers = max(int(workers), 1)
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    if workers == 1 or keys.size == 0:
+        return group_by(keys, values, algorithm, num_distinct_hint=num_distinct_hint)
+    order, bounds = hash_partition(keys, workers)
+    part_keys = keys[order]
+    part_values = (
+        np.ascontiguousarray(values)[order] if values is not None else None
+    )
+    if backend == "process":
+        from repro.engine.procpool import get_shared_store, run_process_tasks
+
+        store = get_shared_store()
+        keys_ref = store.publish(part_keys)
+        values_ref = (
+            store.publish(part_values) if part_values is not None else None
+        )
+        tasks = [
+            (
+                "group",
+                {
+                    "keys": keys_ref,
+                    "values": values_ref,
+                    "start": start,
+                    "stop": stop,
+                    "algorithm": algorithm.value,
+                    "num_distinct_hint": num_distinct_hint,
+                },
+            )
+            for start, stop in bounds
+            if stop > start
+        ]
+        report = run_process_tasks(tasks, workers=workers)
+        partials = [
+            GroupingResult(
+                keys=r["keys"],
+                counts=r["counts"],
+                sums=r["sums"],
+                key_order=KeyOrder(r["key_order"]),
+            )
+            for r in report.results
+        ]
+    else:
+        tasks = [
+            (
+                lambda s=start, e=stop: group_by(
+                    part_keys[s:e],
+                    part_values[s:e] if part_values is not None else None,
+                    algorithm,
+                    num_distinct_hint=num_distinct_hint,
+                )
+            )
+            for start, stop in bounds
+            if stop > start
+        ]
+        report = run_morsels(tasks, workers=workers)
+        partials = report.results
+    if on_report is not None:
+        on_report(report)
+    return merge_partials(partials)
+
+
+def exchange_join(
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    algorithm: JoinAlgorithm,
+    workers: int | None = None,
+    num_distinct_hint: int | None = None,
+    backend: str = "thread",
+    on_report=None,
+) -> JoinResult:
+    """Join through an exchange: hash-partition *both* sides, join each
+    partition locally with the serial kernel, then restore probe order.
+
+    Equal keys co-locate, so the partition-local joins are exhaustive;
+    carrying global row ids through the partition permutations and
+    stable-sorting the concatenated matches by global probe row restores
+    the serial kernels' probe-major output bit-for-bit (ties stay
+    build-ascending: all matches of one probe row live in one partition,
+    where the local kernel already emits them ascending). Unlike the
+    shared-build :func:`parallel_join`, the *build* phase parallelises
+    too — the niche the cost model prices it for.
+
+    :raises PreconditionError: for algorithms repartitioning breaks
+        (see :data:`EXCHANGE_JOIN_ALGORITHMS`).
+    """
+    if algorithm not in EXCHANGE_JOIN_ALGORITHMS:
+        raise PreconditionError(
+            f"exchange join cannot run {algorithm.value!r} locally: "
+            "partitioning breaks its precondition or tie order"
+        )
+    from repro.engine.parallel import get_executor_config
+
+    if workers is None:
+        workers = get_executor_config().workers
+    workers = max(int(workers), 1)
+    build_keys = np.ascontiguousarray(build_keys, dtype=np.int64)
+    probe_keys = np.ascontiguousarray(probe_keys, dtype=np.int64)
+    if workers == 1 or build_keys.size == 0 or probe_keys.size == 0:
+        return join(
+            build_keys, probe_keys, algorithm, num_distinct_hint=num_distinct_hint
+        )
+    build_order, build_bounds = hash_partition(build_keys, workers)
+    probe_order, probe_bounds = hash_partition(probe_keys, workers)
+    part_build = build_keys[build_order]
+    part_probe = probe_keys[probe_order]
+    ranges = [
+        (bs, be, ps, pe)
+        for (bs, be), (ps, pe) in zip(build_bounds, probe_bounds)
+        # A partition with no build rows matches nothing; one with no
+        # probe rows emits nothing. Either way there is no work.
+        if pe > ps and be > bs
+    ]
+    if backend == "process":
+        from repro.engine.procpool import get_shared_store, run_process_tasks
+
+        store = get_shared_store()
+        build_ref = store.publish(part_build)
+        probe_ref = store.publish(part_probe)
+        tasks = [
+            (
+                "join_partition",
+                {
+                    "build": build_ref,
+                    "probe": probe_ref,
+                    "build_start": bs,
+                    "build_stop": be,
+                    "probe_start": ps,
+                    "probe_stop": pe,
+                    "algorithm": algorithm.value,
+                    "num_distinct_hint": num_distinct_hint,
+                },
+            )
+            for bs, be, ps, pe in ranges
+        ]
+        report = run_process_tasks(tasks, workers=workers)
+        locals_ = [(r["left"], r["right"]) for r in report.results]
+    else:
+        tasks = [
+            (
+                lambda b0=bs, b1=be, p0=ps, p1=pe: (
+                    lambda r: (r.left_indices, r.right_indices)
+                )(
+                    join(
+                        part_build[b0:b1],
+                        part_probe[p0:p1],
+                        algorithm,
+                        num_distinct_hint=num_distinct_hint,
+                    )
+                )
+            )
+            for bs, be, ps, pe in ranges
+        ]
+        report = run_morsels(tasks, workers=workers)
+        locals_ = report.results
+    if on_report is not None:
+        on_report(report)
+    left_parts = []
+    right_parts = []
+    structure = int(
+        build_order.nbytes
+        + probe_order.nbytes
+        + part_build.nbytes
+        + part_probe.nbytes
+    )
+    for (bs, be, ps, pe), (left_local, right_local) in zip(ranges, locals_):
+        left_parts.append(build_order[bs + left_local])
+        right_parts.append(probe_order[ps + right_local])
+    if left_parts:
+        left_all = np.concatenate(left_parts)
+        right_all = np.concatenate(right_parts)
+    else:
+        left_all = np.empty(0, dtype=np.int64)
+        right_all = np.empty(0, dtype=np.int64)
+    restore = np.argsort(right_all, kind="stable")
+    return JoinResult(
+        left_indices=left_all[restore].astype(np.int64),
+        right_indices=right_all[restore].astype(np.int64),
         output_order=JoinOutputOrder.PROBE_ORDER,
         structure_bytes=structure,
     )

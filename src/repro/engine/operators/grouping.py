@@ -33,8 +33,10 @@ from repro.engine.operators.base import (
     PhysicalOperator,
     table_to_chunks,
 )
+from repro.engine.kernels.parallel import EXCHANGE_GROUPING_ALGORITHMS
 from repro.engine.operators.scan import TableScan
 from repro.engine.parallel import (
+    BACKENDS,
     get_executor_config,
     morsel_boundaries,
     run_morsels,
@@ -44,6 +46,70 @@ from repro.service.context import check_active_context
 from repro.storage.dtypes import DataType
 from repro.storage.schema import ColumnSpec, Schema
 from repro.storage.table import Table
+
+
+def decompose_partials(aggregates: list[AggregateSpec]) -> list[AggregateSpec]:
+    """Aggregates rewritten for partial (shard/partition-local) runs.
+
+    AVG is decomposed into partial SUM and COUNT columns (suffixes
+    ``@sum`` / ``@count``) so partials merge losslessly; everything else
+    is already decomposable as-is.
+    """
+    partial_specs: list[AggregateSpec] = []
+    for spec in aggregates:
+        if spec.function is AggregateFunction.AVG:
+            partial_specs.append(
+                AggregateSpec(
+                    AggregateFunction.SUM, spec.column, f"{spec.alias}@sum"
+                )
+            )
+            partial_specs.append(
+                AggregateSpec(
+                    AggregateFunction.COUNT, None, f"{spec.alias}@count"
+                )
+            )
+        else:
+            partial_specs.append(spec)
+    return partial_specs
+
+
+def group_partial(
+    table: Table,
+    key: str,
+    aggregates: list[AggregateSpec],
+    algorithm,
+    num_distinct_hint: int | None = None,
+) -> Table:
+    """Group one shard/partition serially into a partial-aggregate table.
+
+    This is the per-morsel unit of work shared by the thread pool and the
+    process workers (:mod:`repro.engine.procpool` ships it table slices
+    rebuilt from shared memory); ``aggregates`` must already be
+    decomposed (:func:`decompose_partials`). ``algorithm`` accepts the
+    enum or its string value (process payloads carry the value).
+    """
+    if not isinstance(algorithm, GroupingAlgorithm):
+        algorithm = GroupingAlgorithm(algorithm)
+    partial = GroupBy(
+        TableScan(table),
+        key=key,
+        aggregates=list(aggregates),
+        algorithm=algorithm,
+        num_distinct_hint=num_distinct_hint,
+        # A partial is already one unit of parallel work: pinning serial
+        # stops it re-sharding (unbounded recursion under a small
+        # min_parallel_rows setting).
+        parallel=False,
+    )
+    return partial.to_table()
+
+
+def _partial_bytes(partial) -> int:
+    """Working-set bytes of one partial result (a Table from the thread
+    path, a plain {name: array} dict from the process path)."""
+    if hasattr(partial, "memory_bytes"):
+        return partial.memory_bytes()
+    return sum(array.nbytes for array in partial.values())
 
 
 class GroupBy(PhysicalOperator):
@@ -66,6 +132,14 @@ class GroupBy(PhysicalOperator):
         ``None`` (default) auto-parallelises large inputs when the
         process-wide :class:`~repro.engine.parallel.ExecutorConfig` has
         more than one worker.
+    :param exchange: the MACROMOLECULE-level repartition decision.
+        ``True`` hash-partitions the input on the key, groups each
+        (disjoint) partition locally, and concatenates — only HG/SOG/BSG
+        survive partitioning (OG loses clusteredness, SPHG density).
+    :param backend: which pool runs the parallel work: ``"thread"``,
+        ``"process"`` (shared-memory workers,
+        :mod:`repro.engine.procpool`), or ``None`` (default) to follow
+        the process-wide executor configuration.
     """
 
     def __init__(
@@ -79,6 +153,8 @@ class GroupBy(PhysicalOperator):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         shards: int = 1,
         parallel: bool | None = None,
+        exchange: bool = False,
+        backend: str | None = None,
     ) -> None:
         super().__init__(children=[child])
         schema = child.output_schema
@@ -100,8 +176,20 @@ class GroupBy(PhysicalOperator):
         self._chunk_size = chunk_size
         if shards < 1:
             raise ExecutionError(f"shards must be >= 1, got {shards}")
+        if exchange and algorithm not in EXCHANGE_GROUPING_ALGORITHMS:
+            raise ExecutionError(
+                f"exchange grouping supports "
+                f"{sorted(a.value for a in EXCHANGE_GROUPING_ALGORITHMS)}, "
+                f"not {algorithm.value!r}"
+            )
+        if backend is not None and backend not in BACKENDS:
+            raise ExecutionError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self._shards = shards
         self._parallel = parallel
+        self._exchange = bool(exchange)
+        self._backend = backend
 
     @property
     def output_schema(self) -> Schema:
@@ -142,9 +230,18 @@ class GroupBy(PhysicalOperator):
             return 1
         return config.workers
 
+    def _effective_backend(self) -> str:
+        """Which pool parallel work runs on: the pinned ``backend``
+        argument, else the process-wide executor configuration."""
+        return self._backend or get_executor_config().backend
+
     def chunks(self) -> Iterator[Chunk]:
         table = self.children[0].to_table()
         check_active_context()
+        workers = get_executor_config().workers
+        if self._exchange and table.num_rows and workers > 1:
+            yield from self._exchange_chunks(table, workers)
+            return
         shards = self._effective_shards(table.num_rows)
         if shards > 1 and table.num_rows:
             yield from self._sharded_chunks(table, shards)
@@ -185,48 +282,95 @@ class GroupBy(PhysicalOperator):
         yield from table_to_chunks(result, self._chunk_size)
 
     def _group_slice(self, table: Table) -> Table:
-        """Group one shard into a partial-aggregate table.
-
-        AVG is decomposed into partial SUM and COUNT columns (suffixes
-        ``@sum`` / ``@count``) so partials merge losslessly.
-        """
-        partial_specs: list[AggregateSpec] = []
-        for spec in self._aggregates:
-            if spec.function is AggregateFunction.AVG:
-                partial_specs.append(
-                    AggregateSpec(
-                        AggregateFunction.SUM, spec.column, f"{spec.alias}@sum"
-                    )
-                )
-                partial_specs.append(
-                    AggregateSpec(
-                        AggregateFunction.COUNT, None, f"{spec.alias}@count"
-                    )
-                )
-            else:
-                partial_specs.append(spec)
-        partial = GroupBy(
-            TableScan(table),
-            key=self._key,
-            aggregates=partial_specs,
-            algorithm=self._algorithm,
-            num_distinct_hint=self._num_distinct_hint,
-            validate=self._validate,
+        """Group one shard into a partial-aggregate table."""
+        return group_partial(
+            table,
+            self._key,
+            decompose_partials(self._aggregates),
+            self._algorithm,
+            self._num_distinct_hint,
         )
-        return partial.to_table()
 
-    def _sharded_chunks(self, table: Table, shards: int) -> Iterator[Chunk]:
+    def _partial_tables(self, table: Table, boundaries):
+        """Run the partial grouping of each ``(start, stop)`` slice on the
+        effective backend; returns ``(partials, MorselReport)``."""
+        if self._effective_backend() == "process":
+            return self._process_partials(table, boundaries)
         tasks = [
             (lambda s=start, e=stop: self._group_slice(table.slice(s, e)))
-            for start, stop in morsel_boundaries(table.num_rows, shards)
+            for start, stop in boundaries
         ]
         report = run_morsels(tasks)
+        return report.results, report
+
+    def _process_partials(self, table: Table, boundaries):
+        """Partial grouping on the shared-memory process pool: publish the
+        needed columns once, ship only (start, stop) bounds per morsel."""
+        from repro.engine.procpool import get_shared_store, run_process_tasks
+
+        store = get_shared_store()
+        partial_specs = decompose_partials(self._aggregates)
+        needed = [self._key] + sorted(
+            {
+                spec.column
+                for spec in partial_specs
+                if spec.column is not None and spec.column != self._key
+            }
+        )
+        # ascontiguousarray may copy (sliced inputs): the keepalive list
+        # holds those copies until the batch has drained, since the store
+        # unlinks a published segment when its source array is collected.
+        keepalive = [np.ascontiguousarray(table[name]) for name in needed]
+        base = {
+            "columns": {
+                name: store.publish(array)
+                for name, array in zip(needed, keepalive)
+            },
+            "key": self._key,
+            "aggregates": [
+                (spec.function.value, spec.column, spec.alias)
+                for spec in partial_specs
+            ],
+            "algorithm": self._algorithm.value,
+            "num_distinct_hint": self._num_distinct_hint,
+        }
+        tasks = [
+            ("group_table", {**base, "start": start, "stop": stop})
+            for start, stop in boundaries
+        ]
+        report = run_process_tasks(tasks)
+        del keepalive
+        return report.results, report
+
+    def _sharded_chunks(self, table: Table, shards: int) -> Iterator[Chunk]:
+        boundaries = morsel_boundaries(table.num_rows, shards)
+        partials, report = self._partial_tables(table, boundaries)
         self._note_parallelism(report.workers_used, report.busy_seconds)
-        partials = report.results
         merged = self._merge_partials(partials)
         self._note_memory(
             table.memory_bytes()
-            + sum(part.memory_bytes() for part in partials)
+            + sum(_partial_bytes(part) for part in partials)
+            + merged.memory_bytes()
+        )
+        yield from table_to_chunks(merged, self._chunk_size)
+
+    def _exchange_chunks(self, table: Table, partitions: int) -> Iterator[Chunk]:
+        """The repartitioning path: hash-partition rows on the key, group
+        each partition locally (partitions are key-disjoint, so partials
+        share no groups), and merge. Output is key-sorted, same as the
+        sharded path's merge."""
+        from repro.engine.kernels.parallel import hash_partition
+
+        order, bounds = hash_partition(table[self._key], partitions)
+        permuted = table.take(order)
+        boundaries = [(start, stop) for start, stop in bounds if stop > start]
+        partials, report = self._partial_tables(permuted, boundaries)
+        self._note_parallelism(report.workers_used, report.busy_seconds)
+        merged = self._merge_partials(partials)
+        self._note_memory(
+            table.memory_bytes()
+            + permuted.memory_bytes()
+            + sum(_partial_bytes(part) for part in partials)
             + merged.memory_bytes()
         )
         yield from table_to_chunks(merged, self._chunk_size)
@@ -287,12 +431,16 @@ class GroupBy(PhysicalOperator):
             f"{spec.function.value.upper()}({spec.column or '*'}) AS {spec.alias}"
             for spec in self._aggregates
         )
-        if self._shards > 1:
+        if self._exchange:
+            loop = ", loop=exchange"
+        elif self._shards > 1:
             loop = f", shards={self._shards}"
         elif self._parallel:
             loop = ", loop=parallel"
         else:
             loop = ""
+        if self._backend == "process":
+            loop += ", backend=process"
         return (
             f"GroupBy(key={self._key}, impl={self._algorithm.value}{loop}, "
             f"[{aggs}])"

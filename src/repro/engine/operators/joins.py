@@ -22,10 +22,12 @@ from repro.engine.kernels.joins import (
     sort_merge_join,
 )
 from repro.engine.kernels.parallel import (
+    EXCHANGE_JOIN_ALGORITHMS,
     PARALLEL_PROBE_ALGORITHMS,
+    exchange_join,
     parallel_join,
 )
-from repro.engine.parallel import get_executor_config
+from repro.engine.parallel import BACKENDS, get_executor_config
 from repro.service.context import check_active_context, get_active_context
 from repro.engine.operators.base import (
     DEFAULT_CHUNK_SIZE,
@@ -51,6 +53,15 @@ class Join(PhysicalOperator):
         large probe sides when the process-wide
         :class:`~repro.engine.parallel.ExecutorConfig` has more than one
         worker. OJ/SOJ always run serially.
+    :param exchange: the MACROMOLECULE-level repartition decision.
+        ``True`` hash-partitions *both* sides and joins each partition
+        pair locally — the build phase parallelises too, unlike the
+        shared-build probe sharding. HJ/BSJ only; output is restored to
+        the exact serial probe-major order.
+    :param backend: which pool runs the parallel work: ``"thread"``,
+        ``"process"`` (shared-memory workers,
+        :mod:`repro.engine.procpool`), or ``None`` (default) to follow
+        the process-wide executor configuration.
     """
 
     def __init__(
@@ -64,6 +75,8 @@ class Join(PhysicalOperator):
         validate: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         parallel: bool | None = None,
+        exchange: bool = False,
+        backend: str | None = None,
     ) -> None:
         super().__init__(children=[left, right])
         if left_key not in left.output_schema:
@@ -76,6 +89,16 @@ class Join(PhysicalOperator):
                 f"join inputs share column name(s) {sorted(overlap)}; "
                 "qualify them first"
             )
+        if exchange and algorithm not in EXCHANGE_JOIN_ALGORITHMS:
+            raise ExecutionError(
+                f"exchange join supports "
+                f"{sorted(a.value for a in EXCHANGE_JOIN_ALGORITHMS)}, "
+                f"not {algorithm.value!r}"
+            )
+        if backend is not None and backend not in BACKENDS:
+            raise ExecutionError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self._left_key = left_key
         self._right_key = right_key
         self._algorithm = algorithm
@@ -83,6 +106,8 @@ class Join(PhysicalOperator):
         self._validate = validate
         self._chunk_size = chunk_size
         self._parallel = parallel
+        self._exchange = bool(exchange)
+        self._backend = backend
 
     @property
     def output_schema(self) -> Schema:
@@ -135,17 +160,40 @@ class Join(PhysicalOperator):
         check_active_context()
         build_keys = left_table[self._left_key]
         probe_keys = right_table[self._right_key]
+        backend = self._backend or get_executor_config().backend
+        workers = get_executor_config().workers
         shards = self._probe_shards(right_table.num_rows)
-        if shards > 1:
+        note = lambda report: self._note_parallelism(  # noqa: E731
+            report.workers_used, report.busy_seconds
+        )
+        if self._exchange and workers > 1:
+            result = exchange_join(
+                build_keys,
+                probe_keys,
+                self._algorithm,
+                num_distinct_hint=self._num_distinct_hint,
+                backend=backend,
+                on_report=note,
+            )
+        elif shards > 1 and backend == "process":
+            from repro.engine.procpool import process_join
+
+            result = process_join(
+                build_keys,
+                probe_keys,
+                self._algorithm,
+                shards=shards,
+                num_distinct_hint=self._num_distinct_hint,
+                on_report=note,
+            )
+        elif shards > 1:
             result = parallel_join(
                 build_keys,
                 probe_keys,
                 self._algorithm,
                 shards=shards,
                 num_distinct_hint=self._num_distinct_hint,
-                on_report=lambda report: self._note_parallelism(
-                    report.workers_used, report.busy_seconds
-                ),
+                on_report=note,
             )
         elif self._algorithm is JoinAlgorithm.HJ:
             result = hash_join(build_keys, probe_keys, self._num_distinct_hint)
@@ -178,7 +226,14 @@ class Join(PhysicalOperator):
         yield from table_to_chunks(output, self._chunk_size)
 
     def describe(self) -> str:
-        loop = ", loop=parallel" if self._parallel else ""
+        if self._exchange:
+            loop = ", loop=exchange"
+        elif self._parallel:
+            loop = ", loop=parallel"
+        else:
+            loop = ""
+        if self._backend == "process":
+            loop += ", backend=process"
         return (
             f"Join({self._left_key} = {self._right_key}, "
             f"impl={self._algorithm.value}{loop})"

@@ -45,7 +45,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Iterator, Sequence, TypeVar
 
-from repro.errors import ExecutionError
+from repro.errors import ConfigurationError, ExecutionError
 from repro.obs.runtime import get_metrics, get_tracer
 from repro.service.context import activate_context, get_active_context
 
@@ -62,6 +62,9 @@ DEFAULT_MORSEL_ROWS = 65_536
 #: finish in tens of microseconds, under the pool's dispatch latency.
 DEFAULT_MIN_PARALLEL_ROWS = 32_768
 
+#: execution backends an operator's parallel loop can run on.
+BACKENDS = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class ExecutorConfig:
@@ -71,41 +74,64 @@ class ExecutorConfig:
     path — the engine behaves exactly as before this module existed.
     """
 
-    #: worker threads available to morsel scheduling (>= 1).
+    #: workers available to morsel scheduling (>= 1).
     workers: int = 1
     #: target rows per morsel when an operator auto-splits its input.
     morsel_rows: int = DEFAULT_MORSEL_ROWS
     #: inputs smaller than this stay serial even when workers > 1.
     min_parallel_rows: int = DEFAULT_MIN_PARALLEL_ROWS
+    #: parallel loops run on pool threads ("thread") or on the shared
+    #: process pool ("process", see :mod:`repro.engine.procpool`).
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ConfigurationError(
+                f"workers must be an integer, got {self.workers!r}"
+            )
         if self.workers < 1:
-            raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
         if self.morsel_rows < 1:
-            raise ExecutionError(
+            raise ConfigurationError(
                 f"morsel_rows must be >= 1, got {self.morsel_rows}"
+            )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
 
     @staticmethod
     def from_env() -> "ExecutorConfig":
         """The configuration implied by the environment.
 
-        ``REPRO_WORKERS`` sets the worker count (``0`` or an unparsable
-        value falls back to 1 — serial). ``REPRO_MORSEL_ROWS`` overrides
-        the morsel size.
+        ``REPRO_WORKERS`` sets the worker count; zero, negative, or
+        non-integer values raise :class:`ConfigurationError` — a typo'd
+        deployment must fail loudly, not silently run serial.
+        ``REPRO_MORSEL_ROWS`` overrides the morsel size and
+        ``REPRO_BACKEND`` selects ``thread`` (default) or ``process``.
         """
+        raw_workers = os.environ.get("REPRO_WORKERS", "1")
         try:
-            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+            workers = int(raw_workers)
         except ValueError:
-            workers = 1
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be a positive integer, got {raw_workers!r}"
+            ) from None
+        if workers < 1:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be >= 1, got {raw_workers!r}"
+            )
         try:
             morsel_rows = int(
                 os.environ.get("REPRO_MORSEL_ROWS", str(DEFAULT_MORSEL_ROWS))
             )
         except ValueError:
             morsel_rows = DEFAULT_MORSEL_ROWS
+        backend = os.environ.get("REPRO_BACKEND", "thread").strip().lower()
         return ExecutorConfig(
-            workers=max(workers, 1), morsel_rows=max(morsel_rows, 1)
+            workers=workers, morsel_rows=max(morsel_rows, 1), backend=backend
         )
 
 

@@ -43,6 +43,23 @@ class ExecutionError(ReproError):
     """A physical plan failed during execution."""
 
 
+class ConfigurationError(ExecutionError):
+    """An executor/runtime configuration value is invalid (e.g.
+    ``REPRO_WORKERS=0`` or a non-integer worker count). Subclasses
+    :class:`ExecutionError` so existing blanket handlers keep working."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A process worker died mid-batch (killed, segfaulted, or lost).
+    Carries the worker's name and, when known, its exit code so the
+    failure is attributable in logs and telemetry."""
+
+    def __init__(self, message: str, worker: str = "", exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.exitcode = exitcode
+
+
 class PlanError(ReproError):
     """A logical or physical plan is structurally invalid."""
 

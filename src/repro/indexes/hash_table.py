@@ -214,6 +214,36 @@ class OpenAddressingHashTable:
         self._num_slots = 0
         self._slot_keys = np.empty(capacity_hint, dtype=np.int64)
 
+    @classmethod
+    def from_state(
+        cls,
+        hash_name: str,
+        bucket_keys: np.ndarray,
+        bucket_slots: np.ndarray,
+        slot_keys: np.ndarray,
+        num_slots: int,
+    ) -> "OpenAddressingHashTable":
+        """Reassemble a built table around existing arrays without copying.
+
+        Process workers use this to probe a build side whose bucket and
+        slot arrays live in shared memory: the parent builds once, ships
+        the array views, and every worker probes the same physical table.
+        The arrays are used as-is (they may be read-only views).
+        """
+        if hash_name not in HASH_FUNCTIONS:
+            raise IndexError_(
+                f"unknown hash function {hash_name!r}; "
+                f"have {sorted(HASH_FUNCTIONS)}"
+            )
+        table = cls.__new__(cls)
+        table._hash = HASH_FUNCTIONS[hash_name]
+        table._mask = np.uint64(bucket_keys.size - 1)
+        table._bucket_keys = bucket_keys
+        table._bucket_slots = bucket_slots
+        table._slot_keys = slot_keys
+        table._num_slots = int(num_slots)
+        return table
+
     @property
     def num_buckets(self) -> int:
         """Allocated bucket count (a power of two)."""

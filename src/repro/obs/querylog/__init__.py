@@ -372,6 +372,21 @@ def summarise(entries: list[dict]) -> str:
     )
     lines = [f"query log: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} ({breakdown or 'empty'})"]
 
+    # Which execution backend the optimize/execute rows ran under
+    # (rows logged before the backend dial existed carry no key).
+    backends: dict[str, int] = {}
+    for entry in entries:
+        backend = entry.get("backend")
+        if backend:
+            backends[backend] = backends.get(backend, 0) + 1
+    if backends:
+        lines.append(
+            "execution backends: "
+            + ", ".join(
+                f"{count} {name}" for name, count in sorted(backends.items())
+            )
+        )
+
     store = feedback_from_entries(entries)
     summary = store.qerror_summary()
     if summary:

@@ -36,7 +36,7 @@ from repro.core.optimizer.dp import DynamicProgrammingOptimizer
 from repro.core.optimizer.plancache import DEFAULT_CAPACITY, PlanCache
 from repro.core.plan import to_operator
 from repro.engine.executor import execute, explain_analyze
-from repro.engine.parallel import parallel_execution
+from repro.engine.parallel import get_executor_config, parallel_execution
 from repro.errors import (
     AdmissionRejected,
     QueryCancelled,
@@ -107,6 +107,10 @@ class ServiceConfig:
     #: morsel workers per query; None resolves the ambient executor
     #: configuration (``REPRO_WORKERS``) at query time.
     workers: int | None = None
+    #: execution backend the optimiser plans for ("thread" / "process");
+    #: None resolves the ambient executor configuration (``REPRO_BACKEND``)
+    #: at query time.
+    backend: str | None = None
     #: optimise deep (DQO) by default; False = shallow (SQO).
     deep: bool = True
     #: deadline applied when a query names none (seconds, None = none).
@@ -622,10 +626,11 @@ class QueryService:
         self, logical, workers: int | None, degraded: bool
     ) -> OptimizationResult:
         deep = self._config.deep and not degraded
+        backend = self._config.backend or get_executor_config().backend
         config = (
-            dqo_config(workers=workers)
+            dqo_config(workers=workers, backend=backend)
             if deep
-            else sqo_config(workers=workers)
+            else sqo_config(workers=workers, backend=backend)
         )
         optimizer = DynamicProgrammingOptimizer(
             self._catalog,
@@ -673,10 +678,11 @@ class QueryService:
         if workers is None:
             workers = self._config.workers
         use_deep = self._config.deep if deep is None else bool(deep)
+        backend = self._config.backend or get_executor_config().backend
         config = (
-            dqo_config(workers=workers)
+            dqo_config(workers=workers, backend=backend)
             if use_deep
-            else sqo_config(workers=workers)
+            else sqo_config(workers=workers, backend=backend)
         )
         return explain_why(
             sql,
@@ -702,6 +708,11 @@ class QueryService:
             self._sentinel.store.save()
         except OSError:  # persistence is best-effort at shutdown
             pass
+        # Reap the process-backend worker pool and its shared-memory
+        # segments (no-op when the process backend was never used).
+        from repro.engine.procpool import shutdown_process_pool
+
+        shutdown_process_pool()
 
 
 class Session:

@@ -28,6 +28,25 @@ class ForeignKey:
 #: process-unique catalog identity tokens (see :meth:`Catalog.fingerprint`).
 _CATALOG_TOKENS = count(1)
 
+#: callbacks fired after a table is unregistered: ``f(catalog, name, table)``.
+#: The shared-memory column store hooks in here to release segments whose
+#: backing table left the catalog (see :mod:`repro.engine.procpool`).
+_unregister_observers: list = []
+
+
+def add_unregister_observer(observer) -> None:
+    """Register a callback invoked after every :meth:`Catalog.unregister`."""
+    if observer not in _unregister_observers:
+        _unregister_observers.append(observer)
+
+
+def remove_unregister_observer(observer) -> None:
+    """Remove a previously added unregister observer (missing is a no-op)."""
+    try:
+        _unregister_observers.remove(observer)
+    except ValueError:
+        pass
+
 
 class Catalog:
     """A registry of named tables, with statistics and FK metadata."""
@@ -65,8 +84,10 @@ class Catalog:
         """Remove the registration of ``name`` (missing names are an error)."""
         if name not in self._tables:
             raise SchemaError(f"no table named {name!r}")
-        del self._tables[name]
+        table = self._tables.pop(name)
         self._version += 1
+        for observer in list(_unregister_observers):
+            observer(self, name, table)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables

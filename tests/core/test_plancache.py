@@ -339,6 +339,75 @@ class TestParallelOptionSpace:
         assert ambient_aware.cost < baseline.cost
 
 
+class TestBackendOptionSpace:
+    """The execution-backend dimension: process options are opt-in,
+    keyed into the cache, and costed per node."""
+
+    def test_thread_config_excludes_process_options(self):
+        for option in grouping_options(dqo_config(workers=4), 4):
+            assert option.backend == "thread"
+        for option in join_options(dqo_config(workers=4), 4):
+            assert option.backend == "thread"
+
+    def test_process_config_adds_backend_variants(self):
+        config = dqo_config(workers=4, backend="process")
+        grouping = grouping_options(config, 4)
+        assert any(
+            o.backend == "process" and o.parallel for o in grouping
+        )
+        assert any(
+            o.backend == "process" and o.exchange for o in grouping
+        )
+        joins = join_options(config, 4)
+        assert any(o.backend == "process" and o.parallel for o in joins)
+        assert any(o.backend == "process" and o.exchange for o in joins)
+
+    def test_exchange_needs_multiple_workers(self):
+        config = dqo_config(backend="process")
+        assert not any(o.exchange for o in grouping_options(config, 1))
+        assert not any(o.exchange for o in join_options(config, 1))
+
+    def test_backend_changes_config_fingerprint(self):
+        thread = dqo_config(workers=4)
+        process = dqo_config(workers=4, backend="process")
+        assert config_fingerprint(thread) != config_fingerprint(process)
+
+    def test_backend_is_part_of_the_cache_key(self, catalog, spec):
+        cache = PlanCache()
+        thread = DynamicProgrammingOptimizer(
+            catalog, config=dqo_config(workers=4), plan_cache=cache
+        )
+        process = DynamicProgrammingOptimizer(
+            catalog,
+            config=dqo_config(workers=4, backend="process"),
+            plan_cache=cache,
+        )
+        thread.optimize_spec(spec)
+        assert not process.optimize_spec(spec).cached
+        assert len(cache) == 2
+        assert process.optimize_spec(spec).cached
+
+    def test_process_backend_plans_stay_oracle_optimal(
+        self, catalog, paper_query
+    ):
+        logical = plan_query(paper_query, catalog)
+        config = dqo_config(workers=4, backend="process")
+        dp = optimize_dqo(logical, catalog, workers=4, backend="process")
+        oracle = exhaustive_minimum(logical, catalog, config=config)
+        assert dp.cost == pytest.approx(oracle.cost)
+
+    def test_thread_plans_keep_historical_fingerprints(
+        self, catalog, paper_query
+    ):
+        # Sentinel baselines hash thread plans with the pre-backend
+        # tokens; those hashes must not drift.
+        logical = plan_query(paper_query, catalog)
+        wide = optimize_dqo(logical, catalog, workers=4)
+        for node in wide.plan.walk():
+            assert node.backend == "thread"
+        assert "@" not in wide.plan_fingerprint
+
+
 class TestEntryStats:
     def test_entries_report_hits_age_and_identity(self, catalog, spec):
         cache = PlanCache()

@@ -39,7 +39,7 @@ from repro.engine.parallel import (
     on_worker_thread,
     run_morsels,
 )
-from repro.errors import ExecutionError
+from repro.errors import ConfigurationError, ExecutionError
 from repro.obs import capture_observability
 
 WORKER_COUNTS = [1, 2, 4]
@@ -75,13 +75,29 @@ class TestExecutorConfig:
         monkeypatch.setenv("REPRO_WORKERS", "4")
         assert ExecutorConfig.from_env().workers == 4
 
-    def test_from_env_clamps_zero_to_serial(self, monkeypatch):
+    def test_from_env_rejects_zero_workers(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "0")
-        assert ExecutorConfig.from_env().workers == 1
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig.from_env()
 
-    def test_from_env_ignores_garbage(self, monkeypatch):
+    def test_from_env_rejects_negative_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig.from_env()
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        assert ExecutorConfig.from_env().workers == 1
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig.from_env()
+
+    def test_from_env_rejects_bad_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fiber")
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig.from_env()
+
+    def test_from_env_reads_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert ExecutorConfig.from_env().backend == "process"
 
     def test_from_env_morsel_rows(self, monkeypatch):
         monkeypatch.setenv("REPRO_MORSEL_ROWS", "1024")

@@ -1,0 +1,335 @@
+"""The process-based execution backend (`repro.engine.procpool`).
+
+Covers the shared-memory column store lifecycle (publish/identity-cache/
+GC/catalog-unregister), bit-identity of the process kernels against the
+serial and thread kernels, operator-level equality with a pinned process
+backend, and governance across the process boundary: deadline
+propagation, mid-batch cancellation with pool reuse, and a SIGKILLed
+worker surfacing as WorkerCrashError with zero leaked ``/dev/shm``
+segments after shutdown.
+
+The module forces ``REPRO_PROC_START=fork`` so pool spin-up stays cheap
+on the test host; one test exercises the default ``spawn`` path
+explicitly.
+"""
+
+import gc
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.datagen import Density, Sortedness, make_grouping_dataset, make_join_scenario
+from repro.engine import count_star, execute, parallel_execution, sum_of
+from repro.engine.kernels.grouping import GroupingAlgorithm, group_by
+from repro.engine.kernels.joins import JoinAlgorithm, join
+from repro.engine.kernels.parallel import exchange_group_by, exchange_join
+from repro.engine.operators import GroupBy, Join, TableScan
+from repro.engine.procpool import (
+    ProcessPool,
+    get_process_pool,
+    get_shared_store,
+    leaked_segments,
+    process_group_by,
+    process_join,
+    run_process_tasks,
+    shutdown_process_pool,
+)
+from repro.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    QueryCancelled,
+    WorkerCrashError,
+)
+from repro.service.context import CancellationToken, QueryContext
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fork_pool_and_leak_check():
+    """Cheap fork workers for the whole module; the teardown is the
+    tentpole's leak contract — zero repro_shm_* entries in /dev/shm."""
+    previous = os.environ.get("REPRO_PROC_START")
+    os.environ["REPRO_PROC_START"] = "fork"
+    shutdown_process_pool()
+    yield
+    shutdown_process_pool()
+    if previous is None:
+        os.environ.pop("REPRO_PROC_START", None)
+    else:
+        os.environ["REPRO_PROC_START"] = previous
+    assert leaked_segments() == []
+
+
+@pytest.fixture
+def dataset():
+    return make_grouping_dataset(
+        30_000, 128, Sortedness.UNSORTED, Density.DENSE, seed=7
+    )
+
+
+@pytest.fixture
+def join_scenario():
+    return make_join_scenario(n_r=2_000, n_s=9_000, num_groups=100, seed=5)
+
+
+def assert_grouping_identical(actual, expected):
+    """Equality up to key order: the parallel merge emits key-sorted
+    groups, serial HG emits first-seen order (same contract as the
+    thread-backend tests)."""
+    actual_order = np.argsort(actual.keys, kind="stable")
+    expected_order = np.argsort(expected.keys, kind="stable")
+    assert np.array_equal(
+        actual.keys[actual_order], expected.keys[expected_order]
+    )
+    assert np.array_equal(
+        actual.counts[actual_order], expected.counts[expected_order]
+    )
+    if expected.sums is None:
+        assert actual.sums is None
+    else:
+        assert np.array_equal(
+            actual.sums[actual_order], expected.sums[expected_order]
+        )
+
+
+class TestSharedColumnStore:
+    def test_publish_roundtrip(self):
+        store = get_shared_store()
+        array = np.arange(1_000, dtype=np.int64) * 3
+        ref = store.publish(array)
+        segment = shared_memory.SharedMemory(name=ref.name)
+        try:
+            view = np.ndarray(
+                ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf
+            )
+            assert np.array_equal(view, array)
+        finally:
+            segment.close()
+        store.release_array(array)
+
+    def test_publish_is_identity_cached(self):
+        store = get_shared_store()
+        array = np.arange(500, dtype=np.int64)
+        before = store.stats()["segments"]
+        first = store.publish(array)
+        second = store.publish(array)
+        assert first.name == second.name
+        assert store.stats()["segments"] == before + 1
+        store.release_array(array)
+
+    def test_publish_rejects_noncontiguous(self):
+        store = get_shared_store()
+        with pytest.raises(ExecutionError):
+            store.publish(np.arange(100, dtype=np.int64)[::2])
+
+    def test_gc_releases_segment(self):
+        store = get_shared_store()
+        array = np.arange(2_000, dtype=np.int64)
+        name = store.publish(array).name
+        assert name in leaked_segments()
+        del array
+        gc.collect()
+        assert name not in leaked_segments()
+
+    def test_catalog_unregister_releases_segments(self):
+        store = get_shared_store()
+        table = Table.from_arrays({"v": np.arange(1_000, dtype=np.int64)})
+        catalog = Catalog()
+        catalog.register("T", table)
+        name = store.publish(table["v"]).name
+        assert name in leaked_segments()
+        catalog.unregister("T")
+        assert name not in leaked_segments()
+
+
+class TestProcessKernels:
+    @pytest.mark.parametrize(
+        "algorithm", [GroupingAlgorithm.HG, GroupingAlgorithm.SOG]
+    )
+    def test_grouping_bit_identical_to_serial(self, dataset, algorithm):
+        serial = group_by(dataset.keys, dataset.payload, algorithm)
+        result = process_group_by(
+            dataset.keys, dataset.payload, algorithm, shards=4, workers=2
+        )
+        assert_grouping_identical(result, serial)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [JoinAlgorithm.HJ, JoinAlgorithm.SPHJ, JoinAlgorithm.BSJ],
+    )
+    def test_join_bit_identical_to_serial(self, join_scenario, algorithm):
+        build = join_scenario.r["ID"]
+        probe = join_scenario.s["R_ID"]
+        serial = join(build, probe, algorithm)
+        result = process_join(build, probe, algorithm, shards=4, workers=2)
+        assert np.array_equal(result.left_indices, serial.left_indices)
+        assert np.array_equal(result.right_indices, serial.right_indices)
+
+    def test_exchange_grouping_process_backend(self, dataset):
+        serial = group_by(dataset.keys, dataset.payload, GroupingAlgorithm.HG)
+        result = exchange_group_by(
+            dataset.keys,
+            dataset.payload,
+            GroupingAlgorithm.HG,
+            workers=2,
+            backend="process",
+        )
+        assert_grouping_identical(result, serial)
+
+    def test_exchange_join_process_backend(self, join_scenario):
+        build = join_scenario.r["ID"]
+        probe = join_scenario.s["R_ID"]
+        serial = join(build, probe, JoinAlgorithm.HJ)
+        result = exchange_join(
+            build, probe, JoinAlgorithm.HJ, workers=2, backend="process"
+        )
+        assert np.array_equal(result.left_indices, serial.left_indices)
+        assert np.array_equal(result.right_indices, serial.right_indices)
+
+    def test_reports_worker_busy_time(self, dataset):
+        reports = []
+        process_group_by(
+            dataset.keys,
+            dataset.payload,
+            GroupingAlgorithm.HG,
+            shards=4,
+            workers=2,
+            on_report=reports.append,
+        )
+        assert len(reports) == 1
+        assert reports[0].workers_used >= 1
+        assert reports[0].busy_seconds >= 0.0
+
+
+class TestOperatorEquality:
+    def test_group_by_operator_process_backend(self, dataset):
+        table = dataset.to_table()
+        plan = lambda backend: GroupBy(  # noqa: E731
+            TableScan(table),
+            "key",
+            [count_star(), sum_of("value")],
+            algorithm=GroupingAlgorithm.HG,
+            shards=4,
+            parallel=True,
+            backend=backend,
+        )
+        serial = execute(plan(None))
+        with parallel_execution(2):
+            result = execute(plan("process"))
+        for name in serial.schema.names:
+            assert np.array_equal(result[name], serial[name])
+
+    def test_join_operator_process_backend(self, join_scenario):
+        plan = lambda backend: Join(  # noqa: E731
+            TableScan(join_scenario.r),
+            TableScan(join_scenario.s),
+            "ID",
+            "R_ID",
+            algorithm=JoinAlgorithm.HJ,
+            parallel=True,
+            backend=backend,
+        )
+        serial = execute(plan(None))
+        with parallel_execution(2):
+            result = execute(plan("process"))
+        for name in serial.schema.names:
+            assert np.array_equal(result[name], serial[name])
+
+
+class TestGovernance:
+    def test_deadline_propagates_to_workers(self):
+        context = QueryContext.start(deadline=0.0)
+        tasks = [("sleep", {"seconds": 0.2}) for __ in range(4)]
+        with pytest.raises(DeadlineExceeded):
+            run_process_tasks(tasks, workers=2, context=context)
+
+    def test_cancellation_mid_batch_and_pool_reuse(self):
+        token = CancellationToken()
+        context = QueryContext.start(token=token)
+        tasks = [("sleep", {"seconds": 0.4}) for __ in range(6)]
+        timer = threading.Timer(0.1, token.cancel)
+        timer.start()
+        try:
+            with pytest.raises(QueryCancelled):
+                run_process_tasks(tasks, workers=2, context=context)
+        finally:
+            timer.cancel()
+        # The pool survives a cancelled batch and runs the next one.
+        report = run_process_tasks(
+            [("sleep", {"seconds": 0.0, "token": i}) for i in range(3)],
+            workers=2,
+        )
+        assert report.results == [0, 1, 2]
+
+    def test_worker_error_rebuilt_parent_side(self):
+        keys = np.arange(100, dtype=np.int64)
+        ref = get_shared_store().publish(keys)
+        task = (
+            "group",
+            {
+                "keys": ref,
+                "values": None,
+                "start": 0,
+                "stop": 100,
+                "algorithm": "no-such-algorithm",
+                "num_distinct_hint": None,
+            },
+        )
+        with pytest.raises(ExecutionError, match="no-such-algorithm"):
+            run_process_tasks([task], workers=2)
+        get_shared_store().release_array(keys)
+
+    def test_sigkill_mid_morsel_raises_worker_crash(self):
+        pool = get_process_pool(2)
+        victim = pool._workers[0]
+        timer = threading.Timer(
+            0.1, lambda: os.kill(victim.pid, signal.SIGKILL)
+        )
+        timer.start()
+        tasks = [("sleep", {"seconds": 0.5}) for __ in range(6)]
+        try:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pool.run_batch(tasks)
+        finally:
+            timer.cancel()
+        assert pool.broken
+        assert excinfo.value.worker == victim.name
+        # A later batch transparently gets a rebuilt pool ...
+        report = run_process_tasks(
+            [("sleep", {"seconds": 0.0, "token": "ok"})], workers=2
+        )
+        assert report.results == ["ok"]
+        # ... and a broken pool refuses new batches outright.
+        with pytest.raises(WorkerCrashError):
+            pool.run_batch([("sleep", {"seconds": 0.0})])
+
+    def test_shutdown_unlinks_all_segments(self):
+        store = get_shared_store()
+        keep = np.arange(5_000, dtype=np.int64)
+        store.publish(keep)
+        run_process_tasks([("sleep", {"seconds": 0.0})], workers=2)
+        shutdown_process_pool()
+        assert leaked_segments() == []
+        # The next request transparently builds a fresh pool.
+        report = run_process_tasks(
+            [("sleep", {"seconds": 0.0, "token": "fresh"})], workers=2
+        )
+        assert report.results == ["fresh"]
+
+
+class TestSpawnStartMethod:
+    def test_spawn_pool_roundtrip(self):
+        """The production default (fork-safe under service threads)."""
+        pool = ProcessPool(1, start_method="spawn")
+        try:
+            report = pool.run_batch(
+                [("sleep", {"seconds": 0.0, "token": "spawned"})]
+            )
+            assert report.results == ["spawned"]
+        finally:
+            pool.shutdown()
