@@ -115,7 +115,13 @@ class SharedColumnStore:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # RLock, not Lock: _finalize runs as a weakref.finalize callback,
+        # which GC can fire on *this* thread mid-allocation inside
+        # publish()'s critical section (SharedMemory creation, the copy).
+        # A non-reentrant lock would self-deadlock there; reentrancy is
+        # safe because the finalizer only removes fully-inserted entries
+        # of already-dead arrays, never the one publish() is building.
+        self._lock = threading.RLock()
         self._segments: dict[str, shared_memory.SharedMemory] = {}
         self._refs: dict[str, SharedArrayRef] = {}
         self._by_id: dict[int, str] = {}
@@ -239,12 +245,37 @@ def leaked_segments() -> list[str]:
 # worker side
 
 
-def _attach(ref: SharedArrayRef, cache: dict) -> np.ndarray:
+def _ref_names(payload, names: set) -> set:
+    """Collect the segment names of every :class:`SharedArrayRef` leaf."""
+    if isinstance(payload, SharedArrayRef):
+        names.add(payload.name)
+    elif isinstance(payload, dict):
+        for value in payload.values():
+            _ref_names(value, names)
+    elif isinstance(payload, (list, tuple)):
+        for item in payload:
+            _ref_names(item, names)
+    return names
+
+
+def _attach(
+    ref: SharedArrayRef, cache: dict, protected: set, retired: list
+) -> np.ndarray:
     cached = cache.get(ref.name)
     if cached is None:
-        if len(cache) >= _WORKER_CACHE_CAP:
-            __, (old_shm, __unused) = cache.popitem()
-            old_shm.close()
+        while len(cache) >= _WORKER_CACHE_CAP:
+            # FIFO eviction (dict preserves insertion order), but never a
+            # segment the payload being resolved references — evicting a
+            # sibling ref of the same task would munmap memory the kernel
+            # is about to read. Evicted segments go onto ``retired``
+            # instead of closing here: numpy views into them may still be
+            # live until the task's result has been shipped, so the close
+            # is deferred to the top of the next task (see _worker_main).
+            victim = next((name for name in cache if name not in protected), None)
+            if victim is None:
+                break  # every cached segment belongs to this payload
+            old_shm, __ = cache.pop(victim)
+            retired.append(old_shm)
         shm = shared_memory.SharedMemory(name=ref.name)
         # Attaching re-registers the name with the resource tracker. Pool
         # workers share the parent's tracker (the fd travels with spawn),
@@ -259,14 +290,24 @@ def _attach(ref: SharedArrayRef, cache: dict) -> np.ndarray:
     return cached[1]
 
 
-def _resolve(payload, cache: dict):
+def _resolve(payload, cache: dict, retired: list):
     """Replace every :class:`SharedArrayRef` leaf with its numpy view."""
+    protected = _ref_names(payload, set())
+    return _resolve_inner(payload, cache, protected, retired)
+
+
+def _resolve_inner(payload, cache: dict, protected: set, retired: list):
     if isinstance(payload, SharedArrayRef):
-        return _attach(payload, cache)
+        return _attach(payload, cache, protected, retired)
     if isinstance(payload, dict):
-        return {key: _resolve(value, cache) for key, value in payload.items()}
+        return {
+            key: _resolve_inner(value, cache, protected, retired)
+            for key, value in payload.items()
+        }
     if isinstance(payload, (list, tuple)):
-        resolved = [_resolve(item, cache) for item in payload]
+        resolved = [
+            _resolve_inner(item, cache, protected, retired) for item in payload
+        ]
         return type(payload)(resolved) if isinstance(payload, tuple) else resolved
     return payload
 
@@ -409,9 +450,17 @@ def _worker_main(task_queue, result_queue, cancel_event, worker_name: str) -> No
 
     set_executor_config(ExecutorConfig(workers=1))
     cache: dict = {}
+    retired: list = []  # evicted segments awaiting a safe close
     try:
         while True:
             item = task_queue.get()
+            # Segments evicted during earlier tasks are only unmapped now:
+            # their results have long been fed to the parent, so no view —
+            # including any the result queue's feeder thread was still
+            # pickling — can reference them anymore.
+            for shm in retired:
+                shm.close()
+            retired.clear()
             if item is None:
                 break
             batch_id, index, kind, payload, deadline = item
@@ -427,7 +476,7 @@ def _worker_main(task_queue, result_queue, cancel_event, worker_name: str) -> No
                         (batch_id, index, "deadline", None, worker_name, 0.0)
                     )
                     continue
-                output = _TASKS[kind](_resolve(payload, cache))
+                output = _TASKS[kind](_resolve(payload, cache, retired))
                 result_queue.put(
                     (
                         batch_id,
@@ -456,6 +505,8 @@ def _worker_main(task_queue, result_queue, cancel_event, worker_name: str) -> No
                     )
                 )
     finally:
+        for shm in retired:
+            shm.close()
         for shm, __ in cache.values():
             shm.close()
 
@@ -674,6 +725,7 @@ class ProcessPool:
 _pool: ProcessPool | None = None
 _pool_size = 0
 _pool_lock = threading.Lock()
+_pool_users = 0
 
 
 def get_process_pool(workers: int) -> ProcessPool:
@@ -682,18 +734,51 @@ def get_process_pool(workers: int) -> ProcessPool:
     global _pool, _pool_size
     with _pool_lock:
         if _pool is None or _pool.broken or _pool.workers < workers:
-            if _pool is not None:
-                _pool.shutdown(timeout=1.0)
+            old = _pool
+            if old is not None:
+                # Wait for any in-flight batch before poison-pilling the
+                # old pool: tearing it down mid-batch would surface on
+                # the other thread as a spurious WorkerCrashError. No
+                # inversion risk — batch-holding threads never take
+                # _pool_lock.
+                with old._batch_lock:
+                    old.shutdown(timeout=1.0)
             _pool_size = max(_pool_size, workers)
             _pool = ProcessPool(_pool_size)
         return _pool
 
 
+def register_pool_user() -> None:
+    """Count a long-lived pool/store user in (a :class:`QueryService`).
+
+    Paired with :func:`release_pool_user`: the shared pool and its
+    segments are only torn down when the *last* registered user releases,
+    so stopping one of several services in a process never unlinks
+    segments from under another's in-flight process-backend queries.
+    """
+    global _pool_users
+    with _pool_lock:
+        _pool_users += 1
+
+
+def release_pool_user(release_segments: bool = True) -> None:
+    """Release one :func:`register_pool_user` claim; the last release
+    performs the full :func:`shutdown_process_pool` teardown."""
+    global _pool_users
+    with _pool_lock:
+        _pool_users = max(0, _pool_users - 1)
+        remaining = _pool_users
+    if remaining == 0:
+        shutdown_process_pool(release_segments)
+
+
 def shutdown_process_pool(release_segments: bool = True) -> None:
     """Tear down the pool and (by default) unlink every shared segment.
 
-    The service calls this on shutdown; tests call it in teardown and
-    then assert :func:`leaked_segments` is empty.
+    This is unconditional — refcounting services go through
+    :func:`release_pool_user` instead. Tests and benchmarks call this in
+    teardown and then assert :func:`leaked_segments` is empty; atexit
+    runs it as the terminal sweep.
     """
     global _pool, _pool_size
     with _pool_lock:

@@ -206,6 +206,13 @@ class QueryService:
         self._active: dict[str, QueryContext] = {}
         self._active_lock = threading.Lock()
         self._closed = False
+        # Claim the process-backend pool/store for this service's
+        # lifetime: with several services in one process, segments are
+        # only unlinked when the last of them shuts down.
+        from repro.engine.procpool import register_pool_user
+
+        register_pool_user()
+        self._pool_released = False
         self._started_at = time.monotonic()
         self._counts_lock = threading.Lock()
         self._counts = {
@@ -708,11 +715,14 @@ class QueryService:
             self._sentinel.store.save()
         except OSError:  # persistence is best-effort at shutdown
             pass
-        # Reap the process-backend worker pool and its shared-memory
-        # segments (no-op when the process backend was never used).
-        from repro.engine.procpool import shutdown_process_pool
+        # Release this service's claim on the process-backend worker
+        # pool; the pool and its shared-memory segments are reaped when
+        # the last service using them stops (atexit sweeps regardless).
+        from repro.engine.procpool import release_pool_user
 
-        shutdown_process_pool()
+        if not self._pool_released:
+            self._pool_released = True
+            release_pool_user()
 
 
 class Session:

@@ -322,6 +322,104 @@ class TestGovernance:
         assert report.results == ["fresh"]
 
 
+class TestWorkerSegmentCache:
+    def test_eviction_past_cap_never_unmaps_current_payload(self):
+        """Regression: LIFO eviction used to close a segment attached
+        moments earlier for the *same* multi-ref payload once a worker's
+        cache hit its cap, so the kernel read unmapped memory (worker
+        segfault or silently wrong results)."""
+        from repro.engine.procpool import _WORKER_CACHE_CAP
+
+        rng = np.random.default_rng(11)
+        store = get_shared_store()
+        keepalive = []
+        tasks = []
+        for __ in range(_WORKER_CACHE_CAP):
+            keys = rng.integers(0, 8, size=32).astype(np.int64)
+            keepalive.append(keys)
+            tasks.append(
+                (
+                    "group",
+                    {
+                        "keys": store.publish(keys),
+                        "values": None,
+                        "start": 0,
+                        "stop": int(keys.size),
+                        "algorithm": GroupingAlgorithm.HG.value,
+                        "num_distinct_hint": None,
+                    },
+                )
+            )
+        # The capstone task carries two fresh refs: with the cache at its
+        # cap, attaching ``values`` must not evict (and unmap) ``keys``.
+        keys = rng.integers(0, 8, size=4_096).astype(np.int64)
+        values = rng.integers(0, 1_000, size=4_096).astype(np.int64)
+        keepalive += [keys, values]
+        tasks.append(
+            (
+                "group",
+                {
+                    "keys": store.publish(keys),
+                    "values": store.publish(values),
+                    "start": 0,
+                    "stop": int(keys.size),
+                    "algorithm": GroupingAlgorithm.HG.value,
+                    "num_distinct_hint": None,
+                },
+            )
+        )
+        pool = ProcessPool(1)  # one worker sees every task in order
+        try:
+            report = pool.run_batch(tasks)
+        finally:
+            pool.shutdown()
+        expected = group_by(keys, values, GroupingAlgorithm.HG)
+        capstone = report.results[-1]
+        assert np.array_equal(capstone["keys"], expected.keys)
+        assert np.array_equal(capstone["counts"], expected.counts)
+        assert np.array_equal(capstone["sums"], expected.sums)
+        for array in keepalive:
+            store.release_array(array)
+
+
+class TestPoolUserRefcount:
+    def test_stopping_one_service_keeps_pool_for_another(self):
+        """Regression: QueryService.shutdown() used to tear down the
+        process-global pool and unlink every segment unconditionally,
+        breaking any other service's in-flight process-backend queries."""
+        from repro.engine import procpool
+        from repro.service.session import QueryService
+
+        # Hermetic refcount: services elsewhere in the suite may still
+        # hold claims; park them for the duration of this test.
+        with procpool._pool_lock:
+            parked, procpool._pool_users = procpool._pool_users, 0
+        catalog = Catalog()
+        catalog.register(
+            "T", Table.from_arrays({"v": np.arange(100, dtype=np.int64)})
+        )
+        first = QueryService(catalog)
+        second = QueryService(catalog)
+        try:
+            store = get_shared_store()
+            pinned = np.arange(4_000, dtype=np.int64)
+            name = store.publish(pinned).name
+            first.shutdown()
+            # `second` still owns the pool: segments stay mapped and new
+            # batches run.
+            assert name in leaked_segments()
+            report = run_process_tasks(
+                [("sleep", {"seconds": 0.0, "token": "alive"})], workers=2
+            )
+            assert report.results == ["alive"]
+            second.shutdown()
+            # Last user out: full teardown, segments unlinked.
+            assert name not in leaked_segments()
+        finally:
+            with procpool._pool_lock:
+                procpool._pool_users += parked
+
+
 class TestSpawnStartMethod:
     def test_spawn_pool_roundtrip(self):
         """The production default (fork-safe under service threads)."""
