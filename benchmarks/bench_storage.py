@@ -1,0 +1,116 @@
+"""Extension bench: out-of-core scans — cold, warm, and in-memory.
+
+Times the same aggregation query three ways on a dataset at least twice
+the buffer budget: a *cold* disk run (pool invalidated before every
+repeat, so every segment pays the read), a *warm* disk run (pool
+pre-seeded by an untimed pass, re-reading only what the budget cannot
+hold), and the fully in-memory path. Alongside the timing curve, the
+zone-map claim is asserted outright: a selective scan must read
+*strictly fewer* segments than the full scan, with bit-identical
+results. The cold-vs-warm record is written as a JSON artifact (CI
+uploads it) via ``REPRO_BENCH_ARTIFACTS``.
+"""
+
+import numpy as np
+import pytest
+
+from repro._util.timer import time_callable
+from repro.engine import Filter, GroupBy, col, count_star, execute
+from repro.engine.operators import SegmentScan, TableScan
+from repro.storage import Table
+from repro.storage.disk import BufferManager, write_table
+
+GROUPS = 512
+#: pool budget; the dataset below is sized to at least 2x this.
+BUDGET_BYTES = 4 * 1024 * 1024
+SEGMENT_ROWS = 65_536
+
+
+@pytest.fixture(scope="module")
+def setting(bench_rows, tmp_path_factory):
+    rows = max(min(bench_rows, 4_000_000), BUDGET_BYTES // 8)
+    rng = np.random.default_rng(3)
+    table = Table.from_arrays(
+        {
+            "k": np.arange(rows, dtype=np.int64),
+            "g": rng.integers(0, GROUPS, rows),
+            "v": rng.integers(0, 1_000, rows),
+        }
+    )
+    assert table.memory_bytes() >= 2 * BUDGET_BYTES
+    pool = BufferManager(budget_bytes=BUDGET_BYTES)
+    disk = write_table(
+        table,
+        str(tmp_path_factory.mktemp("bench_storage") / "T"),
+        segment_rows=SEGMENT_ROWS,
+        buffer=pool,
+    )
+    return table, disk, pool
+
+
+def aggregate(scan):
+    return execute(GroupBy(scan, "g", [count_star("n")]))
+
+
+class TestColdWarmMemory:
+    def test_cold_warm_memory_curve(self, setting, bench_artifact):
+        table, disk, pool = setting
+        timings = {}
+
+        def cold_run():
+            pool.invalidate(disk.uid)
+            return aggregate(SegmentScan(disk))
+
+        timings["storage/scan_cold"] = time_callable(
+            cold_run, repeats=3, warmup=1
+        )
+        aggregate(SegmentScan(disk))  # seed what the budget can hold
+        timings["storage/scan_warm"] = time_callable(
+            lambda: aggregate(SegmentScan(disk)), repeats=3, warmup=1
+        )
+        timings["storage/scan_memory"] = time_callable(
+            lambda: aggregate(TableScan(table)), repeats=3, warmup=1
+        )
+
+        for label, timing in timings.items():
+            print(f"  {label}: {timing.best_ms:.2f}ms")
+        stats = pool.stats()
+        bench_artifact(
+            "storage/cold_vs_warm",
+            timings,
+            meta={
+                "rows": table.num_rows,
+                "segments": disk.num_segments,
+                "budget_bytes": BUDGET_BYTES,
+                "decoded_bytes": disk.decoded_bytes(),
+                "bytes_on_disk": disk.bytes_on_disk(),
+                "buffer": stats,
+            },
+        )
+        # The pool held its hard budget through every run.
+        assert stats["resident_bytes"] <= BUDGET_BYTES
+
+    def test_results_identical_across_paths(self, setting):
+        table, disk, __ = setting
+        assert aggregate(SegmentScan(disk)).equals_unordered(
+            aggregate(TableScan(table))
+        )
+
+
+class TestZoneMapSkipping:
+    def test_selective_scan_reads_strictly_fewer_segments(self, setting):
+        table, disk, __ = setting
+        predicate = col("k") < SEGMENT_ROWS  # exactly the first segment
+        full = SegmentScan(disk)
+        full.to_table()
+        full_read, __unused, __unused2 = full.io_counters()
+
+        selective = SegmentScan(disk, predicates=(predicate,))
+        filtered = execute(Filter(selective, predicate))
+        read, skipped, __unused3 = selective.io_counters()
+        assert read < full_read
+        assert read == 1
+        assert skipped == disk.num_segments - 1
+
+        expected = execute(Filter(TableScan(table), predicate))
+        assert filtered.equals_unordered(expected)

@@ -136,6 +136,55 @@ def measure_parallel(timings: dict, rows: int) -> None:
         print(f"  {label}: {timings[label].best_ms:.2f}ms")
 
 
+def measure_storage(timings: dict) -> None:
+    """Cold/warm out-of-core scans vs the in-memory path — the
+    ``bench_storage.py`` quantities, at baseline scale (a 4 MiB pool
+    against a ~12 MiB table, so warm runs still evict)."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.engine import GroupBy, count_star
+    from repro.engine.operators import SegmentScan, TableScan
+    from repro.storage import Table
+    from repro.storage.disk import BufferManager, write_table
+
+    rows = 500_000
+    rng = np.random.default_rng(3)
+    table = Table.from_arrays(
+        {
+            "k": np.arange(rows, dtype=np.int64),
+            "g": rng.integers(0, 512, rows),
+            "v": rng.integers(0, 1_000, rows),
+        }
+    )
+    pool = BufferManager(budget_bytes=4 * 1024 * 1024)
+    with tempfile.TemporaryDirectory() as directory:
+        disk = write_table(
+            table, directory, segment_rows=65_536, buffer=pool
+        )
+
+        def aggregate(scan):
+            return execute(GroupBy(scan, "g", [count_star("n")]))
+
+        def cold_run():
+            pool.invalidate(disk.uid)
+            return aggregate(SegmentScan(disk))
+
+        timings["storage/scan_cold"] = time_callable(
+            cold_run, repeats=3, warmup=1
+        )
+        aggregate(SegmentScan(disk))
+        timings["storage/scan_warm"] = time_callable(
+            lambda: aggregate(SegmentScan(disk)), repeats=3, warmup=1
+        )
+        timings["storage/scan_memory"] = time_callable(
+            lambda: aggregate(TableScan(table)), repeats=3, warmup=1
+        )
+        for label in ("storage/scan_cold", "storage/scan_warm", "storage/scan_memory"):
+            print(f"  {label}: {timings[label].best_ms:.2f}ms")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -158,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
     measure_figure4(timings, options.rows)
     print(f"measuring parallel kernels at {options.rows:,} rows...")
     measure_parallel(timings, options.rows)
+    print("measuring out-of-core storage scans...")
+    measure_storage(timings)
 
     path = write_json_artifact(
         options.out,

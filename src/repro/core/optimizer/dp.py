@@ -58,6 +58,7 @@ from repro.obs.runtime import get_metrics, get_tracer
 from repro.obs.search.trace import get_search_trace
 from repro.logical.algebra import LogicalPlan
 from repro.storage.catalog import Catalog
+from repro.storage.disk import is_disk_table
 
 #: join algorithm -> the Algorithmic View kind whose presence on the build
 #: side's (table, column) waives the build-phase cost (§3).
@@ -111,6 +112,31 @@ def _range_bounds(filters, column: str, value_min: int, value_max: int):
             return None  # '<>' and friends
         constrained = True
     return (low, high) if constrained else None
+
+
+def base_access_cost(
+    cost_model: CostModel, table, predicates=(), alias: str = ""
+) -> tuple[float, float]:
+    """``(cost, rows_touched)`` of the cheapest base access to ``table``.
+
+    In-memory tables cost a plain scan over every row. Disk-resident
+    tables cost :meth:`~repro.core.cost.model.CostModel.disk_scan_cost`
+    over the rows the zone maps cannot prune for ``predicates``, with
+    the buffer pool's current residency discounting the cold-read term
+    and the table's encoding mix pricing the decode. Shared by the DP
+    and the exhaustive oracle so both cost the identical access path.
+    """
+    rows = float(table.num_rows)
+    if not is_disk_table(table):
+        return cost_model.scan_cost(rows), rows
+    estimate = table.estimate_scan(tuple(predicates), alias)
+    decode = sum(
+        fraction * cost_model.io_decode_weight(encoding)
+        for encoding, fraction in table.encoding_mix().items()
+    )
+    touched = float(estimate.rows_scanned)
+    cost = cost_model.disk_scan_cost(touched, table.buffer_residency(), decode)
+    return cost, touched
 
 
 @dataclass
@@ -424,7 +450,13 @@ class DynamicProgrammingOptimizer:
         Exact selectivities keep estimation error out of the experiments —
         cardinality estimation is not the phenomenon under study.
         """
-        table = self._catalog.table(scan.table_name).qualified(scan.alias)
+        base = self._catalog.table(scan.table_name)
+        if is_disk_table(base):
+            # Segment-by-segment through the buffer pool: bounded memory,
+            # zone-map-pruned segments never read — and the same exact
+            # number the in-memory path computes, so plans agree.
+            return base.exact_selectivity(scan.filters, scan.alias)
+        table = base.qualified(scan.alias)
         if table.num_rows == 0:
             return 0.0
         data = {name: table[name] for name in table.schema.names}
@@ -441,17 +473,31 @@ class DynamicProgrammingOptimizer:
         scan = context.spec
         if self._trace is not None:
             self._trace_cls = f"scan:{scan.alias}"
+        base_rows = float(self._catalog.cardinality(scan.table_name))
+        memory_cost = self._cost_model.scan_cost(base_rows)
+        table = self._catalog.table(scan.table_name)
+        storage = ""
+        pushed: tuple = ()
+        scan_rows = base_rows
+        scan_cost = memory_cost
+        if is_disk_table(table):
+            # Out-of-core scan: zone maps bound what the scan touches,
+            # residency discounts the cold-read weight, and the table's
+            # encoding mix prices the decode (all manifest-only facts).
+            storage = "disk"
+            pushed = tuple(scan.filters)
+            scan_cost, scan_rows = base_access_cost(
+                self._cost_model, table, pushed, scan.alias
+            )
         node = PhysicalNode(
             op="scan",
             table_name=scan.table_name,
             alias=scan.alias,
-            rows=float(self._catalog.cardinality(scan.table_name)),
-            local_cost=self._cost_model.scan_cost(
-                self._catalog.cardinality(scan.table_name)
-            ),
-            cost=self._cost_model.scan_cost(
-                self._catalog.cardinality(scan.table_name)
-            ),
+            scan_storage=storage,
+            scan_predicates=pushed,
+            rows=scan_rows,
+            local_cost=scan_cost,
+            cost=scan_cost,
             properties=context.properties,
         )
         for predicate in scan.filters:
@@ -473,6 +519,15 @@ class DynamicProgrammingOptimizer:
         # Algorithmic sorted-projection views: order for free (§3).
         views = self._config.views
         if views is not None and not scan.filters:
+            av_node = node
+            if storage:
+                # AV artifacts are in-memory materialisations (lowering
+                # reads the artifact, never the segments), but an AV
+                # scan is costed like the base scan: views must stay
+                # cost-neutral access paths whose only value is the
+                # property they manufacture — SQO must not see a
+                # cheaper scan where DQO sees a property.
+                av_node = replace(node, scan_storage="", scan_predicates=())
             for column in views.sorted_scan_columns(scan.table_name):
                 qualified = f"{scan.alias}.{column}"
                 if context.properties.is_sorted_on(qualified):
@@ -484,11 +539,11 @@ class DynamicProgrammingOptimizer:
                     entries,
                     DPEntry(
                         replace(
-                            node,
+                            av_node,
                             properties=properties,
                             scan_view=("sorted_projection", column),
                         ),
-                        node.cost,
+                        av_node.cost,
                         properties,
                         context.estimate,
                     ),
@@ -515,11 +570,11 @@ class DynamicProgrammingOptimizer:
                     entries,
                     DPEntry(
                         replace(
-                            node,
+                            av_node,
                             properties=properties,
                             scan_view=("dictionary", column),
                         ),
-                        node.cost,
+                        av_node.cost,
                         properties,
                         context.estimate,
                     ),

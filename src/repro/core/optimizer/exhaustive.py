@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.cost.model import CostModel
 from repro.core.cost.paper import PaperCostModel
 from repro.core.optimizer.base import OptimizerConfig, SearchStats, dqo_config
-from repro.core.optimizer.dp import DynamicProgrammingOptimizer
+from repro.core.optimizer.dp import DynamicProgrammingOptimizer, base_access_cost
 from repro.core.optimizer.query import QuerySpec, extract_query
 from repro.core.optimizer.rules import grouping_options, join_options
 from repro.core.properties import (
@@ -93,7 +93,10 @@ def enumerate_exhaustive(
             f"{scan.alias}.{column.name}": float(column.statistics.distinct)
             for column in table.columns()
         }
-        variants = [(f"scan({scan.alias})", cost_model.scan_cost(rows), props)]
+        # Same base access costing as the DP (disk-aware for spilled
+        # tables), so oracle agreement holds in every storage mode.
+        access_cost, __ = base_access_cost(cost_model, table, (), scan.alias)
+        variants = [(f"scan({scan.alias})", access_cost, props)]
         if config.consider_enforcers:
             interesting = set()
             for edge in spec.joins:
@@ -117,7 +120,7 @@ def enumerate_exhaustive(
                 variants.append(
                     (
                         f"sort({scan.alias}.{column.split('.', 1)[1]})",
-                        cost_model.scan_cost(rows) + cost_model.sort_cost(rows),
+                        access_cost + cost_model.sort_cost(rows),
                         sorted_props,
                     )
                 )

@@ -29,11 +29,13 @@ from repro.engine.operators import (
     Limit,
     PhysicalOperator,
     Project,
+    SegmentScan,
     Sort,
     TableScan,
 )
 from repro.errors import PlanError
 from repro.storage.catalog import Catalog
+from repro.storage.disk import is_disk_table
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,14 @@ class PhysicalNode:
     #: for a 'btree' scan view: the inclusive value range fetched from
     #: the index.
     index_range: tuple[int, int] = (0, 0)
+    #: where the scanned table lives: "" for in-memory (the default,
+    #: absent from fingerprints so historical hashes survive), "disk"
+    #: for a disk-resident table lowered to a SegmentScan.
+    scan_storage: str = ""
+    #: predicates pushed down to the scan for zone-map segment skipping
+    #: (the Filter above still applies them row-wise; results are
+    #: identical with or without the pushdown).
+    scan_predicates: tuple[Expression, ...] = ()
     # filter:
     predicate: Expression | None = None
     # sort:
@@ -106,6 +116,10 @@ class PhysicalNode:
             if self.scan_view[0]:
                 head += f" via AV[{self.scan_view[0]}({self.scan_view[1]})]"
             head += ")"
+            if self.scan_storage == "disk":
+                head += " [disk]"
+                if self.scan_predicates:
+                    head += f" pushed={len(self.scan_predicates)}"
         elif self.op == "filter":
             head = f"Filter({self.predicate!r})"
         elif self.op == "sort":
@@ -203,6 +217,11 @@ def plan_fingerprint(node: PhysicalNode) -> str:
             ]
             if item.scan_view[0] == "btree":
                 token.append(f"{item.index_range[0]}:{item.index_range[1]}")
+            # Only non-default storage grows the token, so every plan
+            # hash minted before the out-of-core path existed is stable.
+            if item.scan_storage:
+                token.append(item.scan_storage)
+                token += [repr(p) for p in item.scan_predicates]
         elif item.op == "filter":
             token.append(repr(item.predicate))
         elif item.op == "sort":
@@ -268,6 +287,8 @@ def plan_decisions(node: PhysicalNode) -> list[dict]:
             decision["alias"] = item.alias
             if item.scan_view[0]:
                 decision["view"] = f"{item.scan_view[0]}({item.scan_view[1]})"
+            if item.scan_storage:
+                decision["storage"] = item.scan_storage
         elif item.op == "sort":
             decision["keys"] = list(item.sort_keys)
         elif item.op == "join":
@@ -514,7 +535,13 @@ def _lower_scan(node: PhysicalNode, catalog: Catalog, views) -> PhysicalOperator
     alias = node.alias or node.table_name
     kind, column = node.scan_view
     if not kind:
-        return TableScan(catalog.table(node.table_name).qualified(alias))
+        table = catalog.table(node.table_name)
+        # Disk residency is discovered from the catalog, not from the
+        # node, so hand-built and greedy/exhaustive plans (which never
+        # set scan_storage) still take the segment path.
+        if is_disk_table(table):
+            return SegmentScan(table, alias=alias, predicates=node.scan_predicates)
+        return TableScan(table.qualified(alias))
     if views is None:
         raise PlanError(
             f"plan scans {node.table_name!r} through a {kind!r} view but no "

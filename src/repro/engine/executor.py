@@ -80,6 +80,7 @@ def execute(
     if active is not None:
         span_tags["trace_id"] = active.trace_id
         span_tags["query_id"] = active.query_id
+    io_before = _tree_io_counters(root)
     with tracer.span("engine.execute", **span_tags):
         with Timer() as timer:
             result = root.to_table()
@@ -105,8 +106,40 @@ def execute(
             entry["estimated_cost"] = root.estimated_cost
         if root.plan_fingerprint:
             entry["plan_hash"] = root.plan_fingerprint
+        # Out-of-core facts, as a delta over this run (operator I/O
+        # counters accumulate until the next instrumented reset).
+        read, skipped, cold = (
+            after - before
+            for after, before in zip(_tree_io_counters(root), io_before)
+        )
+        if read or skipped:
+            entry["segments_read"] = read
+            entry["segments_skipped"] = skipped
+            entry["bytes_read"] = cold
         query_log.append(entry)
     return result
+
+
+def _tree_io_counters(root: PhysicalOperator) -> tuple[int, int, int]:
+    """Summed (segments_read, segments_skipped, bytes_read) over the
+    tree, each shared node counted once."""
+    seen: set[int] = set()
+    read = skipped = cold = 0
+    for operator in _walk_operators(root):
+        if id(operator) in seen:
+            continue
+        seen.add(id(operator))
+        r, s, b = operator.io_counters()
+        read += r
+        skipped += s
+        cold += b
+    return (read, skipped, cold)
+
+
+def _walk_operators(root: PhysicalOperator):
+    yield root
+    for child in root.children:
+        yield from _walk_operators(child)
 
 
 def execute_timed(
@@ -149,7 +182,29 @@ class AnalyzedPlan:
         worst = self.max_qerror
         if worst is not None:
             lines.append(f"Worst cardinality q-error: {worst:.2f}")
+        read, skipped, cold = self.io_totals
+        if read or skipped:
+            lines.append(
+                f"Storage I/O: {read} segment(s) read, "
+                f"{skipped} skipped via zone maps, "
+                f"{format_bytes(cold)} cold from disk"
+            )
         return "\n".join(lines)
+
+    @property
+    def io_totals(self) -> tuple[int, int, int]:
+        """Summed ``(segments_read, segments_skipped, bytes_read)`` over
+        every operator (all zero for fully in-memory plans)."""
+        seen: set[int] = set()
+        read = skipped = cold = 0
+        for node in self.root.walk():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            read += node.segments_read
+            skipped += node.segments_skipped
+            cold += node.bytes_read
+        return (read, skipped, cold)
 
     @property
     def peak_memory_bytes(self) -> int:

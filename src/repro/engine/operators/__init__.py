@@ -11,6 +11,7 @@ from repro.engine.operators.grouping import GroupBy
 from repro.engine.operators.index_scan import IndexRangeScan, build_row_index
 from repro.engine.operators.joins import Join
 from repro.engine.operators.scan import Filter, Limit, Project, TableScan
+from repro.engine.operators.segment_scan import SegmentScan
 from repro.engine.operators.sort import PartitionBy, Sort
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "PartitionBy",
     "PhysicalOperator",
     "Project",
+    "SegmentScan",
     "Sort",
     "TableScan",
     "build_row_index",

@@ -115,6 +115,13 @@ class PhysicalOperator:
     _parallel_degree: int = 0
     #: summed worker wall seconds of the latest execution's morsel batches.
     _parallel_busy_seconds: float = 0.0
+    #: disk segments this operator read during the latest execution (class
+    #: attributes, like the memory peak: only segment scans ever note I/O).
+    _segments_read: int = 0
+    #: disk segments zone maps proved empty (skipped without reading).
+    _segments_skipped: int = 0
+    #: cold payload bytes the buffer pool read from disk for this operator.
+    _bytes_read: int = 0
 
     def __init__(self, children: list["PhysicalOperator"]) -> None:
         self.children = children
@@ -134,6 +141,9 @@ class PhysicalOperator:
         self._peak_memory_bytes = 0
         self._parallel_degree = 0
         self._parallel_busy_seconds = 0.0
+        self._segments_read = 0
+        self._segments_skipped = 0
+        self._bytes_read = 0
 
     def _note_memory(self, nbytes: int) -> None:
         """Record a working-set high-water mark (monotone per run).
@@ -159,6 +169,21 @@ class PhysicalOperator:
         batches (across all workers; compare against the operator's own
         wall time for effective speedup)."""
         return self._parallel_busy_seconds
+
+    def io_counters(self) -> tuple[int, int, int]:
+        """``(segments_read, segments_skipped, bytes_read)`` of the latest
+        execution — all zero for operators that never touch disk."""
+        return (self._segments_read, self._segments_skipped, self._bytes_read)
+
+    def _note_io(
+        self, segments_read: int = 0, segments_skipped: int = 0, bytes_read: int = 0
+    ) -> None:
+        """Accumulate disk I/O facts (thread-safe, like :meth:`_note_memory` —
+        morsel workers may report into one operator concurrently)."""
+        with _ACCOUNTING_LOCK:
+            self._segments_read = self._segments_read + int(segments_read)
+            self._segments_skipped = self._segments_skipped + int(segments_skipped)
+            self._bytes_read = self._bytes_read + int(bytes_read)
 
     def _note_parallelism(self, workers_used: int, busy_seconds: float) -> None:
         """Record a morsel batch's scheduling facts (accumulates per run)."""

@@ -210,7 +210,11 @@ _store_lock = threading.Lock()
 
 
 def _on_catalog_unregister(catalog, name, table) -> None:
-    if _store is not None:
+    # Disk-resident tables never publish shared segments — touching one
+    # here would materialise every column just to release nothing.
+    from repro.storage.table import Table
+
+    if _store is not None and isinstance(table, Table):
         _store.release_table(table)
 
 

@@ -24,6 +24,11 @@ class StatisticsError(ReproError):
     """Column statistics are missing or inconsistent with the data."""
 
 
+class StorageError(ReproError):
+    """The disk storage layer hit a malformed file, an unsupported
+    on-disk format version, or an invalid segment/buffer operation."""
+
+
 class DataGenError(ReproError):
     """A dataset generator received impossible parameters."""
 

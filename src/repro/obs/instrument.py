@@ -68,6 +68,12 @@ class OperatorStats:
     parallel_degree: int = 0
     #: summed worker wall seconds of the operator's morsel batches.
     worker_busy_seconds: float = 0.0
+    #: disk segments read by this operator (out-of-core scans only).
+    segments_read: int = 0
+    #: disk segments skipped via zone maps without any I/O.
+    segments_skipped: int = 0
+    #: cold payload bytes read from disk (buffer-pool misses).
+    bytes_read: int = 0
     children: list["OperatorStats"] = field(default_factory=list)
 
     @property
@@ -135,6 +141,12 @@ class OperatorStats:
             if speedup is not None:
                 line += f" speedup={speedup:.2f}x"
             line += "]"
+        if self.segments_read or self.segments_skipped:
+            line += (
+                f"  [io segments={self.segments_read} "
+                f"skipped={self.segments_skipped} "
+                f"cold={format_bytes(self.bytes_read)}]"
+            )
         if self.estimated_rows is not None:
             line += (
                 f"  [est {self.estimated_rows:,.0f} rows · "
@@ -164,6 +176,12 @@ class OperatorStats:
         if self.parallel_degree > 0:
             record["parallel_degree"] = self.parallel_degree
             record["worker_busy_seconds"] = self.worker_busy_seconds
+        # I/O keys only when the operator touched disk, so records from
+        # in-memory runs are byte-identical to the pre-disk era.
+        if self.segments_read or self.segments_skipped or self.bytes_read:
+            record["segments_read"] = self.segments_read
+            record["segments_skipped"] = self.segments_skipped
+            record["bytes_read"] = self.bytes_read
         if self.estimated_rows is not None:
             record["estimated_rows"] = self.estimated_rows
             record["estimated_cost"] = self.estimated_cost
@@ -184,6 +202,13 @@ def _sample_parallelism(
     busy = operator.worker_busy_seconds()
     if busy > stats.worker_busy_seconds:
         stats.worker_busy_seconds = busy
+    read, skipped, cold = operator.io_counters()
+    if read > stats.segments_read:
+        stats.segments_read = read
+    if skipped > stats.segments_skipped:
+        stats.segments_skipped = skipped
+    if cold > stats.bytes_read:
+        stats.bytes_read = cold
 
 
 def _hook(
@@ -209,6 +234,9 @@ def _hook(
             stats.peak_memory_bytes = 0
             stats.parallel_degree = 0
             stats.worker_busy_seconds = 0.0
+            stats.segments_read = 0
+            stats.segments_skipped = 0
+            stats.bytes_read = 0
             operator.reset_memory_accounting()
         iterator = original()
         while True:

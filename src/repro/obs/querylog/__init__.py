@@ -387,6 +387,30 @@ def summarise(entries: list[dict]) -> str:
             )
         )
 
+    # Out-of-core scans: segment reads/skips and cold bytes, summed over
+    # execute rows (top-level keys) and profile rows (operator nodes).
+    segments_read = segments_skipped = bytes_read = 0
+    for entry in entries:
+        if entry.get("kind") == "profile":
+            operators = entry.get("operators")
+            if isinstance(operators, dict):
+                for node in _walk_operator_nodes(operators):
+                    segments_read += int(node.get("segments_read", 0))
+                    segments_skipped += int(node.get("segments_skipped", 0))
+                    bytes_read += int(node.get("bytes_read", 0))
+        else:
+            segments_read += int(entry.get("segments_read", 0))
+            segments_skipped += int(entry.get("segments_skipped", 0))
+            bytes_read += int(entry.get("bytes_read", 0))
+    if segments_read or segments_skipped:
+        total = segments_read + segments_skipped
+        skip_pct = 100.0 * segments_skipped / total if total else 0.0
+        lines.append(
+            f"storage: {segments_read} segment(s) read, "
+            f"{segments_skipped} skipped via zone maps ({skip_pct:.0f}%), "
+            f"{format_bytes(bytes_read)} cold from disk"
+        )
+
     store = feedback_from_entries(entries)
     summary = store.qerror_summary()
     if summary:

@@ -231,6 +231,21 @@ def render_dashboard(sample: dict, deltas: dict, top: int = 5) -> str:
             f"closures {int(snapshot.get('optimizer.closures', 0)):d}   "
             f"searches {int(snapshot.get('optimizer.optimizations', 0)):d}"
         )
+    buffer_hits = float(snapshot.get("storage.buffer.hits", 0.0))
+    buffer_misses = float(snapshot.get("storage.buffer.misses", 0.0))
+    if buffer_hits or buffer_misses:
+        from repro.obs.instrument import format_bytes
+
+        accesses = buffer_hits + buffer_misses
+        hit_pct = (buffer_hits / accesses * 100.0) if accesses else 0.0
+        lines.append("")
+        lines.append(
+            "buffer pool  "
+            f"hit rate {hit_pct:5.1f}%   "
+            f"misses {int(buffer_misses):d}   "
+            f"evictions {int(snapshot.get('storage.buffer.evictions', 0)):d}   "
+            f"resident {format_bytes(snapshot.get('storage.buffer.resident_bytes', 0))}"
+        )
     sentinel = health.get("sentinel", {})
     if sentinel:
         lines.append("")

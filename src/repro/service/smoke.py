@@ -208,6 +208,32 @@ def main(argv: list[str] | None = None) -> int:
                     failures.append(
                         "exposition lacks repro_service_completed_total"
                     )
+
+        # Under REPRO_STORAGE=disk the whole burst ran out-of-core:
+        # the buffer pool must have been exercised and must have held
+        # its hard byte budget throughout the concurrent load.
+        from repro.storage.disk import get_buffer_manager, storage_mode
+
+        if storage_mode() == "disk":
+            pool = get_buffer_manager()
+            pool_stats = pool.stats()
+            print(
+                "buffer pool: "
+                f"budget={pool_stats['budget_bytes']} "
+                f"resident={pool_stats['resident_bytes']} "
+                f"hits={pool_stats['hits']} misses={pool_stats['misses']} "
+                f"evictions={pool_stats['evictions']} "
+                f"transient={pool_stats['transient_loads']}"
+            )
+            if pool_stats["resident_bytes"] > pool.budget_bytes:
+                failures.append(
+                    f"buffer pool over budget: {pool_stats['resident_bytes']}"
+                    f" > {pool.budget_bytes}"
+                )
+            if pool_stats["misses"] == 0:
+                failures.append(
+                    "disk mode but the buffer pool never loaded a segment"
+                )
     finally:
         shutdown_started = time.monotonic()
         server.shutdown(timeout=SHUTDOWN_BUDGET_SECONDS)

@@ -8,6 +8,18 @@ from repro.storage.dictionary import (
     dictionary_encode,
     dictionary_encode_column,
 )
+from repro.storage.disk import (
+    BufferManager,
+    DiskColumn,
+    DiskTable,
+    append_table,
+    get_buffer_manager,
+    is_disk_table,
+    open_table,
+    set_buffer_manager,
+    spill_table,
+    write_table,
+)
 from repro.storage.dtypes import DataType
 from repro.storage.layout import Layout, PaxStore, RowStore, convert
 from repro.storage.overlay import OverlayCatalog, StatPatch, StatisticsOverlay
@@ -17,12 +29,15 @@ from repro.storage.statistics import ColumnStatistics, collect_statistics
 from repro.storage.table import Table
 
 __all__ = [
+    "BufferManager",
     "Catalog",
     "Column",
     "ColumnSpec",
     "ColumnStatistics",
     "DataType",
     "DictionaryEncoded",
+    "DiskColumn",
+    "DiskTable",
     "ForeignKey",
     "Layout",
     "OverlayCatalog",
@@ -33,9 +48,16 @@ __all__ = [
     "StatPatch",
     "StatisticsOverlay",
     "Table",
+    "append_table",
     "collect_statistics",
     "convert",
     "dictionary_encode",
     "dictionary_encode_column",
+    "get_buffer_manager",
+    "is_disk_table",
+    "open_table",
     "rle_encode",
+    "set_buffer_manager",
+    "spill_table",
+    "write_table",
 ]

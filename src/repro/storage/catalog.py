@@ -48,6 +48,22 @@ def remove_unregister_observer(observer) -> None:
         pass
 
 
+def _maybe_spill(name: str, table: Table):
+    """Spill ``table`` to disk when ``REPRO_STORAGE=disk`` is active.
+
+    Only plain in-memory tables with at least one column are spilled;
+    disk-resident handles pass through (re-registering one must not
+    copy it), as do degenerate column-less tables.
+    """
+    if not isinstance(table, Table) or table.num_columns == 0:
+        return table
+    from repro.storage.disk import spill_table, storage_mode
+
+    if storage_mode() != "disk":
+        return table
+    return spill_table(table, name)
+
+
 class Catalog:
     """A registry of named tables, with statistics and FK metadata."""
 
@@ -72,12 +88,31 @@ class Catalog:
     def register(self, name: str, table: Table, replace: bool = False) -> None:
         """Register ``table`` under ``name``.
 
+        Under ``REPRO_STORAGE=disk``, in-memory tables are transparently
+        spilled to the spill directory and the disk-resident handle is
+        registered instead — the whole engine then exercises the
+        segment/buffer path without callers changing.
+
         :param replace: allow overwriting an existing registration.
         :raises SchemaError: if ``name`` is taken and ``replace`` is false.
         """
         if name in self._tables and not replace:
             raise SchemaError(f"table {name!r} is already registered")
-        self._tables[name] = table
+        self._tables[name] = _maybe_spill(name, table)
+        self._version += 1
+
+    def register_disk(self, name: str, directory: str, replace: bool = False) -> None:
+        """Register the disk-resident table stored in ``directory``.
+
+        Opening reads only the manifest — persisted statistics make the
+        table plannable without touching segment data, which is how a
+        restarted service comes back warm.
+        """
+        from repro.storage.disk import open_table
+
+        if name in self._tables and not replace:
+            raise SchemaError(f"table {name!r} is already registered")
+        self._tables[name] = open_table(directory)
         self._version += 1
 
     def unregister(self, name: str) -> None:

@@ -1,0 +1,122 @@
+"""Environment configuration for the out-of-core storage subsystem.
+
+Three knobs, all read lazily so tests can monkeypatch the environment:
+
+* ``REPRO_STORAGE`` — ``memory`` (default) or ``disk``. Under ``disk``,
+  :meth:`repro.storage.catalog.Catalog.register` transparently spills
+  in-memory tables into the spill directory and registers the
+  disk-resident result, so the whole engine (and the tier-1 suite)
+  exercises the segment/buffer path end-to-end.
+* ``REPRO_SPILL_DIR`` — where spilled tables live. Defaults to a
+  per-process directory under the system temp dir, removed at exit.
+* ``REPRO_BUFFER_BYTES`` — the default :class:`~repro.storage.disk.
+  buffer.BufferManager` budget. Accepts a plain byte count or a
+  ``k``/``m``/``g`` suffix (powers of 1024), e.g. ``4m``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+
+from repro.errors import ConfigurationError
+
+#: default buffer-pool budget when ``REPRO_BUFFER_BYTES`` is unset.
+DEFAULT_BUFFER_BYTES = 256 * 1024 * 1024
+
+_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+#: the per-process default spill dir, created lazily (None until used).
+_default_spill_dir: str | None = None
+
+
+def storage_mode() -> str:
+    """The active storage mode: ``"memory"`` or ``"disk"``.
+
+    :raises ConfigurationError: for any other ``REPRO_STORAGE`` value.
+    """
+    mode = os.environ.get("REPRO_STORAGE", "memory").strip().lower() or "memory"
+    if mode not in ("memory", "disk"):
+        raise ConfigurationError(
+            f"REPRO_STORAGE must be 'memory' or 'disk', got {mode!r}"
+        )
+    return mode
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a byte-count string: ``4194304``, ``4m``, ``512k``, ``1g``.
+
+    :raises ConfigurationError: for malformed or non-positive values.
+    """
+    raw = text.strip().lower()
+    # Tolerate spelled-out binary suffixes ("4mib", "512kb").
+    for tail in ("ib", "b"):
+        if raw.endswith(tail) and len(raw) > len(tail) and raw[-len(tail) - 1] in _SUFFIXES:
+            raw = raw[: -len(tail)]
+            break
+    factor = 1
+    if raw and raw[-1] in _SUFFIXES:
+        factor = _SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * factor
+    except ValueError:
+        raise ConfigurationError(f"cannot parse byte count {text!r}") from None
+    if value <= 0:
+        raise ConfigurationError(f"byte count must be > 0, got {text!r}")
+    return value
+
+
+def buffer_budget_bytes() -> int:
+    """The configured buffer-pool budget (``REPRO_BUFFER_BYTES``)."""
+    raw = os.environ.get("REPRO_BUFFER_BYTES", "")
+    if not raw.strip():
+        return DEFAULT_BUFFER_BYTES
+    return parse_bytes(raw)
+
+
+def segment_rows_from_env() -> int:
+    """Rows per segment for spilled tables (``REPRO_SEGMENT_ROWS``;
+    default 65536). CI's disk leg shrinks this so small test tables
+    still split into multiple segments and exercise eviction."""
+    raw = os.environ.get("REPRO_SEGMENT_ROWS", "").strip()
+    if not raw:
+        from repro.storage.disk.format import DEFAULT_SEGMENT_ROWS
+
+        return DEFAULT_SEGMENT_ROWS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SEGMENT_ROWS must be an integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(f"REPRO_SEGMENT_ROWS must be > 0, got {value}")
+    return value
+
+
+def _cleanup_default_spill_dir() -> None:  # pragma: no cover - atexit hook
+    if _default_spill_dir is not None:
+        shutil.rmtree(_default_spill_dir, ignore_errors=True)
+
+
+def spill_directory() -> str:
+    """The directory spilled tables are written under (created on use).
+
+    ``REPRO_SPILL_DIR`` when set; otherwise a per-process temp directory
+    that is removed when the process exits.
+    """
+    global _default_spill_dir
+    configured = os.environ.get("REPRO_SPILL_DIR", "").strip()
+    if configured:
+        os.makedirs(configured, exist_ok=True)
+        return configured
+    if _default_spill_dir is None:
+        _default_spill_dir = os.path.join(
+            tempfile.gettempdir(), f"repro-spill-{os.getpid()}"
+        )
+        atexit.register(_cleanup_default_spill_dir)
+    os.makedirs(_default_spill_dir, exist_ok=True)
+    return _default_spill_dir

@@ -124,7 +124,7 @@ class TestOptimiserIntegration:
         # SPHJ's build phase (|R| = 45,000) is waived.
         assert baseline.cost - with_view.cost == pytest.approx(45_000.0)
 
-    def test_sorted_projection_view_replaces_sort(self, paper_query):
+    def test_sorted_projection_view_replaces_sort(self, paper_query, memory_storage):
         catalog = make_join_scenario(
             r_sortedness=Sortedness.UNSORTED,
             s_sortedness=Sortedness.UNSORTED,

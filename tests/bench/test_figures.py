@@ -104,7 +104,7 @@ class TestCrossover:
 
 
 class TestFigure5Bench:
-    def test_grid_matches_paper_exactly(self):
+    def test_grid_matches_paper_exactly(self, memory_storage):
         result = run_figure5()
         for cell in result.cells:
             sparse_factor, dense_factor = PAPER_FACTORS[

@@ -10,6 +10,18 @@ from repro.storage import Catalog, Table
 
 
 @pytest.fixture
+def memory_storage(monkeypatch):
+    """Pin the in-memory storage path for this test.
+
+    Used by paper-exact cost assertions (Table 2 has no I/O terms, so
+    ``REPRO_STORAGE=disk`` legitimately shifts costs) and by tests of
+    in-memory-only machinery (shared-memory column store, overlay array
+    sharing) whose semantics do not apply to spilled tables.
+    """
+    monkeypatch.setenv("REPRO_STORAGE", "memory")
+
+
+@pytest.fixture
 def rng():
     """A deterministic RNG for ad-hoc data."""
     return np.random.default_rng(12345)

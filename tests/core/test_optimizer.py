@@ -46,7 +46,7 @@ class TestFigure5Grid:
 
     @pytest.mark.parametrize("config,expected", list(EXPECTED.items()),
                              ids=lambda v: str(v))
-    def test_improvement_factor(self, config, expected, paper_query):
+    def test_improvement_factor(self, config, expected, paper_query, memory_storage):
         r_sort, s_sort, density = config
         catalog = make_join_scenario(
             r_sortedness=r_sort, s_sortedness=s_sort, density=density
@@ -150,7 +150,7 @@ class TestSearchBehaviour:
         costs = [result.cost] + [p.cost for p in result.alternatives]
         assert costs == sorted(costs)
 
-    def test_commutation_changes_case2(self, paper_query):
+    def test_commutation_changes_case2(self, paper_query, memory_storage):
         """Ablation: with commutation SQO can stream sorted R and the
         'R sorted, S unsorted, dense' factor drops from 4x to 2.8x."""
         catalog = make_join_scenario(
@@ -165,7 +165,7 @@ class TestSearchBehaviour:
 
 
 class TestQueryClasses:
-    def test_single_table_grouping(self):
+    def test_single_table_grouping(self, memory_storage):
         catalog = scenario_catalog(
             Sortedness.SORTED, Sortedness.SORTED, Density.DENSE
         )

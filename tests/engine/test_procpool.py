@@ -136,7 +136,7 @@ class TestSharedColumnStore:
         gc.collect()
         assert name not in leaked_segments()
 
-    def test_catalog_unregister_releases_segments(self):
+    def test_catalog_unregister_releases_segments(self, memory_storage):
         store = get_shared_store()
         table = Table.from_arrays({"v": np.arange(1_000, dtype=np.int64)})
         catalog = Catalog()

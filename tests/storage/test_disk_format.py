@@ -1,0 +1,216 @@
+"""The on-disk segment format: round trips, zone maps, recovery.
+
+Every encoding must round-trip bit-exactly — including the edge shapes
+(empty segments, all-null float segments, single-run RLE) — and every
+column file must stay self-describing: :func:`scan_footers` walks the
+trailer chain without the manifest and recovers the same metadata the
+writer produced.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    choose_encoding,
+    encode_segment,
+    read_manifest,
+    read_segment,
+    scan_footers,
+    write_manifest,
+    write_segment,
+)
+
+
+def roundtrip(values: np.ndarray, encoding: str, tmp_path) -> np.ndarray:
+    path = os.path.join(tmp_path, "col.col")
+    with open(path, "wb") as handle:
+        meta = write_segment(handle, values, encoding)
+    return read_segment(path, meta, values.dtype)
+
+
+class TestEncodingRoundTrips:
+    @pytest.mark.parametrize("encoding", ["plain", "dictionary", "rle", "auto"])
+    def test_int64(self, encoding, tmp_path, rng):
+        values = rng.integers(0, 50, size=1000).astype(np.int64)
+        decoded = roundtrip(values, encoding, tmp_path)
+        np.testing.assert_array_equal(np.asarray(decoded), values)
+
+    @pytest.mark.parametrize("encoding", ["plain", "dictionary", "rle", "auto"])
+    def test_float64(self, encoding, tmp_path, rng):
+        values = rng.normal(size=500).round(2)
+        decoded = roundtrip(values, encoding, tmp_path)
+        np.testing.assert_array_equal(np.asarray(decoded), values)
+
+    @pytest.mark.parametrize("encoding", ["plain", "dictionary", "rle", "auto"])
+    def test_empty_segment(self, encoding, tmp_path):
+        values = np.array([], dtype=np.int64)
+        decoded = roundtrip(values, encoding, tmp_path)
+        assert decoded.size == 0
+        assert decoded.dtype == np.int64
+
+    @pytest.mark.parametrize("encoding", ["plain", "rle", "auto"])
+    def test_all_null_segment(self, encoding, tmp_path):
+        values = np.full(64, np.nan)
+        decoded = roundtrip(values, encoding, tmp_path)
+        assert np.isnan(np.asarray(decoded)).all()
+        assert decoded.size == 64
+
+    def test_dictionary_with_nans_falls_back_but_roundtrips(self, tmp_path):
+        # NaN dictionaries are not value-stable; an explicit request must
+        # still write a correct segment (silently as plain).
+        values = np.array([1.0, np.nan, 2.0, np.nan])
+        path = os.path.join(tmp_path, "col.col")
+        with open(path, "wb") as handle:
+            meta = write_segment(handle, values, "dictionary")
+        assert meta["encoding"] == "plain"
+        decoded = np.asarray(read_segment(path, meta, values.dtype))
+        np.testing.assert_array_equal(np.isnan(decoded), np.isnan(values))
+        np.testing.assert_array_equal(decoded[~np.isnan(decoded)], [1.0, 2.0])
+
+    def test_single_run_rle(self, tmp_path):
+        values = np.full(10_000, 7, dtype=np.int64)
+        payload, meta = encode_segment(values, "rle")
+        # one run: 8 bytes of value + 8 bytes of length
+        assert meta["payload_bytes"] == 16
+        decoded = roundtrip(values, "rle", tmp_path)
+        np.testing.assert_array_equal(np.asarray(decoded), values)
+
+    def test_decoded_segments_are_read_only(self, tmp_path):
+        for encoding in ("plain", "dictionary", "rle"):
+            decoded = roundtrip(
+                np.arange(100, dtype=np.int64), encoding, tmp_path
+            )
+            with pytest.raises((ValueError, RuntimeError)):
+                decoded[0] = 99
+
+
+class TestChooseEncoding:
+    def test_constant_column_prefers_rle(self):
+        assert choose_encoding(np.full(5000, 3, dtype=np.int64)) == "rle"
+
+    def test_low_cardinality_shuffled_prefers_dictionary(self, rng):
+        values = rng.integers(0, 4, size=5000).astype(np.int64)
+        assert choose_encoding(values) == "dictionary"
+
+    def test_unique_values_prefer_plain(self):
+        values = np.arange(5000, dtype=np.int64)
+        np.random.default_rng(1).shuffle(values)
+        assert choose_encoding(values) == "plain"
+
+    def test_nan_floats_never_pick_dictionary(self):
+        values = np.where(np.arange(5000) % 2 == 0, np.nan, 1.0)
+        assert choose_encoding(values) != "dictionary"
+
+    def test_empty_is_plain(self):
+        assert choose_encoding(np.array([], dtype=np.int64)) == "plain"
+
+
+class TestZoneMaps:
+    def test_min_max_distinct(self):
+        __, meta = encode_segment(np.array([5, 1, 9, 1, 5], dtype=np.int64))
+        assert meta["min"] == 1
+        assert meta["max"] == 9
+        assert meta["distinct"] == 3
+        assert meta["null_count"] == 0
+        assert meta["rows"] == 5
+
+    def test_nan_aware(self):
+        __, meta = encode_segment(np.array([2.0, np.nan, 8.0]))
+        assert meta["min"] == 2.0
+        assert meta["max"] == 8.0
+        assert meta["null_count"] == 1
+        assert meta["distinct"] == 3  # 2.0, 8.0, and NaN
+
+    def test_all_null_has_no_bounds(self):
+        __, meta = encode_segment(np.full(3, np.nan))
+        assert meta["min"] is None
+        assert meta["max"] is None
+        assert meta["null_count"] == 3
+
+
+class TestFooterRecovery:
+    def test_scan_footers_matches_writer_metas(self, tmp_path, rng):
+        path = os.path.join(tmp_path, "col.col")
+        written = []
+        with open(path, "wb") as handle:
+            for encoding, size in (("plain", 300), ("rle", 0), ("dictionary", 128)):
+                values = rng.integers(0, 10, size=size).astype(np.int64)
+                written.append(write_segment(handle, values, encoding))
+        recovered = scan_footers(path)
+        assert recovered == written
+
+    def test_recovered_metas_decode(self, tmp_path):
+        path = os.path.join(tmp_path, "col.col")
+        values = np.arange(1000, dtype=np.int64)
+        with open(path, "wb") as handle:
+            write_segment(handle, values[:600], "auto")
+            write_segment(handle, values[600:], "auto")
+        parts = [
+            np.asarray(read_segment(path, meta, values.dtype))
+            for meta in scan_footers(path)
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts), values)
+
+    def test_empty_file(self, tmp_path):
+        path = os.path.join(tmp_path, "col.col")
+        open(path, "wb").close()
+        assert scan_footers(path) == []
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = os.path.join(tmp_path, "col.col")
+        with open(path, "wb") as handle:
+            write_segment(handle, np.arange(10, dtype=np.int64))
+            handle.write(b"JUNK")
+        with pytest.raises(StorageError, match="magic"):
+            scan_footers(path)
+
+    def test_truncated_trailer_raises(self, tmp_path):
+        path = os.path.join(tmp_path, "col.col")
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)  # magic with no room for a trailer
+        with pytest.raises(StorageError, match="truncated"):
+            scan_footers(path)
+
+    def test_overrunning_footer_raises(self, tmp_path):
+        path = os.path.join(tmp_path, "col.col")
+        with open(path, "wb") as handle:
+            handle.write(b"{}")
+            handle.write(struct.pack("<I", 999))  # footer larger than file
+            handle.write(MAGIC)
+        with pytest.raises(StorageError, match="overruns"):
+            scan_footers(path)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "num_rows": 10,
+            "segment_rows": 4,
+            "statistics_version": 1,
+            "columns": [],
+        }
+        write_manifest(str(tmp_path), manifest)
+        assert read_manifest(str(tmp_path)) == manifest
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="MANIFEST"):
+            read_manifest(str(tmp_path))
+
+    def test_future_version_rejected(self, tmp_path):
+        write_manifest(
+            str(tmp_path),
+            {"format_version": FORMAT_VERSION + 1, "columns": []},
+        )
+        with pytest.raises(StorageError, match="format version"):
+            read_manifest(str(tmp_path))

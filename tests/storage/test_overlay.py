@@ -62,7 +62,7 @@ class TestApply:
         with pytest.raises(StatisticsError):
             StatisticsOverlay().set_sorted("T", "NOPE", False).apply(catalog)
 
-    def test_patched_table_shares_arrays_with_fresh_stats(self, catalog):
+    def test_patched_table_shares_arrays_with_fresh_stats(self, memory_storage, catalog):
         over = StatisticsOverlay().set_sorted("T", "ID", False).apply(catalog)
         base_column = catalog.table("T").column("ID")
         over_column = over.table("T").column("ID")
